@@ -1,0 +1,106 @@
+// Experiment A2 — ablation of the §4.3 Omega-join optimizations:
+//   1. closure memoization (the materialized hash-table cache),
+//   2. RHS-sorted unique-value processing,
+//   3. neither (closure recomputed per RHS row).
+//
+// Workload: an Omega join whose RHS carries heavy duplication — the exact
+// situation §4.3's "amortize the cost of computing and materializing the
+// closures" targets.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "exec/basic_ops.h"
+#include "exec/mural_ops.h"
+
+using namespace mural;
+using namespace mural::bench;
+
+int main() {
+  std::printf("=== §4.3 closure-reuse ablation (Omega join) ===\n\n");
+
+  auto db_or = Database::Open();
+  BENCH_CHECK_OK(db_or.status());
+  std::unique_ptr<Database> db = std::move(*db_or);
+
+  TaxonomyGenOptions options;
+  options.seed = 42;
+  options.base_synsets = 12000;
+  options.languages = {lang::kEnglish, lang::kTamil};
+  GeneratedTaxonomy generated = GenerateTaxonomy(options);
+  std::vector<SynsetId> bases = generated.base_synsets;
+  const Taxonomy* tax_raw = generated.taxonomy.get();
+
+  // RHS: 400 rows drawn Zipf-style from only 12 distinct mid-size
+  // concepts; LHS: 500 random concepts.
+  std::vector<SynsetId> rhs_pool = FindRootsWithClosureSize(
+      *tax_raw,
+      std::vector<SynsetId>(bases.begin(), bases.begin() + 600), 400, 12);
+  BENCH_CHECK_OK(db->LoadTaxonomy(std::move(generated.taxonomy)));
+  const Taxonomy& tax = *db->taxonomy();
+
+  Schema schema({{"cat", TypeId::kUniText}});
+  std::vector<Row> lhs_rows, rhs_rows;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const Synset& s = tax.Get(bases[rng.Uniform(bases.size())]);
+    lhs_rows.push_back({Value::Uni(s.lemma, s.lang)});
+  }
+  ZipfGenerator zipf(rhs_pool.size(), 1.0, 3);
+  for (int i = 0; i < 400; ++i) {
+    const Synset& s = tax.Get(rhs_pool[zipf.Next()]);
+    rhs_rows.push_back({Value::Uni(s.lemma, s.lang)});
+  }
+
+  struct Config {
+    const char* name;
+    bool cache;
+    bool sort_unique;
+  };
+  const Config configs[] = {
+      {"no reuse (naive)", false, false},
+      {"sorted unique RHS (§4.3)", false, true},
+      {"closure cache (§4.3)", true, false},
+      {"cache + sorted", true, true},
+  };
+
+  std::printf("%-28s %14s %16s %14s\n", "configuration", "runtime (ms)",
+              "closures built", "reuses");
+  size_t expect_rows = 0;
+  for (const Config& config : configs) {
+    ExecContext* ctx = db->exec_context();
+    if (ctx->closure_cache != nullptr) ctx->closure_cache->Clear();
+    SemJoinOp::Options op_options;
+    op_options.use_closure_cache = config.cache;
+    op_options.sort_unique_rhs = config.sort_unique;
+
+    const uint64_t built_before = ctx->stats.closure_computations;
+    const uint64_t reuse_before = ctx->stats.closure_reuses;
+    size_t rows = 0;
+    const double ms = TimeMedianMs(3, [&] {
+      if (ctx->closure_cache != nullptr) ctx->closure_cache->Clear();
+      SemJoinOp join(ctx,
+                     std::make_unique<ValuesOp>(ctx, schema, lhs_rows),
+                     std::make_unique<ValuesOp>(ctx, schema, rhs_rows), 0,
+                     0, op_options);
+      auto result = CollectAll(&join);
+      BENCH_CHECK_OK(result.status());
+      rows = result->size();
+    });
+    if (expect_rows == 0) expect_rows = rows;
+    if (rows != expect_rows) {
+      std::fprintf(stderr, "FATAL: result mismatch %zu vs %zu\n", rows,
+                   expect_rows);
+      return 1;
+    }
+    std::printf("%-28s %14.2f %16llu %14llu\n", config.name, ms,
+                static_cast<unsigned long long>(
+                    ctx->stats.closure_computations - built_before),
+                static_cast<unsigned long long>(ctx->stats.closure_reuses -
+                                                reuse_before));
+  }
+  std::printf("\n(identical %zu result rows in every configuration; the\n"
+              "reuse strategies collapse 400 RHS closures to ~12 distinct "
+              "ones)\n", expect_rows);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Experiment A3 — edit-distance algorithm ablation (google-benchmark):
+// the textbook O(m*n) DP versus the diagonal-transition (banded cut-off)
+// algorithm the paper adopts (§3.3) versus Myers' bit-parallel scan, over
+// phoneme-string lengths and thresholds.  Also benches the interpreted
+// PL EDITDIST to quantify the outside-the-server per-call gap.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "distance/edit_distance.h"
+#include "phonetic/phoneme.h"
+#include "plfront/udf_runtime.h"
+
+namespace mural {
+namespace {
+
+std::vector<std::pair<std::string, std::string>> MakePairs(size_t len,
+                                                           size_t count) {
+  Rng rng(42);
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (size_t i = 0; i < count; ++i) {
+    std::string a, b;
+    for (size_t j = 0; j < len; ++j) {
+      a.push_back(
+          phoneme::kAlphabet[rng.Uniform(phoneme::kAlphabet.size())]);
+    }
+    b = a;
+    // Mutate a few positions so distances straddle typical thresholds.
+    for (int m = 0; m < 3 && !b.empty(); ++m) {
+      b[rng.Uniform(b.size())] =
+          phoneme::kAlphabet[rng.Uniform(phoneme::kAlphabet.size())];
+    }
+    pairs.emplace_back(std::move(a), std::move(b));
+  }
+  return pairs;
+}
+
+void BM_FullDp(benchmark::State& state) {
+  const auto pairs = MakePairs(static_cast<size_t>(state.range(0)), 64);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ % pairs.size()];
+    benchmark::DoNotOptimize(Levenshtein(a, b));
+  }
+}
+BENCHMARK(BM_FullDp)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_DiagonalTransition(benchmark::State& state) {
+  const auto pairs = MakePairs(static_cast<size_t>(state.range(0)), 64);
+  const int k = static_cast<int>(state.range(1));
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ % pairs.size()];
+    benchmark::DoNotOptimize(BoundedLevenshtein(a, b, k));
+  }
+}
+BENCHMARK(BM_DiagonalTransition)
+    ->Args({8, 2})
+    ->Args({16, 2})
+    ->Args({32, 2})
+    ->Args({64, 2})
+    ->Args({32, 1})
+    ->Args({32, 4})
+    ->Args({32, 8});
+
+void BM_MyersBitParallel(benchmark::State& state) {
+  const auto pairs = MakePairs(static_cast<size_t>(state.range(0)), 64);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ % pairs.size()];
+    benchmark::DoNotOptimize(MyersLevenshtein(a, b));
+  }
+}
+BENCHMARK(BM_MyersBitParallel)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_InterpretedUdfEditDist(benchmark::State& state) {
+  auto udf = pl::UdfRuntime::Create();
+  if (!udf.ok()) {
+    state.SkipWithError("udf runtime failed");
+    return;
+  }
+  const auto pairs = MakePairs(static_cast<size_t>(state.range(0)), 16);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ % pairs.size()];
+    auto result = (*udf)->CallWire(
+        "EDITDIST",
+        {pl::PlValue(a), pl::PlValue(b), pl::PlValue(int64_t{2})});
+    if (!result.ok()) {
+      state.SkipWithError("udf call failed");
+      return;
+    }
+    benchmark::DoNotOptimize(result->AsInt());
+  }
+}
+BENCHMARK(BM_InterpretedUdfEditDist)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace mural
+
+BENCHMARK_MAIN();

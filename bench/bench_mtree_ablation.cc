@@ -1,0 +1,103 @@
+// Experiment A1 — ablation behind the paper's §5.3 observation that the
+// M-Tree is only *marginally* effective for approximate string matching.
+//
+// The paper attributes the weak pruning to (a) the high dimensionality of
+// string spaces under edit distance and (b) the coarseness of the integer
+// metric.  This harness measures pruning efficiency — the fraction of
+// leaf entries whose distance is evaluated — on two datasets:
+//
+//   clustered : phoneme strings of a multilingual names dataset, where
+//               homophone families form genuine metric clusters;
+//   uniform   : i.i.d. random phoneme strings — the intrinsic-
+//               dimensionality worst case, where pairwise distances
+//               concentrate and the triangle inequality prunes nothing.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "index/mtree.h"
+#include "phonetic/phoneme.h"
+#include "phonetic/transformer.h"
+
+using namespace mural;
+using namespace mural::bench;
+
+namespace {
+
+std::vector<std::string> ClusteredKeys(size_t count) {
+  NameGenOptions options;
+  options.seed = 42;
+  options.num_bases = count / 5;
+  options.variants_per_base = 5;
+  std::vector<std::string> keys;
+  const PhoneticTransformer& t = PhoneticTransformer::Default();
+  for (const NameRecord& rec : GenerateNames(options)) {
+    keys.push_back(t.Transform(rec.name));
+  }
+  return keys;
+}
+
+std::vector<std::string> UniformKeys(size_t count, size_t len) {
+  Rng rng(7);
+  std::vector<std::string> keys;
+  for (size_t i = 0; i < count; ++i) {
+    std::string s;
+    for (size_t j = 0; j < len; ++j) {
+      s.push_back(
+          phoneme::kAlphabet[rng.Uniform(phoneme::kAlphabet.size())]);
+    }
+    keys.push_back(std::move(s));
+  }
+  return keys;
+}
+
+void RunSeries(const char* label, const std::vector<std::string>& keys) {
+  MemoryDiskManager disk;
+  BufferPool pool(&disk, 4096);
+  auto mtree_or = MTreeIndex::Create(&pool);
+  BENCH_CHECK_OK(mtree_or.status());
+  std::unique_ptr<MTreeIndex> mtree = std::move(*mtree_or);
+  for (uint32_t i = 0; i < keys.size(); ++i) {
+    BENCH_CHECK_OK(mtree->Insert(Value::Text(keys[i]), Rid{i, 0}));
+  }
+  Rng rng(99);
+  for (int k : {0, 1, 2, 3, 5}) {
+    mtree->tree().stats().Reset();
+    size_t results = 0;
+    const int kQueries = 25;
+    for (int q = 0; q < kQueries; ++q) {
+      std::vector<Rid> rids;
+      BENCH_CHECK_OK(mtree->SearchWithin(
+          Value::Text(keys[rng.Uniform(keys.size())]), k, &rids));
+      results += rids.size();
+    }
+    const double frac =
+        static_cast<double>(mtree->tree().stats().leaf_entries_tested) /
+        (static_cast<double>(keys.size()) * kQueries);
+    std::printf("%-12s %6d %19.1f%% %18.1f\n", label, k, frac * 100,
+                static_cast<double>(results) / kQueries);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== M-Tree pruning-efficiency ablation (paper §5.3) ===\n\n");
+  std::printf("%-12s %6s %20s %18s\n", "dataset", "k",
+              "leaf frac examined", "avg results");
+  RunSeries("clustered", ClusteredKeys(8000));
+  RunSeries("uniform-8", UniformKeys(8000, 8));
+  RunSeries("uniform-16", UniformKeys(8000, 16));
+
+  std::printf(
+      "\nReading the table (paper's analysis):\n"
+      "  - on clustered name data some pruning survives at k=0..1 but\n"
+      "    the examined fraction climbs steeply with the threshold: the\n"
+      "    covering-radius test d(q,routing) <= k + r rarely fails once\n"
+      "    k reaches a few units of a coarse integer metric;\n"
+      "  - on uniform strings (high intrinsic dimensionality) pairwise\n"
+      "    distances concentrate and pruning vanishes entirely —\n"
+      "    explaining why Table 4's M-Tree gain over a plain scan is\n"
+      "    marginal.\n");
+  return 0;
+}

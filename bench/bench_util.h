@@ -1,0 +1,83 @@
+// Shared helpers for the experiment harnesses: dataset loading and timing.
+
+#pragma once
+
+#include <cstdio>
+#include <memory>
+
+#include "common/timer.h"
+#include "datagen/catalog_generator.h"
+#include "datagen/name_generator.h"
+#include "datagen/taxonomy_generator.h"
+#include "engine/database.h"
+
+namespace mural {
+namespace bench {
+
+/// Creates a database holding the multilingual `names(id, name)` table
+/// with materialized phonemes, analyzed.  Size = bases * variants.
+inline StatusOr<std::unique_ptr<Database>> MakeNamesDb(
+    size_t bases, size_t variants, uint64_t seed,
+    std::vector<NameRecord>* records_out = nullptr) {
+  MURAL_ASSIGN_OR_RETURN(std::unique_ptr<Database> db, Database::Open());
+  Schema schema({{"id", TypeId::kInt32},
+                 {"name", TypeId::kUniText, /*mat=*/true}});
+  MURAL_RETURN_IF_ERROR(db->CreateTable("names", schema));
+  NameGenOptions options;
+  options.seed = seed;
+  options.num_bases = bases;
+  options.variants_per_base = variants;
+  std::vector<NameRecord> records = GenerateNames(options);
+  for (const NameRecord& rec : records) {
+    MURAL_RETURN_IF_ERROR(
+        db->Insert("names", {Value::Int32(static_cast<int32_t>(rec.id)),
+                             Value::Uni(rec.name)}));
+  }
+  MURAL_RETURN_IF_ERROR(db->Analyze("names"));
+  if (records_out != nullptr) *records_out = std::move(records);
+  return db;
+}
+
+/// Adds a second names table for join benches.
+inline Status AddSecondNamesTable(Database* db, const char* table,
+                                  size_t bases, size_t variants,
+                                  uint64_t seed) {
+  Schema schema({{"id", TypeId::kInt32},
+                 {"name", TypeId::kUniText, /*mat=*/true}});
+  MURAL_RETURN_IF_ERROR(db->CreateTable(table, schema));
+  NameGenOptions options;
+  options.seed = seed;
+  options.num_bases = bases;
+  options.variants_per_base = variants;
+  for (const NameRecord& rec : GenerateNames(options)) {
+    MURAL_RETURN_IF_ERROR(
+        db->Insert(table, {Value::Int32(static_cast<int32_t>(rec.id)),
+                           Value::Uni(rec.name)}));
+  }
+  return db->Analyze(table);
+}
+
+/// Median-of-runs wall-clock helper.
+template <typename Fn>
+double TimeMedianMs(int runs, Fn&& fn) {
+  std::vector<double> times;
+  for (int i = 0; i < runs; ++i) {
+    Timer timer;
+    fn();
+    times.push_back(timer.ElapsedMillis());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+#define BENCH_CHECK_OK(expr)                                       \
+  do {                                                             \
+    const ::mural::Status _st = (expr);                            \
+    if (!_st.ok()) {                                               \
+      std::fprintf(stderr, "FATAL: %s\n", _st.ToString().c_str()); \
+      std::exit(1);                                                \
+    }                                                              \
+  } while (0)
+
+}  // namespace bench
+}  // namespace mural

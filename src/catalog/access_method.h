@@ -1,0 +1,68 @@
+// AccessMethod: the abstract index interface the catalog and executor see.
+//
+// Concrete access methods (B+Tree, GiST-based M-Tree, MDI) live in
+// src/index and register themselves with the catalog through this
+// interface, mirroring how PostgreSQL's access-method layer decouples the
+// planner/executor from index implementations (paper §4.1-4.2).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace mural {
+
+/// Index families understood by the optimizer.
+enum class IndexKind : uint8_t {
+  kBTree,  // ordered index; equality + range probes
+  kMTree,  // metric index over phoneme strings; range-by-distance probes
+  kMdi,    // metric-distance index (B-tree emulation, outside-server §5.3)
+};
+
+const char* IndexKindToString(IndexKind kind);
+
+/// Abstract secondary index mapping keys to heap RIDs.
+class AccessMethod {
+ public:
+  virtual ~AccessMethod() = default;
+
+  virtual IndexKind kind() const = 0;
+
+  /// Inserts (key, rid).  Duplicate keys are allowed.
+  virtual Status Insert(const Value& key, Rid rid) = 0;
+
+  /// All rids whose key equals `key` exactly.
+  virtual Status SearchEqual(const Value& key, std::vector<Rid>* out) = 0;
+
+  /// All rids with lo <= key <= hi (ordered indexes only; NotSupported
+  /// otherwise).  Null bounds mean unbounded on that side.
+  virtual Status SearchRange(const Value& lo, const Value& hi,
+                             std::vector<Rid>* out) {
+    (void)lo;
+    (void)hi;
+    (void)out;
+    return Status::NotSupported("range search not supported by this index");
+  }
+
+  /// All rids whose key is within edit distance `radius` of `key` (metric
+  /// indexes only; NotSupported otherwise).
+  virtual Status SearchWithin(const Value& key, int radius,
+                              std::vector<Rid>* out) {
+    (void)key;
+    (void)radius;
+    (void)out;
+    return Status::NotSupported("metric search not supported by this index");
+  }
+
+  /// Number of (key, rid) entries.
+  virtual uint64_t NumEntries() const = 0;
+
+  /// Number of pages the index occupies (the P_I of Table 2).
+  virtual uint32_t NumPages() const = 0;
+};
+
+}  // namespace mural

@@ -1,0 +1,169 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+#include "catalog/tuple_codec.h"
+#include "common/string_util.h"
+
+namespace mural {
+
+const char* IndexKindToString(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kBTree:
+      return "btree";
+    case IndexKind::kMTree:
+      return "mtree";
+    case IndexKind::kMdi:
+      return "mdi";
+  }
+  return "?";
+}
+
+std::string Catalog::Key(const std::string& name) {
+  std::string k = name;
+  for (char& c : k) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return k;
+}
+
+StatusOr<TableInfo*> Catalog::CreateTable(const std::string& name,
+                                          Schema schema) {
+  const std::string key = Key(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  if (schema.NumColumns() == 0) {
+    return Status::InvalidArgument("table needs at least one column");
+  }
+  MURAL_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Create(pool_));
+  auto info = std::make_unique<TableInfo>();
+  info->oid = next_oid_++;
+  info->name = name;
+  info->schema = std::move(schema);
+  info->heap = std::make_unique<HeapFile>(std::move(heap));
+  TableInfo* out = info.get();
+  tables_[key] = std::move(info);
+  return out;
+}
+
+StatusOr<TableInfo*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return it->second.get();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  // Drop dependent indexes first.
+  std::vector<std::string> doomed;
+  for (const auto& [iname, iinfo] : indexes_) {
+    if (Key(iinfo->table) == Key(name)) doomed.push_back(iname);
+  }
+  for (const std::string& iname : doomed) indexes_.erase(iname);
+  tables_.erase(it);
+  return Status::OK();
+}
+
+StatusOr<IndexInfo*> Catalog::CreateIndex(
+    const std::string& index_name, const std::string& table,
+    const std::string& column, bool on_phonemes, IndexKind kind,
+    std::unique_ptr<AccessMethod> index) {
+  const std::string key = Key(index_name);
+  if (indexes_.count(key) > 0) {
+    return Status::AlreadyExists("index exists: " + index_name);
+  }
+  MURAL_ASSIGN_OR_RETURN(TableInfo * tinfo, GetTable(table));
+  if (tinfo->schema.IndexOf(column) < 0) {
+    return Status::NotFound("no such column: " + table + "." + column);
+  }
+  if (index == nullptr) {
+    return Status::InvalidArgument("index implementation is null");
+  }
+  auto info = std::make_unique<IndexInfo>();
+  info->oid = next_oid_++;
+  info->name = index_name;
+  info->table = table;
+  info->column = column;
+  info->on_phonemes = on_phonemes;
+  info->kind = kind;
+  info->index = std::move(index);
+  IndexInfo* out = info.get();
+  indexes_[key] = std::move(info);
+  tinfo->indexes.push_back(out);
+  return out;
+}
+
+StatusOr<IndexInfo*> Catalog::GetIndex(const std::string& name) const {
+  auto it = indexes_.find(Key(name));
+  if (it == indexes_.end()) {
+    return Status::NotFound("no such index: " + name);
+  }
+  return it->second.get();
+}
+
+std::vector<IndexInfo*> Catalog::FindIndexes(const std::string& table,
+                                             const std::string& column) const {
+  std::vector<IndexInfo*> out;
+  for (const auto& [name, info] : indexes_) {
+    if (Key(info->table) == Key(table) &&
+        Key(info->column) == Key(column)) {
+      out.push_back(info.get());
+    }
+  }
+  return out;
+}
+
+Status Catalog::DropIndex(const std::string& name) {
+  auto it = indexes_.find(Key(name));
+  if (it == indexes_.end()) {
+    return Status::NotFound("no such index: " + name);
+  }
+  StatusOr<TableInfo*> tinfo = GetTable(it->second->table);
+  if (tinfo.ok()) {
+    auto& vec = (*tinfo)->indexes;
+    vec.erase(std::remove(vec.begin(), vec.end(), it->second.get()),
+              vec.end());
+  }
+  indexes_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [key, info] : tables_) out.push_back(info->name);
+  return out;
+}
+
+StatusOr<Rid> TableWriter::Insert(const Row& row) {
+  std::string record;
+  MURAL_RETURN_IF_ERROR(
+      TupleCodec::Serialize(table_->schema, row, &record));
+  MURAL_ASSIGN_OR_RETURN(const Rid rid, table_->heap->Insert(record));
+  for (IndexInfo* idx : table_->indexes) {
+    const int col = table_->schema.IndexOf(idx->column);
+    if (col < 0) continue;
+    const Value& v = row[static_cast<size_t>(col)];
+    if (v.is_null()) continue;
+    if (idx->on_phonemes) {
+      if (v.type() != TypeId::kUniText || !v.unitext().has_phonemes()) {
+        return Status::InvalidArgument(
+            "index '" + idx->name +
+            "' requires materialized phonemes on column " + idx->column);
+      }
+      MURAL_RETURN_IF_ERROR(
+          idx->index->Insert(Value::Text(*v.unitext().phonemes()), rid));
+    } else {
+      MURAL_RETURN_IF_ERROR(idx->index->Insert(v, rid));
+    }
+  }
+  return rid;
+}
+
+}  // namespace mural

@@ -1,0 +1,102 @@
+// Catalog: tables, their heaps, and their indexes.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/access_method.h"
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+
+namespace mural {
+
+struct TableInfo;
+
+/// Metadata + implementation handle for one secondary index.
+struct IndexInfo {
+  uint32_t oid = 0;
+  std::string name;
+  std::string table;
+  std::string column;          // indexed column name
+  bool on_phonemes = false;    // key is the materialized phoneme string
+  IndexKind kind = IndexKind::kBTree;
+  std::unique_ptr<AccessMethod> index;
+};
+
+/// Metadata + heap for one table.
+struct TableInfo {
+  uint32_t oid = 0;
+  std::string name;
+  Schema schema;
+  std::unique_ptr<HeapFile> heap;
+  std::vector<IndexInfo*> indexes;  // owned by the catalog's index map
+};
+
+/// The system catalog.  Single-threaded by design (one session), like the
+/// rest of the engine; names are case-insensitive.
+class Catalog {
+ public:
+  explicit Catalog(BufferPool* pool) : pool_(pool) {}
+
+  /// Creates an empty table.
+  StatusOr<TableInfo*> CreateTable(const std::string& name, Schema schema);
+
+  /// Table by name; NotFound if absent.
+  StatusOr<TableInfo*> GetTable(const std::string& name) const;
+
+  /// Removes the table and its indexes from the catalog.  (Heap pages are
+  /// not reclaimed: no free-space management, matching scope.)
+  Status DropTable(const std::string& name);
+
+  /// Registers an index implementation for `table.column`.  The catalog
+  /// takes ownership; the caller (engine layer) constructs the concrete
+  /// AccessMethod and bulk-loads it before or after registration.
+  StatusOr<IndexInfo*> CreateIndex(const std::string& index_name,
+                                   const std::string& table,
+                                   const std::string& column,
+                                   bool on_phonemes, IndexKind kind,
+                                   std::unique_ptr<AccessMethod> index);
+
+  /// Index by name; NotFound if absent.
+  StatusOr<IndexInfo*> GetIndex(const std::string& name) const;
+
+  /// Indexes on a given table/column (any kind).
+  std::vector<IndexInfo*> FindIndexes(const std::string& table,
+                                      const std::string& column) const;
+
+  Status DropIndex(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+  BufferPool* buffer_pool() { return pool_; }
+
+ private:
+  static std::string Key(const std::string& name);
+
+  BufferPool* pool_;
+  uint32_t next_oid_ = 1;
+  std::map<std::string, std::unique_ptr<TableInfo>> tables_;
+  std::map<std::string, std::unique_ptr<IndexInfo>> indexes_;
+};
+
+/// TableHeap-level convenience: typed insert/scan over a TableInfo.
+/// Maintains all registered indexes on insert.
+class TableWriter {
+ public:
+  TableWriter(TableInfo* table) : table_(table) {}  // NOLINT
+
+  /// Serializes and appends `row`; updates every index registered on the
+  /// table (B-Tree keys use the raw column value; phoneme-keyed indexes
+  /// use the materialized phoneme string, which must be present).
+  StatusOr<Rid> Insert(const Row& row);
+
+ private:
+  TableInfo* table_;
+};
+
+}  // namespace mural

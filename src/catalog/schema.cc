@@ -1,0 +1,53 @@
+#include "catalog/schema.h"
+
+#include "common/string_util.h"
+
+namespace mural {
+
+int Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+StatusOr<size_t> Schema::Resolve(std::string_view name) const {
+  const int idx = IndexOf(name);
+  if (idx < 0) {
+    return Status::NotFound("no such column: " + std::string(name));
+  }
+  return static_cast<size_t>(idx);
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> cols = left.columns_;
+  for (const Column& rc : right.columns_) {
+    Column c = rc;
+    if (left.IndexOf(rc.name) >= 0) {
+      // Disambiguate collisions only.
+      for (Column& lc : cols) {
+        if (EqualsIgnoreCase(lc.name, rc.name) &&
+            lc.name.rfind("l.", 0) != 0) {
+          lc.name = "l." + lc.name;
+        }
+      }
+      c.name = "r." + c.name;
+    }
+    cols.push_back(std::move(c));
+  }
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += TypeIdToString(columns_[i].type);
+    if (columns_[i].materialize_phonemes) out += " PHONEMES";
+  }
+  return out;
+}
+
+}  // namespace mural

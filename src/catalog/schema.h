@@ -1,0 +1,59 @@
+// Schema: ordered, named, typed columns of a relation.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/value.h"
+#include "common/status.h"
+
+namespace mural {
+
+/// One column definition.
+struct Column {
+  std::string name;
+  TypeId type = TypeId::kNull;
+  /// UniText columns only: materialize the phoneme string at insert time
+  /// (paper §4.2 — avoids repeated text-to-phoneme conversions in joins).
+  bool materialize_phonemes = false;
+
+  Column() = default;
+  Column(std::string n, TypeId t, bool mat = false)
+      : name(std::move(n)), type(t), materialize_phonemes(mat) {}
+};
+
+/// An ordered list of columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t NumColumns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name` (case-insensitive); -1 if absent.
+  int IndexOf(std::string_view name) const;
+
+  /// Like IndexOf but returns a Status for binder-style error reporting.
+  StatusOr<size_t> Resolve(std::string_view name) const;
+
+  /// Concatenation (for join outputs); duplicate names get the side
+  /// prefixes "l." / "r." only when they collide.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// "name TYPE, name TYPE, ..." for EXPLAIN output.
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// A tuple: one Value per schema column.
+using Row = std::vector<Value>;
+
+}  // namespace mural

@@ -1,0 +1,174 @@
+#include "catalog/tuple_codec.h"
+
+#include "common/coding.h"
+
+namespace mural {
+
+namespace {
+
+Status CheckType(const Column& col, const Value& v) {
+  if (v.is_null()) return Status::OK();
+  if (v.type() != col.type) {
+    return Status::InvalidArgument(
+        "column '" + col.name + "' expects " + TypeIdToString(col.type) +
+        " but row has " + TypeIdToString(v.type()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status TupleCodec::Serialize(const Schema& schema, const Row& row,
+                             std::string* out) {
+  if (row.size() != schema.NumColumns()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  out->clear();
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Column& col = schema.column(i);
+    const Value& v = row[i];
+    MURAL_RETURN_IF_ERROR(CheckType(col, v));
+    if (v.is_null()) {
+      PutU8(out, 0);
+      continue;
+    }
+    PutU8(out, 1);
+    switch (col.type) {
+      case TypeId::kBool:
+        PutU8(out, v.bool_val() ? 1 : 0);
+        break;
+      case TypeId::kInt32:
+        PutU32(out, static_cast<uint32_t>(v.int32()));
+        break;
+      case TypeId::kInt64:
+        PutU64(out, static_cast<uint64_t>(v.int64()));
+        break;
+      case TypeId::kFloat64:
+        PutF64(out, v.float64());
+        break;
+      case TypeId::kText:
+        PutLengthPrefixed(out, v.text());
+        break;
+      case TypeId::kUniText: {
+        const UniText& u = v.unitext();
+        PutLengthPrefixed(out, u.text());
+        PutU16(out, u.lang());
+        if (u.has_phonemes()) {
+          PutU8(out, 1);
+          PutLengthPrefixed(out, *u.phonemes());
+        } else {
+          PutU8(out, 0);
+        }
+        break;
+      }
+      case TypeId::kNull:
+        return Status::InvalidArgument("column of type NULL is not storable");
+    }
+  }
+  return Status::OK();
+}
+
+Status TupleCodec::Deserialize(const Schema& schema, std::string_view data,
+                               Row* out) {
+  out->clear();
+  out->reserve(schema.NumColumns());
+  Decoder dec(data);
+  for (size_t i = 0; i < schema.NumColumns(); ++i) {
+    const Column& col = schema.column(i);
+    uint8_t flag = 0;
+    MURAL_RETURN_IF_ERROR(dec.GetU8(&flag));
+    if (flag == 0) {
+      out->push_back(Value::Null());
+      continue;
+    }
+    switch (col.type) {
+      case TypeId::kBool: {
+        uint8_t b = 0;
+        MURAL_RETURN_IF_ERROR(dec.GetU8(&b));
+        out->push_back(Value::Bool(b != 0));
+        break;
+      }
+      case TypeId::kInt32: {
+        uint32_t v = 0;
+        MURAL_RETURN_IF_ERROR(dec.GetU32(&v));
+        out->push_back(Value::Int32(static_cast<int32_t>(v)));
+        break;
+      }
+      case TypeId::kInt64: {
+        uint64_t v = 0;
+        MURAL_RETURN_IF_ERROR(dec.GetU64(&v));
+        out->push_back(Value::Int64(static_cast<int64_t>(v)));
+        break;
+      }
+      case TypeId::kFloat64: {
+        double v = 0;
+        MURAL_RETURN_IF_ERROR(dec.GetF64(&v));
+        out->push_back(Value::Float64(v));
+        break;
+      }
+      case TypeId::kText: {
+        std::string s;
+        MURAL_RETURN_IF_ERROR(dec.GetLengthPrefixed(&s));
+        out->push_back(Value::Text(std::move(s)));
+        break;
+      }
+      case TypeId::kUniText: {
+        std::string s;
+        MURAL_RETURN_IF_ERROR(dec.GetLengthPrefixed(&s));
+        uint16_t lang = 0;
+        MURAL_RETURN_IF_ERROR(dec.GetU16(&lang));
+        uint8_t has_ph = 0;
+        MURAL_RETURN_IF_ERROR(dec.GetU8(&has_ph));
+        UniText u(std::move(s), lang);
+        if (has_ph != 0) {
+          std::string ph;
+          MURAL_RETURN_IF_ERROR(dec.GetLengthPrefixed(&ph));
+          u.set_phonemes(std::move(ph));
+        }
+        out->push_back(Value::Uni(std::move(u)));
+        break;
+      }
+      case TypeId::kNull:
+        return Status::Corruption("column of type NULL in schema");
+    }
+  }
+  if (!dec.AtEnd()) {
+    return Status::Corruption("trailing bytes after tuple");
+  }
+  return Status::OK();
+}
+
+size_t TupleCodec::SerializedSize(const Schema& schema, const Row& row) {
+  size_t total = 0;
+  for (size_t i = 0; i < row.size() && i < schema.NumColumns(); ++i) {
+    const Value& v = row[i];
+    total += 1;  // flag
+    if (v.is_null()) continue;
+    switch (schema.column(i).type) {
+      case TypeId::kBool:
+        total += 1;
+        break;
+      case TypeId::kInt32:
+        total += 4;
+        break;
+      case TypeId::kInt64:
+      case TypeId::kFloat64:
+        total += 8;
+        break;
+      case TypeId::kText:
+        total += 4 + v.text().size();
+        break;
+      case TypeId::kUniText: {
+        const UniText& u = v.unitext();
+        total += 4 + u.text().size() + 2 + 1;
+        if (u.has_phonemes()) total += 4 + u.phonemes()->size();
+        break;
+      }
+      case TypeId::kNull:
+        break;
+    }
+  }
+  return total;
+}
+
+}  // namespace mural

@@ -1,0 +1,37 @@
+// TupleCodec: schema-driven (de)serialization of rows to heap records.
+//
+// Format, per column in schema order:
+//   u8 flag        0 = NULL, 1 = present
+//   payload        type-specific (ints/floats fixed LE; strings u32-len
+//                  prefixed; UniText = text + u16 lang + optional phonemes)
+//
+// UniText phoneme strings are serialized only when present, so tables that
+// materialize phonemes at insert time (paper §4.2) pay the storage cost and
+// others do not.
+
+#pragma once
+
+#include <string>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+
+namespace mural {
+
+class TupleCodec {
+ public:
+  /// Serializes `row` (which must match `schema` arity and types, NULLs
+  /// allowed anywhere) into `out`.
+  static Status Serialize(const Schema& schema, const Row& row,
+                          std::string* out);
+
+  /// Decodes a record produced by Serialize with the same schema.
+  static Status Deserialize(const Schema& schema, std::string_view data,
+                            Row* out);
+
+  /// Serialized size of `row` without materializing the bytes (used by the
+  /// statistics collector for average-record-length L of Table 2).
+  static size_t SerializedSize(const Schema& schema, const Row& row);
+};
+
+}  // namespace mural

@@ -1,0 +1,143 @@
+#include "catalog/value.h"
+
+#include <cmath>
+
+namespace mural {
+
+const char* TypeIdToString(TypeId t) {
+  switch (t) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kBool:
+      return "BOOL";
+    case TypeId::kInt32:
+      return "INT";
+    case TypeId::kInt64:
+      return "BIGINT";
+    case TypeId::kFloat64:
+      return "DOUBLE";
+    case TypeId::kText:
+      return "TEXT";
+    case TypeId::kUniText:
+      return "UNITEXT";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsNumeric(TypeId t) {
+  return t == TypeId::kBool || t == TypeId::kInt32 || t == TypeId::kInt64 ||
+         t == TypeId::kFloat64;
+}
+
+bool IsTextual(TypeId t) {
+  return t == TypeId::kText || t == TypeId::kUniText;
+}
+
+int Sign(double d) { return d < 0 ? -1 : (d > 0 ? 1 : 0); }
+
+}  // namespace
+
+double Value::AsDouble() const {
+  switch (type()) {
+    case TypeId::kBool:
+      return bool_val() ? 1.0 : 0.0;
+    case TypeId::kInt32:
+      return static_cast<double>(int32());
+    case TypeId::kInt64:
+      return static_cast<double>(int64());
+    case TypeId::kFloat64:
+      return float64();
+    default:
+      MURAL_CHECK(false) << "AsDouble on non-numeric "
+                         << TypeIdToString(type());
+      return 0.0;
+  }
+}
+
+int64_t Value::AsInt64() const {
+  switch (type()) {
+    case TypeId::kBool:
+      return bool_val() ? 1 : 0;
+    case TypeId::kInt32:
+      return int32();
+    case TypeId::kInt64:
+      return int64();
+    default:
+      MURAL_CHECK(false) << "AsInt64 on non-integer "
+                         << TypeIdToString(type());
+      return 0;
+  }
+}
+
+int Value::Compare(const Value& other) const {
+  const TypeId ta = type(), tb = other.type();
+  if (ta == TypeId::kNull || tb == TypeId::kNull) {
+    if (ta == tb) return 0;
+    return ta == TypeId::kNull ? -1 : 1;
+  }
+  if (IsNumeric(ta) && IsNumeric(tb)) {
+    return Sign(AsDouble() - other.AsDouble());
+  }
+  if (IsTextual(ta) && IsTextual(tb)) {
+    const std::string& a = ta == TypeId::kText ? text() : unitext().text();
+    const std::string& b =
+        tb == TypeId::kText ? other.text() : other.unitext().text();
+    const int c = a.compare(b);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  // Heterogeneous, incomparable kinds: order by type tag for stability.
+  return ta < tb ? -1 : (ta > tb ? 1 : 0);
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case TypeId::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case TypeId::kBool:
+    case TypeId::kInt32:
+    case TypeId::kInt64: {
+      // Hash integers through their double image so 1 == 1.0 hash-agree
+      // with Compare()==0 across numeric kinds.
+      const double d = AsDouble();
+      return Hash64(&d, sizeof(d));
+    }
+    case TypeId::kFloat64: {
+      double d = float64();
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      return Hash64(&d, sizeof(d));
+    }
+    case TypeId::kText:
+      return Hash64(text());
+    case TypeId::kUniText:
+      // Consistent with Compare: text component only.
+      return Hash64(unitext().text());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kBool:
+      return bool_val() ? "true" : "false";
+    case TypeId::kInt32:
+      return std::to_string(int32());
+    case TypeId::kInt64:
+      return std::to_string(int64());
+    case TypeId::kFloat64: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", float64());
+      return buf;
+    }
+    case TypeId::kText:
+      return text();
+    case TypeId::kUniText:
+      return unitext().ToString();
+  }
+  return "?";
+}
+
+}  // namespace mural

@@ -1,0 +1,101 @@
+// Value: the runtime datum flowing through the executor.
+//
+// Mural preserves all the basic relational types and adds UniText (paper
+// §3.1).  A Value is a tagged union over the supported types plus SQL NULL.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/status.h"
+#include "text/unitext.h"
+
+namespace mural {
+
+/// Column/value type tags.
+enum class TypeId : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt32,
+  kInt64,
+  kFloat64,
+  kText,
+  kUniText,
+};
+
+/// Human-readable type name ("INT", "UNITEXT", ...).
+const char* TypeIdToString(TypeId t);
+
+/// One runtime datum.
+class Value {
+ public:
+  /// SQL NULL.
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Rep(v)); }
+  static Value Int32(int32_t v) { return Value(Rep(v)); }
+  static Value Int64(int64_t v) { return Value(Rep(v)); }
+  static Value Float64(double v) { return Value(Rep(v)); }
+  static Value Text(std::string v) { return Value(Rep(std::move(v))); }
+  static Value Uni(UniText v) { return Value(Rep(std::move(v))); }
+  /// Convenience: compose a UniText value inline (asserts valid UTF-8).
+  static Value Uni(std::string text, LangId lang) {
+    return Uni(UniText(std::move(text), lang));
+  }
+
+  TypeId type() const { return static_cast<TypeId>(rep_.index()); }
+  bool is_null() const { return type() == TypeId::kNull; }
+
+  bool bool_val() const { return Get<bool>(); }
+  int32_t int32() const { return Get<int32_t>(); }
+  int64_t int64() const { return Get<int64_t>(); }
+  double float64() const { return Get<double>(); }
+  const std::string& text() const { return Get<std::string>(); }
+  const UniText& unitext() const { return Get<UniText>(); }
+  UniText& mutable_unitext() { return std::get<UniText>(rep_); }
+
+  /// Numeric value widened to double (ints and floats only).
+  double AsDouble() const;
+
+  /// Numeric value widened to int64 (bool/ints only).
+  int64_t AsInt64() const;
+
+  /// Three-way comparison.  NULL sorts before everything; distinct types
+  /// compare by type tag except that the numeric types compare by value
+  /// and Text/UniText compare by text bytes (UniText's ordinary text
+  /// operators, paper §3.2.1).
+  int Compare(const Value& other) const;
+
+  /// SQL '=' semantics over non-null values; NULL == anything is false.
+  bool Equals(const Value& other) const {
+    if (is_null() || other.is_null()) return false;
+    return Compare(other) == 0;
+  }
+
+  /// Hash consistent with Compare()==0 for same-kind values.
+  uint64_t Hash() const;
+
+  /// Display form for results and EXPLAIN output.
+  std::string ToString() const;
+
+ private:
+  using Rep = std::variant<std::monostate, bool, int32_t, int64_t, double,
+                           std::string, UniText>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  template <typename T>
+  const T& Get() const {
+    MURAL_CHECK(std::holds_alternative<T>(rep_))
+        << "value type mismatch: have " << TypeIdToString(type());
+    return std::get<T>(rep_);
+  }
+
+  Rep rep_;
+};
+
+}  // namespace mural

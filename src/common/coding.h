@@ -1,0 +1,87 @@
+// Little-endian fixed-width encodings for tuple and index-page layouts.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace mural {
+
+inline void PutU8(std::string* dst, uint8_t v) {
+  dst->push_back(static_cast<char>(v));
+}
+
+inline void PutU16(std::string* dst, uint16_t v) {
+  char buf[2];
+  std::memcpy(buf, &v, 2);
+  dst->append(buf, 2);
+}
+
+inline void PutU32(std::string* dst, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  dst->append(buf, 4);
+}
+
+inline void PutU64(std::string* dst, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+
+inline void PutF64(std::string* dst, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+
+inline void PutLengthPrefixed(std::string* dst, std::string_view s) {
+  PutU32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+/// Cursor-style decoder over a byte string; every Get* fails cleanly on
+/// truncated input instead of reading out of bounds.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  Status GetU8(uint8_t* v) { return GetRaw(v, 1); }
+  Status GetU16(uint16_t* v) { return GetRaw(v, 2); }
+  Status GetU32(uint32_t* v) { return GetRaw(v, 4); }
+  Status GetU64(uint64_t* v) { return GetRaw(v, 8); }
+  Status GetF64(double* v) { return GetRaw(v, 8); }
+
+  Status GetLengthPrefixed(std::string* out) {
+    uint32_t len = 0;
+    MURAL_RETURN_IF_ERROR(GetU32(&len));
+    if (remaining() < len) {
+      return Status::Corruption("length-prefixed field truncated");
+    }
+    out->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+ private:
+  Status GetRaw(void* out, size_t n) {
+    if (remaining() < n) {
+      return Status::Corruption("decode past end of buffer");
+    }
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace mural

@@ -1,0 +1,38 @@
+// Hash utilities: a 64-bit byte-string hash (FNV-1a with avalanche finish)
+// used by hash joins, closure caches, and the buffer pool's page table.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mural {
+
+/// 64-bit FNV-1a over a byte range, followed by a murmur-style finalizer so
+/// low bits are well mixed (hash tables mask the low bits).
+inline uint64_t Hash64(const void* data, size_t size, uint64_t seed = 0) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 14695981039346656037ULL ^ seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+inline uint64_t Hash64(std::string_view sv, uint64_t seed = 0) {
+  return Hash64(sv.data(), sv.size(), seed);
+}
+
+/// Combines two hashes (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace mural

@@ -1,0 +1,86 @@
+// Minimal leveled logging + assertion macros.
+//
+// Logging goes to stderr.  The level is process-global and settable at
+// runtime (benchmarks silence INFO noise).  MURAL_CHECK* abort on violation
+// in all build types; MURAL_DCHECK* only in debug builds.
+
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mural {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-global log threshold; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class LogMessageFatal {
+ public:
+  LogMessageFatal(const char* file, int line, const char* condition);
+  [[noreturn]] ~LogMessageFatal();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace mural
+
+#define MURAL_LOG(level)                                                   \
+  if (static_cast<int>(::mural::LogLevel::k##level) <                      \
+      static_cast<int>(::mural::GetLogLevel())) {                          \
+  } else                                                                   \
+    ::mural::internal::LogMessage(::mural::LogLevel::k##level, __FILE__,   \
+                                  __LINE__)                                \
+        .stream()
+
+/// Aborts the process with a message if `cond` is false (all builds).
+#define MURAL_CHECK(cond)                                               \
+  if (cond) {                                                           \
+  } else                                                                \
+    ::mural::internal::LogMessageFatal(__FILE__, __LINE__, #cond).stream()
+
+#define MURAL_CHECK_EQ(a, b) MURAL_CHECK((a) == (b))
+#define MURAL_CHECK_NE(a, b) MURAL_CHECK((a) != (b))
+#define MURAL_CHECK_LT(a, b) MURAL_CHECK((a) < (b))
+#define MURAL_CHECK_LE(a, b) MURAL_CHECK((a) <= (b))
+#define MURAL_CHECK_GT(a, b) MURAL_CHECK((a) > (b))
+#define MURAL_CHECK_GE(a, b) MURAL_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define MURAL_DCHECK(cond) \
+  if (true) {              \
+  } else                   \
+    ::mural::internal::NullStream()
+#else
+#define MURAL_DCHECK(cond) MURAL_CHECK(cond)
+#endif

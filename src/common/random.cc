@@ -1,0 +1,34 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace mural {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double s, uint64_t seed)
+    : rng_(seed) {
+  MURAL_CHECK(n > 0);
+  cdf_.reserve(n);
+  double acc = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), s);
+    cdf_.push_back(acc);
+  }
+  for (double& v : cdf_) v /= acc;
+}
+
+uint64_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  // Binary search for the first cdf entry >= u.
+  size_t lo = 0, hi = cdf_.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < cdf_.size() ? lo : cdf_.size() - 1;
+}
+
+}  // namespace mural

@@ -1,0 +1,109 @@
+// Deterministic PRNG utilities.
+//
+// All data generators and property tests take explicit seeds so every run is
+// reproducible.  The generator is xoshiro256**, small and fast enough to sit
+// inside tuple-generation inner loops.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mural {
+
+/// xoshiro256** by Blackman & Vigna; seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) { Seed(seed); }
+
+  /// Re-seeds the full state from a single 64-bit value.
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion avoids correlated lanes for small seeds.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n); n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    MURAL_DCHECK(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    MURAL_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(Uniform(
+                    static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Picks one element of a non-empty vector uniformly.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    MURAL_DCHECK(!v.empty());
+    return v[Uniform(v.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Uniform(i)]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+/// Zipf(s) sampler over ranks 1..n using inverse-CDF on a precomputed table.
+///
+/// Used by the data generators to produce skewed duplicate distributions
+/// (the paper perturbs histogram inputs by introducing duplicates, §5.2).
+class ZipfGenerator {
+ public:
+  /// n: universe size; s: skew (0 = uniform-ish, 1 = classic Zipf).
+  ZipfGenerator(uint64_t n, double s, uint64_t seed = 42);
+
+  /// Returns a rank in [0, n).
+  uint64_t Next();
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace mural

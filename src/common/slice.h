@@ -1,0 +1,78 @@
+// Slice: a non-owning view over a byte range (RocksDB idiom).
+//
+// Used at storage boundaries where std::string_view's char focus is
+// misleading; convertible both ways.
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace mural {
+
+/// A pointer + length pair referencing externally owned bytes.
+///
+/// The referenced storage must outlive the Slice.  Cheap to copy.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  /// From a NUL-terminated C string.
+  Slice(const char* cstr) : data_(cstr), size_(std::strlen(cstr)) {}  // NOLINT
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}   // NOLINT
+  Slice(std::string_view sv) : data_(sv.data()), size_(sv.size()) {}  // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  /// Drops the first n bytes (n must be <= size()).
+  void RemovePrefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view ToStringView() const {
+    return std::string_view(data_, size_);
+  }
+
+  /// Three-way comparison by unsigned byte value, then by length.
+  int Compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = std::memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) r = -1;
+      else if (size_ > other.size_) r = +1;
+    }
+    return r;
+  }
+
+  bool StartsWith(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           std::memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+  friend bool operator==(const Slice& a, const Slice& b) {
+    return a.size_ == b.size_ && std::memcmp(a.data_, b.data_, a.size_) == 0;
+  }
+  friend bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+  friend bool operator<(const Slice& a, const Slice& b) {
+    return a.Compare(b) < 0;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace mural

@@ -1,0 +1,165 @@
+// Status / StatusOr: the library-wide error model.
+//
+// Mural does not throw exceptions on hot paths; fallible functions return a
+// Status (or StatusOr<T> when they produce a value).  The idiom follows
+// RocksDB/Arrow: check `ok()`, propagate with MURAL_RETURN_IF_ERROR.
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mural {
+
+/// Broad machine-readable classification of a failure.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kCorruption,
+  kNotSupported,
+  kResourceExhausted,
+  kInternal,
+  kIOError,
+  kAborted,
+};
+
+/// Returns a stable human-readable name for `code` ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// The result of a fallible operation: a code plus an optional message.
+///
+/// Status is cheap to copy in the OK case (no allocation) and cheap to move
+/// always.  Functions that can fail return Status (or StatusOr<T>); callers
+/// must consult ok() before using any out-parameters.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of type T or an error Status; never both, never neither.
+///
+/// Access the value only after checking ok().  ValueOrDie-style accessors
+/// assert in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a value: success.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status: failure.  Constructing from an OK
+  /// status is a programming error.
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The error status; OK() if this holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace mural
+
+/// Propagates a non-OK Status to the caller.
+#define MURAL_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::mural::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#define MURAL_CONCAT_INNER_(a, b) a##b
+#define MURAL_CONCAT_(a, b) MURAL_CONCAT_INNER_(a, b)
+
+/// Evaluates a StatusOr expression; on success binds the value to `lhs`,
+/// on failure returns the error to the caller.
+#define MURAL_ASSIGN_OR_RETURN(lhs, expr)                       \
+  auto MURAL_CONCAT_(_statusor_, __LINE__) = (expr);            \
+  if (!MURAL_CONCAT_(_statusor_, __LINE__).ok())                \
+    return MURAL_CONCAT_(_statusor_, __LINE__).status();        \
+  lhs = std::move(MURAL_CONCAT_(_statusor_, __LINE__)).value()

@@ -1,0 +1,35 @@
+// Wall-clock timing helpers for benchmarks and the EXPLAIN ANALYZE path.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mural {
+
+/// Monotonic stopwatch.  Start() resets; Elapsed*() read without stopping.
+class Timer {
+ public:
+  Timer() { Start(); }
+
+  void Start() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mural

@@ -1,0 +1,139 @@
+#include "common/utf8.h"
+
+namespace mural {
+namespace utf8 {
+
+namespace {
+
+bool IsSurrogate(CodePoint cp) { return cp >= 0xD800 && cp <= 0xDFFF; }
+
+bool IsContinuation(unsigned char b) { return (b & 0xC0) == 0x80; }
+
+}  // namespace
+
+void Append(CodePoint cp, std::string* out) {
+  if (cp > kMaxCodePoint || IsSurrogate(cp)) cp = kReplacementChar;
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+std::string Encode(const std::vector<CodePoint>& cps) {
+  std::string out;
+  out.reserve(cps.size());
+  for (CodePoint cp : cps) Append(cp, &out);
+  return out;
+}
+
+CodePoint DecodeNext(std::string_view data, size_t* pos) {
+  const size_t n = data.size();
+  size_t i = *pos;
+  if (i >= n) {
+    return kReplacementChar;
+  }
+  const unsigned char b0 = static_cast<unsigned char>(data[i]);
+  if (b0 < 0x80) {
+    *pos = i + 1;
+    return b0;
+  }
+  int len;
+  CodePoint cp;
+  CodePoint min_cp;
+  if ((b0 & 0xE0) == 0xC0) {
+    len = 2;
+    cp = b0 & 0x1F;
+    min_cp = 0x80;
+  } else if ((b0 & 0xF0) == 0xE0) {
+    len = 3;
+    cp = b0 & 0x0F;
+    min_cp = 0x800;
+  } else if ((b0 & 0xF8) == 0xF0) {
+    len = 4;
+    cp = b0 & 0x07;
+    min_cp = 0x10000;
+  } else {
+    *pos = i + 1;
+    return kReplacementChar;
+  }
+  if (i + static_cast<size_t>(len) > n) {
+    *pos = i + 1;
+    return kReplacementChar;
+  }
+  for (int k = 1; k < len; ++k) {
+    const unsigned char bk = static_cast<unsigned char>(data[i + k]);
+    if (!IsContinuation(bk)) {
+      *pos = i + 1;
+      return kReplacementChar;
+    }
+    cp = (cp << 6) | (bk & 0x3F);
+  }
+  if (cp < min_cp || cp > kMaxCodePoint || IsSurrogate(cp)) {
+    *pos = i + 1;
+    return kReplacementChar;
+  }
+  *pos = i + len;
+  return cp;
+}
+
+std::vector<CodePoint> Decode(std::string_view data) {
+  std::vector<CodePoint> out;
+  out.reserve(data.size());
+  size_t pos = 0;
+  while (pos < data.size()) out.push_back(DecodeNext(data, &pos));
+  return out;
+}
+
+StatusOr<std::vector<CodePoint>> DecodeStrict(std::string_view data) {
+  std::vector<CodePoint> out;
+  out.reserve(data.size());
+  size_t pos = 0;
+  while (pos < data.size()) {
+    const size_t before = pos;
+    const CodePoint cp = DecodeNext(data, &pos);
+    if (cp == kReplacementChar &&
+        // A genuine U+FFFD in the input decodes from 3 well-formed bytes.
+        !(pos - before == 3 &&
+          static_cast<unsigned char>(data[before]) == 0xEF &&
+          static_cast<unsigned char>(data[before + 1]) == 0xBF &&
+          static_cast<unsigned char>(data[before + 2]) == 0xBD)) {
+      return Status::InvalidArgument("malformed UTF-8 at byte offset " +
+                                     std::to_string(before));
+    }
+    out.push_back(cp);
+  }
+  return out;
+}
+
+bool IsValid(std::string_view data) { return DecodeStrict(data).ok(); }
+
+size_t Length(std::string_view data) {
+  size_t pos = 0, count = 0;
+  while (pos < data.size()) {
+    DecodeNext(data, &pos);
+    ++count;
+  }
+  return count;
+}
+
+std::string AsciiLower(std::string_view data) {
+  std::string out(data);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+}  // namespace utf8
+}  // namespace mural

@@ -1,0 +1,56 @@
+// UTF-8 codec, written from scratch.
+//
+// UniText stores Unicode strings as UTF-8 bytes; the phonetic layer and the
+// edit-distance operators work over decoded code points so that a multi-byte
+// character counts as a single edit unit.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mural {
+
+/// A Unicode code point (scalar value).
+using CodePoint = uint32_t;
+
+constexpr CodePoint kReplacementChar = 0xFFFD;
+constexpr CodePoint kMaxCodePoint = 0x10FFFF;
+
+namespace utf8 {
+
+/// Appends the UTF-8 encoding of `cp` to `out`.  Invalid scalar values
+/// (surrogates, > U+10FFFF) encode the replacement character instead.
+void Append(CodePoint cp, std::string* out);
+
+/// Encodes a code-point sequence to UTF-8.
+std::string Encode(const std::vector<CodePoint>& cps);
+
+/// Decodes one code point starting at `data[*pos]`, advancing *pos past it.
+/// Malformed input yields kReplacementChar and advances one byte.
+CodePoint DecodeNext(std::string_view data, size_t* pos);
+
+/// Decodes a whole UTF-8 string; malformed bytes become replacement chars.
+std::vector<CodePoint> Decode(std::string_view data);
+
+/// Strict decode: returns InvalidArgument on any malformed sequence
+/// (overlong encodings, surrogates, truncation).
+StatusOr<std::vector<CodePoint>> DecodeStrict(std::string_view data);
+
+/// True iff `data` is well-formed UTF-8.
+bool IsValid(std::string_view data);
+
+/// Number of code points in a (possibly malformed) UTF-8 string; malformed
+/// bytes count one each.
+size_t Length(std::string_view data);
+
+/// ASCII-only lowercase fold (non-ASCII code points pass through); adequate
+/// for the romanized orthographies used by the phonetic rules.
+std::string AsciiLower(std::string_view data);
+
+}  // namespace utf8
+}  // namespace mural

@@ -1,0 +1,74 @@
+#include "datagen/catalog_generator.h"
+
+#include "common/logging.h"
+
+namespace mural {
+
+BooksDataset GenerateBooks(const BooksGenOptions& options,
+                           const GeneratedTaxonomy& taxonomy) {
+  MURAL_CHECK(!options.languages.empty());
+  Rng rng(options.seed);
+  BooksDataset out;
+
+  // Authors: one rendering of a fresh base each.
+  std::vector<std::string> author_bases;
+  author_bases.reserve(options.num_authors);
+  for (size_t i = 0; i < options.num_authors; ++i) {
+    const std::string base = RandomBaseName(&rng);
+    author_bases.push_back(base);
+    const LangId lang = options.languages[rng.Uniform(
+        options.languages.size())];
+    out.authors.push_back(AuthorRow{
+        static_cast<int32_t>(i),
+        UniText(RenderNameInLanguage(base, lang, &rng, 0.2), lang)});
+  }
+
+  // Publishers: a fraction reuse an author's base (homophones across
+  // languages), the rest are fresh.
+  for (size_t i = 0; i < options.num_publishers; ++i) {
+    std::string base;
+    if (rng.Bernoulli(options.publisher_author_overlap) &&
+        !author_bases.empty()) {
+      base = author_bases[rng.Uniform(author_bases.size())];
+    } else {
+      base = RandomBaseName(&rng);
+    }
+    const LangId lang = options.languages[rng.Uniform(
+        options.languages.size())];
+    out.publishers.push_back(PublisherRow{
+        static_cast<int32_t>(i),
+        UniText(RenderNameInLanguage(base, lang, &rng, 0.2), lang)});
+  }
+
+  // Books: foreign keys uniform; categories Zipf over base synsets,
+  // rendered in the base language or a replica language.
+  const Taxonomy& tax = *taxonomy.taxonomy;
+  ZipfGenerator category_zipf(
+      std::max<size_t>(1, taxonomy.base_synsets.size()), 0.8,
+      options.seed ^ 0xc0ffee);
+  for (size_t i = 0; i < options.num_books; ++i) {
+    BookRow book;
+    book.book_id = static_cast<int32_t>(i);
+    book.author_id =
+        static_cast<int32_t>(rng.Uniform(options.num_authors));
+    book.publisher_id =
+        static_cast<int32_t>(rng.Uniform(options.num_publishers));
+    const LangId title_lang = options.languages[rng.Uniform(
+        options.languages.size())];
+    book.title = UniText("the " + RandomBaseName(&rng) + " chronicles",
+                         title_lang);
+    // Category: a synset lemma in one of the taxonomy's languages.
+    const size_t base_idx = category_zipf.Next();
+    SynsetId synset = taxonomy.base_synsets[base_idx];
+    if (!taxonomy.replicas[base_idx].empty() && rng.Bernoulli(0.5)) {
+      synset = taxonomy.replicas[base_idx][rng.Uniform(
+          taxonomy.replicas[base_idx].size())];
+    }
+    const Synset& s = tax.Get(synset);
+    book.category = UniText(s.lemma, s.lang);
+    out.books.push_back(std::move(book));
+  }
+  return out;
+}
+
+}  // namespace mural

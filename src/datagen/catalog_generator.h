@@ -1,0 +1,58 @@
+// Generator for the Books.com-style relational schema of the paper's
+// motivating example (Fig. 1) and the optimization example of §5.2.1:
+// Author(AuthorID, AName), Publisher(PublisherID, PName),
+// Book(BookID, AuthorID, PublisherID, Title, Category).
+//
+// Author and publisher names come from the multilingual name generator
+// (some publishers share a name base with some authors, so the "author
+// sounds like publisher" Psi join has real matches); categories come from
+// a generated taxonomy.
+
+#pragma once
+
+#include "datagen/name_generator.h"
+#include "datagen/taxonomy_generator.h"
+
+namespace mural {
+
+struct BooksGenOptions {
+  uint64_t seed = 42;
+  size_t num_authors = 3000;
+  size_t num_publishers = 500;
+  size_t num_books = 10000;
+  /// Fraction of publishers whose name is a homophone variant of some
+  /// author's name.
+  double publisher_author_overlap = 0.1;
+  std::vector<LangId> languages = {lang::kEnglish, lang::kHindi,
+                                   lang::kTamil, lang::kFrench};
+};
+
+struct AuthorRow {
+  int32_t author_id;
+  UniText name;
+};
+struct PublisherRow {
+  int32_t publisher_id;
+  UniText name;
+};
+struct BookRow {
+  int32_t book_id;
+  int32_t author_id;
+  int32_t publisher_id;
+  UniText title;
+  UniText category;  // lemma of a taxonomy synset, in the row's language
+};
+
+struct BooksDataset {
+  std::vector<AuthorRow> authors;
+  std::vector<PublisherRow> publishers;
+  std::vector<BookRow> books;
+};
+
+/// `taxonomy` supplies category values; pass the result of
+/// GenerateTaxonomy.  Categories are drawn Zipf-skewed over base synsets
+/// and rendered in a random language of the synset.
+BooksDataset GenerateBooks(const BooksGenOptions& options,
+                           const GeneratedTaxonomy& taxonomy);
+
+}  // namespace mural

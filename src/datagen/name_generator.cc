@@ -1,0 +1,141 @@
+#include "datagen/name_generator.h"
+
+#include <array>
+
+#include "common/logging.h"
+
+namespace mural {
+
+namespace {
+
+// Syllable inventory used to assemble base surnames.  Weighted toward the
+// phonotactics of the paper's multilingual catalog (Indic + European
+// names).
+// Restricted to graphemes whose pronunciation is stable across the
+// English / Indic / Romance rule families, so that renderings of one base
+// stay within a small phonemic distance regardless of name length (the
+// aspirated digraphs, th, w, j etc. map differently per family and would
+// make cross-lingual drift grow with length).
+const std::array<const char*, 30> kOnsets = {
+    "b",  "d",  "g",  "h",  "k",  "l",  "m",  "n",  "p",  "r",
+    "s",  "sh", "t",  "v",  "y",  "br", "dr", "gr", "kr", "pr",
+    "tr", "sr", "sm", "st", "sl", "pl", "gl", "kl", "fl", "fr"};
+
+const std::array<const char*, 12> kNuclei = {
+    "a", "e", "i", "o", "u", "aa", "ee", "oo", "ya", "ia", "e", "a"};
+
+const std::array<const char*, 16> kCodas = {
+    "",  "",  "",  "n",  "m",  "r",  "l",  "sh",
+    "t", "k", "p", "nd", "nt", "rm", "rt", "s"};
+
+}  // namespace
+
+std::string RandomBaseName(Rng* rng) {
+  // 3-4 syllables: the multilingual proper names of the paper's dataset
+  // (Indic + European surnames) run long — phoneme strings of ~9-14
+  // symbols — which is also what gives reference-distance filters (MDI)
+  // any spread to work with.
+  const size_t syllables = 3 + rng->Uniform(2);
+  std::string name;
+  for (size_t s = 0; s < syllables; ++s) {
+    name += kOnsets[rng->Uniform(kOnsets.size())];
+    name += kNuclei[rng->Uniform(kNuclei.size())];
+    if (s + 1 == syllables || rng->Bernoulli(0.3)) {
+      name += kCodas[rng->Uniform(kCodas.size())];
+    }
+  }
+  return name;
+}
+
+namespace {
+
+/// Applies one spelling substitution drawn from a language's conventions.
+std::string ApplyConvention(const std::string& name,
+                            const std::vector<std::pair<const char*,
+                                                        const char*>>& subs,
+                            Rng* rng) {
+  std::string out = name;
+  // One substitution at the first occurrence: enough to vary spelling
+  // while keeping variants within the paper's matching thresholds.
+  const auto& [from, to] = subs[rng->Uniform(subs.size())];
+  const size_t pos = out.find(from);
+  if (pos != std::string::npos) {
+    out.replace(pos, std::string(from).size(), to);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderNameInLanguage(const std::string& base, LangId lang,
+                                 Rng* rng, double noise_prob) {
+  // Language-specific orthographic conventions: phonemically (near-)
+  // neutral respellings of the same name.
+  static const std::vector<std::pair<const char*, const char*>> kEnglish = {
+      {"aa", "a"},  {"ee", "ea"}, {"oo", "ou"}, {"sh", "sh"},
+      {"k", "c"},   {"f", "ph"},  {"au", "aw"}, {"ai", "ay"}};
+  static const std::vector<std::pair<const char*, const char*>> kIndic = {
+      {"a", "aa"},  {"i", "ee"},  {"u", "oo"},  {"c", "k"},
+      {"ay", "ai"}, {"aw", "au"}, {"ph", "f"},  {"w", "v"}};
+  static const std::vector<std::pair<const char*, const char*>> kFrench = {
+      {"oo", "ou"}, {"sh", "ch"}, {"k", "qu"},  {"ee", "i"},
+      {"w", "v"},   {"au", "eau"}};
+  static const std::vector<std::pair<const char*, const char*>> kGerman = {
+      {"sh", "sch"}, {"v", "w"},  {"f", "v"},   {"k", "ck"},
+      {"ai", "ei"},  {"oo", "u"}};
+
+  const LanguageInfo* info = LanguageRegistry::Default().Find(lang);
+  const std::vector<std::pair<const char*, const char*>>* subs = &kEnglish;
+  if (info != nullptr) {
+    switch (info->g2p) {
+      case G2pFamily::kIndic:
+        subs = &kIndic;
+        break;
+      case G2pFamily::kRomance:
+        subs = &kFrench;
+        break;
+      case G2pFamily::kGermanic:
+        subs = &kGerman;
+        break;
+      default:
+        subs = &kEnglish;
+        break;
+    }
+  }
+  std::string out = ApplyConvention(base, *subs, rng);
+  if (rng->Bernoulli(noise_prob)) {
+    // Small spelling perturbation: double a consonant or drop a vowel of
+    // a doubled pair — noise that stays phonemically close.
+    const size_t pos = rng->Uniform(out.size());
+    const char c = out[pos];
+    if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') {
+      out.insert(pos, 1, c);  // lengthen vowel
+    } else {
+      out.insert(pos, 1, c);  // double consonant
+    }
+  }
+  return out;
+}
+
+std::vector<NameRecord> GenerateNames(const NameGenOptions& options) {
+  MURAL_CHECK(!options.languages.empty());
+  Rng rng(options.seed);
+  std::vector<NameRecord> records;
+  records.reserve(options.num_bases * options.variants_per_base);
+  uint32_t next_id = 0;
+  for (uint32_t b = 0; b < options.num_bases; ++b) {
+    const std::string base = RandomBaseName(&rng);
+    for (size_t v = 0; v < options.variants_per_base; ++v) {
+      const LangId lang = options.languages[v % options.languages.size()];
+      NameRecord rec;
+      rec.id = next_id++;
+      rec.base_id = b;
+      rec.name = UniText(
+          RenderNameInLanguage(base, lang, &rng, options.noise_prob), lang);
+      records.push_back(std::move(rec));
+    }
+  }
+  return records;
+}
+
+}  // namespace mural

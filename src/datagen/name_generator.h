@@ -1,0 +1,57 @@
+// Synthetic multilingual names dataset (substitute for the paper's
+// pre-tagged ~30k-name dataset, §5.1).
+//
+// Construction: a pool of base surnames is rendered into per-language
+// romanized orthographies by deterministic spelling transforms (the same
+// name spelled as an English, Hindi, Tamil, Kannada, French or German
+// writer would), optionally perturbed with small spelling noise.  Names
+// derived from one base are true cross-lingual homophones — their phoneme
+// strings land within a small edit distance — while distinct bases stay
+// far apart.  Every knob is explicit and the generator is seeded, so
+// experiments are reproducible.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "text/language.h"
+#include "text/unitext.h"
+
+namespace mural {
+
+/// One generated name record.
+struct NameRecord {
+  uint32_t id = 0;
+  uint32_t base_id = 0;  // names sharing base_id are homophone variants
+  UniText name;          // romanized rendering, tagged with its language
+};
+
+struct NameGenOptions {
+  uint64_t seed = 42;
+  /// Number of distinct base names.
+  size_t num_bases = 6000;
+  /// Renderings per base (languages cycle; > languages means spelling
+  /// variants within a language).
+  size_t variants_per_base = 5;
+  /// Probability of one extra spelling perturbation per rendering.
+  double noise_prob = 0.25;
+  /// Languages to render into.
+  std::vector<LangId> languages = {lang::kEnglish, lang::kHindi,
+                                   lang::kTamil, lang::kKannada,
+                                   lang::kFrench};
+};
+
+/// Generates the dataset; size = num_bases * variants_per_base.
+std::vector<NameRecord> GenerateNames(const NameGenOptions& options);
+
+/// A single random romanized base name (public for reuse by benches).
+std::string RandomBaseName(Rng* rng);
+
+/// Renders `base` into the orthographic conventions of `lang`,
+/// deterministically given the rng state.
+std::string RenderNameInLanguage(const std::string& base, LangId lang,
+                                 Rng* rng, double noise_prob);
+
+}  // namespace mural

@@ -1,0 +1,116 @@
+#include "datagen/taxonomy_generator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mural {
+
+namespace {
+
+/// Deterministic lemma for (base index, language): "concept<i>_<lang>".
+/// Lemmas differ across languages (they are "translations"), while the
+/// equivalence links record that they denote the same concept.
+std::string LemmaFor(size_t index, LangId lang) {
+  return "concept" + std::to_string(index) + "_" + std::to_string(lang);
+}
+
+}  // namespace
+
+GeneratedTaxonomy GenerateTaxonomy(const TaxonomyGenOptions& options) {
+  MURAL_CHECK(!options.languages.empty());
+  Rng rng(options.seed);
+  GeneratedTaxonomy out;
+  out.taxonomy = std::make_unique<Taxonomy>();
+  Taxonomy& tax = *out.taxonomy;
+
+  const LangId base_lang = options.languages[0];
+  const size_t n = options.base_synsets;
+
+  // Base hierarchy: level-structured random tree.  Level l holds roughly
+  // f^l nodes (f = mean_fanout) and every node's parent is drawn
+  // uniformly from the previous level, so the generated tree has
+  // WordNet-like shape: height ~ log_f(n), average internal fanout ~ f.
+  out.base_synsets.reserve(n);
+  std::vector<size_t> parent_of(n, 0);
+  std::vector<std::pair<size_t, size_t>> extra_edges;  // (child, parent)
+  size_t prev_lo = 0;     // previous level: [prev_lo, level_lo)
+  size_t level_lo = 0;    // current level:  [level_lo, level_hi)
+  size_t level_hi = 1;    // level 0 = the single root
+  for (size_t i = 0; i < n; ++i) {
+    out.base_synsets.push_back(tax.AddSynset(base_lang, LemmaFor(i,
+                                                                 base_lang)));
+    if (i == 0) continue;
+    if (i >= level_hi) {
+      // Advance a level: the next one is f times wider.
+      const size_t width = level_hi - level_lo;
+      const size_t next_width = std::max<size_t>(
+          width + 1,
+          static_cast<size_t>(static_cast<double>(width) *
+                              options.mean_fanout));
+      prev_lo = level_lo;
+      level_lo = level_hi;
+      level_hi = level_lo + next_width;
+    }
+    // Parent: uniform over the previous level.
+    const size_t parent = prev_lo + rng.Uniform(level_lo - prev_lo);
+    parent_of[i] = parent;
+    MURAL_CHECK(
+        tax.AddIsA(out.base_synsets[i], out.base_synsets[parent]).ok());
+    // Occasional extra hypernym (DAG edge), like WordNet's multiple
+    // inheritance.
+    if (options.dag_edge_fraction > 0 &&
+        rng.Bernoulli(options.dag_edge_fraction) && parent > 0) {
+      const size_t extra = rng.Uniform(parent);
+      if (extra != parent) {
+        if (tax.AddIsA(out.base_synsets[i], out.base_synsets[extra]).ok()) {
+          extra_edges.emplace_back(i, extra);
+        }
+      }
+    }
+  }
+
+  // Replicate into the remaining languages and interlink.
+  out.replicas.resize(n);
+  for (size_t li = 1; li < options.languages.size(); ++li) {
+    const LangId lang = options.languages[li];
+    std::vector<SynsetId> replica(n);
+    for (size_t i = 0; i < n; ++i) {
+      replica[i] = tax.AddSynset(lang, LemmaFor(i, lang));
+    }
+    for (size_t i = 1; i < n; ++i) {
+      MURAL_CHECK(tax.AddIsA(replica[i], replica[parent_of[i]]).ok());
+    }
+    // Replicas mirror the base's extra (DAG) hypernyms too, keeping the
+    // per-language hierarchies isomorphic.
+    for (const auto& [child, parent] : extra_edges) {
+      MURAL_CHECK(tax.AddIsA(replica[child], replica[parent]).ok());
+    }
+    for (size_t i = 0; i < n; ++i) {
+      MURAL_CHECK(
+          tax.AddEquivalence(out.base_synsets[i], replica[i]).ok());
+      out.replicas[i].push_back(replica[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<SynsetId> FindRootsWithClosureSize(
+    const Taxonomy& taxonomy, const std::vector<SynsetId>& candidates,
+    size_t target, size_t max_results) {
+  std::vector<std::pair<size_t, SynsetId>> scored;  // (|size - target|, id)
+  for (SynsetId id : candidates) {
+    const size_t size =
+        taxonomy.TransitiveClosure(id, /*follow_equivalence=*/false).size();
+    const size_t err = size > target ? size - target : target - size;
+    scored.emplace_back(err, id);
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<SynsetId> out;
+  for (size_t i = 0; i < scored.size() && i < max_results; ++i) {
+    out.push_back(scored[i].second);
+  }
+  return out;
+}
+
+}  // namespace mural

@@ -1,0 +1,53 @@
+// WordNet-shaped taxonomy generator (paper §5.1 methodology).
+//
+// Builds a base (English) noun hierarchy with configurable size, fanout
+// distribution and height, then *replicates* it into additional languages
+// and links corresponding synsets with equivalence edges — exactly how the
+// paper simulated multilingual WordNets ("replicating English WordNet in
+// Unicode, and creating an equivalence link between corresponding
+// synsets").
+
+#pragma once
+
+#include <memory>
+
+#include "common/random.h"
+#include "taxonomy/taxonomy.h"
+
+namespace mural {
+
+struct TaxonomyGenOptions {
+  uint64_t seed = 42;
+  /// Synsets in the base hierarchy (English WordNet nouns ~ 80k; scale to
+  /// taste).
+  size_t base_synsets = 20000;
+  /// Mean children per internal node (WordNet nouns average ~4-5).
+  double mean_fanout = 4.5;
+  /// Languages: the base plus (languages.size()-1) replicas.
+  std::vector<LangId> languages = {lang::kEnglish, lang::kTamil,
+                                   lang::kFrench};
+  /// Fraction of extra DAG edges (multiple hypernyms), WordNet has a few.
+  double dag_edge_fraction = 0.01;
+};
+
+/// The generated hierarchy plus bookkeeping the experiments use.
+struct GeneratedTaxonomy {
+  std::unique_ptr<Taxonomy> taxonomy;
+  /// Base-language synsets ordered by id (replicas follow the same order).
+  std::vector<SynsetId> base_synsets;
+  /// For each base synset, its replica in each additional language.
+  std::vector<std::vector<SynsetId>> replicas;
+};
+
+GeneratedTaxonomy GenerateTaxonomy(const TaxonomyGenOptions& options);
+
+/// Finds base-language synsets whose closure size (within the base
+/// language only) is as close as possible to `target` — used to drive the
+/// closure-size sweeps of Figure 8.
+std::vector<SynsetId> FindRootsWithClosureSize(const Taxonomy& taxonomy,
+                                               const std::vector<SynsetId>&
+                                                   candidates,
+                                               size_t target,
+                                               size_t max_results = 5);
+
+}  // namespace mural

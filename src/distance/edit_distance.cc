@@ -1,0 +1,149 @@
+#include "distance/edit_distance.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace mural {
+
+namespace {
+
+inline int Min3(int a, int b, int c) { return std::min(a, std::min(b, c)); }
+
+}  // namespace
+
+int Levenshtein(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);  // a is the shorter
+  const size_t m = a.size(), n = b.size();
+  if (m == 0) return static_cast<int>(n);
+
+  std::vector<int> prev(m + 1), cur(m + 1);
+  for (size_t i = 0; i <= m; ++i) prev[i] = static_cast<int>(i);
+  for (size_t j = 1; j <= n; ++j) {
+    cur[0] = static_cast<int>(j);
+    const char bj = b[j - 1];
+    for (size_t i = 1; i <= m; ++i) {
+      const int sub = prev[i - 1] + (a[i - 1] == bj ? 0 : 1);
+      cur[i] = Min3(sub, prev[i] + 1, cur[i - 1] + 1);
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+int BoundedLevenshtein(std::string_view a, std::string_view b, int k) {
+  return BoundedLevenshteinCounted(a, b, k, nullptr);
+}
+
+int BoundedLevenshteinCounted(std::string_view a, std::string_view b, int k,
+                              DistanceStats* stats) {
+  if (k < 0) return 1;  // any distance exceeds a negative threshold
+  if (a.size() > b.size()) std::swap(a, b);
+  const int m = static_cast<int>(a.size());
+  const int n = static_cast<int>(b.size());
+  if (stats != nullptr) ++stats->calls;
+  // Length difference is a lower bound on the distance.
+  if (n - m > k) return k + 1;
+  if (m == 0) return n;  // n <= k here
+
+  // Banded DP: only diagonals within k of the main diagonal can yield a
+  // distance <= k.  Row i covers columns [i-k, i+k] clipped to [0, n].
+  const int kInf = std::numeric_limits<int>::max() / 2;
+  std::vector<int> prev(n + 1, kInf), cur(n + 1, kInf);
+  for (int j = 0; j <= std::min(n, k); ++j) prev[j] = j;
+  uint64_t cells = 0;
+  for (int i = 1; i <= m; ++i) {
+    const int lo = std::max(1, i - k);
+    const int hi = std::min(n, i + k);
+    cur[lo - 1] = (lo - 1 == 0) ? i : kInf;
+    int row_min = cur[lo - 1];
+    const char ai = a[i - 1];
+    for (int j = lo; j <= hi; ++j) {
+      const int sub = prev[j - 1] + (ai == b[j - 1] ? 0 : 1);
+      const int del = (j <= i + k - 1) ? prev[j] + 1 : kInf;
+      const int ins = cur[j - 1] + 1;
+      cur[j] = Min3(sub, del, ins);
+      row_min = std::min(row_min, cur[j]);
+    }
+    cells += static_cast<uint64_t>(hi - lo + 1);
+    if (row_min > k) {
+      if (stats != nullptr) stats->cells += cells;
+      return k + 1;  // cut-off: no extension can come back under k
+    }
+    // No need to clear `cur` after the swap: within a row every cell is
+    // written before it is read (cur[lo-1] explicitly, cur[j-1] just
+    // before cur[j]), and out-of-band prev[] reads are guarded above.
+    std::swap(prev, cur);
+  }
+  if (stats != nullptr) stats->cells += cells;
+  const int d = prev[n];
+  return d <= k ? d : k + 1;
+}
+
+int MyersLevenshtein(std::string_view a, std::string_view b) {
+  // `a` is the pattern (kept <= 64 per block); swap so a is shorter.
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t m = a.size(), n = b.size();
+  if (m == 0) return static_cast<int>(n);
+  if (m > 64) {
+    // Block-based Myers is substantially more code for little benefit at
+    // phoneme-string lengths; defer to the DP reference beyond one word.
+    return Levenshtein(a, b);
+  }
+
+  // Peq[c] has bit i set iff a[i] == c.
+  uint64_t peq[256];
+  std::memset(peq, 0, sizeof(peq));
+  for (size_t i = 0; i < m; ++i) {
+    peq[static_cast<unsigned char>(a[i])] |= (1ULL << i);
+  }
+
+  uint64_t pv = ~0ULL;
+  uint64_t mv = 0;
+  int score = static_cast<int>(m);
+  const uint64_t high_bit = 1ULL << (m - 1);
+
+  for (size_t j = 0; j < n; ++j) {
+    const uint64_t eq = peq[static_cast<unsigned char>(b[j])];
+    const uint64_t xv = eq | mv;
+    const uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+    uint64_t ph = mv | ~(xh | pv);
+    uint64_t mh = pv & xh;
+    if (ph & high_bit) ++score;
+    if (mh & high_bit) --score;
+    ph = (ph << 1) | 1;
+    mh = (mh << 1);
+    pv = mh | ~(xv | ph);
+    mv = ph & xv;
+  }
+  return score;
+}
+
+bool WithinDistance(std::string_view a, std::string_view b, int k) {
+  if (k < 0) return false;
+  return BoundedLevenshtein(a, b, k) <= k;
+}
+
+int LevenshteinCodePoints(std::string_view utf8_a, std::string_view utf8_b) {
+  const std::vector<CodePoint> a = utf8::Decode(utf8_a);
+  const std::vector<CodePoint> b = utf8::Decode(utf8_b);
+  const size_t m = a.size(), n = b.size();
+  if (m == 0) return static_cast<int>(n);
+  if (n == 0) return static_cast<int>(m);
+  std::vector<int> prev(n + 1), cur(n + 1);
+  for (size_t j = 0; j <= n; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= m; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= n; ++j) {
+      const int sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = Min3(sub, prev[j] + 1, cur[j - 1] + 1);
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+}  // namespace mural

@@ -1,0 +1,120 @@
+#include "engine/closure_exec.h"
+
+#include "catalog/tuple_codec.h"
+#include "common/timer.h"
+
+namespace mural {
+
+const char* ClosureStrategyToString(ClosureStrategy strategy) {
+  switch (strategy) {
+    case ClosureStrategy::kPinned:
+      return "pinned";
+    case ClosureStrategy::kSeqScan:
+      return "seqscan";
+    case ClosureStrategy::kBTree:
+      return "btree";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Children of every frontier node, via one full scan of tax_edges.
+Status ScanLevel(TableInfo* edges, const Closure& frontier,
+                 std::vector<SynsetId>* out) {
+  Row row;
+  for (auto it = edges->heap->Begin(); it.Valid(); it.Next()) {
+    MURAL_RETURN_IF_ERROR(
+        TupleCodec::Deserialize(edges->schema, it.record(), &row));
+    const SynsetId parent = static_cast<SynsetId>(row[1].int32());
+    if (frontier.count(parent) > 0) {
+      out->push_back(static_cast<SynsetId>(row[0].int32()));
+    }
+  }
+  return Status::OK();
+}
+
+/// Children of one node via the B+Tree on tax_edges.parent.
+Status ProbeChildren(TableInfo* edges, AccessMethod* index, SynsetId parent,
+                     std::vector<SynsetId>* out) {
+  std::vector<Rid> rids;
+  MURAL_RETURN_IF_ERROR(
+      index->SearchEqual(Value::Int32(static_cast<int32_t>(parent)), &rids));
+  std::string record;
+  Row row;
+  for (Rid rid : rids) {
+    MURAL_RETURN_IF_ERROR(edges->heap->Get(rid, &record));
+    MURAL_RETURN_IF_ERROR(
+        TupleCodec::Deserialize(edges->schema, record, &row));
+    out->push_back(static_cast<SynsetId>(row[0].int32()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::pair<Closure, ClosureRunStats>> ComputeClosure(
+    Database* db, const std::string& lemma, LangId lang,
+    ClosureStrategy strategy, bool follow_equivalence) {
+  if (db->taxonomy() == nullptr) {
+    return Status::InvalidArgument("no taxonomy loaded");
+  }
+  const Taxonomy& tax = *db->taxonomy();
+  ClosureRunStats stats;
+  Timer timer;
+
+  const std::vector<SynsetId> roots = tax.Lookup(lemma, lang);
+  Closure closure(roots.begin(), roots.end());
+
+  if (strategy == ClosureStrategy::kPinned) {
+    closure = tax.TransitiveClosureOfAll(roots, follow_equivalence);
+    stats.closure_size = closure.size();
+    stats.millis = timer.ElapsedMillis();
+    return std::make_pair(std::move(closure), stats);
+  }
+
+  MURAL_ASSIGN_OR_RETURN(TableInfo * edges,
+                         db->catalog()->GetTable("tax_edges"));
+  AccessMethod* parent_index = nullptr;
+  if (strategy == ClosureStrategy::kBTree) {
+    MURAL_ASSIGN_OR_RETURN(IndexInfo * info,
+                           db->catalog()->GetIndex("tax_edges_parent"));
+    parent_index = info->index.get();
+  }
+
+  // Equivalence links stay in the pinned adjacency (they are a constant
+  // per-node lookup either way; the experiment's cost lives in the IS-A
+  // expansion, which is what goes through storage here).
+  Closure frontier = closure;
+  while (!frontier.empty()) {
+    ++stats.levels;
+    std::vector<SynsetId> discovered;
+    if (strategy == ClosureStrategy::kSeqScan) {
+      ++stats.heap_scans;
+      MURAL_RETURN_IF_ERROR(ScanLevel(edges, frontier, &discovered));
+    } else {
+      for (SynsetId node : frontier) {
+        ++stats.index_probes;
+        MURAL_RETURN_IF_ERROR(
+            ProbeChildren(edges, parent_index, node, &discovered));
+      }
+    }
+    if (follow_equivalence) {
+      for (SynsetId node : frontier) {
+        for (SynsetId eq : tax.EquivalentsOf(node)) {
+          discovered.push_back(eq);
+        }
+      }
+    }
+    Closure next;
+    for (SynsetId id : discovered) {
+      if (closure.insert(id).second) next.insert(id);
+    }
+    frontier = std::move(next);
+  }
+  stats.closure_size = closure.size();
+  stats.millis = timer.ElapsedMillis();
+  return std::make_pair(std::move(closure), stats);
+}
+
+}  // namespace mural

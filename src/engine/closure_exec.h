@@ -1,0 +1,42 @@
+// ClosureExecutor: computes taxonomy transitive closures *through the
+// storage layer* — the workload of the paper's Figure 8.
+//
+// Three strategies, matching the experiment's configurations:
+//   kPinned    : expand over the in-memory (pinned) hierarchy (§4.3) —
+//                the fastest native mode, used by the Omega operators.
+//   kSeqScan   : per BFS level, scan the tax_edges heap once and collect
+//                children of the frontier — "Core (No Index)".
+//   kBTree     : per frontier node, probe the B+Tree on tax_edges.parent
+//                and fetch matching edge tuples — "Core (B+Tree Index)".
+//
+// The outside-the-server counterparts run the same expansions from inside
+// the interpreted UDF runtime (see Database::udf_runtime and
+// outside_server.h).
+
+#pragma once
+
+#include "engine/database.h"
+
+namespace mural {
+
+enum class ClosureStrategy { kPinned, kSeqScan, kBTree };
+
+const char* ClosureStrategyToString(ClosureStrategy strategy);
+
+struct ClosureRunStats {
+  size_t closure_size = 0;
+  uint32_t levels = 0;          // BFS depth reached
+  uint64_t heap_scans = 0;      // full edge-table scans (kSeqScan)
+  uint64_t index_probes = 0;    // B+Tree descents (kBTree)
+  double millis = 0;
+};
+
+/// Computes the closure of the synsets with `lemma` in `lang`, expanding
+/// IS-A children and (optionally) equivalence links, using `strategy`.
+/// The result is returned as a Closure (hash set of synset ids) plus run
+/// statistics.
+StatusOr<std::pair<Closure, ClosureRunStats>> ComputeClosure(
+    Database* db, const std::string& lemma, LangId lang,
+    ClosureStrategy strategy, bool follow_equivalence = true);
+
+}  // namespace mural

@@ -1,0 +1,454 @@
+#include "engine/database.h"
+
+#include <algorithm>
+
+#include "catalog/tuple_codec.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "index/btree.h"
+#include "index/mdi.h"
+#include "index/mtree.h"
+#include "sql/sql.h"
+
+namespace mural {
+
+std::string QueryResult::ToTable(size_t max_rows) const {
+  std::string out;
+  for (size_t c = 0; c < schema.NumColumns(); ++c) {
+    if (c > 0) out += " | ";
+    out += schema.column(c).name;
+  }
+  out += "\n";
+  for (size_t r = 0; r < rows.size() && r < max_rows; ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      if (c > 0) out += " | ";
+      out += rows[r][c].ToString();
+    }
+    out += "\n";
+  }
+  if (rows.size() > max_rows) {
+    out += StringFormat("... (%zu rows total)\n", rows.size());
+  }
+  return out;
+}
+
+StatusOr<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
+  std::unique_ptr<Database> db(new Database());
+  if (options.disk_path.empty()) {
+    db->disk_ = std::make_unique<MemoryDiskManager>();
+  } else {
+    MURAL_ASSIGN_OR_RETURN(auto file_disk,
+                           FileDiskManager::Open(options.disk_path));
+    db->disk_ = std::move(file_disk);
+  }
+  db->pool_ = std::make_unique<BufferPool>(db->disk_.get(),
+                                           options.buffer_pool_pages);
+  db->catalog_ = std::make_unique<Catalog>(db->pool_.get());
+  db->ctx_.lexequal_threshold = options.lexequal_threshold;
+  return db;
+}
+
+Status Database::CreateTable(const std::string& name, Schema schema) {
+  return catalog_->CreateTable(name, std::move(schema)).status();
+}
+
+Status Database::Insert(const std::string& table, Row row) {
+  MURAL_ASSIGN_OR_RETURN(TableInfo * info, catalog_->GetTable(table));
+  const Schema& schema = info->schema;
+  if (row.size() != schema.NumColumns()) {
+    return Status::InvalidArgument("row arity mismatch for " + table);
+  }
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (schema.column(c).materialize_phonemes && !row[c].is_null() &&
+        row[c].type() == TypeId::kUniText &&
+        !row[c].unitext().has_phonemes()) {
+      ctx_.transformer->Materialize(&row[c].mutable_unitext());
+    }
+  }
+  TableWriter writer(info);
+  return writer.Insert(row).status();
+}
+
+Status Database::InsertBulk(const std::string& table,
+                            std::vector<Row> rows) {
+  for (Row& row : rows) {
+    MURAL_RETURN_IF_ERROR(Insert(table, std::move(row)));
+  }
+  return Status::OK();
+}
+
+Status Database::CreateIndex(const std::string& index_name,
+                             const std::string& table,
+                             const std::string& column, IndexKind kind,
+                             bool on_phonemes) {
+  if ((kind == IndexKind::kMTree || kind == IndexKind::kMdi) &&
+      !on_phonemes) {
+    return Status::InvalidArgument(
+        "metric indexes must be built on materialized phoneme strings");
+  }
+  std::unique_ptr<AccessMethod> index;
+  switch (kind) {
+    case IndexKind::kBTree: {
+      MURAL_ASSIGN_OR_RETURN(auto btree, BTreeIndex::Create(pool_.get()));
+      index = std::move(btree);
+      break;
+    }
+    case IndexKind::kMTree: {
+      MURAL_ASSIGN_OR_RETURN(auto mtree, MTreeIndex::Create(pool_.get()));
+      index = std::move(mtree);
+      break;
+    }
+    case IndexKind::kMdi: {
+      MURAL_ASSIGN_OR_RETURN(auto mdi, MdiIndex::Create(pool_.get()));
+      index = std::move(mdi);
+      break;
+    }
+  }
+  MURAL_ASSIGN_OR_RETURN(TableInfo * info, catalog_->GetTable(table));
+  const int col = info->schema.IndexOf(column);
+  if (col < 0) {
+    return Status::NotFound("no such column: " + table + "." + column);
+  }
+  // Backfill existing rows.
+  Row row;
+  for (auto it = info->heap->Begin(); it.Valid(); it.Next()) {
+    MURAL_RETURN_IF_ERROR(
+        TupleCodec::Deserialize(info->schema, it.record(), &row));
+    const Value& v = row[static_cast<size_t>(col)];
+    if (v.is_null()) continue;
+    if (on_phonemes) {
+      if (v.type() != TypeId::kUniText || !v.unitext().has_phonemes()) {
+        return Status::InvalidArgument(
+            "phoneme index requires materialized phonemes in " + table +
+            "." + column);
+      }
+      MURAL_RETURN_IF_ERROR(
+          index->Insert(Value::Text(*v.unitext().phonemes()), it.rid()));
+    } else {
+      MURAL_RETURN_IF_ERROR(index->Insert(v, it.rid()));
+    }
+  }
+  return catalog_
+      ->CreateIndex(index_name, table, column, on_phonemes, kind,
+                    std::move(index))
+      .status();
+}
+
+Status Database::Analyze(const std::string& table) {
+  MURAL_ASSIGN_OR_RETURN(TableInfo * info, catalog_->GetTable(table));
+  return stats_.Analyze(*info, &ctx_);
+}
+
+Status Database::LoadTaxonomy(std::unique_ptr<Taxonomy> taxonomy) {
+  taxonomy_ = std::move(taxonomy);
+  closure_cache_ = std::make_unique<ClosureCache>(taxonomy_.get());
+  ctx_.taxonomy = taxonomy_.get();
+  ctx_.closure_cache = closure_cache_.get();
+
+  // Persist the hierarchy relationally so closure computation can also be
+  // driven through the storage layer.
+  for (const char* t : {"tax_synsets", "tax_edges", "tax_equiv"}) {
+    if (catalog_->GetTable(t).ok()) {
+      MURAL_RETURN_IF_ERROR(catalog_->DropTable(t));
+    }
+  }
+  MURAL_RETURN_IF_ERROR(CreateTable(
+      "tax_synsets",
+      Schema({{"synset_id", TypeId::kInt32}, {"lemma", TypeId::kUniText}})));
+  MURAL_RETURN_IF_ERROR(CreateTable(
+      "tax_edges",
+      Schema({{"child", TypeId::kInt32}, {"parent", TypeId::kInt32}})));
+  MURAL_RETURN_IF_ERROR(CreateTable(
+      "tax_equiv",
+      Schema({{"a", TypeId::kInt32}, {"b", TypeId::kInt32}})));
+
+  MURAL_ASSIGN_OR_RETURN(TableInfo * synsets,
+                         catalog_->GetTable("tax_synsets"));
+  MURAL_ASSIGN_OR_RETURN(TableInfo * edges, catalog_->GetTable("tax_edges"));
+  MURAL_ASSIGN_OR_RETURN(TableInfo * equiv, catalog_->GetTable("tax_equiv"));
+  TableWriter synsets_writer(synsets);
+  TableWriter edges_writer(edges);
+  TableWriter equiv_writer(equiv);
+  for (const Synset& s : taxonomy_->synsets()) {
+    MURAL_RETURN_IF_ERROR(
+        synsets_writer
+            .Insert({Value::Int32(static_cast<int32_t>(s.id)),
+                     Value::Uni(s.lemma, s.lang)})
+            .status());
+    for (SynsetId child : taxonomy_->ChildrenOf(s.id)) {
+      MURAL_RETURN_IF_ERROR(
+          edges_writer
+              .Insert({Value::Int32(static_cast<int32_t>(child)),
+                       Value::Int32(static_cast<int32_t>(s.id))})
+              .status());
+    }
+    for (SynsetId eq : taxonomy_->EquivalentsOf(s.id)) {
+      if (eq > s.id) continue;  // store each symmetric pair once per side
+      MURAL_RETURN_IF_ERROR(
+          equiv_writer
+              .Insert({Value::Int32(static_cast<int32_t>(s.id)),
+                       Value::Int32(static_cast<int32_t>(eq))})
+              .status());
+    }
+  }
+  // Statistics so closure-path plans (index probe vs scan) are costed
+  // correctly.
+  for (const char* t : {"tax_synsets", "tax_edges", "tax_equiv"}) {
+    MURAL_RETURN_IF_ERROR(Analyze(t));
+  }
+  return Status::OK();
+}
+
+Status Database::CreateTaxonomyIndexes() {
+  MURAL_RETURN_IF_ERROR(CreateIndex("tax_edges_parent", "tax_edges",
+                                    "parent", IndexKind::kBTree,
+                                    /*on_phonemes=*/false));
+  return CreateIndex("tax_equiv_a", "tax_equiv", "a", IndexKind::kBTree,
+                     /*on_phonemes=*/false);
+}
+
+StatusOr<PhysicalPlan> Database::PlanQuery(const LogicalPtr& plan,
+                                           PlannerHints hints) {
+  Planner planner(catalog_.get(), &stats_, &ctx_);
+  return planner.Plan(plan, hints);
+}
+
+StatusOr<QueryResult> Database::Query(const LogicalPtr& plan,
+                                      PlannerHints hints) {
+  MURAL_ASSIGN_OR_RETURN(PhysicalPlan physical, PlanQuery(plan, hints));
+  QueryResult result;
+  result.schema = physical.root->output_schema();
+  result.predicted_rows = physical.predicted_rows;
+  result.predicted_cost = physical.predicted_cost;
+  result.explain = physical.Explain();
+
+  const ExecStats before = ctx_.stats;
+  Timer timer;
+  MURAL_ASSIGN_OR_RETURN(result.rows, CollectAll(physical.root.get()));
+  result.runtime_ms = timer.ElapsedMillis();
+  result.explain_analyze =
+      ExplainTree(*physical.root, /*with_actuals=*/true);
+  // Per-query counter deltas.
+  result.exec_stats = ctx_.stats;
+  result.exec_stats.rows_emitted -= before.rows_emitted;
+  result.exec_stats.predicate_evals -= before.predicate_evals;
+  result.exec_stats.phoneme_transforms -= before.phoneme_transforms;
+  result.exec_stats.closure_computations -= before.closure_computations;
+  result.exec_stats.closure_reuses -= before.closure_reuses;
+  result.exec_stats.index_probes -= before.index_probes;
+  result.exec_stats.udf_calls -= before.udf_calls;
+  result.exec_stats.distance.calls -= before.distance.calls;
+  result.exec_stats.distance.cells -= before.distance.cells;
+  return result;
+}
+
+StatusOr<QueryResult> Database::Sql(const std::string& statement) {
+  MURAL_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(statement));
+  QueryResult result;
+  switch (stmt.kind) {
+    case sql::StatementKind::kSelect: {
+      MURAL_ASSIGN_OR_RETURN(LogicalPtr plan,
+                             sql::Bind(stmt, catalog_.get()));
+      return Query(plan);
+    }
+    case sql::StatementKind::kExplain: {
+      MURAL_ASSIGN_OR_RETURN(LogicalPtr plan,
+                             sql::Bind(stmt, catalog_.get()));
+      MURAL_ASSIGN_OR_RETURN(PhysicalPlan physical, PlanQuery(plan));
+      result.schema = Schema({{"plan", TypeId::kText}});
+      result.predicted_rows = physical.predicted_rows;
+      result.predicted_cost = physical.predicted_cost;
+      result.explain = physical.Explain();
+      for (const std::string& line : Split(result.explain, '\n')) {
+        if (!line.empty()) result.rows.push_back({Value::Text(line)});
+      }
+      return result;
+    }
+    case sql::StatementKind::kSet: {
+      if (!EqualsIgnoreCase(stmt.set_name, "lexequal_threshold")) {
+        return Status::NotFound("unknown setting: " + stmt.set_name);
+      }
+      SetLexequalThreshold(static_cast<int>(stmt.set_value));
+      result.schema = Schema({{"ok", TypeId::kBool}});
+      result.rows.push_back({Value::Bool(true)});
+      return result;
+    }
+    case sql::StatementKind::kCreateTable:
+      MURAL_RETURN_IF_ERROR(CreateTable(stmt.table_name, stmt.schema));
+      result.schema = Schema({{"ok", TypeId::kBool}});
+      result.rows.push_back({Value::Bool(true)});
+      return result;
+    case sql::StatementKind::kCreateIndex:
+      MURAL_RETURN_IF_ERROR(CreateIndex(stmt.index_name, stmt.table_name,
+                                        stmt.index_column, stmt.index_kind,
+                                        stmt.index_on_phonemes));
+      result.schema = Schema({{"ok", TypeId::kBool}});
+      result.rows.push_back({Value::Bool(true)});
+      return result;
+    case sql::StatementKind::kInsert: {
+      // Coerce TEXT literals into UNITEXT columns (default: English), the
+      // binder-level counterpart of the compose operator.
+      MURAL_ASSIGN_OR_RETURN(TableInfo * info,
+                             catalog_->GetTable(stmt.table_name));
+      for (Row& row : stmt.insert_rows) {
+        for (size_t c = 0;
+             c < row.size() && c < info->schema.NumColumns(); ++c) {
+          if (info->schema.column(c).type == TypeId::kUniText &&
+              row[c].type() == TypeId::kText) {
+            row[c] = Value::Uni(row[c].text(), lang::kEnglish);
+          }
+        }
+        MURAL_RETURN_IF_ERROR(Insert(stmt.table_name, std::move(row)));
+      }
+      result.schema = Schema({{"inserted", TypeId::kInt64}});
+      result.rows.push_back(
+          {Value::Int64(static_cast<int64_t>(stmt.insert_rows.size()))});
+      return result;
+    }
+    case sql::StatementKind::kAnalyze:
+      MURAL_RETURN_IF_ERROR(Analyze(stmt.table_name));
+      result.schema = Schema({{"ok", TypeId::kBool}});
+      result.rows.push_back({Value::Bool(true)});
+      return result;
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+StatusOr<pl::UdfRuntime*> Database::udf_runtime() {
+  if (udf_ == nullptr) {
+    MURAL_ASSIGN_OR_RETURN(udf_, pl::UdfRuntime::Create());
+    MURAL_RETURN_IF_ERROR(BindUdfHosts());
+  }
+  return udf_.get();
+}
+
+Status Database::BindUdfHosts() {
+  pl::UdfRuntime* udf = udf_.get();
+
+  udf->RegisterHost(
+      "SQL_LOOKUP",
+      [this](const std::vector<pl::PlValue>& args)
+          -> StatusOr<pl::PlValue> {
+        if (args.size() != 2) {
+          return Status::InvalidArgument("SQL_LOOKUP(lemma, lang)");
+        }
+        auto out = std::make_shared<std::vector<pl::PlValue>>();
+        if (taxonomy_ != nullptr) {
+          for (SynsetId id : taxonomy_->Lookup(
+                   args[0].AsString(),
+                   static_cast<LangId>(args[1].AsInt()))) {
+            out->emplace_back(static_cast<int64_t>(id));
+          }
+        }
+        return pl::PlValue(std::move(out));
+      });
+
+  udf->RegisterHost(
+      "SQL_CHILDREN",
+      [this](const std::vector<pl::PlValue>& args)
+          -> StatusOr<pl::PlValue> {
+        if (args.size() != 1) {
+          return Status::InvalidArgument("SQL_CHILDREN(parent)");
+        }
+        // The recursive-SQL mechanism, faithfully: the PL procedure
+        // issues one SQL statement per expanded node, which the server
+        // parses, binds, plans and executes every time.  With the
+        // B+Tree enabled the plan is an index probe; without it the
+        // statement degenerates to a scan of the edge table.
+        const int32_t parent = static_cast<int32_t>(args[0].AsInt());
+        const std::string statement =
+            "SELECT child FROM tax_edges WHERE parent = " +
+            std::to_string(parent);
+        MURAL_ASSIGN_OR_RETURN(sql::Statement parsed,
+                               sql::Parse(statement));
+        MURAL_ASSIGN_OR_RETURN(LogicalPtr plan,
+                               sql::Bind(parsed, catalog_.get()));
+        PlannerHints hints;
+        hints.enable_indexscan = outside_closure_btree_;
+        MURAL_ASSIGN_OR_RETURN(PhysicalPlan physical,
+                               PlanQuery(plan, hints));
+        MURAL_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                               CollectAll(physical.root.get()));
+        auto out = std::make_shared<std::vector<pl::PlValue>>();
+        for (const Row& row : rows) {
+          out->emplace_back(static_cast<int64_t>(row[0].int32()));
+        }
+        return pl::PlValue(std::move(out));
+      });
+
+  udf->RegisterHost(
+      "SQL_EQUIVALENTS",
+      [this](const std::vector<pl::PlValue>& args)
+          -> StatusOr<pl::PlValue> {
+        if (args.size() != 1) {
+          return Status::InvalidArgument("SQL_EQUIVALENTS(id)");
+        }
+        // Equivalence is symmetric but stored once; consult the pinned
+        // adjacency (the stored table would need a union of two probes —
+        // same result, and the closure cost is dominated by SQL_CHILDREN).
+        auto out = std::make_shared<std::vector<pl::PlValue>>();
+        if (taxonomy_ != nullptr) {
+          const SynsetId id = static_cast<SynsetId>(args[0].AsInt());
+          if (taxonomy_->Valid(id)) {
+            for (SynsetId eq : taxonomy_->EquivalentsOf(id)) {
+              out->emplace_back(static_cast<int64_t>(eq));
+            }
+          }
+        }
+        return pl::PlValue(std::move(out));
+      });
+
+  udf->RegisterHost("TEMPSET_NEW",
+                    [this](const std::vector<pl::PlValue>&)
+                        -> StatusOr<pl::PlValue> {
+                      const int64_t handle = next_tempset_++;
+                      tempsets_[handle] = {};
+                      return pl::PlValue(handle);
+                    });
+  udf->RegisterHost(
+      "TEMPSET_ADD",
+      [this](const std::vector<pl::PlValue>& args)
+          -> StatusOr<pl::PlValue> {
+        if (args.size() != 2) {
+          return Status::InvalidArgument("TEMPSET_ADD(h, v)");
+        }
+        auto it = tempsets_.find(args[0].AsInt());
+        if (it == tempsets_.end()) {
+          return Status::NotFound("bad tempset handle");
+        }
+        return pl::PlValue(it->second.insert(args[1].AsInt()).second);
+      });
+  udf->RegisterHost(
+      "TEMPSET_CONTAINS",
+      [this](const std::vector<pl::PlValue>& args)
+          -> StatusOr<pl::PlValue> {
+        if (args.size() != 2) {
+          return Status::InvalidArgument("TEMPSET_CONTAINS(h, v)");
+        }
+        auto it = tempsets_.find(args[0].AsInt());
+        if (it == tempsets_.end()) {
+          return Status::NotFound("bad tempset handle");
+        }
+        return pl::PlValue(it->second.count(args[1].AsInt()) > 0);
+      });
+  udf->RegisterHost(
+      "TEMPSET_SIZE",
+      [this](const std::vector<pl::PlValue>& args)
+          -> StatusOr<pl::PlValue> {
+        auto it = tempsets_.find(args[0].AsInt());
+        if (it == tempsets_.end()) {
+          return Status::NotFound("bad tempset handle");
+        }
+        return pl::PlValue(static_cast<int64_t>(it->second.size()));
+      });
+  udf->RegisterHost(
+      "TEMPSET_FREE",
+      [this](const std::vector<pl::PlValue>& args)
+          -> StatusOr<pl::PlValue> {
+        tempsets_.erase(args[0].AsInt());
+        return pl::PlValue(true);
+      });
+  return Status::OK();
+}
+
+}  // namespace mural

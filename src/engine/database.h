@@ -1,0 +1,145 @@
+// Database: the engine facade tying together storage, catalog, statistics,
+// the optimizer, the executor, the pinned taxonomy, and the
+// outside-the-server UDF runtime.
+//
+// One Database == one single-user session, with the session settings the
+// paper stores in system tables (§4.2): the LexEQUAL threshold, and the
+// execution mode (native operators vs outside-the-server UDFs).
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "datagen/taxonomy_generator.h"
+#include "exec/exec_context.h"
+#include "optimizer/planner.h"
+#include "plfront/udf_runtime.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace mural {
+
+struct DatabaseOptions {
+  /// Buffer-pool frames (8 KiB each).
+  size_t buffer_pool_pages = 8192;
+  /// Backing file; empty = in-memory pages (logical I/O still counted).
+  std::string disk_path;
+  /// Initial LexEQUAL mismatch threshold (SET LEXEQUAL_THRESHOLD changes
+  /// it per session).
+  int lexequal_threshold = 2;
+};
+
+/// Result of one query execution.
+struct QueryResult {
+  std::vector<Row> rows;
+  Schema schema;
+  double predicted_rows = 0;
+  Cost predicted_cost;
+  double runtime_ms = 0;
+  ExecStats exec_stats;   // counters for this query only
+  std::string explain;
+  /// EXPLAIN ANALYZE form: the executed plan annotated with actual
+  /// per-operator row counts.
+  std::string explain_analyze;
+
+  /// Pretty-prints rows as an aligned table.
+  std::string ToTable(size_t max_rows = 20) const;
+};
+
+class Database {
+ public:
+  static StatusOr<std::unique_ptr<Database>> Open(
+      DatabaseOptions options = DatabaseOptions());
+
+  // ------------------------------------------------------------- DDL/DML
+
+  Status CreateTable(const std::string& name, Schema schema);
+
+  /// Inserts a row; UniText values in MATERIALIZE PHONEMES columns get
+  /// their phoneme strings computed and stored (paper §4.2).
+  Status Insert(const std::string& table, Row row);
+
+  Status InsertBulk(const std::string& table, std::vector<Row> rows);
+
+  /// Creates and registers an index.  `on_phonemes` keys the index by the
+  /// materialized phoneme string (required for kMTree/kMdi).
+  Status CreateIndex(const std::string& index_name, const std::string& table,
+                     const std::string& column, IndexKind kind,
+                     bool on_phonemes);
+
+  /// Rebuilds optimizer statistics for a table.
+  Status Analyze(const std::string& table);
+
+  // ------------------------------------------------------------ taxonomy
+
+  /// Pins `taxonomy` in memory for SemEQUAL *and* persists it into the
+  /// relational tables tax_synsets / tax_edges / tax_equiv, so closure
+  /// computation can also run against storage (the Figure-8 experiments).
+  Status LoadTaxonomy(std::unique_ptr<Taxonomy> taxonomy);
+
+  /// Adds B+Tree indexes on tax_edges.parent and tax_equiv.a (the
+  /// "B+Tree index on the parent attribute" configuration of §5.4).
+  Status CreateTaxonomyIndexes();
+
+  const Taxonomy* taxonomy() const { return taxonomy_.get(); }
+
+  // ------------------------------------------------------------- queries
+
+  /// Plans without executing (EXPLAIN).
+  StatusOr<PhysicalPlan> PlanQuery(const LogicalPtr& plan,
+                                   PlannerHints hints = PlannerHints());
+
+  /// Plans and executes, reporting predictions, timings and counters.
+  StatusOr<QueryResult> Query(const LogicalPtr& plan,
+                              PlannerHints hints = PlannerHints());
+
+  /// Parses and runs a SQL statement (SELECT / EXPLAIN / SET / CREATE /
+  /// INSERT / ANALYZE); see src/sql.
+  StatusOr<QueryResult> Sql(const std::string& statement);
+
+  // ------------------------------------------------------------ settings
+
+  void SetLexequalThreshold(int threshold) {
+    ctx_.lexequal_threshold = threshold;
+  }
+  int lexequal_threshold() const { return ctx_.lexequal_threshold; }
+
+  // -------------------------------------------------------------- access
+
+  ExecContext* exec_context() { return &ctx_; }
+  Catalog* catalog() { return catalog_.get(); }
+  StatsCatalog* stats_catalog() { return &stats_; }
+  BufferPool* buffer_pool() { return pool_.get(); }
+  DiskManager* disk() { return disk_.get(); }
+
+  /// The outside-the-server UDF runtime with SQL_*/TEMPSET_* host
+  /// callbacks bound to this database.  `use_btree_for_closure` selects
+  /// how the SQL_CHILDREN host statement executes: B+Tree probe (requires
+  /// CreateTaxonomyIndexes) vs full scan of tax_edges.
+  StatusOr<pl::UdfRuntime*> udf_runtime();
+  void set_outside_closure_uses_btree(bool use) {
+    outside_closure_btree_ = use;
+  }
+
+ private:
+  Database() = default;
+
+  Status BindUdfHosts();
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<Catalog> catalog_;
+  StatsCatalog stats_;
+  ExecContext ctx_;
+  std::unique_ptr<Taxonomy> taxonomy_;
+  std::unique_ptr<ClosureCache> closure_cache_;
+  std::unique_ptr<pl::UdfRuntime> udf_;
+  bool outside_closure_btree_ = false;
+  // TEMPSET_* backing store (models PL/SQL temp tables with an index).
+  std::map<int64_t, std::unordered_set<int64_t>> tempsets_;
+  int64_t next_tempset_ = 1;
+};
+
+}  // namespace mural

@@ -1,0 +1,209 @@
+// Row-shaping operators: Filter, Project, Limit, Materialize, Sort.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "exec/expression.h"
+#include "exec/operator.h"
+
+namespace mural {
+
+/// Emits child rows satisfying a predicate.
+class FilterOp : public PhysicalOp {
+ public:
+  FilterOp(ExecContext* ctx, OpPtr child, ExprPtr predicate)
+      : PhysicalOp(ctx),
+        child_(std::move(child)),
+        predicate_(std::move(predicate)) {}
+
+  Status Open() override { return child_->Open(); }
+  StatusOr<bool> Next(Row* out) override;
+  Status Close() override { return child_->Close(); }
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  std::string DisplayName() const override {
+    return "Filter(" + predicate_->ToString() + ")";
+  }
+  std::vector<const PhysicalOp*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OpPtr child_;
+  ExprPtr predicate_;
+};
+
+/// Projects expressions into a new schema.
+class ProjectOp : public PhysicalOp {
+ public:
+  ProjectOp(ExecContext* ctx, OpPtr child, std::vector<ExprPtr> exprs,
+            Schema schema)
+      : PhysicalOp(ctx),
+        child_(std::move(child)),
+        exprs_(std::move(exprs)),
+        schema_(std::move(schema)) {}
+
+  /// Convenience: project child columns by index, deriving the schema.
+  static OpPtr ByColumns(ExecContext* ctx, OpPtr child,
+                         const std::vector<size_t>& columns);
+
+  Status Open() override { return child_->Open(); }
+  StatusOr<bool> Next(Row* out) override;
+  Status Close() override { return child_->Close(); }
+  const Schema& output_schema() const override { return schema_; }
+  std::string DisplayName() const override;
+  std::vector<const PhysicalOp*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OpPtr child_;
+  std::vector<ExprPtr> exprs_;
+  Schema schema_;
+};
+
+/// Emits at most `limit` rows.
+class LimitOp : public PhysicalOp {
+ public:
+  LimitOp(ExecContext* ctx, OpPtr child, uint64_t limit)
+      : PhysicalOp(ctx), child_(std::move(child)), limit_(limit) {}
+
+  Status Open() override {
+    seen_ = 0;
+    return child_->Open();
+  }
+  StatusOr<bool> Next(Row* out) override;
+  Status Close() override { return child_->Close(); }
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  std::string DisplayName() const override {
+    return "Limit(" + std::to_string(limit_) + ")";
+  }
+  std::vector<const PhysicalOp*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OpPtr child_;
+  uint64_t limit_;
+  uint64_t seen_ = 0;
+};
+
+/// Materializes the child once; replays from memory on rescans (the inner
+/// side of nested-loop joins, Fig. 7's Materialize nodes).
+class MaterializeOp : public PhysicalOp {
+ public:
+  MaterializeOp(ExecContext* ctx, OpPtr child)
+      : PhysicalOp(ctx), child_(std::move(child)) {}
+
+  Status Open() override;
+  StatusOr<bool> Next(Row* out) override;
+  Status Close() override;
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  std::string DisplayName() const override { return "Materialize"; }
+  std::vector<const PhysicalOp*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OpPtr child_;
+  std::optional<std::vector<Row>> rows_;
+  size_t pos_ = 0;
+};
+
+/// One sort key.
+struct SortKey {
+  size_t column = 0;
+  bool ascending = true;
+};
+
+/// In-memory sort.
+class SortOp : public PhysicalOp {
+ public:
+  SortOp(ExecContext* ctx, OpPtr child, std::vector<SortKey> keys)
+      : PhysicalOp(ctx), child_(std::move(child)), keys_(std::move(keys)) {}
+
+  Status Open() override;
+  StatusOr<bool> Next(Row* out) override;
+  Status Close() override;
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  std::string DisplayName() const override;
+  std::vector<const PhysicalOp*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OpPtr child_;
+  std::vector<SortKey> keys_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+/// Concatenates two inputs with compatible schemas (bag union).
+class UnionAllOp : public PhysicalOp {
+ public:
+  UnionAllOp(ExecContext* ctx, OpPtr left, OpPtr right)
+      : PhysicalOp(ctx), left_(std::move(left)), right_(std::move(right)) {}
+
+  Status Open() override {
+    on_right_ = false;
+    MURAL_RETURN_IF_ERROR(left_->Open());
+    return right_->Open();
+  }
+  StatusOr<bool> Next(Row* out) override;
+  Status Close() override {
+    MURAL_RETURN_IF_ERROR(left_->Close());
+    return right_->Close();
+  }
+  const Schema& output_schema() const override {
+    return left_->output_schema();
+  }
+  std::string DisplayName() const override { return "UnionAll"; }
+  std::vector<const PhysicalOp*> Children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  OpPtr left_, right_;
+  bool on_right_ = false;
+};
+
+/// A leaf operator replaying pre-built rows (tests, VALUES lists).
+class ValuesOp : public PhysicalOp {
+ public:
+  ValuesOp(ExecContext* ctx, Schema schema, std::vector<Row> rows)
+      : PhysicalOp(ctx),
+        schema_(std::move(schema)),
+        rows_(std::move(rows)) {}
+
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+  StatusOr<bool> Next(Row* out) override {
+    if (pos_ >= rows_.size()) return false;
+    *out = rows_[pos_++];
+    CountRow();
+    return true;
+  }
+  Status Close() override { return Status::OK(); }
+  const Schema& output_schema() const override { return schema_; }
+  std::string DisplayName() const override {
+    return "Values(" + std::to_string(rows_.size()) + " rows)";
+  }
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+}  // namespace mural

@@ -1,0 +1,54 @@
+// ExecContext: per-query runtime state shared by expressions and physical
+// operators.
+//
+// Carries the session settings the paper routes through system tables
+// (§4.2: the LexEQUAL threshold is a user/administrator-settable value, not
+// a third operand), the pinned taxonomy + closure cache for SemEQUAL
+// (§4.3), the phonetic transformer, and the effort counters that EXPLAIN
+// ANALYZE and the benchmarks report.
+
+#pragma once
+
+#include <cstdint>
+
+#include "distance/edit_distance.h"
+#include "phonetic/transformer.h"
+#include "taxonomy/taxonomy.h"
+
+namespace mural {
+
+/// Effort counters accumulated during one query execution.
+struct ExecStats {
+  uint64_t rows_emitted = 0;
+  uint64_t predicate_evals = 0;
+  uint64_t phoneme_transforms = 0;     // non-materialized conversions
+  uint64_t closure_computations = 0;   // closure cache misses
+  uint64_t closure_reuses = 0;         // closure cache hits
+  uint64_t index_probes = 0;
+  uint64_t udf_calls = 0;              // outside-the-server boundary calls
+  DistanceStats distance;
+
+  void Reset() { *this = ExecStats(); }
+};
+
+/// Shared query-execution context.  Not owned by operators; the engine's
+/// session owns one and threads it through the plan.
+struct ExecContext {
+  /// LexEQUAL mismatch threshold (paper's user-settable system value).
+  int lexequal_threshold = 2;
+
+  /// Pinned multilingual taxonomy for SemEQUAL; may be null for queries
+  /// that do not use the Omega operator.
+  const Taxonomy* taxonomy = nullptr;
+
+  /// Materialized-closure cache (paper §4.3); owned by the session so
+  /// closures persist across queries.
+  ClosureCache* closure_cache = nullptr;
+
+  /// Text-to-phoneme engine for non-materialized UniText values.
+  const PhoneticTransformer* transformer = &PhoneticTransformer::Default();
+
+  ExecStats stats;
+};
+
+}  // namespace mural

@@ -1,0 +1,331 @@
+#include "exec/mural_ops.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "catalog/tuple_codec.h"
+
+namespace mural {
+
+LexJoinOp::LexJoinOp(ExecContext* ctx, OpPtr outer, OpPtr inner,
+                     size_t outer_col, size_t inner_col, Options options)
+    : PhysicalOp(ctx),
+      outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      outer_col_(outer_col),
+      inner_col_(inner_col),
+      options_(options) {
+  Schema concat = Schema::Concat(outer_->output_schema(),
+                                 inner_->output_schema());
+  if (options_.tag_distance) {
+    std::vector<Column> cols = concat.columns();
+    cols.emplace_back("psi_distance", TypeId::kInt32);
+    schema_ = Schema(std::move(cols));
+  } else {
+    schema_ = std::move(concat);
+  }
+}
+
+Status LexJoinOp::Open() {
+  MURAL_RETURN_IF_ERROR(outer_->Open());
+  MURAL_RETURN_IF_ERROR(inner_->Open());
+  inner_rows_.clear();
+  inner_phonemes_.clear();
+  inner_valid_.clear();
+  Row row;
+  while (true) {
+    MURAL_ASSIGN_OR_RETURN(const bool more, inner_->Next(&row));
+    if (!more) break;
+    const Value& v = row[inner_col_];
+    if (v.is_null()) {
+      inner_phonemes_.emplace_back();
+      inner_valid_.push_back(false);
+    } else {
+      MURAL_ASSIGN_OR_RETURN(PhonemeString ph, PhonemesOf(v, ctx_));
+      inner_phonemes_.push_back(std::move(ph));
+      inner_valid_.push_back(true);
+    }
+    inner_rows_.push_back(row);
+  }
+  MURAL_RETURN_IF_ERROR(inner_->Close());
+  outer_valid_ = false;
+  inner_pos_ = 0;
+  return Status::OK();
+}
+
+StatusOr<bool> LexJoinOp::Next(Row* out) {
+  const int k = options_.threshold >= 0 ? options_.threshold
+                                        : ctx_->lexequal_threshold;
+  while (true) {
+    if (!outer_valid_) {
+      MURAL_ASSIGN_OR_RETURN(const bool more, outer_->Next(&outer_row_));
+      if (!more) return false;
+      const Value& v = outer_row_[outer_col_];
+      outer_null_ = v.is_null();
+      if (!outer_null_) {
+        MURAL_ASSIGN_OR_RETURN(outer_phonemes_, PhonemesOf(v, ctx_));
+      }
+      outer_valid_ = true;
+      inner_pos_ = 0;
+    }
+    if (outer_null_) {
+      outer_valid_ = false;
+      continue;
+    }
+    while (inner_pos_ < inner_rows_.size()) {
+      const size_t i = inner_pos_++;
+      if (!inner_valid_[i]) continue;
+      ++ctx_->stats.predicate_evals;
+      const int d = BoundedLevenshteinCounted(
+          outer_phonemes_, inner_phonemes_[i], k, &ctx_->stats.distance);
+      if (d > k) continue;
+      out->clear();
+      out->reserve(schema_.NumColumns());
+      out->insert(out->end(), outer_row_.begin(), outer_row_.end());
+      out->insert(out->end(), inner_rows_[i].begin(), inner_rows_[i].end());
+      if (options_.tag_distance) out->push_back(Value::Int32(d));
+      CountRow();
+      return true;
+    }
+    outer_valid_ = false;
+  }
+}
+
+Status LexJoinOp::Close() {
+  inner_rows_.clear();
+  inner_phonemes_.clear();
+  inner_valid_.clear();
+  return outer_->Close();
+}
+
+std::string LexJoinOp::DisplayName() const {
+  return StringFormat(
+      "LexJoin(%s ~ %s, t=%d%s)",
+      outer_->output_schema().column(outer_col_).name.c_str(),
+      inner_->output_schema().column(inner_col_).name.c_str(),
+      options_.threshold >= 0 ? options_.threshold
+                              : ctx_->lexequal_threshold,
+      options_.tag_distance ? ", tagged" : "");
+}
+
+SemJoinOp::SemJoinOp(ExecContext* ctx, OpPtr lhs_child, OpPtr rhs_child,
+                     size_t lhs_col, size_t rhs_col, Options options)
+    : PhysicalOp(ctx),
+      lhs_(std::move(lhs_child)),
+      rhs_(std::move(rhs_child)),
+      lhs_col_(lhs_col),
+      rhs_col_(rhs_col),
+      options_(options),
+      schema_(Schema::Concat(lhs_->output_schema(),
+                             rhs_->output_schema())) {}
+
+Status SemJoinOp::ComputeClosureFor(const Value& rhs_value) {
+  const Taxonomy& tax = *ctx_->taxonomy;
+  const std::vector<SynsetId> roots = tax.Lookup(rhs_value.unitext());
+  if (roots.empty()) {
+    local_closure_.clear();
+    current_closure_ = &local_closure_;
+    return Status::OK();
+  }
+  if (options_.use_closure_cache && ctx_->closure_cache != nullptr &&
+      roots.size() == 1) {
+    const uint64_t misses_before = ctx_->closure_cache->misses();
+    current_closure_ = &ctx_->closure_cache->Get(roots[0]);
+    if (ctx_->closure_cache->misses() > misses_before) {
+      ++ctx_->stats.closure_computations;
+    } else {
+      ++ctx_->stats.closure_reuses;
+    }
+    return Status::OK();
+  }
+  ++ctx_->stats.closure_computations;
+  local_closure_ = tax.TransitiveClosureOfAll(roots);
+  current_closure_ = &local_closure_;
+  return Status::OK();
+}
+
+Status SemJoinOp::Open() {
+  if (ctx_->taxonomy == nullptr) {
+    return Status::InvalidArgument(
+        "SemJoin requires a taxonomy pinned in the session");
+  }
+  // Materialize the probe (LHS) side.
+  MURAL_RETURN_IF_ERROR(lhs_->Open());
+  lhs_rows_.clear();
+  Row row;
+  while (true) {
+    MURAL_ASSIGN_OR_RETURN(const bool more, lhs_->Next(&row));
+    if (!more) break;
+    lhs_rows_.push_back(row);
+  }
+  MURAL_RETURN_IF_ERROR(lhs_->Close());
+
+  // Materialize the RHS (outer) side; sort for unique-closure processing
+  // when requested.
+  MURAL_RETURN_IF_ERROR(rhs_->Open());
+  rhs_rows_.clear();
+  while (true) {
+    MURAL_ASSIGN_OR_RETURN(const bool more, rhs_->Next(&row));
+    if (!more) break;
+    rhs_rows_.push_back(row);
+  }
+  MURAL_RETURN_IF_ERROR(rhs_->Close());
+  if (options_.sort_unique_rhs) {
+    std::stable_sort(rhs_rows_.begin(), rhs_rows_.end(),
+                     [this](const Row& a, const Row& b) {
+                       return a[rhs_col_].Compare(b[rhs_col_]) < 0;
+                     });
+  }
+  rhs_pos_ = 0;
+  lhs_pos_ = 0;
+  rhs_open_ = false;
+  current_closure_ = nullptr;
+  last_rhs_key_.reset();
+  return Status::OK();
+}
+
+StatusOr<bool> SemJoinOp::Next(Row* out) {
+  while (true) {
+    if (!rhs_open_) {
+      if (rhs_pos_ >= rhs_rows_.size()) return false;
+      const Value& rhs_value = rhs_rows_[rhs_pos_][rhs_col_];
+      if (rhs_value.is_null() ||
+          rhs_value.type() != TypeId::kUniText) {
+        ++rhs_pos_;
+        continue;
+      }
+      // With sorted RHS, equal consecutive values reuse the closure even
+      // without the cache.
+      const std::string key = rhs_value.unitext().text() + "\x1f" +
+                              std::to_string(rhs_value.unitext().lang());
+      if (!options_.sort_unique_rhs || !last_rhs_key_.has_value() ||
+          *last_rhs_key_ != key) {
+        MURAL_RETURN_IF_ERROR(ComputeClosureFor(rhs_value));
+        last_rhs_key_ = key;
+      } else {
+        ++ctx_->stats.closure_reuses;
+      }
+      rhs_open_ = true;
+      lhs_pos_ = 0;
+    }
+    const Row& rhs_row = rhs_rows_[rhs_pos_];
+    while (lhs_pos_ < lhs_rows_.size()) {
+      const Row& lhs_row = lhs_rows_[lhs_pos_++];
+      const Value& lhs_value = lhs_row[lhs_col_];
+      if (lhs_value.is_null() || lhs_value.type() != TypeId::kUniText) {
+        continue;
+      }
+      ++ctx_->stats.predicate_evals;
+      const std::vector<SynsetId> ids =
+          ctx_->taxonomy->Lookup(lhs_value.unitext());
+      bool match = false;
+      for (SynsetId id : ids) {
+        if (current_closure_->count(id) > 0) {
+          match = true;
+          break;
+        }
+      }
+      if (!match) continue;
+      out->clear();
+      out->reserve(schema_.NumColumns());
+      out->insert(out->end(), lhs_row.begin(), lhs_row.end());
+      out->insert(out->end(), rhs_row.begin(), rhs_row.end());
+      CountRow();
+      return true;
+    }
+    rhs_open_ = false;
+    ++rhs_pos_;
+  }
+}
+
+Status SemJoinOp::Close() {
+  lhs_rows_.clear();
+  rhs_rows_.clear();
+  current_closure_ = nullptr;
+  return Status::OK();
+}
+
+std::string SemJoinOp::DisplayName() const {
+  return StringFormat(
+      "SemJoin(%s under %s%s%s)",
+      lhs_->output_schema().column(lhs_col_).name.c_str(),
+      rhs_->output_schema().column(rhs_col_).name.c_str(),
+      options_.use_closure_cache ? "" : ", no-cache",
+      options_.sort_unique_rhs ? ", sorted-unique" : "");
+}
+
+}  // namespace mural
+
+namespace mural {
+
+LexIndexJoinOp::LexIndexJoinOp(ExecContext* ctx, OpPtr outer,
+                               const TableInfo* inner_table,
+                               const IndexInfo* inner_index,
+                               size_t outer_col, int threshold)
+    : PhysicalOp(ctx),
+      outer_(std::move(outer)),
+      inner_table_(inner_table),
+      inner_index_(inner_index),
+      outer_col_(outer_col),
+      threshold_(threshold),
+      schema_(Schema::Concat(outer_->output_schema(),
+                             inner_table->schema)) {}
+
+Status LexIndexJoinOp::Open() {
+  outer_valid_ = false;
+  matches_.clear();
+  match_pos_ = 0;
+  return outer_->Open();
+}
+
+StatusOr<bool> LexIndexJoinOp::Next(Row* out) {
+  const int k = threshold_ >= 0 ? threshold_ : ctx_->lexequal_threshold;
+  std::string record;
+  while (true) {
+    if (!outer_valid_) {
+      MURAL_ASSIGN_OR_RETURN(const bool more, outer_->Next(&outer_row_));
+      if (!more) return false;
+      const Value& v = outer_row_[outer_col_];
+      matches_.clear();
+      match_pos_ = 0;
+      if (!v.is_null()) {
+        MURAL_ASSIGN_OR_RETURN(const PhonemeString ph, PhonemesOf(v, ctx_));
+        ++ctx_->stats.index_probes;
+        MURAL_RETURN_IF_ERROR(inner_index_->index->SearchWithin(
+            Value::Text(ph), k, &matches_));
+      }
+      outer_valid_ = true;
+    }
+    while (match_pos_ < matches_.size()) {
+      const Rid rid = matches_[match_pos_++];
+      MURAL_RETURN_IF_ERROR(inner_table_->heap->Get(rid, &record));
+      Row inner_row;
+      MURAL_RETURN_IF_ERROR(TupleCodec::Deserialize(inner_table_->schema,
+                                                    record, &inner_row));
+      out->clear();
+      out->reserve(schema_.NumColumns());
+      out->insert(out->end(), outer_row_.begin(), outer_row_.end());
+      out->insert(out->end(), inner_row.begin(), inner_row.end());
+      CountRow();
+      return true;
+    }
+    outer_valid_ = false;
+  }
+}
+
+Status LexIndexJoinOp::Close() {
+  matches_.clear();
+  return outer_->Close();
+}
+
+std::string LexIndexJoinOp::DisplayName() const {
+  return StringFormat("LexIndexJoin(%s ~ %s.%s via %s, t=%d)",
+                      outer_->output_schema().column(outer_col_).name.c_str(),
+                      inner_table_->name.c_str(),
+                      inner_index_->column.c_str(),
+                      inner_index_->name.c_str(),
+                      threshold_ >= 0 ? threshold_
+                                      : ctx_->lexequal_threshold);
+}
+
+}  // namespace mural

@@ -1,0 +1,44 @@
+#include "exec/operator.h"
+
+namespace mural {
+
+namespace {
+
+void ExplainRec(const PhysicalOp& op, int depth, bool with_actuals,
+                std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append("-> ");
+  out->append(op.DisplayName());
+  if (with_actuals) {
+    out->append(" (actual rows=");
+    out->append(std::to_string(op.rows_produced()));
+    out->append(")");
+  }
+  out->push_back('\n');
+  for (const PhysicalOp* child : op.Children()) {
+    ExplainRec(*child, depth + 1, with_actuals, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainTree(const PhysicalOp& root, bool with_actuals) {
+  std::string out;
+  ExplainRec(root, 0, with_actuals, &out);
+  return out;
+}
+
+StatusOr<std::vector<Row>> CollectAll(PhysicalOp* root) {
+  MURAL_RETURN_IF_ERROR(root->Open());
+  std::vector<Row> rows;
+  Row row;
+  while (true) {
+    MURAL_ASSIGN_OR_RETURN(const bool more, root->Next(&row));
+    if (!more) break;
+    rows.push_back(row);
+  }
+  MURAL_RETURN_IF_ERROR(root->Close());
+  return rows;
+}
+
+}  // namespace mural

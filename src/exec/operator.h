@@ -1,0 +1,61 @@
+// PhysicalOp: the Volcano-style iterator interface all physical operators
+// implement (Open / Next / Close), plus EXPLAIN-tree rendering.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "exec/exec_context.h"
+
+namespace mural {
+
+class PhysicalOp;
+using OpPtr = std::unique_ptr<PhysicalOp>;
+
+/// Base class for physical operators.
+class PhysicalOp {
+ public:
+  explicit PhysicalOp(ExecContext* ctx) : ctx_(ctx) {}
+  virtual ~PhysicalOp() = default;
+
+  /// Prepares for iteration.  May be called again after Close (rescan).
+  virtual Status Open() = 0;
+
+  /// Produces the next row into *out; returns false when exhausted.
+  virtual StatusOr<bool> Next(Row* out) = 0;
+
+  virtual Status Close() = 0;
+
+  virtual const Schema& output_schema() const = 0;
+
+  /// Operator name + arguments for EXPLAIN ("SeqScan(Book)").
+  virtual std::string DisplayName() const = 0;
+
+  virtual std::vector<const PhysicalOp*> Children() const { return {}; }
+
+  uint64_t rows_produced() const { return rows_produced_; }
+
+ protected:
+  /// Subclasses call this when emitting a row.
+  void CountRow() {
+    ++rows_produced_;
+    ++ctx_->stats.rows_emitted;
+  }
+
+  ExecContext* ctx_;
+  uint64_t rows_produced_ = 0;
+};
+
+/// Renders an indented operator tree (EXPLAIN-style).  With
+/// `with_actuals`, appends each operator's produced-row count — call
+/// after execution for EXPLAIN ANALYZE output.
+std::string ExplainTree(const PhysicalOp& root, bool with_actuals = false);
+
+/// Drives a plan to completion, collecting all rows.
+StatusOr<std::vector<Row>> CollectAll(PhysicalOp* root);
+
+}  // namespace mural

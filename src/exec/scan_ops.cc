@@ -1,0 +1,94 @@
+#include "exec/scan_ops.h"
+
+#include "catalog/tuple_codec.h"
+
+namespace mural {
+
+Status SeqScanOp::Open() {
+  it_.emplace(table_->heap->Begin());
+  return Status::OK();
+}
+
+StatusOr<bool> SeqScanOp::Next(Row* out) {
+  while (it_->Valid()) {
+    const std::string& record = it_->record();
+    MURAL_RETURN_IF_ERROR(
+        TupleCodec::Deserialize(table_->schema, record, out));
+    it_->Next();
+    CountRow();
+    return true;
+  }
+  MURAL_RETURN_IF_ERROR(it_->status());
+  return false;
+}
+
+Status SeqScanOp::Close() {
+  it_.reset();
+  return Status::OK();
+}
+
+std::string IndexProbe::ToString() const {
+  switch (kind) {
+    case Kind::kEqual:
+      return "= " + key.ToString();
+    case Kind::kRange:
+      return "[" + lo.ToString() + " .. " + hi.ToString() + "]";
+    case Kind::kWithin:
+      return "within " + std::to_string(radius) + " of " + key.ToString();
+  }
+  return "?";
+}
+
+Status IndexScanOp::Open() {
+  rids_.clear();
+  pos_ = 0;
+  ++ctx_->stats.index_probes;
+  switch (probe_.kind) {
+    case IndexProbe::Kind::kEqual:
+      MURAL_RETURN_IF_ERROR(index_->index->SearchEqual(probe_.key, &rids_));
+      break;
+    case IndexProbe::Kind::kRange:
+      MURAL_RETURN_IF_ERROR(
+          index_->index->SearchRange(probe_.lo, probe_.hi, &rids_));
+      break;
+    case IndexProbe::Kind::kWithin:
+      MURAL_RETURN_IF_ERROR(
+          index_->index->SearchWithin(probe_.key, probe_.radius, &rids_));
+      break;
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> IndexScanOp::Next(Row* out) {
+  std::string record;
+  while (pos_ < rids_.size()) {
+    const Rid rid = rids_[pos_++];
+    MURAL_RETURN_IF_ERROR(table_->heap->Get(rid, &record));
+    MURAL_RETURN_IF_ERROR(
+        TupleCodec::Deserialize(table_->schema, record, out));
+    if (residual_ != nullptr) {
+      MURAL_ASSIGN_OR_RETURN(const bool keep,
+                             EvalPredicate(*residual_, *out, ctx_));
+      if (!keep) continue;
+    }
+    CountRow();
+    return true;
+  }
+  return false;
+}
+
+Status IndexScanOp::Close() {
+  rids_.clear();
+  return Status::OK();
+}
+
+std::string IndexScanOp::DisplayName() const {
+  std::string out = std::string(IndexKindToString(index_->kind)) +
+                    "IndexScan(" + table_->name + "." + index_->column +
+                    " " + probe_.ToString();
+  if (residual_ != nullptr) out += " recheck: " + residual_->ToString();
+  out += ")";
+  return out;
+}
+
+}  // namespace mural

@@ -1,0 +1,76 @@
+// Scan operators: sequential heap scans and index scans (B-Tree equality /
+// range probes, M-Tree metric probes, MDI candidate probes with recheck).
+
+#pragma once
+
+#include <optional>
+
+#include "catalog/catalog.h"
+#include "exec/expression.h"
+#include "exec/operator.h"
+
+namespace mural {
+
+/// Full scan over a table's heap.
+class SeqScanOp : public PhysicalOp {
+ public:
+  SeqScanOp(ExecContext* ctx, const TableInfo* table)
+      : PhysicalOp(ctx), table_(table) {}
+
+  Status Open() override;
+  StatusOr<bool> Next(Row* out) override;
+  Status Close() override;
+  const Schema& output_schema() const override { return table_->schema; }
+  std::string DisplayName() const override {
+    return "SeqScan(" + table_->name + ")";
+  }
+
+ private:
+  const TableInfo* table_;
+  std::optional<HeapFile::Iterator> it_;
+};
+
+/// What an index scan probes for.
+struct IndexProbe {
+  enum class Kind { kEqual, kRange, kWithin };
+  Kind kind = Kind::kEqual;
+  Value key;       // kEqual / kWithin
+  Value lo, hi;    // kRange (NULL = unbounded)
+  int radius = 0;  // kWithin
+
+  std::string ToString() const;
+};
+
+/// Index scan: probes the access method for rids, fetches heap tuples, and
+/// applies an optional residual predicate.
+///
+/// The residual matters twice in this system: MDI probes return candidate
+/// supersets that must be re-verified (paper's outside-the-server index
+/// path), and LexEQUAL index scans still need the "IN <languages>" filter.
+class IndexScanOp : public PhysicalOp {
+ public:
+  IndexScanOp(ExecContext* ctx, const TableInfo* table,
+              const IndexInfo* index, IndexProbe probe,
+              ExprPtr residual = nullptr)
+      : PhysicalOp(ctx),
+        table_(table),
+        index_(index),
+        probe_(std::move(probe)),
+        residual_(std::move(residual)) {}
+
+  Status Open() override;
+  StatusOr<bool> Next(Row* out) override;
+  Status Close() override;
+  const Schema& output_schema() const override { return table_->schema; }
+  std::string DisplayName() const override;
+
+ private:
+  const TableInfo* table_;
+  const IndexInfo* index_;
+  IndexProbe probe_;
+  ExprPtr residual_;
+  std::vector<Rid> rids_;
+  size_t pos_ = 0;
+};
+
+}  // namespace mural

@@ -1,0 +1,100 @@
+// B+Tree: the engine's ordered access method, page-based over the buffer
+// pool.  Used for equality/range probes, as the backing structure of the
+// MDI baseline index, and on the taxonomy table's parent attribute for the
+// SemEQUAL experiments (paper §5.4).
+//
+// Layout
+//   - Every node is one slotted Page; header `level` is 0 for leaves.
+//   - Slots are kept in key-sorted order (nodes are rewritten on insert,
+//     which is cheap at 8 KiB and keeps lookups a pure binary search).
+//   - Leaf entry:     [u32 klen][key][u32 rid.page][u16 rid.slot]
+//   - Internal entry: [u32 klen][key][u32 child]; entry keys are
+//     separators — entry i covers keys >= key_i and < key_{i+1}; the first
+//     separator is the empty string (= -infinity).
+//   - Leaves are chained via next_page for range scans.
+//
+// Keys are opaque byte strings compared with memcmp (see KeyCodec).
+// Duplicate keys are fully supported.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "catalog/access_method.h"
+#include "common/status.h"
+#include "index/key_codec.h"
+#include "storage/buffer_pool.h"
+
+namespace mural {
+
+/// Raw byte-key B+Tree.
+class BTree {
+ public:
+  /// Creates an empty tree (allocates the root leaf).
+  static StatusOr<BTree> Create(BufferPool* pool);
+
+  /// Inserts (key, rid); duplicates allowed.
+  Status Insert(std::string_view key, Rid rid);
+
+  /// Invokes `fn` for every entry with lo <= key <= hi, in key order, until
+  /// it returns false.  Empty `lo` means unbounded below; `unbounded_hi`
+  /// ignores `hi`.
+  Status Scan(std::string_view lo, std::string_view hi, bool unbounded_hi,
+              const std::function<bool(std::string_view key, Rid rid)>& fn)
+      const;
+
+  /// Bulk-loads from (key, rid) pairs, replacing the current contents.
+  /// Entries need not be pre-sorted.  Builds the tree bottom-up.
+  Status BulkLoad(std::vector<std::pair<std::string, Rid>> entries);
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint32_t num_pages() const { return num_pages_; }
+  uint32_t height() const { return height_; }
+  PageId root() const { return root_; }
+
+ private:
+  explicit BTree(BufferPool* pool, PageId root)
+      : pool_(pool), root_(root) {}
+
+  struct SplitResult {
+    bool split = false;
+    std::string separator;  // first key of the new right sibling
+    PageId right = kInvalidPage;
+  };
+
+  Status InsertRec(PageId node, std::string_view key, Rid rid,
+                   SplitResult* out);
+
+  BufferPool* pool_;
+  PageId root_;
+  uint64_t num_entries_ = 0;
+  uint32_t num_pages_ = 1;
+  uint32_t height_ = 1;
+};
+
+/// AccessMethod adapter: a B+Tree keyed by an order-preserving encoding of
+/// a column value (or of the materialized phoneme string).
+class BTreeIndex : public AccessMethod {
+ public:
+  static StatusOr<std::unique_ptr<BTreeIndex>> Create(BufferPool* pool);
+
+  IndexKind kind() const override { return IndexKind::kBTree; }
+
+  Status Insert(const Value& key, Rid rid) override;
+  Status SearchEqual(const Value& key, std::vector<Rid>* out) override;
+  Status SearchRange(const Value& lo, const Value& hi,
+                     std::vector<Rid>* out) override;
+
+  uint64_t NumEntries() const override { return tree_.num_entries(); }
+  uint32_t NumPages() const override { return tree_.num_pages(); }
+
+  BTree& tree() { return tree_; }
+
+ private:
+  explicit BTreeIndex(BTree tree) : tree_(std::move(tree)) {}
+  BTree tree_;
+};
+
+}  // namespace mural

@@ -1,0 +1,65 @@
+#include "index/key_codec.h"
+
+#include <cstring>
+
+namespace mural {
+
+namespace {
+
+void PutBigEndian64(std::string* out, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+}  // namespace
+
+StatusOr<std::string> KeyCodec::Encode(const Value& v) {
+  std::string out;
+  switch (v.type()) {
+    case TypeId::kNull:
+      return Status::InvalidArgument("NULL is not indexable");
+    case TypeId::kBool:
+    case TypeId::kInt32:
+    case TypeId::kInt64: {
+      // Flip the sign bit: two's-complement order becomes unsigned order.
+      const uint64_t u =
+          static_cast<uint64_t>(v.AsInt64()) ^ 0x8000000000000000ULL;
+      PutBigEndian64(&out, u);
+      return out;
+    }
+    case TypeId::kFloat64: {
+      double d = v.float64();
+      if (d == 0.0) d = 0.0;  // fold -0.0 into +0.0
+      uint64_t bits;
+      std::memcpy(&bits, &d, 8);
+      // Total-order transform: positive floats get the sign bit set;
+      // negatives are bitwise complemented.
+      if (bits & 0x8000000000000000ULL) {
+        bits = ~bits;
+      } else {
+        bits |= 0x8000000000000000ULL;
+      }
+      PutBigEndian64(&out, bits);
+      return out;
+    }
+    case TypeId::kText:
+      return v.text();
+    case TypeId::kUniText:
+      return v.unitext().text();
+  }
+  return Status::Internal("unreachable");
+}
+
+StatusOr<std::string> KeyCodec::EncodePhonemes(const Value& v) {
+  if (v.type() != TypeId::kUniText) {
+    return Status::InvalidArgument("phoneme key requires a UNITEXT value");
+  }
+  if (!v.unitext().has_phonemes()) {
+    return Status::InvalidArgument(
+        "phoneme key requires materialized phonemes");
+  }
+  return *v.unitext().phonemes();
+}
+
+}  // namespace mural

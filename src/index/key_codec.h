@@ -1,0 +1,31 @@
+// KeyCodec: order-preserving serialization of Values into byte strings, so
+// index nodes compare keys with plain memcmp.
+//
+// Encodings (single-column keys only):
+//   BOOL/INT/BIGINT -> sign-flipped big-endian 8 bytes
+//   DOUBLE          -> IEEE-754 total-order trick, 8 bytes
+//   TEXT/UNITEXT    -> raw UTF-8 bytes (memcmp order == byte order; the
+//                      UniText key is its Text component, matching the
+//                      ordinary text operators of §3.2.1)
+
+#pragma once
+
+#include <string>
+
+#include "catalog/value.h"
+#include "common/status.h"
+
+namespace mural {
+
+class KeyCodec {
+ public:
+  /// Encodes `v` so that memcmp(Encode(a), Encode(b)) orders like
+  /// a.Compare(b) for same-typed values.  NULLs are not indexable.
+  static StatusOr<std::string> Encode(const Value& v);
+
+  /// Encodes the phoneme string of a UniText value (for phoneme-keyed
+  /// metric/B-tree indexes); fails if phonemes are not materialized.
+  static StatusOr<std::string> EncodePhonemes(const Value& v);
+};
+
+}  // namespace mural

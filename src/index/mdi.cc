@@ -1,0 +1,123 @@
+#include "index/mdi.h"
+
+#include <algorithm>
+#include <climits>
+
+namespace mural {
+
+StatusOr<std::unique_ptr<MdiIndex>> MdiIndex::Create(BufferPool* pool) {
+  MURAL_ASSIGN_OR_RETURN(BTree tree, BTree::Create(pool));
+  return std::unique_ptr<MdiIndex>(new MdiIndex(std::move(tree)));
+}
+
+namespace {
+
+uint8_t ClampByte(int d) {
+  return static_cast<uint8_t>(std::min(255, std::max(0, d)));
+}
+
+}  // namespace
+
+std::string MdiIndex::EncodeKey(const std::string& phonemes) const {
+  std::string key;
+  key.reserve(pivots_.size() + 1);
+  for (const std::string& pivot : pivots_) {
+    key.push_back(
+        static_cast<char>(ClampByte(Levenshtein(phonemes, pivot))));
+  }
+  key.push_back(static_cast<char>(
+      ClampByte(static_cast<int>(phonemes.size()))));
+  return key;
+}
+
+Status MdiIndex::FreezePivots() {
+  // Greedy max-min (farthest-point) pivot selection over the buffered
+  // sample: the first sampled object seeds the set; each further pivot is
+  // the sample element maximizing its minimum distance to the pivots so
+  // far.  Spread-out pivots give near-independent reference distances,
+  // which is what makes the conjunction of triangle-inequality bands
+  // selective.
+  if (pending_.empty()) {
+    pivots_ = {""};  // degenerate: the trailing length byte still filters
+    return Status::OK();
+  }
+  pivots_ = {pending_.front().first};
+  while (pivots_.size() < kNumPivots) {
+    int best_mind = -1;
+    const std::string* best = nullptr;
+    for (const auto& [key, rid] : pending_) {
+      int mind = INT32_MAX;
+      for (const std::string& pivot : pivots_) {
+        mind = std::min(mind, Levenshtein(key, pivot));
+      }
+      if (mind > best_mind) {
+        best_mind = mind;
+        best = &key;
+      }
+    }
+    if (best == nullptr || best_mind <= 0) break;  // sample exhausted
+    pivots_.push_back(*best);
+  }
+  for (const auto& [key, rid] : pending_) {
+    MURAL_RETURN_IF_ERROR(tree_.Insert(EncodeKey(key), rid));
+  }
+  pending_.clear();
+  return Status::OK();
+}
+
+Status MdiIndex::Insert(const Value& key, Rid rid) {
+  if (key.type() != TypeId::kText) {
+    return Status::InvalidArgument("MDI keys must be TEXT phoneme strings");
+  }
+  if (pivots_.empty()) {
+    pending_.emplace_back(key.text(), rid);
+    if (pending_.size() >= kSampleSize) {
+      return FreezePivots();
+    }
+    return Status::OK();
+  }
+  return tree_.Insert(EncodeKey(key.text()), rid);
+}
+
+Status MdiIndex::SearchEqual(const Value& key, std::vector<Rid>* out) {
+  return SearchWithin(key, 0, out);
+}
+
+Status MdiIndex::SearchWithin(const Value& key, int radius,
+                              std::vector<Rid>* out) {
+  if (key.type() != TypeId::kText) {
+    return Status::InvalidArgument(
+        "MDI queries must be TEXT phoneme strings");
+  }
+  if (pivots_.empty()) {
+    // Small index still buffering: freeze now so queries see all data.
+    MURAL_RETURN_IF_ERROR(FreezePivots());
+  }
+  const std::string& q = key.text();
+  std::vector<int> dq;
+  for (const std::string& pivot : pivots_) {
+    dq.push_back(Levenshtein(q, pivot));
+  }
+  const int qlen = static_cast<int>(q.size());
+
+  // Primary range on the first reference distance; every further
+  // reference distance (and the length) filters from the key bytes.
+  std::string lo(1, static_cast<char>(ClampByte(dq[0] - radius)));
+  std::string hi(1, static_cast<char>(ClampByte(dq[0] + radius)));
+  hi.append(pivots_.size(), '\xFF');  // cover all suffixes of the hi byte
+  return tree_.Scan(
+      lo, hi, /*unbounded_hi=*/false,
+      [&](std::string_view k, Rid rid) {
+        for (size_t p = 1; p < pivots_.size(); ++p) {
+          const int d = static_cast<unsigned char>(k[p]);
+          if (d < dq[p] - radius || d > dq[p] + radius) return true;
+        }
+        const int len =
+            static_cast<unsigned char>(k[pivots_.size()]);
+        if (len < qlen - radius || len > qlen + radius) return true;
+        out->push_back(rid);
+        return true;
+      });
+}
+
+}  // namespace mural

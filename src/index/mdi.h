@@ -1,0 +1,70 @@
+// MDI: the Metric-Distance-Index used by the paper's outside-the-server
+// baseline (§5.3, technical report [15]).
+//
+// MDI is implementable with nothing but a standard B-tree: every indexed
+// string stores a small vector of *reference distances* — its edit
+// distances to a few fixed pivot objects (plus its length, which is the
+// distance to the empty string).  By the triangle inequality a match of
+// query q at threshold k must satisfy |d(x,p) - d(q,p)| <= k for every
+// pivot p, so a B-tree range scan on the first reference distance plus
+// in-key filtering on the rest yields a candidate set that the
+// outside-the-server UDF then verifies exactly.
+//
+// Pivots are chosen from a buffered sample of the first insertions (a
+// far-apart pair), after which the index streams normally.  SearchWithin
+// returns candidates — complete, but approximate: callers must re-verify,
+// exactly as the paper's PL/SQL scripts do.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/access_method.h"
+#include "distance/edit_distance.h"
+#include "index/btree.h"
+
+namespace mural {
+
+class MdiIndex : public AccessMethod {
+ public:
+  static StatusOr<std::unique_ptr<MdiIndex>> Create(BufferPool* pool);
+
+  IndexKind kind() const override { return IndexKind::kMdi; }
+
+  Status Insert(const Value& key, Rid rid) override;
+
+  /// Equality probes degrade to a candidate scan too (distance collision).
+  Status SearchEqual(const Value& key, std::vector<Rid>* out) override;
+
+  /// Candidate rids for "within edit distance `radius` of key": complete
+  /// (no false negatives) but approximate (false positives possible).
+  Status SearchWithin(const Value& key, int radius,
+                      std::vector<Rid>* out) override;
+
+  uint64_t NumEntries() const override {
+    return tree_.num_entries() + pending_.size();
+  }
+  uint32_t NumPages() const override { return tree_.num_pages(); }
+
+  const std::vector<std::string>& pivots() const { return pivots_; }
+
+ private:
+  explicit MdiIndex(BTree tree) : tree_(std::move(tree)) {}
+
+  /// [d(p0)] [d(p1)] [len] as single clamped bytes, memcmp-ordered.
+  std::string EncodeKey(const std::string& phonemes) const;
+
+  /// Chooses pivots from the pending sample and flushes it into the tree.
+  Status FreezePivots();
+
+  static constexpr size_t kSampleSize = 64;
+  static constexpr size_t kNumPivots = 5;
+
+  BTree tree_;
+  std::vector<std::string> pivots_;                 // fixed after freeze
+  std::vector<std::pair<std::string, Rid>> pending_;  // pre-freeze buffer
+};
+
+}  // namespace mural

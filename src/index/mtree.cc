@@ -1,0 +1,147 @@
+#include "index/mtree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace mural {
+
+std::string MTreeOps::MakeKey(uint32_t radius, std::string_view object) {
+  std::string key;
+  key.reserve(4 + object.size());
+  char buf[4];
+  std::memcpy(buf, &radius, 4);
+  key.append(buf, 4);
+  key.append(object.data(), object.size());
+  return key;
+}
+
+std::pair<uint32_t, std::string_view> MTreeOps::ParseKey(
+    std::string_view key) {
+  MURAL_DCHECK(key.size() >= 4);
+  uint32_t radius = 0;
+  std::memcpy(&radius, key.data(), 4);
+  return {radius, key.substr(4)};
+}
+
+int MTreeOps::Distance(std::string_view a, std::string_view b) const {
+  ++distance_calls_;
+  return Levenshtein(a, b);
+}
+
+int MTreeOps::BoundedDistance(std::string_view a, std::string_view b,
+                              int k) const {
+  ++distance_calls_;
+  return BoundedLevenshtein(a, b, k);
+}
+
+bool MTreeOps::Consistent(const GistEntry& entry, const GistQuery& query,
+                          bool is_leaf) const {
+  const auto [radius, object] = ParseKey(entry.key);
+  const int slack =
+      is_leaf ? query.radius : query.radius + static_cast<int>(radius);
+  return BoundedDistance(object, query.key, slack) <= slack;
+}
+
+std::string MTreeOps::Union(const std::vector<GistEntry>& entries) const {
+  MURAL_CHECK(!entries.empty());
+  // Routing object: the first member's object (cheap, stable).  Covering
+  // radius: max over members of d(routing, member) + member_radius — a
+  // conservative cover, exact enough for correct pruning.
+  const auto [first_radius, routing] = ParseKey(entries[0].key);
+  uint32_t cover = first_radius;
+  for (size_t i = 1; i < entries.size(); ++i) {
+    const auto [r, obj] = ParseKey(entries[i].key);
+    const uint32_t need =
+        static_cast<uint32_t>(Distance(routing, obj)) + r;
+    cover = std::max(cover, need);
+  }
+  return MakeKey(cover, routing);
+}
+
+double MTreeOps::Penalty(std::string_view subtree_key,
+                         std::string_view new_key) const {
+  const auto [sub_radius, sub_obj] = ParseKey(subtree_key);
+  const auto [new_radius, new_obj] = ParseKey(new_key);
+  const int d = Distance(sub_obj, new_obj);
+  const double increase =
+      std::max(0.0, static_cast<double>(d) + new_radius -
+                        static_cast<double>(sub_radius));
+  // Prefer no-radius-growth subtrees; among those, the closest routing
+  // object.  The 1e6 factor keeps the two criteria lexicographic.
+  return increase * 1e6 + d;
+}
+
+void MTreeOps::PickSplit(std::vector<GistEntry> entries,
+                         std::vector<GistEntry>* left,
+                         std::vector<GistEntry>* right) const {
+  left->clear();
+  right->clear();
+  const size_t n = entries.size();
+  MURAL_CHECK(n >= 2) << "cannot split fewer than two entries";
+  // Random promotion (the paper's chosen policy): two random distinct
+  // seeds; generalized-hyperplane distribution assigns each entry to the
+  // closer seed.
+  const size_t s1 = rng_.Uniform(n);
+  size_t s2 = rng_.Uniform(n - 1);
+  if (s2 >= s1) ++s2;
+  const auto [r1, o1] = ParseKey(entries[s1].key);
+  const auto [r2, o2] = ParseKey(entries[s2].key);
+  const std::string seed1(o1);
+  const std::string seed2(o2);
+  for (size_t i = 0; i < n; ++i) {
+    const auto [r, obj] = ParseKey(entries[i].key);
+    const int d1 = Distance(obj, seed1);
+    const int d2 = Distance(obj, seed2);
+    if (d1 < d2 || (d1 == d2 && left->size() <= right->size())) {
+      left->push_back(std::move(entries[i]));
+    } else {
+      right->push_back(std::move(entries[i]));
+    }
+  }
+  // Both sides must be non-empty for the tree to stay balanced.
+  if (left->empty()) {
+    left->push_back(std::move(right->back()));
+    right->pop_back();
+  } else if (right->empty()) {
+    right->push_back(std::move(left->back()));
+    left->pop_back();
+  }
+}
+
+StatusOr<std::unique_ptr<MTreeIndex>> MTreeIndex::Create(BufferPool* pool,
+                                                         uint64_t seed) {
+  auto ops = std::make_unique<MTreeOps>(seed);
+  MURAL_ASSIGN_OR_RETURN(GistTree tree, GistTree::Create(pool, ops.get()));
+  return std::unique_ptr<MTreeIndex>(
+      new MTreeIndex(std::move(ops), std::make_unique<GistTree>(std::move(tree))));
+}
+
+Status MTreeIndex::Insert(const Value& key, Rid rid) {
+  if (key.type() != TypeId::kText) {
+    return Status::InvalidArgument(
+        "M-Tree keys must be TEXT phoneme strings");
+  }
+  return tree_->Insert(MTreeOps::MakeKey(0, key.text()), rid);
+}
+
+Status MTreeIndex::SearchEqual(const Value& key, std::vector<Rid>* out) {
+  return SearchWithin(key, 0, out);
+}
+
+Status MTreeIndex::SearchWithin(const Value& key, int radius,
+                                std::vector<Rid>* out) {
+  if (key.type() != TypeId::kText) {
+    return Status::InvalidArgument(
+        "M-Tree queries must be TEXT phoneme strings");
+  }
+  GistQuery query;
+  query.key = key.text();
+  query.radius = radius;
+  return tree_->Search(query, [out](const GistEntry& e) {
+    out->push_back(e.rid);
+  });
+}
+
+}  // namespace mural

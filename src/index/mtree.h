@@ -1,0 +1,86 @@
+// M-Tree (Ciaccia, Patella & Zezula, VLDB'97) over the GiST framework —
+// the metric index the paper adds to PostgreSQL to accelerate LexEQUAL's
+// approximate phoneme matching (§4.2.1).
+//
+// Keys live in the metric space (phoneme strings, Levenshtein distance).
+// An internal entry stores a routing object plus a covering radius; search
+// prunes a subtree when  d(query, routing) > query_radius + covering_radius
+// (triangle inequality).  Node splits use the *random promotion* policy the
+// paper selected for its low index-modification cost.
+
+#pragma once
+
+#include <memory>
+
+#include "catalog/access_method.h"
+#include "common/random.h"
+#include "distance/edit_distance.h"
+#include "index/gist.h"
+
+namespace mural {
+
+/// GistOps instantiation for metric keys.
+///
+/// Key encoding: [u32 covering_radius][object bytes].  Leaf entries carry
+/// radius 0 and the indexed phoneme string itself.
+class MTreeOps : public GistOps {
+ public:
+  explicit MTreeOps(uint64_t split_seed = 7) : rng_(split_seed) {}
+
+  bool Consistent(const GistEntry& entry, const GistQuery& query,
+                  bool is_leaf) const override;
+  std::string Union(const std::vector<GistEntry>& entries) const override;
+  double Penalty(std::string_view subtree_key,
+                 std::string_view new_key) const override;
+  void PickSplit(std::vector<GistEntry> entries,
+                 std::vector<GistEntry>* left,
+                 std::vector<GistEntry>* right) const override;
+
+  /// Builds a key from a covering radius and a metric object.
+  static std::string MakeKey(uint32_t radius, std::string_view object);
+  /// Splits a key into (radius, object view into `key`).
+  static std::pair<uint32_t, std::string_view> ParseKey(
+      std::string_view key);
+
+  /// Number of edit-distance evaluations performed (pruning-efficiency
+  /// ablation, §5.3 discussion).
+  uint64_t distance_computations() const { return distance_calls_; }
+  void ResetCounters() { distance_calls_ = 0; }
+
+ private:
+  int Distance(std::string_view a, std::string_view b) const;
+  int BoundedDistance(std::string_view a, std::string_view b, int k) const;
+
+  mutable Rng rng_;
+  mutable uint64_t distance_calls_ = 0;
+};
+
+/// AccessMethod adapter: keys arriving from the catalog are TEXT values
+/// holding phoneme strings.
+class MTreeIndex : public AccessMethod {
+ public:
+  static StatusOr<std::unique_ptr<MTreeIndex>> Create(BufferPool* pool,
+                                                      uint64_t seed = 7);
+
+  IndexKind kind() const override { return IndexKind::kMTree; }
+
+  Status Insert(const Value& key, Rid rid) override;
+  Status SearchEqual(const Value& key, std::vector<Rid>* out) override;
+  Status SearchWithin(const Value& key, int radius,
+                      std::vector<Rid>* out) override;
+
+  uint64_t NumEntries() const override { return tree_->num_entries(); }
+  uint32_t NumPages() const override { return tree_->num_pages(); }
+
+  const GistTree& tree() const { return *tree_; }
+  MTreeOps& ops() { return *ops_; }
+
+ private:
+  MTreeIndex(std::unique_ptr<MTreeOps> ops, std::unique_ptr<GistTree> tree)
+      : ops_(std::move(ops)), tree_(std::move(tree)) {}
+
+  std::unique_ptr<MTreeOps> ops_;
+  std::unique_ptr<GistTree> tree_;
+};
+
+}  // namespace mural

@@ -1,0 +1,223 @@
+#include "mural/algebra.h"
+
+#include "common/logging.h"
+
+namespace mural {
+namespace algebra {
+
+bool CanCommute(const LogicalNode& node) {
+  switch (node.kind) {
+    case LogicalKind::kPsiJoin:
+    case LogicalKind::kEquiJoin:
+    case LogicalKind::kJoin:
+    case LogicalKind::kUnionAll:
+      return true;
+    case LogicalKind::kOmegaJoin:
+      return false;  // Table 1: Omega does not commute
+    default:
+      return false;
+  }
+}
+
+StatusOr<LogicalPtr> Commute(const LogicalPtr& node,
+                             const Schema& left_schema,
+                             const Schema& right_schema) {
+  if (node == nullptr) return Status::InvalidArgument("null plan");
+  if (!CanCommute(*node)) {
+    return Status::NotSupported(
+        std::string(LogicalKindToString(node->kind)) +
+        " does not commute (Table 1)");
+  }
+  LogicalPtr swapped = CloneLogical(node);
+  std::swap(swapped->left, swapped->right);
+  std::swap(swapped->left_col, swapped->right_col);
+  if (node->kind == LogicalKind::kUnionAll) return swapped;
+
+  // The swapped join emits columns as (right, left); restore (left, right).
+  const size_t lw = left_schema.NumColumns();
+  const size_t rw = right_schema.NumColumns();
+  std::vector<ExprPtr> exprs;
+  std::vector<std::string> names;
+  for (size_t i = 0; i < lw; ++i) {
+    exprs.push_back(Col(rw + i, left_schema.column(i).name));
+    names.push_back(left_schema.column(i).name);
+  }
+  for (size_t i = 0; i < rw; ++i) {
+    exprs.push_back(Col(i, right_schema.column(i).name));
+    names.push_back(right_schema.column(i).name);
+  }
+  return LProject(swapped, std::move(exprs), std::move(names));
+}
+
+StatusOr<LogicalPtr> DistributeOverUnion(const LogicalPtr& node) {
+  if (node == nullptr) return Status::InvalidArgument("null plan");
+  if (node->kind != LogicalKind::kPsiJoin &&
+      node->kind != LogicalKind::kOmegaJoin &&
+      node->kind != LogicalKind::kEquiJoin) {
+    return Status::NotSupported("distribution applies to join operators");
+  }
+  if (node->left == nullptr || node->left->kind != LogicalKind::kUnionAll) {
+    return Status::NotSupported(
+        "left input is not a UnionAll; nothing to distribute over");
+  }
+  LogicalPtr branch_a = CloneLogical(node);
+  branch_a->left = CloneLogical(node->left->left);
+  LogicalPtr branch_b = CloneLogical(node);
+  branch_b->left = CloneLogical(node->left->right);
+  return LUnionAll(branch_a, branch_b);
+}
+
+StatusOr<LogicalPtr> PushFilterIntoJoin(const LogicalPtr& filter_node,
+                                        size_t left_width) {
+  if (filter_node == nullptr || filter_node->kind != LogicalKind::kFilter) {
+    return Status::InvalidArgument("expected a Filter node");
+  }
+  const LogicalPtr& join = filter_node->left;
+  if (join == nullptr ||
+      (join->kind != LogicalKind::kPsiJoin &&
+       join->kind != LogicalKind::kOmegaJoin &&
+       join->kind != LogicalKind::kEquiJoin)) {
+    return Status::NotSupported("filter is not above a multilingual join");
+  }
+  std::set<size_t> columns;
+  filter_node->predicate->CollectColumns(&columns);
+  const bool all_left =
+      columns.empty() ||
+      *columns.rbegin() < left_width;  // every referenced column < width
+  if (!all_left) {
+    return Status::NotSupported(
+        "predicate reads right-side columns; pushdown is illegal");
+  }
+  LogicalPtr pushed = CloneLogical(join);
+  pushed->left = LFilter(CloneLogical(join->left), filter_node->predicate);
+  return pushed;
+}
+
+std::string CompositionTable() {
+  return
+      "Oper   Commutes  Associates  Distributes over U\n"
+      "Psi    Yes       Yes         Yes\n"
+      "Omega  No        Yes         Yes\n";
+}
+
+}  // namespace algebra
+
+MuralBuilder MuralBuilder::Scan(std::string table, const Schema& schema) {
+  return MuralBuilder(LScan(std::move(table)), schema);
+}
+
+MuralBuilder& MuralBuilder::Select(ExprPtr predicate) {
+  // Push into a bare scan when possible (the common sigma-over-scan case).
+  if (plan_->kind == LogicalKind::kScan && plan_->predicate == nullptr) {
+    plan_->predicate = std::move(predicate);
+  } else {
+    plan_ = LFilter(plan_, std::move(predicate));
+  }
+  return *this;
+}
+
+MuralBuilder& MuralBuilder::PsiSelect(const std::string& column,
+                                      UniText constant,
+                                      std::set<LangId> langs,
+                                      int threshold) {
+  StatusOr<size_t> idx = ColIndex(column);
+  MURAL_CHECK(idx.ok()) << "no such column: " << column;
+  ExprPtr pred = LexEq(Col(*idx, column), Lit(Value::Uni(constant)),
+                       threshold);
+  if (!langs.empty()) {
+    pred = And(pred, LangIn(Col(*idx, column), std::move(langs)));
+  }
+  return Select(std::move(pred));
+}
+
+MuralBuilder& MuralBuilder::OmegaSelect(const std::string& column,
+                                        UniText concept_value,
+                                        std::set<LangId> langs) {
+  StatusOr<size_t> idx = ColIndex(column);
+  MURAL_CHECK(idx.ok()) << "no such column: " << column;
+  ExprPtr pred = SemEq(Col(*idx, column), Lit(Value::Uni(concept_value)));
+  if (!langs.empty()) {
+    pred = And(pred, LangIn(Col(*idx, column), std::move(langs)));
+  }
+  return Select(std::move(pred));
+}
+
+MuralBuilder& MuralBuilder::PsiJoin(MuralBuilder other,
+                                    const std::string& left_column,
+                                    const std::string& right_column,
+                                    int threshold, bool tag_distance) {
+  StatusOr<size_t> lcol = ColIndex(left_column);
+  StatusOr<size_t> rcol = other.ColIndex(right_column);
+  MURAL_CHECK(lcol.ok() && rcol.ok());
+  plan_ = LPsiJoin(plan_, other.plan_, *lcol, *rcol, threshold,
+                   tag_distance);
+  Schema joined = Schema::Concat(schema_, other.schema_);
+  if (tag_distance) {
+    std::vector<Column> cols = joined.columns();
+    cols.emplace_back("psi_distance", TypeId::kInt32);
+    joined = Schema(std::move(cols));
+  }
+  schema_ = std::move(joined);
+  return *this;
+}
+
+MuralBuilder& MuralBuilder::OmegaJoin(MuralBuilder other,
+                                      const std::string& left_column,
+                                      const std::string& right_column) {
+  StatusOr<size_t> lcol = ColIndex(left_column);
+  StatusOr<size_t> rcol = other.ColIndex(right_column);
+  MURAL_CHECK(lcol.ok() && rcol.ok());
+  plan_ = LOmegaJoin(plan_, other.plan_, *lcol, *rcol);
+  schema_ = Schema::Concat(schema_, other.schema_);
+  return *this;
+}
+
+MuralBuilder& MuralBuilder::Join(MuralBuilder other,
+                                 const std::string& left_column,
+                                 const std::string& right_column) {
+  StatusOr<size_t> lcol = ColIndex(left_column);
+  StatusOr<size_t> rcol = other.ColIndex(right_column);
+  MURAL_CHECK(lcol.ok() && rcol.ok());
+  plan_ = LEquiJoin(plan_, other.plan_, *lcol, *rcol);
+  schema_ = Schema::Concat(schema_, other.schema_);
+  return *this;
+}
+
+MuralBuilder& MuralBuilder::Project(const std::vector<std::string>& columns) {
+  std::vector<ExprPtr> exprs;
+  std::vector<std::string> names;
+  std::vector<Column> cols;
+  for (const std::string& name : columns) {
+    StatusOr<size_t> idx = ColIndex(name);
+    MURAL_CHECK(idx.ok()) << "no such column: " << name;
+    exprs.push_back(Col(*idx, name));
+    names.push_back(name);
+    cols.push_back(schema_.column(*idx));
+  }
+  plan_ = LProject(plan_, std::move(exprs), std::move(names));
+  schema_ = Schema(std::move(cols));
+  return *this;
+}
+
+MuralBuilder& MuralBuilder::Aggregate(std::vector<size_t> group_by,
+                                      std::vector<AggSpec> aggs) {
+  std::vector<Column> cols;
+  for (size_t g : group_by) cols.push_back(schema_.column(g));
+  for (const AggSpec& a : aggs) {
+    cols.emplace_back(a.output_name, TypeId::kInt64);
+  }
+  plan_ = LAggregate(plan_, std::move(group_by), std::move(aggs));
+  schema_ = Schema(std::move(cols));
+  return *this;
+}
+
+MuralBuilder& MuralBuilder::UnionAll(MuralBuilder other) {
+  plan_ = LUnionAll(plan_, other.plan_);
+  return *this;
+}
+
+StatusOr<size_t> MuralBuilder::ColIndex(const std::string& name) const {
+  return schema_.Resolve(name);
+}
+
+}  // namespace mural

@@ -1,0 +1,117 @@
+// The Mural algebra layer (paper §3): operator composition rules and a
+// fluent plan builder.
+//
+// Table 1 of the paper fixes the algebraic behaviour of the multilingual
+// operators:
+//
+//   Operator | Commutes | Associates | Distributes over U
+//   Psi      |   Yes    |    Yes     |        Yes
+//   Omega    |   No     |    Yes     |        Yes
+//
+// This module exposes those rules both as *predicates* (can this rewrite
+// be applied?) and as *rewrites* on logical plans, used by the optimizer
+// to generate alternative plans and by the property-test suite to verify
+// that every legal rewrite preserves query results (and that the illegal
+// one — commuting Omega — genuinely changes them).
+
+#pragma once
+
+#include "optimizer/logical_plan.h"
+
+namespace mural {
+namespace algebra {
+
+/// Can the operator rooted at `node` be commuted (operands swapped)?
+/// True for Psi and EquiJoin, false for Omega (Table 1).
+bool CanCommute(const LogicalNode& node);
+
+/// Commutes a Psi/equi join: swaps children and join columns, then wraps
+/// the result in a projection restoring the original column order, so the
+/// rewritten plan is drop-in result-equivalent.  Fails on Omega.
+StatusOr<LogicalPtr> Commute(const LogicalPtr& node,
+                             const Schema& left_schema,
+                             const Schema& right_schema);
+
+/// Distributes a multilingual join over a UnionAll on its left input:
+///   Op(A U B, C)  =>  Op(A, C) U Op(B, C)
+/// Legal for both Psi and Omega (Table 1).  Fails if the left child is
+/// not a UnionAll.
+StatusOr<LogicalPtr> DistributeOverUnion(const LogicalPtr& node);
+
+/// Pushes a filter below a Psi/Omega join when the predicate only reads
+/// columns of one side:  sigma_p(Op(A, B)) => Op(sigma_p(A), B).
+/// `left_width` is the number of columns the left child produces.
+/// Returns NotSupported when the predicate straddles both sides.
+StatusOr<LogicalPtr> PushFilterIntoJoin(const LogicalPtr& filter_node,
+                                        size_t left_width);
+
+/// Renders Table 1 (used by docs and the rules bench).
+std::string CompositionTable();
+
+}  // namespace algebra
+
+/// Fluent builder over the Mural algebra, the programmatic counterpart of
+/// the SQL surface:
+///
+///   auto plan = MuralBuilder::Scan("Book")
+///                   .PsiSelect("Author", UniText("Nehru", lang::kEnglish),
+///                              {lang::kEnglish, lang::kHindi}, 2)
+///                   .Project({"Author", "Title"})
+///                   .Build();
+class MuralBuilder {
+ public:
+  /// Starts from a base table.  The catalog is consulted lazily at Build
+  /// time by the planner; the builder itself only needs column names.
+  static MuralBuilder Scan(std::string table, const Schema& schema);
+
+  /// sigma with an arbitrary predicate built against *this* plan's
+  /// current output columns (resolve with ColIndex).
+  MuralBuilder& Select(ExprPtr predicate);
+
+  /// Psi selection: column ~ constant under `threshold` (-1 = session),
+  /// optionally restricted to `langs`.
+  MuralBuilder& PsiSelect(const std::string& column, UniText constant,
+                          std::set<LangId> langs = {}, int threshold = -1);
+
+  /// Omega selection: column is-a `concept`.
+  MuralBuilder& OmegaSelect(const std::string& column, UniText concept_value,
+                            std::set<LangId> langs = {});
+
+  /// Psi join with another builder's plan.
+  MuralBuilder& PsiJoin(MuralBuilder other, const std::string& left_column,
+                        const std::string& right_column, int threshold = -1,
+                        bool tag_distance = false);
+
+  /// Omega join (this = probe/LHS side, per the operator's semantics).
+  MuralBuilder& OmegaJoin(MuralBuilder other, const std::string& left_column,
+                          const std::string& right_column);
+
+  /// Equi join.
+  MuralBuilder& Join(MuralBuilder other, const std::string& left_column,
+                     const std::string& right_column);
+
+  /// pi onto named columns.
+  MuralBuilder& Project(const std::vector<std::string>& columns);
+
+  /// gamma: global aggregates only need the specs.
+  MuralBuilder& Aggregate(std::vector<size_t> group_by,
+                          std::vector<AggSpec> aggs);
+
+  /// Bag union with a compatible plan.
+  MuralBuilder& UnionAll(MuralBuilder other);
+
+  /// Index of a named column in the current output.
+  StatusOr<size_t> ColIndex(const std::string& name) const;
+
+  const Schema& schema() const { return schema_; }
+  LogicalPtr Build() const { return plan_; }
+
+ private:
+  MuralBuilder(LogicalPtr plan, Schema schema)
+      : plan_(std::move(plan)), schema_(std::move(schema)) {}
+
+  LogicalPtr plan_;
+  Schema schema_;
+};
+
+}  // namespace mural

@@ -1,0 +1,186 @@
+#include "optimizer/logical_plan.h"
+
+namespace mural {
+
+const char* LogicalKindToString(LogicalKind kind) {
+  switch (kind) {
+    case LogicalKind::kScan:
+      return "Scan";
+    case LogicalKind::kFilter:
+      return "Filter";
+    case LogicalKind::kProject:
+      return "Project";
+    case LogicalKind::kJoin:
+      return "Join";
+    case LogicalKind::kEquiJoin:
+      return "EquiJoin";
+    case LogicalKind::kPsiJoin:
+      return "PsiJoin";
+    case LogicalKind::kOmegaJoin:
+      return "OmegaJoin";
+    case LogicalKind::kAggregate:
+      return "Aggregate";
+    case LogicalKind::kSort:
+      return "Sort";
+    case LogicalKind::kLimit:
+      return "Limit";
+    case LogicalKind::kUnionAll:
+      return "UnionAll";
+  }
+  return "?";
+}
+
+std::string LogicalNode::ToString() const {
+  std::string out = LogicalKindToString(kind);
+  switch (kind) {
+    case LogicalKind::kScan:
+      out += "(" + table;
+      if (predicate) out += ", " + predicate->ToString();
+      out += ")";
+      break;
+    case LogicalKind::kFilter:
+    case LogicalKind::kJoin:
+      if (predicate) out += "(" + predicate->ToString() + ")";
+      break;
+    case LogicalKind::kEquiJoin:
+    case LogicalKind::kPsiJoin:
+    case LogicalKind::kOmegaJoin:
+      out += "(#" + std::to_string(left_col) + ", #" +
+             std::to_string(right_col) + ")";
+      break;
+    case LogicalKind::kLimit:
+      out += "(" + std::to_string(limit) + ")";
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+namespace {
+
+LogicalPtr MakeNode(LogicalKind kind) {
+  auto node = std::make_shared<LogicalNode>();
+  node->kind = kind;
+  return node;
+}
+
+void ExplainRec(const LogicalNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append("-> ");
+  out->append(node.ToString());
+  out->push_back('\n');
+  if (node.left) ExplainRec(*node.left, depth + 1, out);
+  if (node.right) ExplainRec(*node.right, depth + 1, out);
+}
+
+}  // namespace
+
+LogicalPtr LScan(std::string table, ExprPtr predicate) {
+  auto node = MakeNode(LogicalKind::kScan);
+  node->table = std::move(table);
+  node->predicate = std::move(predicate);
+  return node;
+}
+
+LogicalPtr LFilter(LogicalPtr child, ExprPtr predicate) {
+  auto node = MakeNode(LogicalKind::kFilter);
+  node->left = std::move(child);
+  node->predicate = std::move(predicate);
+  return node;
+}
+
+LogicalPtr LProject(LogicalPtr child, std::vector<ExprPtr> exprs,
+                    std::vector<std::string> names) {
+  auto node = MakeNode(LogicalKind::kProject);
+  node->left = std::move(child);
+  node->exprs = std::move(exprs);
+  node->output_names = std::move(names);
+  return node;
+}
+
+LogicalPtr LJoin(LogicalPtr left, LogicalPtr right, ExprPtr predicate) {
+  auto node = MakeNode(LogicalKind::kJoin);
+  node->left = std::move(left);
+  node->right = std::move(right);
+  node->predicate = std::move(predicate);
+  return node;
+}
+
+LogicalPtr LEquiJoin(LogicalPtr left, LogicalPtr right, size_t left_col,
+                     size_t right_col) {
+  auto node = MakeNode(LogicalKind::kEquiJoin);
+  node->left = std::move(left);
+  node->right = std::move(right);
+  node->left_col = left_col;
+  node->right_col = right_col;
+  return node;
+}
+
+LogicalPtr LPsiJoin(LogicalPtr left, LogicalPtr right, size_t left_col,
+                    size_t right_col, int threshold, bool tag_distance) {
+  auto node = MakeNode(LogicalKind::kPsiJoin);
+  node->left = std::move(left);
+  node->right = std::move(right);
+  node->left_col = left_col;
+  node->right_col = right_col;
+  node->psi_threshold = threshold;
+  node->psi_tag_distance = tag_distance;
+  return node;
+}
+
+LogicalPtr LOmegaJoin(LogicalPtr left, LogicalPtr right, size_t left_col,
+                      size_t right_col) {
+  auto node = MakeNode(LogicalKind::kOmegaJoin);
+  node->left = std::move(left);
+  node->right = std::move(right);
+  node->left_col = left_col;
+  node->right_col = right_col;
+  return node;
+}
+
+LogicalPtr LAggregate(LogicalPtr child, std::vector<size_t> group_by,
+                      std::vector<AggSpec> aggs) {
+  auto node = MakeNode(LogicalKind::kAggregate);
+  node->left = std::move(child);
+  node->group_by = std::move(group_by);
+  node->aggs = std::move(aggs);
+  return node;
+}
+
+LogicalPtr LSort(LogicalPtr child, std::vector<SortKey> keys) {
+  auto node = MakeNode(LogicalKind::kSort);
+  node->left = std::move(child);
+  node->sort_keys = std::move(keys);
+  return node;
+}
+
+LogicalPtr LLimit(LogicalPtr child, uint64_t limit) {
+  auto node = MakeNode(LogicalKind::kLimit);
+  node->left = std::move(child);
+  node->limit = limit;
+  return node;
+}
+
+LogicalPtr LUnionAll(LogicalPtr left, LogicalPtr right) {
+  auto node = MakeNode(LogicalKind::kUnionAll);
+  node->left = std::move(left);
+  node->right = std::move(right);
+  return node;
+}
+
+std::string ExplainLogical(const LogicalNode& root) {
+  std::string out;
+  ExplainRec(root, 0, &out);
+  return out;
+}
+
+LogicalPtr CloneLogical(const LogicalPtr& node) {
+  if (node == nullptr) return nullptr;
+  auto copy = std::make_shared<LogicalNode>(*node);
+  copy->left = CloneLogical(node->left);
+  copy->right = CloneLogical(node->right);
+  return copy;
+}
+
+}  // namespace mural

@@ -1,0 +1,95 @@
+// Logical plans: the optimizer's input, produced by the SQL binder or the
+// Mural algebra builder.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/agg_ops.h"
+#include "exec/basic_ops.h"
+#include "exec/expression.h"
+
+namespace mural {
+
+enum class LogicalKind {
+  kScan,       // base table (optionally with a pushed-down predicate)
+  kFilter,
+  kProject,
+  kJoin,       // generic inner join with arbitrary predicate
+  kEquiJoin,   // left.col = right.col
+  kPsiJoin,    // left.col LexEQUAL right.col
+  kOmegaJoin,  // left.col SemEQUAL right.col (left is the probe side)
+  kAggregate,
+  kSort,
+  kLimit,
+  kUnionAll,
+};
+
+const char* LogicalKindToString(LogicalKind kind);
+
+struct LogicalNode;
+using LogicalPtr = std::shared_ptr<LogicalNode>;
+
+/// One logical operator.  Field use depends on `kind`; unused fields are
+/// default-initialized.
+struct LogicalNode {
+  LogicalKind kind = LogicalKind::kScan;
+  LogicalPtr left, right;  // right only for joins/union
+
+  // kScan
+  std::string table;
+
+  // kFilter / kJoin (and optional pushed-down predicate on kScan)
+  ExprPtr predicate;
+
+  // kProject
+  std::vector<ExprPtr> exprs;
+  std::vector<std::string> output_names;
+
+  // kEquiJoin / kPsiJoin / kOmegaJoin: column positions in each child's
+  // output schema.
+  size_t left_col = 0;
+  size_t right_col = 0;
+  int psi_threshold = -1;   // -1 = session threshold
+  bool psi_tag_distance = false;
+
+  // kAggregate
+  std::vector<size_t> group_by;
+  std::vector<AggSpec> aggs;
+
+  // kSort / kLimit
+  std::vector<SortKey> sort_keys;
+  uint64_t limit = 0;
+
+  /// One-line description for logical EXPLAIN.
+  std::string ToString() const;
+};
+
+// Builder helpers.
+LogicalPtr LScan(std::string table, ExprPtr predicate = nullptr);
+LogicalPtr LFilter(LogicalPtr child, ExprPtr predicate);
+LogicalPtr LProject(LogicalPtr child, std::vector<ExprPtr> exprs,
+                    std::vector<std::string> names);
+LogicalPtr LJoin(LogicalPtr left, LogicalPtr right, ExprPtr predicate);
+LogicalPtr LEquiJoin(LogicalPtr left, LogicalPtr right, size_t left_col,
+                     size_t right_col);
+LogicalPtr LPsiJoin(LogicalPtr left, LogicalPtr right, size_t left_col,
+                    size_t right_col, int threshold = -1,
+                    bool tag_distance = false);
+LogicalPtr LOmegaJoin(LogicalPtr left, LogicalPtr right, size_t left_col,
+                      size_t right_col);
+LogicalPtr LAggregate(LogicalPtr child, std::vector<size_t> group_by,
+                      std::vector<AggSpec> aggs);
+LogicalPtr LSort(LogicalPtr child, std::vector<SortKey> keys);
+LogicalPtr LLimit(LogicalPtr child, uint64_t limit);
+LogicalPtr LUnionAll(LogicalPtr left, LogicalPtr right);
+
+/// Renders the logical tree, indented.
+std::string ExplainLogical(const LogicalNode& root);
+
+/// Deep copy (rewrite rules mutate copies, never inputs).
+LogicalPtr CloneLogical(const LogicalPtr& node);
+
+}  // namespace mural

@@ -1,0 +1,148 @@
+#include "optimizer/stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "catalog/tuple_codec.h"
+#include "exec/expression.h"
+
+namespace mural {
+
+uint64_t ColumnStats::MfvMass() const {
+  uint64_t total = 0;
+  for (const auto& [v, c] : mfvs) total += c;
+  return total;
+}
+
+uint64_t ColumnStats::MfvCount(const Value& v) const {
+  for (const auto& [mv, c] : mfvs) {
+    if (mv.Equals(v)) return c;
+  }
+  return 0;
+}
+
+const ColumnStats* TableStats::Column(const std::string& name) const {
+  std::string key = name;
+  for (char& c : key) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  auto it = columns.find(key);
+  return it == columns.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+std::string LowerName(const std::string& name) {
+  std::string key = name;
+  for (char& c : key) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return key;
+}
+
+bool IsTextLike(TypeId t) {
+  return t == TypeId::kText || t == TypeId::kUniText;
+}
+
+}  // namespace
+
+Status StatsCatalog::Analyze(const TableInfo& table, ExecContext* ctx) {
+  TableStats stats;
+  stats.num_pages = table.heap->num_pages();
+
+  const size_t ncols = table.schema.NumColumns();
+  // Value frequency maps keyed by display form (equality-consistent for
+  // same-typed column values).
+  std::vector<std::unordered_map<std::string, std::pair<Value, uint64_t>>>
+      freq(ncols);
+  std::vector<uint64_t> non_null(ncols, 0);
+  std::vector<double> len_sum(ncols, 0.0);
+  std::vector<double> ph_len_sum(ncols, 0.0);
+  std::vector<std::vector<Value>> samples(ncols);
+  double row_len_sum = 0.0;
+
+  Row row;
+  for (auto it = table.heap->Begin(); it.Valid(); it.Next()) {
+    MURAL_RETURN_IF_ERROR(
+        TupleCodec::Deserialize(table.schema, it.record(), &row));
+    ++stats.num_rows;
+    row_len_sum += static_cast<double>(it.record().size());
+    for (size_t c = 0; c < ncols; ++c) {
+      const Value& v = row[c];
+      if (v.is_null()) continue;
+      ++non_null[c];
+      if (v.type() == TypeId::kText) {
+        len_sum[c] += static_cast<double>(v.text().size());
+      } else if (v.type() == TypeId::kUniText) {
+        len_sum[c] += static_cast<double>(v.unitext().text().size());
+        if (v.unitext().has_phonemes()) {
+          ph_len_sum[c] +=
+              static_cast<double>(v.unitext().phonemes()->size());
+        }
+      }
+      auto [fit, inserted] =
+          freq[c].try_emplace(v.ToString(), std::make_pair(v, 0));
+      ++fit->second.second;
+      samples[c].push_back(v);
+    }
+  }
+
+  for (size_t c = 0; c < ncols; ++c) {
+    const Column& col = table.schema.column(c);
+    ColumnStats cs;
+    cs.non_null = non_null[c];
+    cs.ndv = freq[c].size();
+    cs.avg_len = non_null[c] ? len_sum[c] / non_null[c] : 0.0;
+    cs.avg_phoneme_len = non_null[c] ? ph_len_sum[c] / non_null[c] : 0.0;
+
+    // End-biased histogram: exact top-k frequencies.
+    std::vector<std::pair<Value, uint64_t>> entries;
+    entries.reserve(freq[c].size());
+    for (auto& [key, vc] : freq[c]) entries.push_back(vc);
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first.Compare(b.first) < 0;  // deterministic ties
+              });
+    if (entries.size() > kNumMfvs) entries.resize(kNumMfvs);
+    cs.mfvs = std::move(entries);
+    if (IsTextLike(col.type)) {
+      for (const auto& [v, count] : cs.mfvs) {
+        StatusOr<PhonemeString> ph = PhonemesOf(v, ctx);
+        cs.mfv_phonemes.push_back(ph.ok() ? *ph : PhonemeString());
+      }
+    }
+
+    // Equi-depth bounds from the full value list.
+    if (!samples[c].empty()) {
+      std::sort(samples[c].begin(), samples[c].end(),
+                [](const Value& a, const Value& b) {
+                  return a.Compare(b) < 0;
+                });
+      const size_t n = samples[c].size();
+      for (size_t b = 0; b <= kNumHistogramBounds; ++b) {
+        const size_t idx =
+            std::min(n - 1, b * (n - 1) / kNumHistogramBounds);
+        cs.bounds.push_back(samples[c][idx]);
+      }
+    }
+    stats.columns[LowerName(col.name)] = std::move(cs);
+  }
+
+  stats.avg_row_len =
+      stats.num_rows ? row_len_sum / static_cast<double>(stats.num_rows)
+                     : 0.0;
+  tables_[LowerName(table.name)] = std::move(stats);
+  return Status::OK();
+}
+
+const TableStats* StatsCatalog::Get(const std::string& table) const {
+  auto it = tables_.find(LowerName(table));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+void StatsCatalog::Drop(const std::string& table) {
+  tables_.erase(LowerName(table));
+}
+
+}  // namespace mural

@@ -1,0 +1,74 @@
+// Table/column statistics and ANALYZE.
+//
+// Column summaries are PostgreSQL-style *end-biased histograms* (Ioannidis
+// [8,9]; paper §3.4.1): the ten most-frequent values are stored exactly
+// with their frequencies, the remaining mass is assumed uniform over the
+// remaining distinct values, plus equi-depth bounds for range predicates.
+// UniText columns additionally record the phoneme strings of their MFVs —
+// that is what the Psi selectivity estimator probes.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/exec_context.h"
+
+namespace mural {
+
+/// Number of most-frequent values kept per column (paper: ten).
+constexpr size_t kNumMfvs = 10;
+
+/// Number of equi-depth histogram bounds.
+constexpr size_t kNumHistogramBounds = 20;
+
+/// Per-column summary.
+struct ColumnStats {
+  uint64_t non_null = 0;
+  uint64_t ndv = 0;       // distinct values
+  double avg_len = 0.0;   // avg text length (strings) — the L of Table 2
+  double avg_phoneme_len = 0.0;  // UniText only
+
+  /// Most-frequent values with exact counts, descending by count.
+  std::vector<std::pair<Value, uint64_t>> mfvs;
+  /// Phoneme strings of the MFVs (UniText/Text columns only), parallel to
+  /// `mfvs`.
+  std::vector<PhonemeString> mfv_phonemes;
+  /// Equi-depth bounds (including min and max) for range estimation.
+  std::vector<Value> bounds;
+
+  /// Total row count of MFVs.
+  uint64_t MfvMass() const;
+  /// Frequency of `v` if it is an MFV; 0 otherwise.
+  uint64_t MfvCount(const Value& v) const;
+};
+
+/// Per-table summary (the n, L, P of Table 2).
+struct TableStats {
+  uint64_t num_rows = 0;
+  uint32_t num_pages = 0;
+  double avg_row_len = 0.0;
+  std::map<std::string, ColumnStats> columns;  // by lower-cased name
+
+  const ColumnStats* Column(const std::string& name) const;
+};
+
+/// Holds statistics for all analyzed tables.
+class StatsCatalog {
+ public:
+  /// Scans `table` and (re)builds its statistics.  Phoneme strings for
+  /// text-like MFVs are computed through `ctx`'s transformer.
+  Status Analyze(const TableInfo& table, ExecContext* ctx);
+
+  /// Stats for a table; nullptr if never analyzed.
+  const TableStats* Get(const std::string& table) const;
+
+  void Drop(const std::string& table);
+
+ private:
+  std::map<std::string, TableStats> tables_;
+};
+
+}  // namespace mural

@@ -1,0 +1,155 @@
+#include "phonetic/g2p_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/utf8.h"
+
+namespace mural {
+
+namespace {
+
+bool IsAsciiLetter(char c) { return c >= 'a' && c <= 'z'; }
+
+bool IsVowelLetter(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u' ||
+         c == 'y';
+}
+
+/// Identity fallback for letters not covered by any rule.
+char DefaultPhoneme(char c) {
+  switch (c) {
+    case 'a':
+      return 'a';
+    case 'e':
+      return 'e';
+    case 'i':
+      return 'i';
+    case 'o':
+      return 'o';
+    case 'u':
+      return 'u';
+    case 'y':
+      return 'y';
+    case 'c':
+      return 'k';
+    case 'q':
+      return 'k';
+    case 'x':
+      return 's';  // approximated; rules override where it matters
+    default:
+      // b d f g h j k l m n p r s t v w z map to themselves.
+      return c;
+  }
+}
+
+}  // namespace
+
+G2pEngine::G2pEngine(G2pRuleSet rule_set, Options options)
+    : rule_set_(std::move(rule_set)), options_(options) {
+  int priority = 0;
+  for (const G2pRule& rule : rule_set_.rules) {
+    MURAL_CHECK(!rule.graphemes.empty()) << "rule with empty graphemes";
+    const unsigned char first =
+        static_cast<unsigned char>(rule.graphemes[0]);
+    buckets_[first].push_back(IndexedRule{&rule, priority++});
+  }
+  for (auto& bucket : buckets_) {
+    std::sort(bucket.begin(), bucket.end(),
+              [](const IndexedRule& a, const IndexedRule& b) {
+                if (a.rule->graphemes.size() != b.rule->graphemes.size()) {
+                  return a.rule->graphemes.size() > b.rule->graphemes.size();
+                }
+                return a.priority < b.priority;
+              });
+  }
+}
+
+Status G2pEngine::Validate() const {
+  for (const G2pRule& rule : rule_set_.rules) {
+    if (!phoneme::IsValidPhonemeString(rule.phonemes)) {
+      return Status::InvalidArgument(
+          "rule for '" + rule.graphemes +
+          "' emits non-canonical phonemes: " + rule.phonemes);
+    }
+  }
+  return Status::OK();
+}
+
+bool G2pEngine::ContextMatches(std::string_view ctx, std::string_view text,
+                               size_t pos, bool is_left) {
+  if (ctx.empty()) return true;
+  const char want = ctx[0];
+  // `pos` is the index of the neighbouring character; for the left context
+  // callers pass (start - 1), which wraps to SIZE_MAX at word start.
+  const bool at_boundary =
+      is_left ? (pos == static_cast<size_t>(-1)) : (pos >= text.size());
+  if (want == '#') return at_boundary;
+  if (at_boundary) return false;
+  const char c = text[pos];
+  switch (want) {
+    case 'V':
+      return IsVowelLetter(c);
+    case 'C':
+      return IsAsciiLetter(c) && !IsVowelLetter(c);
+    default:
+      return c == want;
+  }
+}
+
+size_t G2pEngine::ApplyAt(std::string_view text, size_t pos,
+                          std::string* out) const {
+  const unsigned char first = static_cast<unsigned char>(text[pos]);
+  for (const IndexedRule& indexed : buckets_[first]) {
+    const G2pRule& rule = *indexed.rule;
+    const size_t len = rule.graphemes.size();
+    if (pos + len > text.size()) continue;
+    if (text.compare(pos, len, rule.graphemes) != 0) continue;
+    if (!ContextMatches(rule.left, text, pos - 1, /*is_left=*/true)) continue;
+    if (!ContextMatches(rule.right, text, pos + len, /*is_left=*/false)) {
+      continue;
+    }
+    out->append(rule.phonemes);
+    return len;
+  }
+  return 0;
+}
+
+PhonemeString G2pEngine::Transform(std::string_view raw) const {
+  const std::string text = utf8::AsciiLower(raw);
+  std::string out;
+  out.reserve(text.size());
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (!IsAsciiLetter(c)) {
+      // Separators, digits, and non-ASCII bytes carry no phonemic content in
+      // the romanized orthographies we process; skip them.
+      ++pos;
+      continue;
+    }
+    const size_t consumed = ApplyAt(text, pos, &out);
+    if (consumed > 0) {
+      pos += consumed;
+    } else {
+      out.push_back(DefaultPhoneme(c));
+      ++pos;
+    }
+  }
+
+  if (options_.collapse_runs) {
+    std::string collapsed;
+    collapsed.reserve(out.size());
+    for (char c : out) {
+      if (collapsed.empty() || collapsed.back() != c) collapsed.push_back(c);
+    }
+    out.swap(collapsed);
+  }
+  if (options_.drop_final_schwa && out.size() >= 2 && out.back() == '@' &&
+      !phoneme::IsVowel(out[out.size() - 2])) {
+    out.pop_back();
+  }
+  return out;
+}
+
+}  // namespace mural

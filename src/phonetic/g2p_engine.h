@@ -1,0 +1,99 @@
+// Rule-based grapheme-to-phoneme engine.
+//
+// This is our substitute for the Dhvani text-to-phoneme system the paper
+// integrated with PostgreSQL (§4.2): a classic ordered-rewrite-rule G2P of
+// the kind used by formant TTS front ends.  A rule set is an ordered list of
+// context-sensitive rewrite rules
+//
+//     left-context [ graphemes ] right-context  ->  phonemes
+//
+// applied left to right with longest-match-first semantics.  Context
+// patterns are single-class constraints ('#' word boundary, 'V' vowel
+// letter, 'C' consonant letter, or a literal letter); empty means "any".
+//
+// Rule sets are pure data (see rules_*.cc), so adding a language does not
+// touch the engine.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "phonetic/phoneme.h"
+
+namespace mural {
+
+/// One context-sensitive rewrite rule.
+struct G2pRule {
+  /// Grapheme sequence to match (lowercase ASCII for romanized input).
+  std::string graphemes;
+  /// Left context: "" any, "#" word start, "V" vowel letter, "C" consonant
+  /// letter, or a single literal letter.
+  std::string left;
+  /// Right context, same syntax; "#" means word end.
+  std::string right;
+  /// Replacement phonemes in the canonical alphabet ("" deletes).
+  std::string phonemes;
+};
+
+/// An ordered rule set for one language family.
+struct G2pRuleSet {
+  std::string name;          // "english", "indic", ...
+  std::vector<G2pRule> rules;
+};
+
+/// Applies a rule set to (already lowercased) text.
+///
+/// The engine indexes rules by first grapheme and, at each input position,
+/// picks the first applicable rule under longest-match-then-order priority.
+/// Letters matched by no rule map through a built-in identity table
+/// (consonant letters to their obvious phonemes, vowels to short vowels);
+/// non-letter characters are skipped.  Output is post-processed: runs of an
+/// identical phoneme collapse to one (doubled letters rarely change
+/// pronunciation in names), and a trailing schwa after a consonant is kept
+/// (Indic) or dropped (configured per rule set via `drop_final_schwa`).
+class G2pEngine {
+ public:
+  struct Options {
+    bool drop_final_schwa = false;
+    bool collapse_runs = true;
+  };
+
+  G2pEngine(G2pRuleSet rule_set, Options options);
+
+  /// Validates rule outputs against the canonical alphabet.
+  Status Validate() const;
+
+  /// Transforms romanized text to a canonical phoneme string.
+  PhonemeString Transform(std::string_view text) const;
+
+  const std::string& name() const { return rule_set_.name; }
+
+ private:
+  struct IndexedRule {
+    const G2pRule* rule;
+    int priority;  // original position; lower wins among equal lengths
+  };
+
+  // Returns the number of graphemes consumed and appends phonemes to out;
+  // returns 0 if no rule applies at `pos`.
+  size_t ApplyAt(std::string_view text, size_t pos, std::string* out) const;
+
+  static bool ContextMatches(std::string_view ctx, std::string_view text,
+                             size_t pos, bool is_left);
+
+  G2pRuleSet rule_set_;
+  Options options_;
+  // rules bucketed by first grapheme byte, longest-first.
+  std::vector<IndexedRule> buckets_[256];
+};
+
+/// Built-in rule sets (defined in rules_*.cc).
+const G2pRuleSet& EnglishRules();
+const G2pRuleSet& IndicRules();
+const G2pRuleSet& RomanceRules();
+const G2pRuleSet& GermanicRules();
+
+}  // namespace mural

@@ -1,0 +1,59 @@
+#include "phonetic/phoneme.h"
+
+#include <array>
+
+namespace mural {
+namespace phoneme {
+
+namespace {
+
+std::array<bool, 256> BuildMembership() {
+  std::array<bool, 256> table{};
+  for (char c : kAlphabet) table[static_cast<unsigned char>(c)] = true;
+  return table;
+}
+
+const std::array<bool, 256>& Membership() {
+  static const std::array<bool, 256> table = BuildMembership();
+  return table;
+}
+
+}  // namespace
+
+bool IsPhoneme(char c) { return Membership()[static_cast<unsigned char>(c)]; }
+
+bool IsValidPhonemeString(std::string_view s) {
+  for (char c : s) {
+    if (!IsPhoneme(c)) return false;
+  }
+  return true;
+}
+
+bool IsVowel(char c) {
+  switch (c) {
+    case 'a':
+    case 'e':
+    case 'i':
+    case 'o':
+    case 'u':
+    case 'A':
+    case 'E':
+    case 'I':
+    case 'O':
+    case 'U':
+    case '@':
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string ToDisplay(std::string_view s) {
+  std::string out = "/";
+  out += s;
+  out += "/";
+  return out;
+}
+
+}  // namespace phoneme
+}  // namespace mural

@@ -1,0 +1,49 @@
+// The canonical phoneme alphabet.
+//
+// The paper transforms multilingual strings into phonemic strings in a
+// canonical IPA alphabet before matching (§2.1).  We use a compact
+// ASCII-per-phoneme encoding of an IPA-like inventory, so a phoneme string
+// is a plain byte string and one byte == one phoneme (which keeps the edit
+// distance a true phoneme-level distance and lets the cost model's alphabet
+// size |Sigma| be a small constant).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mural {
+
+/// A phoneme string: each byte is one canonical phoneme symbol.
+using PhonemeString = std::string;
+
+namespace phoneme {
+
+/// The canonical inventory (one ASCII byte per phoneme):
+///   Vowels:      a e i o u  A E I O U (long)  @ (schwa)
+///   Stops:       p b t d k g  P B T D (retroflex/aspirated classes)
+///   Affricates:  C (ch)  J (dzh)
+///   Fricatives:  f v s z S (sh) Z (zh) h x G (gh) F (th) V (dh)
+///   Nasals:      m n N (ng) M (retroflex n)
+///   Liquids:     l r L R y w
+inline constexpr std::string_view kAlphabet =
+    "aeiouAEIOU@pbtdkgPBTDCJfvszSZhxGFVmnNMlrLRyw";
+
+/// Number of symbols in the canonical alphabet (the |Sigma| of Table 2).
+inline constexpr int kAlphabetSize = static_cast<int>(kAlphabet.size());
+
+/// True iff `c` is a canonical phoneme symbol.
+bool IsPhoneme(char c);
+
+/// True iff every byte of `s` is a canonical phoneme symbol.
+bool IsValidPhonemeString(std::string_view s);
+
+/// True iff the phoneme is a vowel (including long vowels and schwa).
+bool IsVowel(char c);
+
+/// Renders a phoneme string with '/' delimiters for diagnostics: "/nEru/".
+std::string ToDisplay(std::string_view s);
+
+}  // namespace phoneme
+}  // namespace mural

@@ -1,0 +1,104 @@
+// English grapheme-to-phoneme rules.
+//
+// Ordered rewrite rules in the style of classical TTS letter-to-sound rule
+// sets.  Tuned for proper names (the LexEQUAL workload, paper §2.1): we
+// favour stable, deterministic renderings over dictionary-perfect ones —
+// what matters for homophonic matching is that different spellings of the
+// same name land on nearby phoneme strings.
+
+#include "phonetic/g2p_engine.h"
+
+namespace mural {
+
+const G2pRuleSet& EnglishRules() {
+  static const G2pRuleSet kRules = {
+      "english",
+      {
+          // ---- multi-letter clusters (longest first is enforced by the
+          //      engine; order here breaks ties) ----
+          {"tion", "", "", "S@n"},
+          {"sion", "", "", "Z@n"},
+          {"ough", "", "#", "O"},   // "borough"
+          {"augh", "", "", "O"},    // "Vaughan"
+          {"eigh", "", "", "A"},    // "Leigh(ton)"
+          {"sch", "", "", "S"},     // "Schneider" borrowed spellings
+          {"tch", "", "", "C"},     // "Mitchell"
+          {"dge", "", "", "J"},     // "Bridger"
+          {"ght", "", "", "t"},     // "Wright"
+          {"ck", "", "", "k"},
+          {"ph", "", "", "f"},
+          {"sh", "", "", "S"},
+          {"ch", "", "", "C"},
+          {"th", "", "", "F"},
+          {"gh", "#", "", "g"},     // word-initial "Ghosh"
+          {"gh", "", "", ""},       // otherwise silent: "Gandhi" rom. forms
+          {"wh", "#", "", "w"},
+          {"kn", "#", "", "n"},     // "Knight"
+          {"wr", "#", "", "r"},     // "Wright"
+          {"ps", "#", "", "s"},     // "Psmith"
+          {"mb", "", "#", "m"},     // "Lamb"
+          {"ng", "", "#", "N"},     // final "-ng"
+          {"ng", "", "V", "Ng"},    // "Bengal": n-g across syllables
+          {"ng", "", "", "N"},
+          {"qu", "", "", "kw"},
+          {"cc", "", "e", "ks"},    // "Ricci"-like; before front vowel
+          {"cc", "", "i", "ks"},
+
+          // ---- vowel digraphs ----
+          {"ee", "", "", "I"},
+          {"ea", "", "", "I"},
+          {"oo", "", "", "U"},
+          {"ou", "", "", "au"},
+          {"ow", "", "#", "O"},     // final "-ow": "Barrow"
+          {"ow", "", "", "au"},
+          {"ai", "", "", "A"},
+          {"ay", "", "", "A"},
+          {"ey", "", "#", "I"},     // final "-ey": "Whitney"
+          {"ei", "", "", "A"},
+          {"ie", "", "#", "I"},     // final "-ie"
+          {"ie", "", "", "I"},
+          {"oa", "", "", "O"},
+          {"au", "", "", "O"},
+          {"aw", "", "", "O"},
+          {"eu", "", "", "U"},
+          {"ew", "", "", "U"},
+          {"ui", "", "", "U"},      // "Cruise"
+          {"oy", "", "", "oy"},
+          {"oi", "", "", "oy"},
+
+          // ---- context-dependent consonants ----
+          {"c", "", "e", "s"},      // soft c
+          {"c", "", "i", "s"},
+          {"c", "", "y", "s"},
+          {"c", "", "", "k"},
+          {"g", "", "e", "J"},      // soft g: "George"
+          {"g", "", "i", "J"},
+          {"g", "", "y", "J"},
+          {"g", "", "", "g"},
+          {"x", "#", "", "z"},      // "Xavier"
+          {"x", "", "", "ks"},
+          {"s", "V", "V", "z"},     // intervocalic s: "Rosa"
+          {"s", "", "", "s"},
+          {"j", "", "", "J"},
+          {"v", "", "", "v"},
+          {"w", "", "", "w"},
+          {"z", "", "", "z"},
+          {"h", "V", "#", ""},      // final vocalic h: "Shah" keeps vowel
+          {"h", "", "", "h"},
+          {"r", "", "", "r"},
+          {"y", "#", "", "y"},      // initial y is a glide
+          {"y", "C", "#", "i"},     // final y after consonant: "Murthy"
+          {"y", "", "", "i"},
+
+          // ---- vowels with final-e lengthening left simple on purpose ----
+          {"e", "C", "#", ""},      // silent final e: "Blake"
+          {"a", "", "", "a"},
+          {"e", "", "", "e"},
+          {"i", "", "", "i"},
+          {"o", "", "", "o"},
+          {"u", "", "", "u"},
+      }};
+  return kRules;
+}
+
+}  // namespace mural

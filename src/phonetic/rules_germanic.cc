@@ -1,0 +1,54 @@
+// Germanic-family (German) grapheme-to-phoneme rules for romanized name
+// matching.
+
+#include "phonetic/g2p_engine.h"
+
+namespace mural {
+
+const G2pRuleSet& GermanicRules() {
+  static const G2pRuleSet kRules = {
+      "germanic",
+      {
+          {"sch", "", "", "S"},   // "Schmidt"
+          {"tsch", "", "", "C"},  // "Nietzsche"-like
+          {"tz", "", "", "ts"},
+          {"th", "", "", "t"},    // German th = /t/: "Thomas"
+          {"ph", "", "", "f"},
+          {"pf", "", "", "pf"},
+          {"ch", "", "", "x"},    // "Bach"
+          {"ck", "", "", "k"},
+          {"dt", "", "#", "t"},   // final -dt: "Schmidt"
+          {"st", "#", "", "St"},  // initial st-: "Stein"
+          {"sp", "#", "", "Sp"},  // initial sp-
+          {"ei", "", "", "ay"},   // "Stein" = /shtayn/
+          {"ie", "", "", "I"},
+          {"eu", "", "", "oy"},
+          {"au", "", "", "au"},
+          {"aa", "", "", "A"},
+          {"ee", "", "", "I"},
+          {"oo", "", "", "O"},
+          {"oe", "", "", "@"},    // umlaut transliteration
+          {"ue", "", "", "U"},
+          {"ae", "", "", "e"},
+          {"ng", "", "", "N"},
+          {"qu", "", "", "kv"},
+          {"v", "", "", "f"},     // German v = /f/: "Volker"
+          {"w", "", "", "v"},     // German w = /v/: "Wagner"
+          {"z", "", "", "ts"},
+          {"j", "", "", "y"},     // "Johann"
+          {"s", "#", "V", "z"},   // initial s before vowel
+          {"s", "", "", "s"},
+          {"c", "", "", "k"},
+          {"h", "V", "", ""},     // vowel-lengthening h: "Bohr"
+          {"h", "", "", "h"},
+          {"y", "", "", "i"},
+          {"a", "", "", "a"},
+          {"e", "", "", "e"},
+          {"i", "", "", "i"},
+          {"o", "", "", "o"},
+          {"u", "", "", "u"},
+      }};
+  return kRules;
+}
+
+}  // namespace mural

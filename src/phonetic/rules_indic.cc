@@ -1,0 +1,68 @@
+// Romanized Indic (Hindi / Tamil / Kannada) grapheme-to-phoneme rules.
+//
+// The paper integrated the Dhvani TTS engine for Hindi and Kannada (§4.2).
+// Our substitute consumes the ITRANS-style romanization that our data
+// generator emits for Indic-language names.  Indic orthographies are far
+// closer to phonemic than English: most letters map 1:1, aspirated stops
+// are written with a trailing 'h', long vowels are doubled or capitalized
+// in ITRANS (we accept doubled).
+
+#include "phonetic/g2p_engine.h"
+
+namespace mural {
+
+const G2pRuleSet& IndicRules() {
+  static const G2pRuleSet kRules = {
+      "indic",
+      {
+          // ---- aspirated / retroflex stop digraphs ----
+          {"kh", "", "", "k"},   // aspiration folds into the stop class for
+          {"gh", "", "", "g"},   // matching purposes: kh/k are homophonic
+          {"chh", "", "", "C"},  // across careless romanizations
+          {"ch", "", "", "C"},
+          {"jh", "", "", "J"},
+          {"th", "", "", "t"},
+          {"dh", "", "", "d"},
+          {"th", "", "", "t"},
+          {"dh", "", "", "d"},
+          {"ph", "", "", "f"},
+          {"bh", "", "", "b"},
+          {"sh", "", "", "S"},
+          {"zh", "", "", "L"},   // Tamil retroflex approximant ("Tamizh")
+          {"ng", "", "", "N"},
+          {"ny", "", "", "n"},
+          {"gn", "", "", "n"},   // "Gnanam"
+          {"ksh", "", "", "kS"},
+          {"tr", "", "", "tr"},
+          {"dny", "", "", "Jn"},
+
+          // ---- long vowels (doubled ITRANS) ----
+          {"aa", "", "", "A"},
+          {"ee", "", "", "I"},
+          {"ii", "", "", "I"},
+          {"oo", "", "", "U"},
+          {"uu", "", "", "U"},
+          {"ai", "", "", "ay"},
+          {"au", "", "", "au"},
+          {"ou", "", "", "au"},
+
+          // ---- single letters ----
+          {"a", "", "", "a"},
+          {"e", "", "", "e"},
+          {"i", "", "", "i"},
+          {"o", "", "", "o"},
+          {"u", "", "", "u"},
+          {"c", "", "", "C"},    // romanized "c" is the palatal affricate
+          {"q", "", "", "k"},
+          {"w", "", "", "v"},    // v/w merge in Indic speech
+          {"x", "", "", "kS"},
+          {"f", "", "", "f"},
+          {"z", "", "", "J"},    // z often renders the palatal in loans
+          {"y", "", "", "y"},
+          {"h", "V", "#", ""},   // final vocalic h: "Shah", "Sinha" endings
+          {"h", "", "", "h"},
+      }};
+  return kRules;
+}
+
+}  // namespace mural

@@ -1,0 +1,68 @@
+// Romance-family (French / Spanish) grapheme-to-phoneme rules for
+// romanized name matching.
+
+#include "phonetic/g2p_engine.h"
+
+namespace mural {
+
+const G2pRuleSet& RomanceRules() {
+  static const G2pRuleSet kRules = {
+      "romance",
+      {
+          // ---- French clusters ----
+          {"eau", "", "", "O"},   // "Rousseau"
+          {"eaux", "", "#", "O"},
+          {"aux", "", "#", "O"},
+          {"oux", "", "#", "U"},
+          {"ou", "", "", "U"},    // French "ou" = /u/
+          {"oo", "", "", "U"},    // borrowed spellings
+          {"ee", "", "", "I"},
+          {"au", "", "", "O"},
+          {"ai", "", "", "e"},
+          {"ei", "", "", "e"},
+          {"oi", "", "", "wa"},   // "Benoit"
+          {"eu", "", "", "@"},
+          {"ch", "", "", "S"},    // French ch = /sh/
+          {"gn", "", "", "n"},    // "Montagne"
+          {"ille", "", "#", "Iy"},
+          {"ll", "V", "", "y"},   // Spanish ll
+          {"ph", "", "", "f"},
+          {"qu", "", "", "k"},
+          {"gu", "", "e", "g"},   // "Guerre"
+          {"gu", "", "i", "g"},
+          {"rr", "", "", "r"},
+          {"ss", "", "", "s"},
+
+          // ---- silent finals (French) ----
+          {"es", "C", "#", ""},   // final -es
+          {"s", "V", "#", ""},    // final -s: "Dumas"
+          {"t", "V", "#", ""},    // final -t: "Margot"
+          {"d", "V", "#", ""},    // final -d
+          {"x", "V", "#", ""},    // final -x
+          {"e", "C", "#", ""},    // mute final e
+
+          // ---- context consonants ----
+          {"c", "", "e", "s"},
+          {"c", "", "i", "s"},
+          {"c", "", "", "k"},
+          {"j", "", "", "Z"},     // French j = /zh/
+          {"g", "", "e", "Z"},
+          {"g", "", "i", "Z"},
+          {"g", "", "", "g"},
+          {"h", "#", "", ""},     // French h is silent
+          {"h", "", "", ""},
+          {"z", "", "", "z"},
+          {"v", "", "", "v"},
+          {"y", "", "", "i"},
+
+          // ---- vowels ----
+          {"a", "", "", "a"},
+          {"e", "", "", "e"},
+          {"i", "", "", "i"},
+          {"o", "", "", "o"},
+          {"u", "", "", "u"},
+      }};
+  return kRules;
+}
+
+}  // namespace mural

@@ -1,0 +1,58 @@
+#include "phonetic/transformer.h"
+
+#include "common/logging.h"
+
+namespace mural {
+
+PhoneticTransformer::PhoneticTransformer() {
+  G2pEngine::Options plain;   // keep final schwa, collapse runs
+  G2pEngine::Options indic;
+  indic.drop_final_schwa = true;
+  english_ = std::make_unique<G2pEngine>(EnglishRules(), plain);
+  indic_ = std::make_unique<G2pEngine>(IndicRules(), indic);
+  romance_ = std::make_unique<G2pEngine>(RomanceRules(), plain);
+  germanic_ = std::make_unique<G2pEngine>(GermanicRules(), plain);
+  MURAL_CHECK(english_->Validate().ok());
+  MURAL_CHECK(indic_->Validate().ok());
+  MURAL_CHECK(romance_->Validate().ok());
+  MURAL_CHECK(germanic_->Validate().ok());
+}
+
+const G2pEngine* PhoneticTransformer::EngineFor(LangId lang) const {
+  const LanguageInfo* info = LanguageRegistry::Default().Find(lang);
+  if (info == nullptr) return english_.get();
+  switch (info->g2p) {
+    case G2pFamily::kEnglish:
+      return english_.get();
+    case G2pFamily::kIndic:
+      return indic_.get();
+    case G2pFamily::kRomance:
+      return romance_.get();
+    case G2pFamily::kGermanic:
+      return germanic_.get();
+    case G2pFamily::kNone:
+      return english_.get();
+  }
+  return english_.get();
+}
+
+PhonemeString PhoneticTransformer::Transform(std::string_view text,
+                                             LangId lang) const {
+  return EngineFor(lang)->Transform(text);
+}
+
+PhonemeString PhoneticTransformer::Transform(const UniText& value) const {
+  if (value.has_phonemes()) return *value.phonemes();
+  return Transform(value.text(), value.lang());
+}
+
+void PhoneticTransformer::Materialize(UniText* value) const {
+  value->set_phonemes(Transform(value->text(), value->lang()));
+}
+
+const PhoneticTransformer& PhoneticTransformer::Default() {
+  static const PhoneticTransformer transformer;
+  return transformer;
+}
+
+}  // namespace mural

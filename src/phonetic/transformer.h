@@ -1,0 +1,53 @@
+// PhoneticTransformer: the text-to-phoneme facade used by LexEQUAL.
+//
+// Dispatches a UniText value to the G2P engine registered for its
+// language's family and returns the canonical phoneme string (paper Fig. 3,
+// step 1).  Engines are built once and shared; transformation is
+// deterministic and side-effect free, which is what allows the engine to
+// materialize phoneme strings at insert time (§4.2).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "phonetic/g2p_engine.h"
+#include "text/unitext.h"
+
+namespace mural {
+
+/// Transforms multilingual strings to canonical phoneme strings.
+class PhoneticTransformer {
+ public:
+  /// A transformer over the default language registry with all built-in
+  /// rule families installed.
+  PhoneticTransformer();
+
+  /// Phoneme string for a (text, language) pair.  Unknown languages and
+  /// languages with no registered G2P family fall back to the English
+  /// rules (a defined, deterministic default — matching the paper's use of
+  /// a single canonical alphabet across languages).
+  PhonemeString Transform(std::string_view text, LangId lang) const;
+
+  /// Phoneme string for a UniText value.  If the value already carries a
+  /// materialized phoneme string, that is returned without recomputation.
+  PhonemeString Transform(const UniText& value) const;
+
+  /// Materializes the phoneme string into `value` (insert-time path).
+  void Materialize(UniText* value) const;
+
+  /// The process-wide shared instance.
+  static const PhoneticTransformer& Default();
+
+ private:
+  const G2pEngine* EngineFor(LangId lang) const;
+
+  std::unique_ptr<G2pEngine> english_;
+  std::unique_ptr<G2pEngine> indic_;
+  std::unique_ptr<G2pEngine> romance_;
+  std::unique_ptr<G2pEngine> germanic_;
+};
+
+}  // namespace mural

@@ -1,0 +1,92 @@
+// AST of the PL language.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plfront/pl_value.h"
+
+namespace mural {
+namespace pl {
+
+// ------------------------------------------------------------ expressions
+
+enum class ExprKind {
+  kLiteral,
+  kVar,
+  kIndex,     // base[index]
+  kBinary,
+  kUnary,
+  kCall,
+};
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr, kConcat,
+};
+
+enum class UnOp { kNeg, kNot };
+
+struct PlExpr;
+using PlExprPtr = std::unique_ptr<PlExpr>;
+
+struct PlExpr {
+  ExprKind kind;
+  PlValue literal;            // kLiteral
+  std::string name;           // kVar / kCall
+  PlExprPtr lhs, rhs;         // kBinary; kIndex uses lhs=base rhs=index;
+                              // kUnary uses lhs
+  BinOp bin_op = BinOp::kAdd;
+  UnOp un_op = UnOp::kNeg;
+  std::vector<PlExprPtr> args;  // kCall
+};
+
+// ------------------------------------------------------------- statements
+
+enum class StmtKind {
+  kAssign,   // target[index]* := expr
+  kIf,
+  kWhile,
+  kFor,
+  kReturn,
+  kExprStmt,  // bare call
+};
+
+struct PlStmt;
+using PlStmtPtr = std::unique_ptr<PlStmt>;
+
+struct PlStmt {
+  StmtKind kind;
+  // kAssign: `target` variable, optional `index` for one-dim element set
+  std::string target;
+  PlExprPtr index;  // null = whole-variable assignment
+  PlExprPtr expr;   // assign RHS / return value / condition / expr-stmt
+
+  std::vector<PlStmtPtr> then_body;   // if-then / while / for body
+  std::vector<std::pair<PlExprPtr, std::vector<PlStmtPtr>>> elsifs;
+  std::vector<PlStmtPtr> else_body;
+
+  // kFor
+  std::string loop_var;
+  PlExprPtr for_lo, for_hi;
+};
+
+/// One declared local: name + optional initializer.
+struct PlDecl {
+  std::string name;
+  PlExprPtr init;  // may be null
+};
+
+/// A stored function.
+struct PlFunction {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<PlDecl> decls;
+  std::vector<PlStmtPtr> body;
+};
+
+}  // namespace pl
+}  // namespace mural

@@ -1,0 +1,404 @@
+#include "plfront/pl_interpreter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mural {
+namespace pl {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+StatusOr<PlValue> Compare(BinOp op, const PlValue& a, const PlValue& b) {
+  int c;
+  if (a.is_string() && b.is_string()) {
+    c = a.AsString().compare(b.AsString());
+    c = c < 0 ? -1 : (c > 0 ? 1 : 0);
+  } else if (a.is_numeric() && b.is_numeric()) {
+    const double d = a.AsDouble() - b.AsDouble();
+    c = d < 0 ? -1 : (d > 0 ? 1 : 0);
+  } else if (a.is_null() || b.is_null()) {
+    return PlValue();  // NULL propagates
+  } else {
+    return Status::InvalidArgument("PL: incomparable values");
+  }
+  switch (op) {
+    case BinOp::kEq:
+      return PlValue(c == 0);
+    case BinOp::kNe:
+      return PlValue(c != 0);
+    case BinOp::kLt:
+      return PlValue(c < 0);
+    case BinOp::kLe:
+      return PlValue(c <= 0);
+    case BinOp::kGt:
+      return PlValue(c > 0);
+    case BinOp::kGe:
+      return PlValue(c >= 0);
+    default:
+      return Status::Internal("not a comparison");
+  }
+}
+
+}  // namespace
+
+void Interpreter::RegisterHost(const std::string& name, HostFunction fn) {
+  std::string key = name;
+  for (char& c : key) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  }
+  host_[key] = std::move(fn);
+}
+
+StatusOr<PlValue> Interpreter::Call(const std::string& name,
+                                    const std::vector<PlValue>& args) {
+  std::string key = name;
+  for (char& c : key) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  }
+  auto it = library_.find(key);
+  if (it == library_.end()) {
+    return Status::NotFound("no PL function: " + name);
+  }
+  const PlFunction& fn = it->second;
+  if (args.size() != fn.params.size()) {
+    return Status::InvalidArgument("PL function " + name + " expects " +
+                                   std::to_string(fn.params.size()) +
+                                   " args");
+  }
+  if (++depth_ > kMaxDepth) {
+    --depth_;
+    return Status::ResourceExhausted("PL recursion too deep");
+  }
+  ++stats_.function_calls;
+  Scope scope;
+  for (size_t i = 0; i < args.size(); ++i) {
+    scope.vars[fn.params[i]] = args[i];
+  }
+  for (const PlDecl& decl : fn.decls) {
+    PlValue init;
+    if (decl.init != nullptr) {
+      StatusOr<PlValue> v = Eval(*decl.init, &scope);
+      if (!v.ok()) {
+        --depth_;
+        return v.status();
+      }
+      init = *v;
+    }
+    scope.vars[decl.name] = std::move(init);
+  }
+  Flow flow;
+  const Status st = ExecBlock(fn.body, &scope, &flow);
+  --depth_;
+  MURAL_RETURN_IF_ERROR(st);
+  if (!flow.returned) {
+    return Status::InvalidArgument("PL function " + name +
+                                   " fell off the end without RETURN");
+  }
+  return flow.value;
+}
+
+Status Interpreter::ExecBlock(const std::vector<PlStmtPtr>& body,
+                              Scope* scope, Flow* flow) {
+  for (const PlStmtPtr& stmt : body) {
+    MURAL_RETURN_IF_ERROR(ExecStmt(*stmt, scope, flow));
+    if (flow->returned) return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status Interpreter::ExecStmt(const PlStmt& stmt, Scope* scope, Flow* flow) {
+  ++stats_.statements;
+  switch (stmt.kind) {
+    case StmtKind::kAssign: {
+      MURAL_ASSIGN_OR_RETURN(PlValue value, Eval(*stmt.expr, scope));
+      if (stmt.index == nullptr) {
+        scope->vars[stmt.target] = std::move(value);
+        return Status::OK();
+      }
+      auto it = scope->vars.find(stmt.target);
+      if (it == scope->vars.end() || !it->second.is_array()) {
+        return Status::InvalidArgument("PL: '" + stmt.target +
+                                       "' is not an array");
+      }
+      MURAL_ASSIGN_OR_RETURN(const PlValue idx, Eval(*stmt.index, scope));
+      const int64_t i = idx.AsInt();
+      auto& vec = *it->second.AsArray();
+      if (i < 0 || static_cast<size_t>(i) >= vec.size()) {
+        return Status::OutOfRange("PL: array index " + std::to_string(i) +
+                                  " out of bounds");
+      }
+      vec[static_cast<size_t>(i)] = std::move(value);
+      return Status::OK();
+    }
+    case StmtKind::kIf: {
+      MURAL_ASSIGN_OR_RETURN(const PlValue cond, Eval(*stmt.expr, scope));
+      if (!cond.is_null() && cond.AsBool()) {
+        return ExecBlock(stmt.then_body, scope, flow);
+      }
+      for (const auto& [expr, body] : stmt.elsifs) {
+        MURAL_ASSIGN_OR_RETURN(const PlValue c2, Eval(*expr, scope));
+        if (!c2.is_null() && c2.AsBool()) {
+          return ExecBlock(body, scope, flow);
+        }
+      }
+      return ExecBlock(stmt.else_body, scope, flow);
+    }
+    case StmtKind::kWhile: {
+      while (true) {
+        MURAL_ASSIGN_OR_RETURN(const PlValue cond, Eval(*stmt.expr, scope));
+        if (cond.is_null() || !cond.AsBool()) break;
+        MURAL_RETURN_IF_ERROR(ExecBlock(stmt.then_body, scope, flow));
+        if (flow->returned) break;
+      }
+      return Status::OK();
+    }
+    case StmtKind::kFor: {
+      MURAL_ASSIGN_OR_RETURN(const PlValue lo, Eval(*stmt.for_lo, scope));
+      MURAL_ASSIGN_OR_RETURN(const PlValue hi, Eval(*stmt.for_hi, scope));
+      for (int64_t i = lo.AsInt(); i <= hi.AsInt(); ++i) {
+        scope->vars[stmt.loop_var] = PlValue(i);
+        MURAL_RETURN_IF_ERROR(ExecBlock(stmt.then_body, scope, flow));
+        if (flow->returned) break;
+      }
+      return Status::OK();
+    }
+    case StmtKind::kReturn: {
+      flow->returned = true;
+      if (stmt.expr != nullptr) {
+        MURAL_ASSIGN_OR_RETURN(flow->value, Eval(*stmt.expr, scope));
+      } else {
+        flow->value = PlValue();
+      }
+      return Status::OK();
+    }
+    case StmtKind::kExprStmt: {
+      MURAL_ASSIGN_OR_RETURN(const PlValue ignored, Eval(*stmt.expr, scope));
+      (void)ignored;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown PL statement kind");
+}
+
+StatusOr<PlValue> Interpreter::Eval(const PlExpr& expr, Scope* scope) {
+  ++stats_.expressions;
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kVar: {
+      auto it = scope->vars.find(expr.name);
+      if (it == scope->vars.end()) {
+        return Status::NotFound("PL: unknown variable " + expr.name);
+      }
+      return it->second;
+    }
+    case ExprKind::kIndex: {
+      MURAL_ASSIGN_OR_RETURN(const PlValue base, Eval(*expr.lhs, scope));
+      MURAL_ASSIGN_OR_RETURN(const PlValue idx, Eval(*expr.rhs, scope));
+      if (!base.is_array()) {
+        return Status::InvalidArgument("PL: indexing a non-array");
+      }
+      const int64_t i = idx.AsInt();
+      const auto& vec = *base.AsArray();
+      if (i < 0 || static_cast<size_t>(i) >= vec.size()) {
+        return Status::OutOfRange("PL: array index " + std::to_string(i) +
+                                  " out of bounds");
+      }
+      return vec[static_cast<size_t>(i)];
+    }
+    case ExprKind::kUnary: {
+      MURAL_ASSIGN_OR_RETURN(const PlValue v, Eval(*expr.lhs, scope));
+      if (v.is_null()) return PlValue();
+      if (expr.un_op == UnOp::kNeg) {
+        if (v.is_int()) return PlValue(-v.AsInt());
+        return PlValue(-v.AsDouble());
+      }
+      return PlValue(!v.AsBool());
+    }
+    case ExprKind::kBinary: {
+      // Short-circuit logic first.
+      if (expr.bin_op == BinOp::kAnd || expr.bin_op == BinOp::kOr) {
+        MURAL_ASSIGN_OR_RETURN(const PlValue l, Eval(*expr.lhs, scope));
+        if (expr.bin_op == BinOp::kAnd) {
+          if (!l.is_null() && !l.AsBool()) return PlValue(false);
+          MURAL_ASSIGN_OR_RETURN(const PlValue r, Eval(*expr.rhs, scope));
+          if (!r.is_null() && !r.AsBool()) return PlValue(false);
+          if (l.is_null() || r.is_null()) return PlValue();
+          return PlValue(true);
+        }
+        if (!l.is_null() && l.AsBool()) return PlValue(true);
+        MURAL_ASSIGN_OR_RETURN(const PlValue r, Eval(*expr.rhs, scope));
+        if (!r.is_null() && r.AsBool()) return PlValue(true);
+        if (l.is_null() || r.is_null()) return PlValue();
+        return PlValue(false);
+      }
+      MURAL_ASSIGN_OR_RETURN(const PlValue l, Eval(*expr.lhs, scope));
+      MURAL_ASSIGN_OR_RETURN(const PlValue r, Eval(*expr.rhs, scope));
+      switch (expr.bin_op) {
+        case BinOp::kConcat:
+          if (l.is_null() || r.is_null()) return PlValue();
+          return PlValue(l.AsString() + r.AsString());
+        case BinOp::kAdd:
+        case BinOp::kSub:
+        case BinOp::kMul:
+        case BinOp::kDiv:
+        case BinOp::kMod: {
+          if (l.is_null() || r.is_null()) return PlValue();
+          if (l.is_int() && r.is_int()) {
+            const int64_t a = l.AsInt(), b = r.AsInt();
+            switch (expr.bin_op) {
+              case BinOp::kAdd:
+                return PlValue(a + b);
+              case BinOp::kSub:
+                return PlValue(a - b);
+              case BinOp::kMul:
+                return PlValue(a * b);
+              case BinOp::kDiv:
+                if (b == 0) {
+                  return Status::InvalidArgument("PL: division by zero");
+                }
+                return PlValue(a / b);
+              case BinOp::kMod:
+                if (b == 0) {
+                  return Status::InvalidArgument("PL: division by zero");
+                }
+                return PlValue(a % b);
+              default:
+                break;
+            }
+          }
+          const double a = l.AsDouble(), b = r.AsDouble();
+          switch (expr.bin_op) {
+            case BinOp::kAdd:
+              return PlValue(a + b);
+            case BinOp::kSub:
+              return PlValue(a - b);
+            case BinOp::kMul:
+              return PlValue(a * b);
+            case BinOp::kDiv:
+              return PlValue(a / b);
+            case BinOp::kMod:
+              return PlValue(std::fmod(a, b));
+            default:
+              break;
+          }
+          return Status::Internal("unreachable arithmetic");
+        }
+        default:
+          return Compare(expr.bin_op, l, r);
+      }
+    }
+    case ExprKind::kCall:
+      return EvalCall(expr, scope);
+  }
+  return Status::Internal("unknown PL expression kind");
+}
+
+StatusOr<PlValue> Interpreter::EvalCall(const PlExpr& expr, Scope* scope) {
+  std::vector<PlValue> args;
+  args.reserve(expr.args.size());
+  for (const PlExprPtr& arg : expr.args) {
+    MURAL_ASSIGN_OR_RETURN(PlValue v, Eval(*arg, scope));
+    args.push_back(std::move(v));
+  }
+  bool handled = false;
+  StatusOr<PlValue> builtin = Builtin(expr.name, args, &handled);
+  if (handled) return builtin;
+  auto hit = host_.find(expr.name);
+  if (hit != host_.end()) {
+    ++stats_.host_calls;
+    return hit->second(args);
+  }
+  return Call(expr.name, args);
+}
+
+StatusOr<PlValue> Interpreter::Builtin(const std::string& name,
+                                       const std::vector<PlValue>& args,
+                                       bool* handled) {
+  *handled = true;
+  auto need = [&](size_t n) -> Status {
+    if (args.size() != n) {
+      return Status::InvalidArgument("PL builtin " + name + " expects " +
+                                     std::to_string(n) + " args");
+    }
+    return Status::OK();
+  };
+  if (name == "LENGTH") {
+    MURAL_RETURN_IF_ERROR(need(1));
+    if (args[0].is_array()) {
+      return PlValue(static_cast<int64_t>(args[0].AsArray()->size()));
+    }
+    return PlValue(static_cast<int64_t>(args[0].AsString().size()));
+  }
+  if (name == "SUBSTR") {
+    MURAL_RETURN_IF_ERROR(need(3));
+    const std::string& s = args[0].AsString();
+    const int64_t pos = args[1].AsInt();  // 1-based, SQL style
+    const int64_t len = args[2].AsInt();
+    if (pos < 1 || len < 0 || static_cast<size_t>(pos - 1) > s.size()) {
+      return PlValue(std::string());
+    }
+    return PlValue(s.substr(static_cast<size_t>(pos - 1),
+                            static_cast<size_t>(len)));
+  }
+  if (name == "CODE") {  // CODE(s, i): char code at 1-based position
+    MURAL_RETURN_IF_ERROR(need(2));
+    const std::string& s = args[0].AsString();
+    const int64_t pos = args[1].AsInt();
+    if (pos < 1 || static_cast<size_t>(pos) > s.size()) {
+      return PlValue(static_cast<int64_t>(-1));
+    }
+    return PlValue(static_cast<int64_t>(
+        static_cast<unsigned char>(s[static_cast<size_t>(pos - 1)])));
+  }
+  if (name == "CHR") {
+    MURAL_RETURN_IF_ERROR(need(1));
+    return PlValue(std::string(1, static_cast<char>(args[0].AsInt())));
+  }
+  if (name == "ARRAY") {  // ARRAY(n [, init])
+    if (args.empty() || args.size() > 2) {
+      return Status::InvalidArgument("PL: ARRAY(n [, init])");
+    }
+    const int64_t n = args[0].AsInt();
+    if (n < 0) return Status::InvalidArgument("PL: ARRAY size < 0");
+    return MakeArray(static_cast<size_t>(n),
+                     args.size() == 2 ? args[1] : PlValue());
+  }
+  if (name == "POP") {  // POP(arr): removes and returns the last element
+    MURAL_RETURN_IF_ERROR(need(1));
+    auto& vec = *args[0].AsArray();
+    if (vec.empty()) return PlValue();
+    PlValue back = vec.back();
+    vec.pop_back();
+    return back;
+  }
+  if (name == "APPEND") {  // APPEND(arr, v) mutates, returns new length
+    MURAL_RETURN_IF_ERROR(need(2));
+    args[0].AsArray()->push_back(args[1]);
+    return PlValue(static_cast<int64_t>(args[0].AsArray()->size()));
+  }
+  if (name == "MIN" || name == "LEAST") {
+    MURAL_RETURN_IF_ERROR(need(2));
+    return args[0].AsDouble() <= args[1].AsDouble() ? args[0] : args[1];
+  }
+  if (name == "MAX" || name == "GREATEST") {
+    MURAL_RETURN_IF_ERROR(need(2));
+    return args[0].AsDouble() >= args[1].AsDouble() ? args[0] : args[1];
+  }
+  if (name == "ABS") {
+    MURAL_RETURN_IF_ERROR(need(1));
+    if (args[0].is_int()) return PlValue(std::abs(args[0].AsInt()));
+    return PlValue(std::fabs(args[0].AsDouble()));
+  }
+  if (name == "FLOOR") {
+    MURAL_RETURN_IF_ERROR(need(1));
+    return PlValue(static_cast<int64_t>(std::floor(args[0].AsDouble())));
+  }
+  *handled = false;
+  return PlValue();
+}
+
+}  // namespace pl
+}  // namespace mural

@@ -1,0 +1,545 @@
+#include "plfront/pl_parser.h"
+
+#include <cctype>
+
+namespace mural {
+namespace pl {
+
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kString,
+  kOp,      // punctuation / operators, text in `text`
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // upper-cased for idents
+  double number = 0;
+  bool is_float = false;
+  std::string str;    // string literal payload
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  StatusOr<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= src_.size()) break;
+      const char c = src_[pos_];
+      Token tok;
+      tok.line = line_;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tok.kind = TokKind::kIdent;
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '_')) {
+          char u = src_[pos_++];
+          if (u >= 'a' && u <= 'z') u = static_cast<char>(u - 'a' + 'A');
+          tok.text.push_back(u);
+        }
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        tok.kind = TokKind::kNumber;
+        std::string num;
+        while (pos_ < src_.size() &&
+               std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+          num.push_back(src_[pos_++]);
+        }
+        // `1..5` must lex as 1, '..', 5 — only consume '.' for a float if
+        // it is not followed by another '.'.
+        if (pos_ + 1 < src_.size() && src_[pos_] == '.' &&
+            src_[pos_ + 1] != '.') {
+          tok.is_float = true;
+          num.push_back(src_[pos_++]);
+          while (pos_ < src_.size() &&
+                 std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+            num.push_back(src_[pos_++]);
+          }
+        }
+        tok.number = std::stod(num);
+      } else if (c == '\'') {
+        tok.kind = TokKind::kString;
+        ++pos_;
+        while (pos_ < src_.size()) {
+          if (src_[pos_] == '\'') {
+            if (pos_ + 1 < src_.size() && src_[pos_ + 1] == '\'') {
+              tok.str.push_back('\'');  // doubled quote escape
+              pos_ += 2;
+              continue;
+            }
+            break;
+          }
+          tok.str.push_back(src_[pos_++]);
+        }
+        if (pos_ >= src_.size()) {
+          return Status::InvalidArgument("unterminated PL string literal");
+        }
+        ++pos_;  // closing quote
+      } else {
+        tok.kind = TokKind::kOp;
+        // Multi-char operators first.
+        static const char* kTwo[] = {":=", "<=", ">=", "<>", "!=",
+                                     "..", "||"};
+        bool matched = false;
+        for (const char* two : kTwo) {
+          if (src_.compare(pos_, 2, two) == 0) {
+            tok.text = two;
+            pos_ += 2;
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          tok.text = std::string(1, c);
+          ++pos_;
+        }
+      }
+      out.push_back(std::move(tok));
+    }
+    Token end;
+    end.kind = TokKind::kEnd;
+    end.line = line_;
+    out.push_back(end);
+    return out;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '-' && pos_ + 1 < src_.size() &&
+                 src_[pos_ + 1] == '-') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+bool IsTypeName(const std::string& ident) {
+  return ident == "INT" || ident == "INTEGER" || ident == "TEXT" ||
+         ident == "VARCHAR" || ident == "BOOL" || ident == "BOOLEAN" ||
+         ident == "NUMBER" || ident == "FLOAT" || ident == "ARRAY";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  StatusOr<FunctionLibrary> Run() {
+    FunctionLibrary lib;
+    while (!AtEnd()) {
+      MURAL_RETURN_IF_ERROR(ExpectIdent("FUNCTION"));
+      PlFunction fn;
+      MURAL_ASSIGN_OR_RETURN(fn.name, TakeIdent());
+      MURAL_RETURN_IF_ERROR(ExpectOp("("));
+      if (!PeekOp(")")) {
+        while (true) {
+          MURAL_ASSIGN_OR_RETURN(std::string param, TakeIdent());
+          fn.params.push_back(param);
+          if (PeekIdentType()) Advance();  // optional type
+          if (PeekOp(",")) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+      }
+      MURAL_RETURN_IF_ERROR(ExpectOp(")"));
+      MURAL_RETURN_IF_ERROR(ExpectIdent("RETURNS"));
+      if (PeekIdentType() || Peek().kind == TokKind::kIdent) Advance();
+      // IS | AS
+      if (PeekIdent("IS") || PeekIdent("AS")) Advance();
+      if (PeekIdent("DECLARE")) Advance();
+      // declarations until BEGIN
+      while (!PeekIdent("BEGIN")) {
+        PlDecl decl;
+        MURAL_ASSIGN_OR_RETURN(decl.name, TakeIdent());
+        if (PeekIdentType()) Advance();
+        if (PeekOp(":=")) {
+          Advance();
+          MURAL_ASSIGN_OR_RETURN(decl.init, ParseExpr());
+        }
+        MURAL_RETURN_IF_ERROR(ExpectOp(";"));
+        fn.decls.push_back(std::move(decl));
+      }
+      MURAL_RETURN_IF_ERROR(ExpectIdent("BEGIN"));
+      MURAL_ASSIGN_OR_RETURN(fn.body, ParseStatementsUntilEnd());
+      MURAL_RETURN_IF_ERROR(ExpectIdent("END"));
+      if (PeekOp(";")) Advance();
+      std::string key = fn.name;
+      lib[key] = std::move(fn);
+    }
+    return lib;
+  }
+
+ private:
+  // --------------------------------------------------------- statements
+
+  StatusOr<std::vector<PlStmtPtr>> ParseStatementsUntilEnd() {
+    std::vector<PlStmtPtr> out;
+    while (!PeekIdent("END") && !PeekIdent("ELSIF") && !PeekIdent("ELSE") &&
+           !AtEnd()) {
+      MURAL_ASSIGN_OR_RETURN(PlStmtPtr stmt, ParseStatement());
+      out.push_back(std::move(stmt));
+    }
+    return out;
+  }
+
+  StatusOr<PlStmtPtr> ParseStatement() {
+    if (PeekIdent("IF")) return ParseIf();
+    if (PeekIdent("WHILE")) return ParseWhile();
+    if (PeekIdent("FOR")) return ParseFor();
+    if (PeekIdent("RETURN")) {
+      Advance();
+      auto stmt = std::make_unique<PlStmt>();
+      stmt->kind = StmtKind::kReturn;
+      if (!PeekOp(";")) {
+        MURAL_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+      }
+      MURAL_RETURN_IF_ERROR(ExpectOp(";"));
+      return stmt;
+    }
+    // assignment or bare call
+    MURAL_ASSIGN_OR_RETURN(std::string name, TakeIdent());
+    if (PeekOp("(")) {
+      // bare call statement
+      auto stmt = std::make_unique<PlStmt>();
+      stmt->kind = StmtKind::kExprStmt;
+      MURAL_ASSIGN_OR_RETURN(stmt->expr, ParseCallAfterName(name));
+      MURAL_RETURN_IF_ERROR(ExpectOp(";"));
+      return stmt;
+    }
+    auto stmt = std::make_unique<PlStmt>();
+    stmt->kind = StmtKind::kAssign;
+    stmt->target = name;
+    if (PeekOp("[")) {
+      Advance();
+      MURAL_ASSIGN_OR_RETURN(stmt->index, ParseExpr());
+      MURAL_RETURN_IF_ERROR(ExpectOp("]"));
+    }
+    MURAL_RETURN_IF_ERROR(ExpectOp(":="));
+    MURAL_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+    MURAL_RETURN_IF_ERROR(ExpectOp(";"));
+    return stmt;
+  }
+
+  StatusOr<PlStmtPtr> ParseIf() {
+    MURAL_RETURN_IF_ERROR(ExpectIdent("IF"));
+    auto stmt = std::make_unique<PlStmt>();
+    stmt->kind = StmtKind::kIf;
+    MURAL_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+    MURAL_RETURN_IF_ERROR(ExpectIdent("THEN"));
+    MURAL_ASSIGN_OR_RETURN(stmt->then_body, ParseStatementsUntilEnd());
+    while (PeekIdent("ELSIF")) {
+      Advance();
+      MURAL_ASSIGN_OR_RETURN(PlExprPtr cond, ParseExpr());
+      MURAL_RETURN_IF_ERROR(ExpectIdent("THEN"));
+      MURAL_ASSIGN_OR_RETURN(auto body, ParseStatementsUntilEnd());
+      stmt->elsifs.emplace_back(std::move(cond), std::move(body));
+    }
+    if (PeekIdent("ELSE")) {
+      Advance();
+      MURAL_ASSIGN_OR_RETURN(stmt->else_body, ParseStatementsUntilEnd());
+    }
+    MURAL_RETURN_IF_ERROR(ExpectIdent("END"));
+    MURAL_RETURN_IF_ERROR(ExpectIdent("IF"));
+    MURAL_RETURN_IF_ERROR(ExpectOp(";"));
+    return stmt;
+  }
+
+  StatusOr<PlStmtPtr> ParseWhile() {
+    MURAL_RETURN_IF_ERROR(ExpectIdent("WHILE"));
+    auto stmt = std::make_unique<PlStmt>();
+    stmt->kind = StmtKind::kWhile;
+    MURAL_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+    MURAL_RETURN_IF_ERROR(ExpectIdent("LOOP"));
+    MURAL_ASSIGN_OR_RETURN(stmt->then_body, ParseStatementsUntilEnd());
+    MURAL_RETURN_IF_ERROR(ExpectIdent("END"));
+    MURAL_RETURN_IF_ERROR(ExpectIdent("LOOP"));
+    MURAL_RETURN_IF_ERROR(ExpectOp(";"));
+    return stmt;
+  }
+
+  StatusOr<PlStmtPtr> ParseFor() {
+    MURAL_RETURN_IF_ERROR(ExpectIdent("FOR"));
+    auto stmt = std::make_unique<PlStmt>();
+    stmt->kind = StmtKind::kFor;
+    MURAL_ASSIGN_OR_RETURN(stmt->loop_var, TakeIdent());
+    MURAL_RETURN_IF_ERROR(ExpectIdent("IN"));
+    MURAL_ASSIGN_OR_RETURN(stmt->for_lo, ParseExpr());
+    MURAL_RETURN_IF_ERROR(ExpectOp(".."));
+    MURAL_ASSIGN_OR_RETURN(stmt->for_hi, ParseExpr());
+    MURAL_RETURN_IF_ERROR(ExpectIdent("LOOP"));
+    MURAL_ASSIGN_OR_RETURN(stmt->then_body, ParseStatementsUntilEnd());
+    MURAL_RETURN_IF_ERROR(ExpectIdent("END"));
+    MURAL_RETURN_IF_ERROR(ExpectIdent("LOOP"));
+    MURAL_RETURN_IF_ERROR(ExpectOp(";"));
+    return stmt;
+  }
+
+  // -------------------------------------------------------- expressions
+
+  StatusOr<PlExprPtr> ParseExpr() { return ParseOr(); }
+
+  StatusOr<PlExprPtr> ParseOr() {
+    MURAL_ASSIGN_OR_RETURN(PlExprPtr lhs, ParseAnd());
+    while (PeekIdent("OR")) {
+      Advance();
+      MURAL_ASSIGN_OR_RETURN(PlExprPtr rhs, ParseAnd());
+      lhs = MakeBinary(BinOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<PlExprPtr> ParseAnd() {
+    MURAL_ASSIGN_OR_RETURN(PlExprPtr lhs, ParseNot());
+    while (PeekIdent("AND")) {
+      Advance();
+      MURAL_ASSIGN_OR_RETURN(PlExprPtr rhs, ParseNot());
+      lhs = MakeBinary(BinOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<PlExprPtr> ParseNot() {
+    if (PeekIdent("NOT")) {
+      Advance();
+      MURAL_ASSIGN_OR_RETURN(PlExprPtr operand, ParseNot());
+      auto expr = std::make_unique<PlExpr>();
+      expr->kind = ExprKind::kUnary;
+      expr->un_op = UnOp::kNot;
+      expr->lhs = std::move(operand);
+      return expr;
+    }
+    return ParseComparison();
+  }
+
+  StatusOr<PlExprPtr> ParseComparison() {
+    MURAL_ASSIGN_OR_RETURN(PlExprPtr lhs, ParseAdditive());
+    BinOp op;
+    if (PeekOp("=")) op = BinOp::kEq;
+    else if (PeekOp("<>") || PeekOp("!=")) op = BinOp::kNe;
+    else if (PeekOp("<=")) op = BinOp::kLe;
+    else if (PeekOp(">=")) op = BinOp::kGe;
+    else if (PeekOp("<")) op = BinOp::kLt;
+    else if (PeekOp(">")) op = BinOp::kGt;
+    else return lhs;
+    Advance();
+    MURAL_ASSIGN_OR_RETURN(PlExprPtr rhs, ParseAdditive());
+    return MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+
+  StatusOr<PlExprPtr> ParseAdditive() {
+    MURAL_ASSIGN_OR_RETURN(PlExprPtr lhs, ParseMultiplicative());
+    while (PeekOp("+") || PeekOp("-") || PeekOp("||")) {
+      const BinOp op = PeekOp("+")   ? BinOp::kAdd
+                       : PeekOp("-") ? BinOp::kSub
+                                     : BinOp::kConcat;
+      Advance();
+      MURAL_ASSIGN_OR_RETURN(PlExprPtr rhs, ParseMultiplicative());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<PlExprPtr> ParseMultiplicative() {
+    MURAL_ASSIGN_OR_RETURN(PlExprPtr lhs, ParseUnary());
+    while (PeekOp("*") || PeekOp("/") || PeekOp("%") || PeekIdent("MOD")) {
+      const BinOp op = PeekOp("*")   ? BinOp::kMul
+                       : PeekOp("/") ? BinOp::kDiv
+                                     : BinOp::kMod;
+      Advance();
+      MURAL_ASSIGN_OR_RETURN(PlExprPtr rhs, ParseUnary());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<PlExprPtr> ParseUnary() {
+    if (PeekOp("-")) {
+      Advance();
+      MURAL_ASSIGN_OR_RETURN(PlExprPtr operand, ParseUnary());
+      auto expr = std::make_unique<PlExpr>();
+      expr->kind = ExprKind::kUnary;
+      expr->un_op = UnOp::kNeg;
+      expr->lhs = std::move(operand);
+      return expr;
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<PlExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    if (tok.kind == TokKind::kNumber) {
+      Advance();
+      auto expr = std::make_unique<PlExpr>();
+      expr->kind = ExprKind::kLiteral;
+      expr->literal = tok.is_float
+                          ? PlValue(tok.number)
+                          : PlValue(static_cast<int64_t>(tok.number));
+      return expr;
+    }
+    if (tok.kind == TokKind::kString) {
+      Advance();
+      auto expr = std::make_unique<PlExpr>();
+      expr->kind = ExprKind::kLiteral;
+      expr->literal = PlValue(tok.str);
+      return expr;
+    }
+    if (PeekOp("(")) {
+      Advance();
+      MURAL_ASSIGN_OR_RETURN(PlExprPtr inner, ParseExpr());
+      MURAL_RETURN_IF_ERROR(ExpectOp(")"));
+      return inner;
+    }
+    if (tok.kind == TokKind::kIdent) {
+      if (tok.text == "TRUE" || tok.text == "FALSE") {
+        Advance();
+        auto expr = std::make_unique<PlExpr>();
+        expr->kind = ExprKind::kLiteral;
+        expr->literal = PlValue(tok.text == "TRUE");
+        return expr;
+      }
+      if (tok.text == "NULL") {
+        Advance();
+        auto expr = std::make_unique<PlExpr>();
+        expr->kind = ExprKind::kLiteral;
+        return expr;
+      }
+      std::string name = tok.text;
+      Advance();
+      PlExprPtr expr;
+      if (PeekOp("(")) {
+        MURAL_ASSIGN_OR_RETURN(expr, ParseCallAfterName(name));
+      } else {
+        expr = std::make_unique<PlExpr>();
+        expr->kind = ExprKind::kVar;
+        expr->name = name;
+      }
+      while (PeekOp("[")) {
+        Advance();
+        MURAL_ASSIGN_OR_RETURN(PlExprPtr index, ParseExpr());
+        MURAL_RETURN_IF_ERROR(ExpectOp("]"));
+        auto indexed = std::make_unique<PlExpr>();
+        indexed->kind = ExprKind::kIndex;
+        indexed->lhs = std::move(expr);
+        indexed->rhs = std::move(index);
+        expr = std::move(indexed);
+      }
+      return expr;
+    }
+    return Status::InvalidArgument("PL parse error near line " +
+                                   std::to_string(tok.line));
+  }
+
+  StatusOr<PlExprPtr> ParseCallAfterName(const std::string& name) {
+    MURAL_RETURN_IF_ERROR(ExpectOp("("));
+    auto expr = std::make_unique<PlExpr>();
+    expr->kind = ExprKind::kCall;
+    expr->name = name;
+    if (!PeekOp(")")) {
+      while (true) {
+        MURAL_ASSIGN_OR_RETURN(PlExprPtr arg, ParseExpr());
+        expr->args.push_back(std::move(arg));
+        if (PeekOp(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    MURAL_RETURN_IF_ERROR(ExpectOp(")"));
+    return expr;
+  }
+
+  static PlExprPtr MakeBinary(BinOp op, PlExprPtr lhs, PlExprPtr rhs) {
+    auto expr = std::make_unique<PlExpr>();
+    expr->kind = ExprKind::kBinary;
+    expr->bin_op = op;
+    expr->lhs = std::move(lhs);
+    expr->rhs = std::move(rhs);
+    return expr;
+  }
+
+  // ------------------------------------------------------------ helpers
+
+  const Token& Peek() const { return toks_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < toks_.size()) ++pos_;
+  }
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+
+  bool PeekIdent(const char* ident) const {
+    return Peek().kind == TokKind::kIdent && Peek().text == ident;
+  }
+  bool PeekIdentType() const {
+    return Peek().kind == TokKind::kIdent && IsTypeName(Peek().text);
+  }
+  bool PeekOp(const char* op) const {
+    return Peek().kind == TokKind::kOp && Peek().text == op;
+  }
+
+  Status ExpectIdent(const char* ident) {
+    if (!PeekIdent(ident)) {
+      return Status::InvalidArgument(
+          std::string("PL parse error: expected ") + ident + " near line " +
+          std::to_string(Peek().line) + " (got '" + Peek().text + "')");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  StatusOr<std::string> TakeIdent() {
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::InvalidArgument(
+          "PL parse error: expected identifier near line " +
+          std::to_string(Peek().line));
+    }
+    std::string name = Peek().text;
+    Advance();
+    return name;
+  }
+
+  Status ExpectOp(const char* op) {
+    if (!PeekOp(op)) {
+      return Status::InvalidArgument(
+          std::string("PL parse error: expected '") + op + "' near line " +
+          std::to_string(Peek().line) + " (got '" + Peek().text + "')");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<FunctionLibrary> ParseProgram(std::string_view source) {
+  Lexer lexer(source);
+  MURAL_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Run());
+  Parser parser(std::move(tokens));
+  return parser.Run();
+}
+
+}  // namespace pl
+}  // namespace mural

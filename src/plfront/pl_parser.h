@@ -1,0 +1,34 @@
+// Lexer + recursive-descent parser for the PL language.
+//
+// The surface syntax is deliberately PL/SQL-flavoured:
+//
+//   FUNCTION editdist(a TEXT, b TEXT, k INT) RETURNS INT AS
+//     m INT := LENGTH(a);
+//   BEGIN
+//     IF m > k THEN RETURN k + 1; END IF;
+//     WHILE i <= m LOOP ... END LOOP;
+//     RETURN d;
+//   END;
+//
+// Keywords are case-insensitive; strings use single quotes; `--` starts a
+// line comment; arrays are 0-based and indexed with `a[i]`.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "plfront/pl_ast.h"
+
+namespace mural {
+namespace pl {
+
+/// A parsed library of functions keyed by upper-cased name.
+using FunctionLibrary = std::map<std::string, PlFunction>;
+
+/// Parses PL source containing one or more FUNCTION definitions.
+StatusOr<FunctionLibrary> ParseProgram(std::string_view source);
+
+}  // namespace pl
+}  // namespace mural

@@ -1,0 +1,56 @@
+#include "plfront/pl_value.h"
+
+#include "common/logging.h"
+
+namespace mural {
+namespace pl {
+
+bool PlValue::AsBool() const {
+  if (is_bool()) return std::get<bool>(rep_);
+  if (is_int()) return std::get<int64_t>(rep_) != 0;
+  MURAL_CHECK(false) << "PL value is not a boolean";
+  return false;
+}
+
+int64_t PlValue::AsInt() const {
+  if (is_int()) return std::get<int64_t>(rep_);
+  if (is_bool()) return std::get<bool>(rep_) ? 1 : 0;
+  if (is_double()) return static_cast<int64_t>(std::get<double>(rep_));
+  MURAL_CHECK(false) << "PL value is not numeric";
+  return 0;
+}
+
+double PlValue::AsDouble() const {
+  if (is_double()) return std::get<double>(rep_);
+  if (is_int()) return static_cast<double>(std::get<int64_t>(rep_));
+  if (is_bool()) return std::get<bool>(rep_) ? 1.0 : 0.0;
+  MURAL_CHECK(false) << "PL value is not numeric";
+  return 0;
+}
+
+const std::string& PlValue::AsString() const {
+  MURAL_CHECK(is_string()) << "PL value is not a string";
+  return std::get<std::string>(rep_);
+}
+
+const PlArray& PlValue::AsArray() const {
+  MURAL_CHECK(is_array()) << "PL value is not an array";
+  return std::get<PlArray>(rep_);
+}
+
+std::string PlValue::ToDisplay() const {
+  if (is_null()) return "NULL";
+  if (is_bool()) return AsBool() ? "TRUE" : "FALSE";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) return std::to_string(AsDouble());
+  if (is_string()) return "'" + AsString() + "'";
+  return "ARRAY[" + std::to_string(AsArray()->size()) + "]";
+}
+
+PlValue MakeArray(size_t n, const PlValue& init) {
+  auto arr = std::make_shared<std::vector<PlValue>>(n, init);
+  return PlValue(std::move(arr));
+}
+
+}  // namespace pl
+}  // namespace mural

@@ -1,0 +1,59 @@
+// PlValue: runtime values of the PL language (the outside-the-server
+// UDF substrate, paper §5's PL/SQL-style baseline).
+//
+// Dynamically typed: null, bool, int, double, string, array.  Arrays have
+// reference semantics (like PL/SQL collection variables).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mural {
+namespace pl {
+
+class PlValue;
+using PlArray = std::shared_ptr<std::vector<PlValue>>;
+
+class PlValue {
+ public:
+  PlValue() : rep_(std::monostate{}) {}
+  explicit PlValue(bool b) : rep_(b) {}
+  explicit PlValue(int64_t i) : rep_(i) {}
+  explicit PlValue(double d) : rep_(d) {}
+  explicit PlValue(std::string s) : rep_(std::move(s)) {}
+  explicit PlValue(PlArray a) : rep_(std::move(a)) {}
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+  bool is_bool() const { return std::holds_alternative<bool>(rep_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_double() const { return std::holds_alternative<double>(rep_); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(rep_);
+  }
+  bool is_array() const { return std::holds_alternative<PlArray>(rep_); }
+  bool is_numeric() const { return is_int() || is_double() || is_bool(); }
+
+  bool AsBool() const;
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  const PlArray& AsArray() const;
+
+  std::string ToDisplay() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string, PlArray>
+      rep_;
+};
+
+/// Creates a fresh array of `n` copies of `init`.
+PlValue MakeArray(size_t n, const PlValue& init);
+
+}  // namespace pl
+}  // namespace mural

@@ -1,0 +1,71 @@
+// UdfRuntime: the outside-the-server UDF boundary.
+//
+// Models how an external PL/SQL-style procedure is invoked from query
+// execution: arguments are serialized to a wire format, shipped across the
+// call boundary, deserialized, interpreted, and the result serialized
+// back.  Each crossing is counted; the copies and the interpretation are
+// real work (no sleeps).
+//
+// Ships with the stock multilingual UDF library:
+//   EDITDIST(a, b, k)        -- full-DP Levenshtein with row cut-off
+//   LEXMATCH(a, b, k)        -- boolean threshold match
+//   CLOSURE_SIZE(lemma,lang) / SEM_MATCH(l_lemma,l_lang,r_lemma,r_lang)
+//      -- transitive closure by iterative expansion, reading taxonomy
+//         edges through registered SQL_* host callbacks and tracking the
+//         visited set through TEMPSET_* host callbacks (modelling the temp
+//         table + index a PL/SQL implementation would use).
+
+#pragma once
+
+#include <memory>
+
+#include "plfront/pl_interpreter.h"
+
+namespace mural {
+namespace pl {
+
+/// Boundary-crossing counters.
+struct UdfStats {
+  uint64_t calls = 0;
+  uint64_t wire_bytes = 0;
+
+  void Reset() { *this = UdfStats(); }
+};
+
+class UdfRuntime {
+ public:
+  /// Builds the runtime with the stock UDF library loaded.
+  static StatusOr<std::unique_ptr<UdfRuntime>> Create();
+
+  /// Registers a host callback (SQL_CHILDREN etc.) on the interpreter.
+  void RegisterHost(const std::string& name, HostFunction fn) {
+    interpreter_->RegisterHost(name, std::move(fn));
+  }
+
+  /// Invokes `function` across the wire boundary: serializes `args`,
+  /// deserializes on the "server-less" side, interprets, and serializes
+  /// the result back.
+  StatusOr<PlValue> CallWire(const std::string& function,
+                             const std::vector<PlValue>& args);
+
+  UdfStats& stats() { return stats_; }
+  Interpreter& interpreter() { return *interpreter_; }
+
+  /// Wire codec, exposed for tests.
+  static std::string SerializeArgs(const std::vector<PlValue>& args);
+  static StatusOr<std::vector<PlValue>> DeserializeArgs(
+      std::string_view wire);
+
+ private:
+  explicit UdfRuntime(std::unique_ptr<Interpreter> interp)
+      : interpreter_(std::move(interp)) {}
+
+  std::unique_ptr<Interpreter> interpreter_;
+  UdfStats stats_;
+};
+
+/// The PL source of the stock library (exposed for tests/docs).
+const char* StockUdfLibrarySource();
+
+}  // namespace pl
+}  // namespace mural

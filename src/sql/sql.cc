@@ -1,0 +1,1011 @@
+#include "sql/sql.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace mural {
+namespace sql {
+
+// ===================================================================== AST
+
+enum class SqlExprKind {
+  kLiteral,
+  kColRef,
+  kCompare,   // op in {=, <>, <, <=, >, >=}
+  kAnd,
+  kOr,
+  kNot,
+  kLexEqual,  // with optional language set and threshold
+  kSemEqual,  // with optional language set
+};
+
+struct SqlExpr {
+  SqlExprKind kind;
+  Value literal;
+  std::string qualifier, column;   // kColRef
+  CompareOp cmp = CompareOp::kEq;  // kCompare
+  std::shared_ptr<SqlExpr> lhs, rhs;
+  std::set<LangId> langs;          // kLexEqual / kSemEqual "IN ..." clause
+  int threshold = -1;              // kLexEqual optional explicit threshold
+};
+
+using SqlExprPtr = std::shared_ptr<SqlExpr>;
+
+// =================================================================== lexer
+
+namespace {
+
+enum class TkKind { kIdent, kNumber, kString, kOp, kEnd };
+
+struct Tk {
+  TkKind kind = TkKind::kEnd;
+  std::string text;  // idents upper-cased; ops literal
+  double number = 0;
+  bool is_float = false;
+  std::string str;
+  LangId str_lang = kLangUnknown;  // 'str'@Language
+};
+
+StatusOr<std::vector<Tk>> LexSql(const std::string& text) {
+  std::vector<Tk> out;
+  size_t pos = 0;
+  const size_t n = text.size();
+  while (pos < n) {
+    const char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    Tk tk;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      tk.kind = TkKind::kIdent;
+      while (pos < n && (std::isalnum(static_cast<unsigned char>(
+                             text[pos])) ||
+                         text[pos] == '_')) {
+        char u = text[pos++];
+        if (u >= 'a' && u <= 'z') u = static_cast<char>(u - 'a' + 'A');
+        tk.text.push_back(u);
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && pos + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(text[pos + 1])))) {
+      tk.kind = TkKind::kNumber;
+      std::string num;
+      while (pos < n && (std::isdigit(static_cast<unsigned char>(
+                             text[pos])) ||
+                         text[pos] == '.')) {
+        if (text[pos] == '.') tk.is_float = true;
+        num.push_back(text[pos++]);
+      }
+      tk.number = std::stod(num);
+    } else if (c == '\'') {
+      tk.kind = TkKind::kString;
+      ++pos;
+      while (pos < n && text[pos] != '\'') tk.str.push_back(text[pos++]);
+      if (pos >= n) {
+        return Status::InvalidArgument("unterminated SQL string literal");
+      }
+      ++pos;
+      // Optional language tag: 'str'@English.
+      if (pos < n && text[pos] == '@') {
+        ++pos;
+        std::string lang;
+        while (pos < n && (std::isalnum(static_cast<unsigned char>(
+                               text[pos])) ||
+                           text[pos] == '_')) {
+          lang.push_back(text[pos++]);
+        }
+        const LanguageInfo* info =
+            LanguageRegistry::Default().FindByName(lang);
+        if (info == nullptr) {
+          return Status::NotFound("unknown language in literal: " + lang);
+        }
+        tk.str_lang = info->id;
+      }
+    } else {
+      tk.kind = TkKind::kOp;
+      static const char* kTwo[] = {"<=", ">=", "<>", "!="};
+      bool matched = false;
+      for (const char* two : kTwo) {
+        if (text.compare(pos, 2, two) == 0) {
+          tk.text = two;
+          pos += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        tk.text = std::string(1, c);
+        ++pos;
+      }
+    }
+    out.push_back(std::move(tk));
+  }
+  out.emplace_back();  // kEnd
+  return out;
+}
+
+// ================================================================== parser
+
+class SqlParser {
+ public:
+  explicit SqlParser(std::vector<Tk> toks) : toks_(std::move(toks)) {}
+
+  StatusOr<Statement> Run() {
+    Statement stmt;
+    if (PeekIdent("EXPLAIN")) {
+      Advance();
+      MURAL_RETURN_IF_ERROR(ParseSelect(&stmt));
+      stmt.kind = StatementKind::kExplain;
+    } else if (PeekIdent("SELECT")) {
+      MURAL_RETURN_IF_ERROR(ParseSelect(&stmt));
+    } else if (PeekIdent("SET")) {
+      MURAL_RETURN_IF_ERROR(ParseSet(&stmt));
+    } else if (PeekIdent("CREATE")) {
+      MURAL_RETURN_IF_ERROR(ParseCreate(&stmt));
+    } else if (PeekIdent("INSERT")) {
+      MURAL_RETURN_IF_ERROR(ParseInsert(&stmt));
+    } else if (PeekIdent("ANALYZE")) {
+      Advance();
+      stmt.kind = StatementKind::kAnalyze;
+      MURAL_ASSIGN_OR_RETURN(stmt.table_name, TakeIdent());
+    } else {
+      return Status::InvalidArgument("unrecognized SQL statement");
+    }
+    if (PeekOp(";")) Advance();
+    if (!AtEnd()) {
+      return Status::InvalidArgument("trailing tokens after SQL statement");
+    }
+    return stmt;
+  }
+
+ private:
+  Status ParseSelect(Statement* stmt) {
+    stmt->kind = StatementKind::kSelect;
+    MURAL_RETURN_IF_ERROR(ExpectIdent("SELECT"));
+    while (true) {
+      Statement::SelectItem item;
+      if (PeekOp("*")) {
+        Advance();
+        item.is_star = true;
+      } else if (PeekIdent("COUNT") || PeekIdent("SUM") ||
+                 PeekIdent("AVG") || PeekIdent("MIN") || PeekIdent("MAX")) {
+        const std::string fn = Peek().text;
+        Advance();
+        MURAL_RETURN_IF_ERROR(ExpectOp("("));
+        item.is_aggregate = true;
+        if (fn == "COUNT" && PeekOp("*")) {
+          Advance();
+          item.agg = AggKind::kCountStar;
+          item.output_name = "count";
+        } else {
+          MURAL_RETURN_IF_ERROR(ParseQualifiedName(&item.qualifier,
+                                                   &item.column));
+          if (fn == "COUNT") item.agg = AggKind::kCount;
+          else if (fn == "SUM") item.agg = AggKind::kSum;
+          else if (fn == "AVG") item.agg = AggKind::kAvg;
+          else if (fn == "MIN") item.agg = AggKind::kMin;
+          else item.agg = AggKind::kMax;
+          item.output_name = fn;
+        }
+        MURAL_RETURN_IF_ERROR(ExpectOp(")"));
+      } else {
+        MURAL_RETURN_IF_ERROR(ParseQualifiedName(&item.qualifier,
+                                                 &item.column));
+        item.output_name = item.column;
+      }
+      if (PeekIdent("AS")) {
+        Advance();
+        MURAL_ASSIGN_OR_RETURN(item.output_name, TakeIdent());
+      }
+      stmt->select_list.push_back(std::move(item));
+      if (PeekOp(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    MURAL_RETURN_IF_ERROR(ExpectIdent("FROM"));
+    while (true) {
+      Statement::TableRef ref;
+      MURAL_ASSIGN_OR_RETURN(ref.table, TakeIdent());
+      ref.alias = ref.table;
+      if (Peek().kind == TkKind::kIdent && !IsKeyword(Peek().text)) {
+        ref.alias = Peek().text;
+        Advance();
+      }
+      stmt->from.push_back(std::move(ref));
+      if (PeekOp(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (PeekIdent("WHERE")) {
+      Advance();
+      MURAL_ASSIGN_OR_RETURN(stmt->where, ParseOr());
+    }
+    if (PeekIdent("GROUP")) {
+      Advance();
+      MURAL_RETURN_IF_ERROR(ExpectIdent("BY"));
+      while (true) {
+        std::string q, c;
+        MURAL_RETURN_IF_ERROR(ParseQualifiedName(&q, &c));
+        stmt->group_by.push_back(q.empty() ? c : q + "." + c);
+        if (PeekOp(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (PeekIdent("ORDER")) {
+      Advance();
+      MURAL_RETURN_IF_ERROR(ExpectIdent("BY"));
+      while (true) {
+        std::string q, c;
+        MURAL_RETURN_IF_ERROR(ParseQualifiedName(&q, &c));
+        bool asc = true;
+        if (PeekIdent("DESC")) {
+          Advance();
+          asc = false;
+        } else if (PeekIdent("ASC")) {
+          Advance();
+        }
+        stmt->order_by.emplace_back(q.empty() ? c : q + "." + c, asc);
+        if (PeekOp(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (PeekIdent("LIMIT")) {
+      Advance();
+      if (Peek().kind != TkKind::kNumber) {
+        return Status::InvalidArgument("LIMIT expects a number");
+      }
+      stmt->limit = static_cast<uint64_t>(Peek().number);
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseSet(Statement* stmt) {
+    MURAL_RETURN_IF_ERROR(ExpectIdent("SET"));
+    stmt->kind = StatementKind::kSet;
+    MURAL_ASSIGN_OR_RETURN(stmt->set_name, TakeIdent());
+    MURAL_RETURN_IF_ERROR(ExpectOp("="));
+    if (Peek().kind != TkKind::kNumber) {
+      return Status::InvalidArgument("SET expects a numeric value");
+    }
+    stmt->set_value = static_cast<int64_t>(Peek().number);
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParseCreate(Statement* stmt) {
+    MURAL_RETURN_IF_ERROR(ExpectIdent("CREATE"));
+    if (PeekIdent("TABLE")) {
+      Advance();
+      stmt->kind = StatementKind::kCreateTable;
+      MURAL_ASSIGN_OR_RETURN(stmt->table_name, TakeIdent());
+      MURAL_RETURN_IF_ERROR(ExpectOp("("));
+      std::vector<Column> cols;
+      while (true) {
+        Column col;
+        MURAL_ASSIGN_OR_RETURN(col.name, TakeIdent());
+        MURAL_ASSIGN_OR_RETURN(const std::string type, TakeIdent());
+        if (type == "INT" || type == "INTEGER") col.type = TypeId::kInt32;
+        else if (type == "BIGINT") col.type = TypeId::kInt64;
+        else if (type == "DOUBLE" || type == "FLOAT" || type == "NUMBER")
+          col.type = TypeId::kFloat64;
+        else if (type == "BOOL" || type == "BOOLEAN")
+          col.type = TypeId::kBool;
+        else if (type == "TEXT" || type == "VARCHAR")
+          col.type = TypeId::kText;
+        else if (type == "UNITEXT") col.type = TypeId::kUniText;
+        else return Status::InvalidArgument("unknown column type " + type);
+        if (PeekIdent("MATERIALIZE")) {
+          Advance();
+          MURAL_RETURN_IF_ERROR(ExpectIdent("PHONEMES"));
+          col.materialize_phonemes = true;
+        }
+        cols.push_back(std::move(col));
+        if (PeekOp(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      MURAL_RETURN_IF_ERROR(ExpectOp(")"));
+      stmt->schema = Schema(std::move(cols));
+      return Status::OK();
+    }
+    MURAL_RETURN_IF_ERROR(ExpectIdent("INDEX"));
+    stmt->kind = StatementKind::kCreateIndex;
+    MURAL_ASSIGN_OR_RETURN(stmt->index_name, TakeIdent());
+    MURAL_RETURN_IF_ERROR(ExpectIdent("ON"));
+    MURAL_ASSIGN_OR_RETURN(stmt->table_name, TakeIdent());
+    MURAL_RETURN_IF_ERROR(ExpectOp("("));
+    MURAL_ASSIGN_OR_RETURN(stmt->index_column, TakeIdent());
+    MURAL_RETURN_IF_ERROR(ExpectOp(")"));
+    if (PeekIdent("USING")) {
+      Advance();
+      MURAL_ASSIGN_OR_RETURN(const std::string kind, TakeIdent());
+      if (kind == "BTREE") stmt->index_kind = IndexKind::kBTree;
+      else if (kind == "MTREE") stmt->index_kind = IndexKind::kMTree;
+      else if (kind == "MDI") stmt->index_kind = IndexKind::kMdi;
+      else return Status::InvalidArgument("unknown index kind " + kind);
+    }
+    if (PeekIdent("PHONEMES")) {
+      Advance();
+      stmt->index_on_phonemes = true;
+    }
+    if (stmt->index_kind != IndexKind::kBTree) {
+      stmt->index_on_phonemes = true;  // metric indexes imply phoneme keys
+    }
+    return Status::OK();
+  }
+
+  Status ParseInsert(Statement* stmt) {
+    MURAL_RETURN_IF_ERROR(ExpectIdent("INSERT"));
+    MURAL_RETURN_IF_ERROR(ExpectIdent("INTO"));
+    stmt->kind = StatementKind::kInsert;
+    MURAL_ASSIGN_OR_RETURN(stmt->table_name, TakeIdent());
+    MURAL_RETURN_IF_ERROR(ExpectIdent("VALUES"));
+    while (true) {
+      MURAL_RETURN_IF_ERROR(ExpectOp("("));
+      Row row;
+      while (true) {
+        MURAL_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+        row.push_back(std::move(v));
+        if (PeekOp(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      MURAL_RETURN_IF_ERROR(ExpectOp(")"));
+      stmt->insert_rows.push_back(std::move(row));
+      if (PeekOp(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  StatusOr<Value> ParseLiteralValue() {
+    const Tk& tk = Peek();
+    if (tk.kind == TkKind::kNumber) {
+      Advance();
+      if (tk.is_float) return Value::Float64(tk.number);
+      return Value::Int32(static_cast<int32_t>(tk.number));
+    }
+    if (tk.kind == TkKind::kString) {
+      Advance();
+      if (tk.str_lang != kLangUnknown) {
+        return Value::Uni(tk.str, tk.str_lang);
+      }
+      return Value::Text(tk.str);
+    }
+    if (PeekIdent("NULL")) {
+      Advance();
+      return Value::Null();
+    }
+    if (PeekIdent("TRUE") || PeekIdent("FALSE")) {
+      const bool b = Peek().text == "TRUE";
+      Advance();
+      return Value::Bool(b);
+    }
+    if (PeekOp("-") ) {
+      Advance();
+      MURAL_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+      if (v.type() == TypeId::kInt32) return Value::Int32(-v.int32());
+      if (v.type() == TypeId::kFloat64) return Value::Float64(-v.float64());
+      return Status::InvalidArgument("cannot negate literal");
+    }
+    return Status::InvalidArgument("expected literal");
+  }
+
+  // ------------------------------------------------- WHERE expressions
+
+  StatusOr<SqlExprPtr> ParseOr() {
+    MURAL_ASSIGN_OR_RETURN(SqlExprPtr lhs, ParseAnd());
+    while (PeekIdent("OR")) {
+      Advance();
+      MURAL_ASSIGN_OR_RETURN(SqlExprPtr rhs, ParseAnd());
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExprKind::kOr;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  StatusOr<SqlExprPtr> ParseAnd() {
+    MURAL_ASSIGN_OR_RETURN(SqlExprPtr lhs, ParseNot());
+    while (PeekIdent("AND")) {
+      Advance();
+      MURAL_ASSIGN_OR_RETURN(SqlExprPtr rhs, ParseNot());
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExprKind::kAnd;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  StatusOr<SqlExprPtr> ParseNot() {
+    if (PeekIdent("NOT")) {
+      Advance();
+      MURAL_ASSIGN_OR_RETURN(SqlExprPtr operand, ParseNot());
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExprKind::kNot;
+      node->lhs = std::move(operand);
+      return node;
+    }
+    if (PeekOp("(")) {
+      // Could be a parenthesized boolean expression.
+      Advance();
+      MURAL_ASSIGN_OR_RETURN(SqlExprPtr inner, ParseOr());
+      MURAL_RETURN_IF_ERROR(ExpectOp(")"));
+      return inner;
+    }
+    return ParsePredicate();
+  }
+
+  StatusOr<SqlExprPtr> ParsePredicate() {
+    MURAL_ASSIGN_OR_RETURN(SqlExprPtr lhs, ParseOperand());
+    if (PeekIdent("LEXEQUAL") || PeekIdent("SEMEQUAL")) {
+      const bool is_lex = Peek().text == "LEXEQUAL";
+      Advance();
+      MURAL_ASSIGN_OR_RETURN(SqlExprPtr rhs, ParseOperand());
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = is_lex ? SqlExprKind::kLexEqual : SqlExprKind::kSemEqual;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      // Optional explicit threshold: THRESHOLD n (LexEQUAL only).
+      if (is_lex && PeekIdent("THRESHOLD")) {
+        Advance();
+        if (Peek().kind != TkKind::kNumber) {
+          return Status::InvalidArgument("THRESHOLD expects a number");
+        }
+        node->threshold = static_cast<int>(Peek().number);
+        Advance();
+      }
+      // Optional "IN lang, lang, ..." clause.
+      if (PeekIdent("IN")) {
+        Advance();
+        while (true) {
+          MURAL_ASSIGN_OR_RETURN(const std::string lang, TakeIdent());
+          const LanguageInfo* info =
+              LanguageRegistry::Default().FindByName(lang);
+          if (info == nullptr) {
+            return Status::NotFound("unknown language: " + lang);
+          }
+          node->langs.insert(info->id);
+          if (PeekOp(",")) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+      }
+      return node;
+    }
+    CompareOp op;
+    if (PeekOp("=")) op = CompareOp::kEq;
+    else if (PeekOp("<>") || PeekOp("!=")) op = CompareOp::kNe;
+    else if (PeekOp("<=")) op = CompareOp::kLe;
+    else if (PeekOp(">=")) op = CompareOp::kGe;
+    else if (PeekOp("<")) op = CompareOp::kLt;
+    else if (PeekOp(">")) op = CompareOp::kGt;
+    else return Status::InvalidArgument("expected predicate operator");
+    Advance();
+    MURAL_ASSIGN_OR_RETURN(SqlExprPtr rhs, ParseOperand());
+    auto node = std::make_shared<SqlExpr>();
+    node->kind = SqlExprKind::kCompare;
+    node->cmp = op;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    return node;
+  }
+
+  StatusOr<SqlExprPtr> ParseOperand() {
+    const Tk& tk = Peek();
+    if (tk.kind == TkKind::kNumber || tk.kind == TkKind::kString ||
+        PeekIdent("NULL") || PeekIdent("TRUE") || PeekIdent("FALSE") ||
+        PeekOp("-")) {
+      MURAL_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExprKind::kLiteral;
+      node->literal = std::move(v);
+      return node;
+    }
+    auto node = std::make_shared<SqlExpr>();
+    node->kind = SqlExprKind::kColRef;
+    MURAL_RETURN_IF_ERROR(
+        ParseQualifiedName(&node->qualifier, &node->column));
+    return node;
+  }
+
+  Status ParseQualifiedName(std::string* qualifier, std::string* column) {
+    MURAL_ASSIGN_OR_RETURN(std::string first, TakeIdent());
+    if (PeekOp(".")) {
+      Advance();
+      *qualifier = first;
+      MURAL_ASSIGN_OR_RETURN(*column, TakeIdent());
+    } else {
+      qualifier->clear();
+      *column = std::move(first);
+    }
+    return Status::OK();
+  }
+
+  // ------------------------------------------------------------ helpers
+
+  static bool IsKeyword(const std::string& ident) {
+    static const std::set<std::string> kKeywords = {
+        "SELECT", "FROM",  "WHERE",  "GROUP",   "ORDER", "BY",
+        "LIMIT",  "AND",   "OR",     "NOT",     "IN",    "AS",
+        "SET",    "CREATE", "TABLE", "INDEX",   "INSERT", "INTO",
+        "VALUES", "ANALYZE", "EXPLAIN", "LEXEQUAL", "SEMEQUAL",
+        "THRESHOLD", "DESC", "ASC", "USING", "ON"};
+    return kKeywords.count(ident) > 0;
+  }
+
+  const Tk& Peek() const { return toks_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < toks_.size()) ++pos_;
+  }
+  bool AtEnd() const { return Peek().kind == TkKind::kEnd; }
+  bool PeekIdent(const char* ident) const {
+    return Peek().kind == TkKind::kIdent && Peek().text == ident;
+  }
+  bool PeekOp(const char* op) const {
+    return Peek().kind == TkKind::kOp && Peek().text == op;
+  }
+  Status ExpectIdent(const char* ident) {
+    if (!PeekIdent(ident)) {
+      return Status::InvalidArgument(std::string("SQL: expected ") + ident +
+                                     " (got '" + Peek().text + "')");
+    }
+    Advance();
+    return Status::OK();
+  }
+  Status ExpectOp(const char* op) {
+    if (!PeekOp(op)) {
+      return Status::InvalidArgument(std::string("SQL: expected '") + op +
+                                     "' (got '" + Peek().text + "')");
+    }
+    Advance();
+    return Status::OK();
+  }
+  StatusOr<std::string> TakeIdent() {
+    if (Peek().kind != TkKind::kIdent) {
+      return Status::InvalidArgument("SQL: expected identifier");
+    }
+    std::string out = Peek().text;
+    Advance();
+    return out;
+  }
+
+  std::vector<Tk> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Statement> Parse(const std::string& text) {
+  MURAL_ASSIGN_OR_RETURN(std::vector<Tk> tokens, LexSql(text));
+  SqlParser parser(std::move(tokens));
+  return parser.Run();
+}
+
+// ================================================================== binder
+
+namespace {
+
+/// One output position of the in-flight join tree.
+struct BoundColumn {
+  std::string alias;   // table alias (upper-cased)
+  std::string name;    // column name (upper-cased)
+  TypeId type = TypeId::kNull;
+};
+
+std::string Upper(std::string s) {
+  for (char& c : s) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  }
+  return s;
+}
+
+class Binder {
+ public:
+  Binder(const Statement& stmt, Catalog* catalog)
+      : stmt_(stmt), catalog_(catalog) {}
+
+  StatusOr<LogicalPtr> Run() {
+    if (stmt_.from.empty()) {
+      return Status::InvalidArgument("SELECT needs a FROM clause");
+    }
+    // Resolve per-table environments.
+    std::vector<std::vector<BoundColumn>> table_envs;
+    std::vector<LogicalPtr> scans;
+    for (const Statement::TableRef& ref : stmt_.from) {
+      MURAL_ASSIGN_OR_RETURN(TableInfo * info,
+                             catalog_->GetTable(ref.table));
+      std::vector<BoundColumn> env;
+      for (const Column& col : info->schema.columns()) {
+        env.push_back(
+            {Upper(ref.alias), Upper(col.name), col.type});
+      }
+      table_envs.push_back(std::move(env));
+      scans.push_back(LScan(info->name));
+    }
+
+    bool order_by_applied = false;
+
+    // Flatten WHERE into conjuncts.
+    std::vector<SqlExprPtr> conjuncts;
+    if (stmt_.where != nullptr) FlattenAnd(stmt_.where, &conjuncts);
+
+    // Push single-table conjuncts into their scans.
+    std::vector<SqlExprPtr> remaining;
+    for (const SqlExprPtr& conjunct : conjuncts) {
+      std::set<size_t> tables;
+      CollectTables(*conjunct, table_envs, &tables);
+      if (tables.size() <= 1) {
+        const size_t t = tables.empty() ? 0 : *tables.begin();
+        MURAL_ASSIGN_OR_RETURN(
+            ExprPtr bound, BindExpr(*conjunct, {table_envs[t]}, {0}));
+        scans[t]->predicate = scans[t]->predicate == nullptr
+                                  ? bound
+                                  : And(scans[t]->predicate, bound);
+      } else {
+        remaining.push_back(conjunct);
+      }
+    }
+
+    // Left-deep join in FROM order, picking a connecting conjunct for each
+    // new table.
+    LogicalPtr plan = scans[0];
+    std::vector<BoundColumn> env = table_envs[0];
+    std::vector<size_t> joined{0};
+    for (size_t t = 1; t < stmt_.from.size(); ++t) {
+      // Find a join conjunct between `joined` and table t.
+      int pick = -1;
+      for (size_t i = 0; i < remaining.size(); ++i) {
+        std::set<size_t> tables;
+        CollectTables(*remaining[i], table_envs, &tables);
+        if (tables.size() == 2 && tables.count(t) > 0) {
+          const size_t other = *tables.begin() == t ? *tables.rbegin()
+                                                    : *tables.begin();
+          if (std::find(joined.begin(), joined.end(), other) !=
+              joined.end()) {
+            pick = static_cast<int>(i);
+            break;
+          }
+        }
+      }
+      std::vector<BoundColumn> new_env = env;
+      new_env.insert(new_env.end(), table_envs[t].begin(),
+                     table_envs[t].end());
+      if (pick < 0) {
+        plan = LJoin(plan, scans[t], nullptr);  // cross product
+      } else {
+        const SqlExprPtr conjunct = remaining[static_cast<size_t>(pick)];
+        remaining.erase(remaining.begin() + pick);
+        MURAL_ASSIGN_OR_RETURN(
+            plan, BindJoin(*conjunct, plan, scans[t], env, table_envs[t]));
+      }
+      env = std::move(new_env);
+      joined.push_back(t);
+    }
+
+    // Residual conjuncts as a top filter.
+    for (const SqlExprPtr& conjunct : remaining) {
+      MURAL_ASSIGN_OR_RETURN(ExprPtr bound,
+                             BindExprFlat(*conjunct, env));
+      plan = LFilter(plan, bound);
+    }
+
+    // Aggregation.
+    const bool has_agg =
+        !stmt_.group_by.empty() ||
+        std::any_of(stmt_.select_list.begin(), stmt_.select_list.end(),
+                    [](const Statement::SelectItem& i) {
+                      return i.is_aggregate;
+                    });
+    if (has_agg) {
+      std::vector<size_t> group_cols;
+      for (const std::string& g : stmt_.group_by) {
+        MURAL_ASSIGN_OR_RETURN(const size_t idx, ResolveName(g, env));
+        group_cols.push_back(idx);
+      }
+      std::vector<AggSpec> aggs;
+      for (const Statement::SelectItem& item : stmt_.select_list) {
+        if (!item.is_aggregate) continue;
+        AggSpec spec;
+        spec.kind = item.agg;
+        spec.output_name = item.output_name;
+        if (item.agg != AggKind::kCountStar) {
+          MURAL_ASSIGN_OR_RETURN(
+              spec.column,
+              ResolveQualified(item.qualifier, item.column, env));
+        }
+        aggs.push_back(std::move(spec));
+      }
+      plan = LAggregate(plan, group_cols, aggs);
+      // After aggregation the environment is group cols + agg outputs.
+      std::vector<BoundColumn> agg_env;
+      for (size_t g : group_cols) agg_env.push_back(env[g]);
+      for (const Statement::SelectItem& item : stmt_.select_list) {
+        if (item.is_aggregate) {
+          agg_env.push_back({"", Upper(item.output_name), TypeId::kInt64});
+        }
+      }
+      env = std::move(agg_env);
+    } else {
+      // ORDER BY resolves against the pre-projection environment (SQL
+      // permits sorting on columns the projection then drops), so the
+      // sort sits below the projection.
+      if (!stmt_.order_by.empty()) {
+        std::vector<SortKey> keys;
+        for (const auto& [name, asc] : stmt_.order_by) {
+          MURAL_ASSIGN_OR_RETURN(const size_t idx, ResolveName(name, env));
+          keys.push_back({idx, asc});
+        }
+        plan = LSort(plan, keys);
+        order_by_applied = true;
+      }
+      // Projection.
+      bool star = stmt_.select_list.size() == 1 &&
+                  stmt_.select_list[0].is_star;
+      if (!star) {
+        std::vector<ExprPtr> exprs;
+        std::vector<std::string> names;
+        std::vector<BoundColumn> new_env;
+        for (const Statement::SelectItem& item : stmt_.select_list) {
+          MURAL_ASSIGN_OR_RETURN(
+              const size_t idx,
+              ResolveQualified(item.qualifier, item.column, env));
+          exprs.push_back(Col(idx, item.output_name));
+          names.push_back(item.output_name);
+          BoundColumn bc = env[idx];
+          bc.name = Upper(item.output_name);
+          new_env.push_back(bc);
+        }
+        plan = LProject(plan, exprs, names);
+        env = std::move(new_env);
+      }
+    }
+
+    // ORDER BY / LIMIT (aggregate path: sort over the aggregate output).
+    if (!stmt_.order_by.empty() && !order_by_applied) {
+      std::vector<SortKey> keys;
+      for (const auto& [name, asc] : stmt_.order_by) {
+        MURAL_ASSIGN_OR_RETURN(const size_t idx, ResolveName(name, env));
+        keys.push_back({idx, asc});
+      }
+      plan = LSort(plan, keys);
+    }
+    if (stmt_.limit.has_value()) plan = LLimit(plan, *stmt_.limit);
+    return plan;
+  }
+
+ private:
+  static void FlattenAnd(const SqlExprPtr& expr,
+                         std::vector<SqlExprPtr>* out) {
+    if (expr->kind == SqlExprKind::kAnd) {
+      FlattenAnd(expr->lhs, out);
+      FlattenAnd(expr->rhs, out);
+      return;
+    }
+    out->push_back(expr);
+  }
+
+  /// Which FROM tables does `expr` reference?
+  void CollectTables(const SqlExpr& expr,
+                     const std::vector<std::vector<BoundColumn>>& envs,
+                     std::set<size_t>* out) const {
+    if (expr.kind == SqlExprKind::kColRef) {
+      for (size_t t = 0; t < envs.size(); ++t) {
+        for (const BoundColumn& bc : envs[t]) {
+          if ((expr.qualifier.empty() || Upper(expr.qualifier) == bc.alias) &&
+              Upper(expr.column) == bc.name) {
+            out->insert(t);
+            return;  // first match wins
+          }
+        }
+      }
+      return;
+    }
+    if (expr.lhs) CollectTables(*expr.lhs, envs, out);
+    if (expr.rhs) CollectTables(*expr.rhs, envs, out);
+  }
+
+  StatusOr<size_t> ResolveQualified(const std::string& qualifier,
+                                    const std::string& column,
+                                    const std::vector<BoundColumn>& env)
+      const {
+    const std::string q = Upper(qualifier);
+    const std::string c = Upper(column);
+    for (size_t i = 0; i < env.size(); ++i) {
+      if ((q.empty() || env[i].alias == q) && env[i].name == c) return i;
+    }
+    return Status::NotFound("no such column: " +
+                            (qualifier.empty() ? column
+                                               : qualifier + "." + column));
+  }
+
+  /// Resolves "alias.col" or "col".
+  StatusOr<size_t> ResolveName(const std::string& name,
+                               const std::vector<BoundColumn>& env) const {
+    const std::vector<std::string> parts = Split(name, '.');
+    if (parts.size() == 2) return ResolveQualified(parts[0], parts[1], env);
+    return ResolveQualified("", name, env);
+  }
+
+  /// Binds an expression whose references live in one combined env made
+  /// of the given per-table envs with base offsets.
+  StatusOr<ExprPtr> BindExpr(const SqlExpr& expr,
+                             const std::vector<std::vector<BoundColumn>>&
+                                 envs,
+                             const std::vector<size_t>& offsets) const {
+    std::vector<BoundColumn> flat;
+    for (const auto& env : envs) {
+      flat.insert(flat.end(), env.begin(), env.end());
+    }
+    (void)offsets;
+    return BindExprFlat(expr, flat);
+  }
+
+  StatusOr<ExprPtr> BindExprFlat(const SqlExpr& expr,
+                                 const std::vector<BoundColumn>& env) const {
+    switch (expr.kind) {
+      case SqlExprKind::kLiteral:
+        return Lit(expr.literal);
+      case SqlExprKind::kColRef: {
+        MURAL_ASSIGN_OR_RETURN(
+            const size_t idx,
+            ResolveQualified(expr.qualifier, expr.column, env));
+        return Col(idx, expr.column);
+      }
+      case SqlExprKind::kCompare: {
+        MURAL_ASSIGN_OR_RETURN(ExprPtr l, BindExprFlat(*expr.lhs, env));
+        MURAL_ASSIGN_OR_RETURN(ExprPtr r, BindExprFlat(*expr.rhs, env));
+        return Cmp(expr.cmp, std::move(l), std::move(r));
+      }
+      case SqlExprKind::kAnd: {
+        MURAL_ASSIGN_OR_RETURN(ExprPtr l, BindExprFlat(*expr.lhs, env));
+        MURAL_ASSIGN_OR_RETURN(ExprPtr r, BindExprFlat(*expr.rhs, env));
+        return And(std::move(l), std::move(r));
+      }
+      case SqlExprKind::kOr: {
+        MURAL_ASSIGN_OR_RETURN(ExprPtr l, BindExprFlat(*expr.lhs, env));
+        MURAL_ASSIGN_OR_RETURN(ExprPtr r, BindExprFlat(*expr.rhs, env));
+        return Or(std::move(l), std::move(r));
+      }
+      case SqlExprKind::kNot: {
+        MURAL_ASSIGN_OR_RETURN(ExprPtr l, BindExprFlat(*expr.lhs, env));
+        return Not(std::move(l));
+      }
+      case SqlExprKind::kLexEqual: {
+        MURAL_ASSIGN_OR_RETURN(ExprPtr l, BindExprFlat(*expr.lhs, env));
+        MURAL_ASSIGN_OR_RETURN(ExprPtr r, BindExprFlat(*expr.rhs, env));
+        ExprPtr out = LexEq(l, r, expr.threshold);
+        if (!expr.langs.empty()) {
+          out = And(out, LangIn(l, expr.langs));
+        }
+        return out;
+      }
+      case SqlExprKind::kSemEqual: {
+        MURAL_ASSIGN_OR_RETURN(ExprPtr l, BindExprFlat(*expr.lhs, env));
+        MURAL_ASSIGN_OR_RETURN(ExprPtr r, BindExprFlat(*expr.rhs, env));
+        // A plain-text literal on the RHS composes as English UniText.
+        if (const auto* lit = dynamic_cast<const LiteralExpr*>(r.get())) {
+          if (lit->value().type() == TypeId::kText) {
+            r = Lit(Value::Uni(lit->value().text(), lang::kEnglish));
+          }
+        }
+        ExprPtr out = SemEq(l, r);
+        if (!expr.langs.empty()) {
+          out = And(out, LangIn(l, expr.langs));
+        }
+        return out;
+      }
+    }
+    return Status::Internal("unknown SQL expression kind");
+  }
+
+  /// Binds a two-table join conjunct into the proper logical join node.
+  StatusOr<LogicalPtr> BindJoin(const SqlExpr& conjunct, LogicalPtr left,
+                                LogicalPtr right,
+                                const std::vector<BoundColumn>& left_env,
+                                const std::vector<BoundColumn>& right_env)
+      const {
+    // col-vs-col predicates become specialized joins.
+    const SqlExpr* l = conjunct.lhs.get();
+    const SqlExpr* r = conjunct.rhs.get();
+    if (l != nullptr && r != nullptr &&
+        l->kind == SqlExprKind::kColRef &&
+        r->kind == SqlExprKind::kColRef &&
+        (conjunct.kind == SqlExprKind::kCompare
+             ? conjunct.cmp == CompareOp::kEq
+             : conjunct.kind == SqlExprKind::kLexEqual ||
+                   conjunct.kind == SqlExprKind::kSemEqual)) {
+      // Which side references the left subtree?
+      StatusOr<size_t> ll = ResolveQualified(l->qualifier, l->column,
+                                             left_env);
+      const bool l_on_left = ll.ok();
+      const SqlExpr* left_ref = l_on_left ? l : r;
+      const SqlExpr* right_ref = l_on_left ? r : l;
+      MURAL_ASSIGN_OR_RETURN(
+          const size_t lcol,
+          ResolveQualified(left_ref->qualifier, left_ref->column, left_env));
+      MURAL_ASSIGN_OR_RETURN(const size_t rcol,
+                             ResolveQualified(right_ref->qualifier,
+                                              right_ref->column, right_env));
+      switch (conjunct.kind) {
+        case SqlExprKind::kCompare:
+          return LEquiJoin(left, right, lcol, rcol);
+        case SqlExprKind::kLexEqual: {
+          LogicalPtr join = LPsiJoin(left, right, lcol, rcol,
+                                     conjunct.threshold);
+          if (!conjunct.langs.empty()) {
+            join = LFilter(join, LangIn(Col(lcol, left_ref->column),
+                                        conjunct.langs));
+          }
+          return join;
+        }
+        case SqlExprKind::kSemEqual: {
+          // NOTE: Omega does not commute (Table 1) — the probe side is
+          // the syntactic LHS of the predicate.  When the predicate reads
+          // "right-table SemEQUAL left-table" we keep operand roles by
+          // falling through to a generic join with the bound predicate
+          // (cannot swap children without permuting the output schema).
+          if (!l_on_left) break;
+          LogicalPtr join = LOmegaJoin(left, right, lcol, rcol);
+          if (!conjunct.langs.empty()) {
+            join = LFilter(join, LangIn(Col(lcol, left_ref->column),
+                                        conjunct.langs));
+          }
+          return join;
+        }
+        default:
+          break;
+      }
+    }
+    // Fallback: generic join with a bound predicate over the concatenated
+    // environment.
+    std::vector<BoundColumn> env = left_env;
+    env.insert(env.end(), right_env.begin(), right_env.end());
+    MURAL_ASSIGN_OR_RETURN(ExprPtr bound, BindExprFlat(conjunct, env));
+    return LJoin(left, right, bound);
+  }
+
+  const Statement& stmt_;
+  Catalog* catalog_;
+};
+
+}  // namespace
+
+StatusOr<LogicalPtr> Bind(const Statement& stmt, Catalog* catalog) {
+  if (stmt.kind != StatementKind::kSelect &&
+      stmt.kind != StatementKind::kExplain) {
+    return Status::InvalidArgument("only SELECT statements can be bound");
+  }
+  Binder binder(stmt, catalog);
+  return binder.Run();
+}
+
+}  // namespace sql
+}  // namespace mural

@@ -1,0 +1,103 @@
+// SQL front end for the paper's query surface (Figs. 2 & 4):
+//
+//   SELECT Author, Title FROM Book
+//     WHERE Author LexEQUAL 'Nehru' IN English, Hindi, Tamil;
+//   SELECT Author, Title, Category FROM Book
+//     WHERE Category SemEQUAL 'History'@English IN English, French, Tamil;
+//   SELECT count(*) FROM Author A, Publisher P
+//     WHERE A.AName LexEQUAL P.PName;
+//   SET LEXEQUAL_THRESHOLD = 3;
+//   EXPLAIN SELECT ...;
+//   CREATE TABLE Book (BookID INT, Author UNITEXT MATERIALIZE PHONEMES,..);
+//   CREATE INDEX idx ON Book(Author) USING MTREE;
+//   INSERT INTO Book VALUES (1, 'Nehru'@English, ...);
+//   ANALYZE Book;
+//
+// Parse() produces a Statement; binding a SELECT against a catalog yields
+// the LogicalPlan the optimizer consumes.  String literals default to
+// TEXT; 'str'@Language composes a UniText in that language (the ⊕
+// operator's SQL spelling).
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/exec_context.h"
+#include "optimizer/logical_plan.h"
+
+namespace mural {
+
+class Database;  // engine layer; only used by Execute's implementation
+
+namespace sql {
+
+/// Opaque parsed WHERE-clause AST (defined in sql.cc; bound to column
+/// indexes by Bind()).
+struct SqlExpr;
+
+enum class StatementKind {
+  kSelect,
+  kExplain,      // EXPLAIN SELECT ...
+  kSet,          // SET <name> = <int>
+  kCreateTable,
+  kCreateIndex,
+  kInsert,
+  kAnalyze,
+};
+
+/// A parsed (but unbound) statement.
+struct Statement {
+  StatementKind kind = StatementKind::kSelect;
+
+  // kSelect / kExplain: raw pieces bound later.
+  struct TableRef {
+    std::string table;
+    std::string alias;  // defaults to table name
+  };
+  struct SelectItem {
+    // Either a column reference or an aggregate.
+    bool is_star = false;
+    bool is_aggregate = false;
+    AggKind agg = AggKind::kCountStar;
+    std::string qualifier;  // optional "alias."
+    std::string column;     // column name ("" for count(*))
+    std::string output_name;
+  };
+  std::vector<SelectItem> select_list;
+  std::vector<TableRef> from;
+  std::shared_ptr<SqlExpr> where;  // unbound WHERE AST (may be null)
+  std::vector<std::pair<std::string, bool>> order_by;  // (col, ascending)
+  std::vector<std::string> group_by;
+  std::optional<uint64_t> limit;
+
+  // kSet
+  std::string set_name;
+  int64_t set_value = 0;
+
+  // kCreateTable
+  std::string table_name;
+  Schema schema;
+
+  // kCreateIndex
+  std::string index_name;
+  std::string index_column;
+  IndexKind index_kind = IndexKind::kBTree;
+  bool index_on_phonemes = false;
+
+  // kInsert
+  std::vector<Row> insert_rows;
+
+  // kAnalyze reuses table_name.
+};
+
+/// Parses one statement (trailing ';' optional).
+StatusOr<Statement> Parse(const std::string& text);
+
+/// Binds a parsed SELECT into a logical plan against `catalog`.
+StatusOr<LogicalPtr> Bind(const Statement& stmt, Catalog* catalog);
+
+}  // namespace sql
+}  // namespace mural

@@ -1,0 +1,136 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace mural {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    id_ = other.id_;
+    page_ = other.page_;
+    other.pool_ = nullptr;
+    other.page_ = nullptr;
+    other.id_ = kInvalidPage;
+  }
+  return *this;
+}
+
+void PageGuard::MarkDirty() {
+  if (pool_ != nullptr && page_ != nullptr) {
+    const auto it = pool_->page_table_.find(id_);
+    MURAL_DCHECK(it != pool_->page_table_.end());
+    pool_->frames_[it->second].dirty = true;
+  }
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr && page_ != nullptr) {
+    pool_->Unpin(id_, /*dirty=*/false);
+  }
+  pool_ = nullptr;
+  page_ = nullptr;
+  id_ = kInvalidPage;
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity)
+    : disk_(disk), capacity_(capacity) {
+  MURAL_CHECK(capacity >= 2) << "buffer pool needs at least two frames";
+  frames_.resize(capacity);
+  free_list_.reserve(capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    frames_[i].page = std::make_unique<Page>();
+    free_list_.push_back(capacity - 1 - i);
+  }
+}
+
+StatusOr<size_t> BufferPool::GetFreeFrame() {
+  if (!free_list_.empty()) {
+    const size_t idx = free_list_.back();
+    free_list_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted("all buffer frames are pinned");
+  }
+  const size_t victim = lru_.front();
+  lru_.pop_front();
+  Frame& frame = frames_[victim];
+  frame.in_lru = false;
+  MURAL_DCHECK(frame.pin_count == 0);
+  if (frame.dirty) {
+    MURAL_RETURN_IF_ERROR(disk_->WritePage(
+        frame.id, reinterpret_cast<const char*>(frame.page.get())));
+    ++stats_.dirty_writebacks;
+    frame.dirty = false;
+  }
+  page_table_.erase(frame.id);
+  ++stats_.evictions;
+  return victim;
+}
+
+StatusOr<PageGuard> BufferPool::Fetch(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    Frame& frame = frames_[it->second];
+    if (frame.pin_count == 0 && frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    ++frame.pin_count;
+    ++stats_.hits;
+    return PageGuard(this, id, frame.page.get());
+  }
+  ++stats_.misses;
+  MURAL_ASSIGN_OR_RETURN(const size_t idx, GetFreeFrame());
+  Frame& frame = frames_[idx];
+  MURAL_RETURN_IF_ERROR(
+      disk_->ReadPage(id, reinterpret_cast<char*>(frame.page.get())));
+  frame.id = id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  page_table_[id] = idx;
+  return PageGuard(this, id, frame.page.get());
+}
+
+StatusOr<PageGuard> BufferPool::NewPage() {
+  MURAL_ASSIGN_OR_RETURN(const PageId id, disk_->AllocatePage());
+  MURAL_ASSIGN_OR_RETURN(const size_t idx, GetFreeFrame());
+  Frame& frame = frames_[idx];
+  std::memset(frame.page.get(), 0, kPageSize);
+  frame.id = id;
+  frame.pin_count = 1;
+  frame.dirty = true;  // fresh pages must reach disk
+  page_table_[id] = idx;
+  return PageGuard(this, id, frame.page.get());
+}
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = page_table_.find(id);
+  MURAL_DCHECK(it != page_table_.end());
+  if (it == page_table_.end()) return;
+  Frame& frame = frames_[it->second];
+  if (dirty) frame.dirty = true;
+  MURAL_DCHECK(frame.pin_count > 0);
+  if (--frame.pin_count == 0) {
+    frame.lru_pos = lru_.insert(lru_.end(), it->second);
+    frame.in_lru = true;
+  }
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.id != kInvalidPage && frame.dirty &&
+        page_table_.count(frame.id) > 0) {
+      MURAL_RETURN_IF_ERROR(disk_->WritePage(
+          frame.id, reinterpret_cast<const char*>(frame.page.get())));
+      frame.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mural

@@ -1,0 +1,109 @@
+// BufferPool: fixed set of in-memory frames caching disk pages, with LRU
+// replacement, pin counting and dirty tracking — the PostgreSQL-shaped
+// buffer layer under every access method in this engine.
+
+#pragma once
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace mural {
+
+/// Buffer-pool level counters (hit ratio matters to the cost experiments).
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+
+  void Reset() { *this = BufferPoolStats(); }
+};
+
+class BufferPool;
+
+/// RAII pin on a buffered page: unpins on destruction.  Obtain via
+/// BufferPool::Fetch / NewPage; mark dirty before letting it go if you
+/// wrote to the page.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, PageId id, Page* page)
+      : pool_(pool), id_(id), page_(page) {}
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard() { Release(); }
+
+  Page* operator->() { return page_; }
+  const Page* operator->() const { return page_; }
+  Page* get() { return page_; }
+  const Page* get() const { return page_; }
+  PageId id() const { return id_; }
+  bool Valid() const { return page_ != nullptr; }
+
+  /// Marks the page dirty so eviction/flush writes it back.
+  void MarkDirty();
+
+  /// Explicit early unpin.
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPage;
+  Page* page_ = nullptr;
+};
+
+/// The buffer pool proper.
+class BufferPool {
+ public:
+  /// `capacity` frames over `disk` (not owned).
+  BufferPool(DiskManager* disk, size_t capacity);
+
+  /// Pins page `id`, reading it from disk on a miss.
+  StatusOr<PageGuard> Fetch(PageId id);
+
+  /// Allocates a fresh page on disk, pins it, and Init()s it as a slotted
+  /// page is left to the caller (index pages use their own layout).
+  StatusOr<PageGuard> NewPage();
+
+  /// Writes back all dirty pages (does not evict).
+  Status FlushAll();
+
+  size_t capacity() const { return capacity_; }
+  const BufferPoolStats& stats() const { return stats_; }
+  BufferPoolStats& stats() { return stats_; }
+  DiskManager* disk() { return disk_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId id = kInvalidPage;
+    int pin_count = 0;
+    bool dirty = false;
+    std::unique_ptr<Page> page;
+    // Position in lru_ when pin_count == 0.
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(PageId id, bool dirty);
+  StatusOr<size_t> GetFreeFrame();  // may evict
+
+  DiskManager* disk_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_list_;
+  std::list<size_t> lru_;  // unpinned frames, least-recent first
+  std::unordered_map<PageId, size_t> page_table_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace mural

@@ -1,0 +1,101 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mural {
+
+StatusOr<PageId> MemoryDiskManager::AllocatePage() {
+  auto frame = std::make_unique<char[]>(kPageSize);
+  std::memset(frame.get(), 0, kPageSize);
+  frames_.push_back(std::move(frame));
+  ++stats_.page_allocs;
+  return static_cast<PageId>(frames_.size() - 1);
+}
+
+Status MemoryDiskManager::ReadPage(PageId id, char* out) {
+  if (id >= frames_.size()) {
+    return Status::OutOfRange("read of unallocated page " +
+                              std::to_string(id));
+  }
+  std::memcpy(out, frames_[id].get(), kPageSize);
+  ++stats_.page_reads;
+  return Status::OK();
+}
+
+Status MemoryDiskManager::WritePage(PageId id, const char* data) {
+  if (id >= frames_.size()) {
+    return Status::OutOfRange("write of unallocated page " +
+                              std::to_string(id));
+  }
+  std::memcpy(frames_[id].get(), data, kPageSize);
+  ++stats_.page_writes;
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IOError("lseek(" + path + "): " + std::strerror(errno));
+  }
+  const uint32_t num_pages = static_cast<uint32_t>(size / kPageSize);
+  return std::unique_ptr<FileDiskManager>(
+      new FileDiskManager(fd, num_pages, path));
+}
+
+FileDiskManager::~FileDiskManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<PageId> FileDiskManager::AllocatePage() {
+  char zeros[kPageSize];
+  std::memset(zeros, 0, sizeof(zeros));
+  const PageId id = num_pages_;
+  const off_t offset = static_cast<off_t>(id) * kPageSize;
+  const ssize_t n = ::pwrite(fd_, zeros, kPageSize, offset);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pwrite(" + path_ + "): " + std::strerror(errno));
+  }
+  ++num_pages_;
+  ++stats_.page_allocs;
+  return id;
+}
+
+Status FileDiskManager::ReadPage(PageId id, char* out) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("read of unallocated page " +
+                              std::to_string(id));
+  }
+  const off_t offset = static_cast<off_t>(id) * kPageSize;
+  const ssize_t n = ::pread(fd_, out, kPageSize, offset);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pread(" + path_ + "): " + std::strerror(errno));
+  }
+  ++stats_.page_reads;
+  return Status::OK();
+}
+
+Status FileDiskManager::WritePage(PageId id, const char* data) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("write of unallocated page " +
+                              std::to_string(id));
+  }
+  const off_t offset = static_cast<off_t>(id) * kPageSize;
+  const ssize_t n = ::pwrite(fd_, data, kPageSize, offset);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pwrite(" + path_ + "): " + std::strerror(errno));
+  }
+  ++stats_.page_writes;
+  return Status::OK();
+}
+
+}  // namespace mural

@@ -1,0 +1,69 @@
+// FaultInjectionDiskManager: a DiskManager decorator that starts failing
+// after a configurable number of operations — used by the robustness
+// tests to verify that I/O errors propagate as Status through every layer
+// (heap scans, B+Tree splits, GiST inserts, query execution) instead of
+// crashing or corrupting in-memory state.
+
+#pragma once
+
+#include <memory>
+
+#include "storage/disk_manager.h"
+
+namespace mural {
+
+class FaultInjectionDiskManager : public DiskManager {
+ public:
+  /// Wraps `inner` (not owned).  No faults until Arm() is called.
+  explicit FaultInjectionDiskManager(DiskManager* inner) : inner_(inner) {}
+
+  /// After `ops_until_failure` further operations (reads+writes+allocs),
+  /// every subsequent operation fails with IOError.
+  void Arm(uint64_t ops_until_failure) {
+    armed_ = true;
+    remaining_ = ops_until_failure;
+  }
+
+  /// Stops injecting; subsequent operations succeed again.
+  void Disarm() { armed_ = false; }
+
+  uint64_t injected_failures() const { return injected_; }
+
+  StatusOr<PageId> AllocatePage() override {
+    MURAL_RETURN_IF_ERROR(MaybeFail("alloc"));
+    MURAL_ASSIGN_OR_RETURN(const PageId id, inner_->AllocatePage());
+    ++stats_.page_allocs;
+    return id;
+  }
+  Status ReadPage(PageId id, char* out) override {
+    MURAL_RETURN_IF_ERROR(MaybeFail("read"));
+    MURAL_RETURN_IF_ERROR(inner_->ReadPage(id, out));
+    ++stats_.page_reads;
+    return Status::OK();
+  }
+  Status WritePage(PageId id, const char* data) override {
+    MURAL_RETURN_IF_ERROR(MaybeFail("write"));
+    MURAL_RETURN_IF_ERROR(inner_->WritePage(id, data));
+    ++stats_.page_writes;
+    return Status::OK();
+  }
+  uint32_t NumPages() const override { return inner_->NumPages(); }
+
+ private:
+  Status MaybeFail(const char* op) {
+    if (!armed_) return Status::OK();
+    if (remaining_ > 0) {
+      --remaining_;
+      return Status::OK();
+    }
+    ++injected_;
+    return Status::IOError(std::string("injected fault on ") + op);
+  }
+
+  DiskManager* inner_;
+  bool armed_ = false;
+  uint64_t remaining_ = 0;
+  uint64_t injected_ = 0;
+};
+
+}  // namespace mural

@@ -1,0 +1,83 @@
+// HeapFile: an unordered collection of records on a linked list of slotted
+// pages — the physical representation of a table.
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace mural {
+
+/// A heap of variable-length records.
+///
+/// Pages are chained with next-page links starting from `first_page`, which
+/// the catalog persists per table.  Inserts go to the last page, spilling
+/// to a newly allocated page when full (no free-space map: the workloads
+/// here are append-dominated, like the paper's bulk-loaded datasets).
+class HeapFile {
+ public:
+  /// Creates a new empty heap (allocates its first page).
+  static StatusOr<HeapFile> Create(BufferPool* pool);
+
+  /// Opens an existing heap rooted at `first_page`.
+  static StatusOr<HeapFile> Open(BufferPool* pool, PageId first_page,
+                                 PageId last_page, uint64_t num_records);
+
+  /// Appends a record.
+  StatusOr<Rid> Insert(Slice record);
+
+  /// Reads a record by rid into `out` (copies: the page pin is released
+  /// before returning).
+  Status Get(Rid rid, std::string* out) const;
+
+  /// Tombstones a record.
+  Status Delete(Rid rid);
+
+  /// Full-scan cursor.  Usage:
+  ///   for (auto it = heap.Begin(); it.Valid(); it.Next()) { it.record() }
+  class Iterator {
+   public:
+    bool Valid() const { return valid_; }
+    /// Advances to the next live record.
+    void Next();
+    const std::string& record() const { return record_; }
+    Rid rid() const { return rid_; }
+    /// Any error encountered while scanning (scan stops on error).
+    const Status& status() const { return status_; }
+
+   private:
+    friend class HeapFile;
+    Iterator(BufferPool* pool, PageId first_page);
+    void Advance(bool first);
+
+    BufferPool* pool_;
+    PageId page_id_;
+    int next_slot_ = 0;
+    bool valid_ = false;
+    Rid rid_;
+    std::string record_;
+    Status status_;
+  };
+
+  Iterator Begin() const { return Iterator(pool_, first_page_); }
+
+  PageId first_page() const { return first_page_; }
+  PageId last_page() const { return last_page_; }
+  uint64_t num_records() const { return num_records_; }
+  uint32_t num_pages() const { return num_pages_; }
+
+ private:
+  HeapFile(BufferPool* pool, PageId first, PageId last, uint64_t n)
+      : pool_(pool), first_page_(first), last_page_(last), num_records_(n) {}
+
+  BufferPool* pool_;
+  PageId first_page_;
+  PageId last_page_;
+  uint64_t num_records_;
+  uint32_t num_pages_ = 1;
+};
+
+}  // namespace mural

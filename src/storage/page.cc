@@ -1,0 +1,63 @@
+#include "storage/page.h"
+
+namespace mural {
+
+StatusOr<SlotId> Page::Insert(Slice record) {
+  if (record.size() > 0xFFFF) {
+    return Status::InvalidArgument("record larger than 64 KiB");
+  }
+  if (record.size() > FreeSpace()) {
+    return Status::ResourceExhausted("page full");
+  }
+  PageHeader* h = header();
+  const SlotId slot = h->num_slots;
+  h->data_start = static_cast<uint16_t>(h->data_start - record.size());
+  std::memcpy(bytes_ + h->data_start, record.data(), record.size());
+  Slot* s = slot_array() + slot;
+  s->offset = h->data_start;
+  s->length = static_cast<uint16_t>(record.size());
+  ++h->num_slots;
+  return slot;
+}
+
+StatusOr<Slice> Page::Get(SlotId slot) const {
+  if (slot >= header()->num_slots) {
+    return Status::NotFound("slot out of range");
+  }
+  const Slot& s = slot_array()[slot];
+  if (s.offset == 0) {
+    return Status::NotFound("slot is tombstoned");
+  }
+  return Slice(bytes_ + s.offset, s.length);
+}
+
+Status Page::Delete(SlotId slot) {
+  if (slot >= header()->num_slots) {
+    return Status::NotFound("slot out of range");
+  }
+  Slot& s = slot_array()[slot];
+  if (s.offset == 0) {
+    return Status::NotFound("slot already tombstoned");
+  }
+  s.offset = 0;
+  s.length = 0;
+  return Status::OK();
+}
+
+Status Page::Update(SlotId slot, Slice record) {
+  if (slot >= header()->num_slots) {
+    return Status::NotFound("slot out of range");
+  }
+  Slot& s = slot_array()[slot];
+  if (s.offset == 0) {
+    return Status::NotFound("slot is tombstoned");
+  }
+  if (record.size() > s.length) {
+    return Status::NotSupported("in-place update longer than original");
+  }
+  std::memcpy(bytes_ + s.offset, record.data(), record.size());
+  s.length = static_cast<uint16_t>(record.size());
+  return Status::OK();
+}
+
+}  // namespace mural

@@ -1,0 +1,129 @@
+// Slotted pages: the on-disk unit of storage.
+//
+// Classic slotted-page layout in an 8 KiB frame:
+//
+//   [ header | slot array --> ...free... <-- record data ]
+//
+// Slots grow from the front, record bytes from the back.  Deleting a record
+// tombstones its slot (offset 0); slot ids therefore stay stable, which the
+// heap-file RIDs rely on.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace mural {
+
+/// Page number within a storage file.
+using PageId = uint32_t;
+constexpr PageId kInvalidPage = 0xFFFFFFFFu;
+
+/// Size of every page, matching PostgreSQL's default block size.
+constexpr size_t kPageSize = 8192;
+
+/// Slot index within a page.
+using SlotId = uint16_t;
+
+/// A slotted page.  The object *is* the 8 KiB buffer; it is always
+/// allocated inside a buffer-pool frame and reinterpret_cast from the raw
+/// frame bytes, so it must stay trivially copyable with no virtuals.
+class Page {
+ public:
+  /// Formats a zeroed frame as an empty slotted page.
+  void Init() {
+    header()->num_slots = 0;
+    header()->data_start = kPageSize;
+    header()->next_page = kInvalidPage;
+    header()->flags = 0;
+    header()->level = 0;
+  }
+
+  /// Erases all slots and records (used by index nodes that rewrite
+  /// themselves on split); preserves flags/level/next_page.
+  void Clear() {
+    header()->num_slots = 0;
+    header()->data_start = kPageSize;
+  }
+
+  /// Number of slots ever allocated (including tombstones).
+  uint16_t NumSlots() const { return header()->num_slots; }
+
+  /// Free bytes available for one more record (accounts for its slot).
+  size_t FreeSpace() const {
+    const size_t slots_end =
+        sizeof(PageHeader) + header()->num_slots * sizeof(Slot);
+    const size_t gap = header()->data_start - slots_end;
+    return gap >= sizeof(Slot) ? gap - sizeof(Slot) : 0;
+  }
+
+  /// Inserts a record; fails with ResourceExhausted when it does not fit.
+  StatusOr<SlotId> Insert(Slice record);
+
+  /// Reads the record in `slot`; NotFound for tombstoned/unknown slots.
+  StatusOr<Slice> Get(SlotId slot) const;
+
+  /// Tombstones `slot`.  Space is not reclaimed (no compaction), matching
+  /// the simple heap semantics the experiments need.
+  Status Delete(SlotId slot);
+
+  /// Overwrites a record in place if the new value is not longer than the
+  /// old; otherwise fails with NotSupported (caller re-inserts).
+  Status Update(SlotId slot, Slice record);
+
+  /// Singly-linked list of pages forming a heap file (also used as the
+  /// leaf chain by the B+Tree).
+  PageId next_page() const { return header()->next_page; }
+  void set_next_page(PageId next) { header()->next_page = next; }
+
+  /// Free-use header fields for access methods (B+Tree/GiST store the node
+  /// level here; 0 = leaf).
+  uint16_t level() const { return header()->level; }
+  void set_level(uint16_t level) { header()->level = level; }
+  uint16_t flags() const { return header()->flags; }
+  void set_flags(uint16_t flags) { header()->flags = flags; }
+
+ private:
+  struct PageHeader {
+    uint16_t num_slots;
+    uint16_t data_start;  // offset of the lowest record byte
+    PageId next_page;
+    uint16_t flags;
+    uint16_t level;
+  };
+  struct Slot {
+    uint16_t offset;  // 0 = tombstone
+    uint16_t length;
+  };
+
+  PageHeader* header() { return reinterpret_cast<PageHeader*>(bytes_); }
+  const PageHeader* header() const {
+    return reinterpret_cast<const PageHeader*>(bytes_);
+  }
+  Slot* slot_array() {
+    return reinterpret_cast<Slot*>(bytes_ + sizeof(PageHeader));
+  }
+  const Slot* slot_array() const {
+    return reinterpret_cast<const Slot*>(bytes_ + sizeof(PageHeader));
+  }
+
+  char bytes_[kPageSize];
+};
+
+static_assert(sizeof(Page) == kPageSize, "Page must be exactly one frame");
+
+/// Record identifier: (page, slot) — stable for the record's lifetime.
+struct Rid {
+  PageId page = kInvalidPage;
+  SlotId slot = 0;
+
+  bool operator==(const Rid& o) const {
+    return page == o.page && slot == o.slot;
+  }
+  bool Valid() const { return page != kInvalidPage; }
+};
+
+}  // namespace mural

@@ -1,0 +1,248 @@
+#include "taxonomy/reachability_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mural {
+
+StatusOr<ReachabilityIndex> ReachabilityIndex::Build(
+    const Taxonomy* taxonomy) {
+  if (taxonomy == nullptr) {
+    return Status::InvalidArgument("null taxonomy");
+  }
+  ReachabilityIndex index(taxonomy);
+  const size_t n = taxonomy->size();
+  index.intervals_.resize(n);
+  index.subtree_size_.assign(n, 1);
+
+  // Spanning tree: each node's first parent is its tree parent; every
+  // further parent contributes a hop entry.
+  std::vector<std::vector<SynsetId>> tree_children(n);
+  std::vector<SynsetId> roots;
+  for (SynsetId v = 0; v < n; ++v) {
+    const auto& parents = taxonomy->ParentsOf(v);
+    if (parents.empty()) {
+      roots.push_back(v);
+      continue;
+    }
+    tree_children[parents[0]].push_back(v);
+    for (size_t p = 1; p < parents.size(); ++p) {
+      index.hops_.push_back(Hop{parents[p], v});
+    }
+  }
+  for (SynsetId v = 0; v < n; ++v) {
+    for (SynsetId eq : taxonomy->EquivalentsOf(v)) {
+      index.equiv_edges_.push_back(Hop{v, eq});
+    }
+  }
+
+  // Iterative preorder numbering; post = max pre within the subtree, so a
+  // subtree occupies the contiguous interval [pre, post].
+  uint32_t counter = 0;
+  std::vector<uint8_t> visited(n, 0);
+  for (SynsetId root : roots) {
+    // (node, child cursor)
+    std::vector<std::pair<SynsetId, size_t>> stack{{root, 0}};
+    if (visited[root]) continue;
+    visited[root] = 1;
+    index.intervals_[root].pre = counter++;
+    while (!stack.empty()) {
+      auto& [node, cursor] = stack.back();
+      if (cursor < tree_children[node].size()) {
+        const SynsetId child = tree_children[node][cursor++];
+        if (!visited[child]) {
+          visited[child] = 1;
+          index.intervals_[child].pre = counter++;
+          stack.emplace_back(child, 0);
+        }
+      } else {
+        index.intervals_[node].post = counter - 1;
+        index.subtree_size_[node] =
+            counter - index.intervals_[node].pre;
+        stack.pop_back();
+      }
+    }
+  }
+  for (SynsetId v = 0; v < n; ++v) {
+    if (!visited[v]) {
+      // Cycle-guard: nodes unreachable from any root (should not occur in
+      // well-formed hierarchies) get singleton intervals.
+      index.intervals_[v].pre = counter;
+      index.intervals_[v].post = counter;
+      ++counter;
+    }
+  }
+  return index;
+}
+
+bool ReachabilityIndex::ReachesWithinLanguage(SynsetId root, SynsetId node,
+                                              int hop_budget) const {
+  (void)hop_budget;
+  if (TreeDescendant(root, node)) return true;
+  if (hops_.empty()) return false;
+  // Fixpoint over hop entries: a hop (p -> c) activates c's subtree when
+  // p lies in the root's subtree or in an already-activated subtree.
+  // O(#hops^2) worst case; #hops is the handful of multiple-inheritance
+  // edges of a WordNet-shaped hierarchy.
+  std::vector<SynsetId> active;
+  std::vector<uint8_t> in_active(hops_.size(), 0);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t h = 0; h < hops_.size(); ++h) {
+      if (in_active[h]) continue;
+      bool parent_reached = TreeDescendant(root, hops_[h].parent);
+      for (size_t a = 0; !parent_reached && a < active.size(); ++a) {
+        parent_reached = TreeDescendant(active[a], hops_[h].parent);
+      }
+      if (parent_reached) {
+        in_active[h] = 1;
+        active.push_back(hops_[h].child);
+        changed = true;
+      }
+    }
+  }
+  for (SynsetId a : active) {
+    if (TreeDescendant(a, node)) return true;
+  }
+  return false;
+}
+
+bool ReachabilityIndex::Reaches(SynsetId root, SynsetId node,
+                                bool follow_equivalence) const {
+  if (!taxonomy_->Valid(root) || !taxonomy_->Valid(node)) return false;
+  const int hop_budget = static_cast<int>(hops_.size()) + 1;
+
+  // Source set: the root plus (when crossing languages) its equivalence
+  // images — for interlinked replicated WordNets every language's copy of
+  // the root is one equivalence edge away.
+  std::vector<SynsetId> sources{root};
+  if (follow_equivalence) {
+    for (SynsetId eq : taxonomy_->EquivalentsOf(root)) {
+      sources.push_back(eq);
+    }
+  }
+  for (SynsetId r : sources) {
+    if (ReachesWithinLanguage(r, node, hop_budget)) return true;
+  }
+  if (!follow_equivalence) return false;
+
+  // Member-image bridge: node is in the closure when some spanning-tree
+  // ancestor b of node is the equivalence image of a closure member a
+  // (e.g. Suyasarithai under Charitram = image of Autobiography under
+  // History).  Walk node's ancestor chain and test each ancestor's images
+  // against every source.
+  SynsetId b = node;
+  while (true) {
+    for (SynsetId eq : taxonomy_->EquivalentsOf(b)) {
+      for (SynsetId r : sources) {
+        if (ReachesWithinLanguage(r, eq, hop_budget)) return true;
+      }
+    }
+    const auto& parents = taxonomy_->ParentsOf(b);
+    if (parents.empty()) break;
+    b = parents[0];
+  }
+  return false;
+}
+
+size_t ReachabilityIndex::SubtreeSize(SynsetId root) const {
+  return subtree_size_[root];
+}
+
+size_t ReachabilityIndex::ClosureSize(SynsetId root,
+                                      bool follow_equivalence) const {
+  if (!taxonomy_->Valid(root)) return 0;
+  // Exact for pure trees; hop and image contributions are added without
+  // overlap subtraction, so this is an upper-bound estimate on DAGs (the
+  // optimizer consumer only needs the magnitude).
+  size_t total = SubtreeSize(root);
+  const int hop_budget = static_cast<int>(hops_.size()) + 1;
+  for (const Hop& hop : hops_) {
+    if (ReachesWithinLanguage(root, hop.parent, hop_budget) &&
+        !TreeDescendant(root, hop.child)) {
+      total += SubtreeSize(hop.child);
+    }
+  }
+  if (follow_equivalence) {
+    for (SynsetId eq : taxonomy_->EquivalentsOf(root)) {
+      total += ClosureSize(eq, false);
+    }
+  }
+  return total;
+}
+
+PreparedReachability ReachabilityIndex::Prepare(
+    SynsetId root, bool follow_equivalence) const {
+  PreparedReachability prepared;
+  prepared.index_ = this;
+  if (!taxonomy_->Valid(root)) return prepared;
+
+  // Accumulate covering intervals to a fixpoint: the root's subtree seeds
+  // the cover; a hop (p -> c) adds c's subtree once p is covered; an
+  // equivalence edge (a -> b) adds b's subtree once a is covered.
+  std::vector<Interval> cover;
+  auto covered = [&cover](uint32_t pre) {
+    for (const Interval& iv : cover) {
+      if (iv.pre <= pre && pre <= iv.post) return true;
+    }
+    return false;
+  };
+  auto add = [&cover, &covered, this](SynsetId v) {
+    if (covered(intervals_[v].pre)) return false;
+    cover.push_back(intervals_[v]);
+    return true;
+  };
+  add(root);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Hop& hop : hops_) {
+      if (covered(intervals_[hop.parent].pre)) changed |= add(hop.child);
+    }
+    if (follow_equivalence) {
+      for (const Hop& edge : equiv_edges_) {
+        if (covered(intervals_[edge.parent].pre)) {
+          changed |= add(edge.child);
+        }
+      }
+    }
+  }
+
+  // Normalize: drop intervals nested in others, sort, merge adjacency.
+  std::sort(cover.begin(), cover.end(),
+            [](const Interval& a, const Interval& b) {
+              if (a.pre != b.pre) return a.pre < b.pre;
+              return a.post > b.post;
+            });
+  for (const Interval& iv : cover) {
+    if (!prepared.posts_.empty() && iv.post <= prepared.posts_.back()) {
+      continue;  // nested in the previous interval
+    }
+    if (!prepared.posts_.empty() &&
+        iv.pre <= prepared.posts_.back() + 1) {
+      prepared.posts_.back() = iv.post;  // overlap/adjacent: extend
+      continue;
+    }
+    prepared.pres_.push_back(iv.pre);
+    prepared.posts_.push_back(iv.post);
+  }
+  for (size_t i = 0; i < prepared.pres_.size(); ++i) {
+    prepared.covered_ += prepared.posts_[i] - prepared.pres_[i] + 1;
+  }
+  return prepared;
+}
+
+bool PreparedReachability::Contains(SynsetId node) const {
+  if (index_ == nullptr || !index_->taxonomy_->Valid(node)) return false;
+  const uint32_t pre = index_->intervals_[node].pre;
+  // Last interval starting at or before `pre`.
+  const auto it =
+      std::upper_bound(pres_.begin(), pres_.end(), pre) - 1;
+  if (it < pres_.begin()) return false;
+  const size_t i = static_cast<size_t>(it - pres_.begin());
+  return pre <= posts_[i];
+}
+
+}  // namespace mural

@@ -1,0 +1,121 @@
+// ReachabilityIndex: constant-time subsumption tests without closure
+// materialization — the direction the paper's §4.3.1 sketches via the
+// Hopi 2-hop cover and leaves to future work.
+//
+// Observation the index exploits: WordNet-style hierarchies are trees
+// plus a very small number of extra (multiple-inheritance) edges.  We
+// therefore label every synset with a pre/post-order interval over a
+// spanning tree of its language's hierarchy: u is a tree-descendant of v
+// iff  interval(v) contains interval(u)  — an O(1) test.  The few
+// non-tree IS-A edges get 2-hop-style *hop entries*: child c with extra
+// parent p contributes hop (p -> c), and a reachability query
+// "is u under v?" succeeds if some hop (p -> c) has p under v (tree test)
+// and u under c (recursive, bounded by the hop count).  Equivalence links
+// across languages are handled by testing the query against each
+// language's image of the root.
+//
+// Complexity: build O(V + E); space O(V + #extra-edges); query
+// O((#hops + #equivalents) * cost(tree test)) — effectively O(1) for
+// WordNet-shaped inputs.  Compare the materialized-closure path: O(|TC|)
+// build per root plus hashing; the ablation bench contrasts the two.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "taxonomy/taxonomy.h"
+
+namespace mural {
+
+class ReachabilityIndex;
+
+/// A prepared reachability query: the closure of one root represented as
+/// a set of disjoint preorder intervals (root subtree + activated hop
+/// subtrees + equivalence-image subtrees).  Membership tests are a
+/// binary search — the access pattern of an Omega scan, where one query
+/// concept is probed with many category values.
+class PreparedReachability {
+ public:
+  /// True iff `node` is in the prepared root's transitive closure.
+  bool Contains(SynsetId node) const;
+
+  /// Number of covering intervals (compactness measure; contrast with
+  /// |TC| hash-set entries for the materialized closure).
+  size_t num_intervals() const { return pres_.size(); }
+
+  /// Exact closure size (sum of covered preorder positions).
+  size_t size() const { return covered_; }
+
+ private:
+  friend class ReachabilityIndex;
+  const ReachabilityIndex* index_ = nullptr;
+  // Disjoint, sorted covering intervals [pres_[i], posts_[i]].
+  std::vector<uint32_t> pres_;
+  std::vector<uint32_t> posts_;
+  size_t covered_ = 0;
+};
+
+class ReachabilityIndex {
+ public:
+  /// Builds labels for `taxonomy` (not owned; must outlive the index and
+  /// not change afterwards).
+  static StatusOr<ReachabilityIndex> Build(const Taxonomy* taxonomy);
+
+  /// True iff `node` is in TC(root): node == root, a tree descendant, a
+  /// descendant through an extra IS-A edge, or — when follow_equivalence
+  /// — any of the above for an equivalence image of a closure member.
+  bool Reaches(SynsetId root, SynsetId node,
+               bool follow_equivalence = true) const;
+
+  /// Exact closure size |TC(root)| computed through the labels (used by
+  /// the optimizer's Omega estimates without materializing the set).
+  size_t ClosureSize(SynsetId root, bool follow_equivalence = true) const;
+
+  /// Number of non-tree IS-A edges that required hop entries.
+  size_t num_hops() const { return hops_.size(); }
+
+  /// Prepares the closure of `root` for repeated membership probes.
+  /// Cost: O((#hops + #equivalence-edges) * iterations); thereafter each
+  /// Contains() is O(log #intervals).
+  PreparedReachability Prepare(SynsetId root,
+                               bool follow_equivalence = true) const;
+
+ private:
+  struct Interval {
+    uint32_t pre = 0;   // preorder entry
+    uint32_t post = 0;  // preorder exit (max pre in subtree)
+  };
+  struct Hop {
+    SynsetId parent;  // extra-edge head (the hypernym)
+    SynsetId child;   // extra-edge tail (the hyponym)
+  };
+
+  explicit ReachabilityIndex(const Taxonomy* taxonomy)
+      : taxonomy_(taxonomy) {}
+
+  bool TreeDescendant(SynsetId root, SynsetId node) const {
+    const Interval& r = intervals_[root];
+    const Interval& n = intervals_[node];
+    return r.pre <= n.pre && n.post <= r.post;
+  }
+
+  bool ReachesWithinLanguage(SynsetId root, SynsetId node,
+                             int hop_budget) const;
+
+  /// Tree-subtree size from intervals (post - pre + 1 over the spanning
+  /// tree); extra-edge contributions are added by walking hops.
+  size_t SubtreeSize(SynsetId root) const;
+
+  friend class PreparedReachability;
+
+  const Taxonomy* taxonomy_;
+  std::vector<Interval> intervals_;
+  std::vector<uint32_t> subtree_size_;  // spanning-tree subtree sizes
+  std::vector<Hop> hops_;
+  // All equivalence edges, flattened (both directions present).
+  std::vector<Hop> equiv_edges_;
+};
+
+}  // namespace mural

@@ -1,0 +1,182 @@
+#include "taxonomy/taxonomy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mural {
+
+std::string Taxonomy::IndexKey(std::string_view lemma, LangId lang) {
+  std::string key(lemma);
+  key.push_back('\0');
+  key += std::to_string(lang);
+  return key;
+}
+
+SynsetId Taxonomy::AddSynset(LangId lang, std::string lemma) {
+  const SynsetId id = static_cast<SynsetId>(synsets_.size());
+  lemma_index_[IndexKey(lemma, lang)].push_back(id);
+  synsets_.push_back(Synset{id, lang, std::move(lemma)});
+  children_.emplace_back();
+  parents_.emplace_back();
+  equivalents_.emplace_back();
+  return id;
+}
+
+Status Taxonomy::AddIsA(SynsetId child, SynsetId parent) {
+  if (!Valid(child) || !Valid(parent)) {
+    return Status::InvalidArgument("IS-A edge references unknown synset");
+  }
+  if (child == parent) {
+    return Status::InvalidArgument("IS-A self-loop rejected");
+  }
+  if (synsets_[child].lang != synsets_[parent].lang) {
+    return Status::InvalidArgument(
+        "IS-A edges must stay within one language; use AddEquivalence");
+  }
+  children_[parent].push_back(child);
+  parents_[child].push_back(parent);
+  ++num_isa_edges_;
+  return Status::OK();
+}
+
+Status Taxonomy::AddEquivalence(SynsetId a, SynsetId b) {
+  if (!Valid(a) || !Valid(b)) {
+    return Status::InvalidArgument("equivalence references unknown synset");
+  }
+  if (a == b) {
+    return Status::InvalidArgument("equivalence self-loop rejected");
+  }
+  equivalents_[a].push_back(b);
+  equivalents_[b].push_back(a);
+  ++num_equiv_edges_;
+  return Status::OK();
+}
+
+std::vector<SynsetId> Taxonomy::Lookup(std::string_view lemma,
+                                       LangId lang) const {
+  auto it = lemma_index_.find(IndexKey(lemma, lang));
+  if (it == lemma_index_.end()) return {};
+  return it->second;
+}
+
+std::vector<SynsetId> Taxonomy::Lookup(const UniText& value) const {
+  return Lookup(value.text(), value.lang());
+}
+
+Closure Taxonomy::TransitiveClosure(SynsetId root,
+                                    bool follow_equivalence) const {
+  return TransitiveClosureOfAll({root}, follow_equivalence);
+}
+
+Closure Taxonomy::TransitiveClosureOfAll(const std::vector<SynsetId>& roots,
+                                         bool follow_equivalence) const {
+  Closure closure;
+  std::vector<SynsetId> stack;
+  for (SynsetId root : roots) {
+    if (!Valid(root)) continue;
+    if (closure.insert(root).second) stack.push_back(root);
+  }
+  while (!stack.empty()) {
+    const SynsetId id = stack.back();
+    stack.pop_back();
+    for (SynsetId child : children_[id]) {
+      if (closure.insert(child).second) stack.push_back(child);
+    }
+    if (follow_equivalence) {
+      for (SynsetId eq : equivalents_[id]) {
+        if (closure.insert(eq).second) stack.push_back(eq);
+      }
+    }
+  }
+  return closure;
+}
+
+bool Taxonomy::SemMatch(const UniText& a, const UniText& b) const {
+  const std::vector<SynsetId> lhs = Lookup(a);
+  if (lhs.empty()) return false;
+  const std::vector<SynsetId> rhs = Lookup(b);
+  if (rhs.empty()) return false;
+  const Closure closure = TransitiveClosureOfAll(rhs);
+  for (SynsetId id : lhs) {
+    if (closure.count(id) > 0) return true;
+  }
+  return false;
+}
+
+TaxonomyStats Taxonomy::ComputeStats() const {
+  TaxonomyStats stats;
+  stats.num_synsets = synsets_.size();
+  stats.num_isa_edges = num_isa_edges_;
+  stats.num_equiv_edges = num_equiv_edges_;
+
+  uint64_t internal = 0, child_sum = 0;
+  std::unordered_set<LangId> langs;
+  for (const Synset& s : synsets_) langs.insert(s.lang);
+  stats.num_languages = static_cast<uint32_t>(langs.size());
+
+  // Height by DP over the DAG: depth[v] = 1 + max(depth of children).
+  // Process in reverse topological order via iterative post-order from the
+  // roots (nodes with no parents).  The IS-A relation is acyclic by
+  // construction in our generators; cycles would make height undefined, so
+  // we guard with a visited-state machine and treat back edges as absent.
+  std::vector<uint32_t> depth(synsets_.size(), 0);
+  std::vector<uint8_t> state(synsets_.size(), 0);  // 0=new 1=open 2=done
+  for (SynsetId v = 0; v < synsets_.size(); ++v) {
+    if (!children_[v].empty()) {
+      ++internal;
+      child_sum += children_[v].size();
+    }
+    if (state[v] != 0) continue;
+    std::vector<std::pair<SynsetId, size_t>> stack{{v, 0}};
+    state[v] = 1;
+    while (!stack.empty()) {
+      auto& [node, next_child] = stack.back();
+      if (next_child < children_[node].size()) {
+        const SynsetId c = children_[node][next_child++];
+        if (state[c] == 0) {
+          state[c] = 1;
+          stack.emplace_back(c, 0);
+        }
+      } else {
+        uint32_t d = 0;
+        for (SynsetId c : children_[node]) {
+          if (state[c] == 2) d = std::max(d, depth[c] + 1);
+        }
+        depth[node] = d;
+        state[node] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  uint32_t height = 0;
+  for (SynsetId v = 0; v < synsets_.size(); ++v) {
+    if (parents_[v].empty()) height = std::max(height, depth[v]);
+  }
+  stats.height = height;
+  stats.avg_fanout =
+      internal == 0 ? 0.0
+                    : static_cast<double>(child_sum) /
+                          static_cast<double>(internal);
+  return stats;
+}
+
+const Closure& ClosureCache::Get(SynsetId root, bool follow_equivalence) {
+  const uint64_t key =
+      (static_cast<uint64_t>(root) << 1) | (follow_equivalence ? 1u : 0u);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  Closure closure = taxonomy_->TransitiveClosure(root, follow_equivalence);
+  return cache_.emplace(key, std::move(closure)).first->second;
+}
+
+void ClosureCache::Clear() {
+  cache_.clear();
+  hits_ = misses_ = 0;
+}
+
+}  // namespace mural

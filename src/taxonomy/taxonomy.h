@@ -1,0 +1,152 @@
+// WordNet-style multilingual taxonomic hierarchies (paper §2.2, §4.3).
+//
+// A Taxonomy holds synsets (concept nodes) for many languages plus two
+// relation kinds:
+//   - hypernym/hyponym edges (IS-A) *within* a language, forming a DAG;
+//   - equivalence links *across* languages connecting synsets that denote
+//     the same concept (the paper simulates multilingual WordNets by
+//     replicating English WordNet and adding such links, §5.1 — our
+//     generator in datagen/ does exactly that).
+//
+// SemEQUAL(A, B) is membership of A in the transitive closure (self +
+// descendants, expanded across equivalence links) of B.  Closure
+// computation follows §4.3: the hierarchy is pinned in memory, closures are
+// materialized as hash sets and memoized for reuse across probe values.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "text/language.h"
+#include "text/unitext.h"
+
+namespace mural {
+
+/// Dense synset identifier (index into the taxonomy's node arrays).
+using SynsetId = uint32_t;
+
+constexpr SynsetId kInvalidSynset = 0xFFFFFFFFu;
+
+/// One concept node.
+struct Synset {
+  SynsetId id = kInvalidSynset;
+  LangId lang = kLangUnknown;
+  /// Primary lemma (word form) naming the concept in its language.
+  std::string lemma;
+};
+
+/// The set of synsets reachable from a root: the paper's TC(x, MLTH).
+using Closure = std::unordered_set<SynsetId>;
+
+/// Structural statistics used by the Omega cost/cardinality models
+/// (Table 2: f_T = average fan-out, h_T = height; n_T = #synsets).
+struct TaxonomyStats {
+  uint64_t num_synsets = 0;
+  uint64_t num_isa_edges = 0;
+  uint64_t num_equiv_edges = 0;
+  double avg_fanout = 0.0;   // f_T over internal nodes
+  uint32_t height = 0;       // h_T: longest root-to-leaf path
+  uint32_t num_languages = 0;
+};
+
+/// An interlinked multilingual taxonomic hierarchy, pinned in memory.
+class Taxonomy {
+ public:
+  Taxonomy() = default;
+
+  /// Adds a synset; returns its id.
+  SynsetId AddSynset(LangId lang, std::string lemma);
+
+  /// Adds an IS-A edge: `child` is a kind of `parent` (same language).
+  Status AddIsA(SynsetId child, SynsetId parent);
+
+  /// Adds a cross-language equivalence link (symmetric).
+  Status AddEquivalence(SynsetId a, SynsetId b);
+
+  size_t size() const { return synsets_.size(); }
+  const Synset& Get(SynsetId id) const { return synsets_[id]; }
+  bool Valid(SynsetId id) const { return id < synsets_.size(); }
+
+  const std::vector<SynsetId>& ChildrenOf(SynsetId id) const {
+    return children_[id];
+  }
+  const std::vector<SynsetId>& ParentsOf(SynsetId id) const {
+    return parents_[id];
+  }
+  const std::vector<SynsetId>& EquivalentsOf(SynsetId id) const {
+    return equivalents_[id];
+  }
+
+  /// All synsets whose lemma is `lemma` in language `lang` (homonyms
+  /// possible).  Empty if the word is not in the taxonomy.
+  std::vector<SynsetId> Lookup(std::string_view lemma, LangId lang) const;
+
+  /// Resolves a UniText value to synset ids (lemma in its language).
+  std::vector<SynsetId> Lookup(const UniText& value) const;
+
+  /// Transitive closure of `root`: root itself, all IS-A descendants, and —
+  /// when `follow_equivalence` — the equivalence images of every member
+  /// together with *their* descendants (so a Tamil 'Charitram' node under
+  /// an equivalent of 'History' is found).  Iterative DFS; no recursion.
+  Closure TransitiveClosure(SynsetId root,
+                            bool follow_equivalence = true) const;
+
+  /// Union of the closures of several roots (homonymous query lemmas).
+  Closure TransitiveClosureOfAll(const std::vector<SynsetId>& roots,
+                                 bool follow_equivalence = true) const;
+
+  /// SemEQUAL truth value on raw values: true iff some synset of `a` lies
+  /// in the transitive closure of some synset of `b` (paper Fig. 5).
+  bool SemMatch(const UniText& a, const UniText& b) const;
+
+  /// Structural statistics (computed on demand, O(n)).
+  TaxonomyStats ComputeStats() const;
+
+  /// Exposes every synset for scans/serialization.
+  const std::vector<Synset>& synsets() const { return synsets_; }
+
+ private:
+  std::vector<Synset> synsets_;
+  std::vector<std::vector<SynsetId>> children_;
+  std::vector<std::vector<SynsetId>> parents_;
+  std::vector<std::vector<SynsetId>> equivalents_;
+  uint64_t num_isa_edges_ = 0;
+  uint64_t num_equiv_edges_ = 0;
+  // (lemma bytes, lang) -> synset ids; key is lemma + '\0' + lang digits.
+  std::unordered_map<std::string, std::vector<SynsetId>> lemma_index_;
+
+  static std::string IndexKey(std::string_view lemma, LangId lang);
+};
+
+/// Memoizing cache of materialized closures (paper §4.3): closures are
+/// stored as hash tables keyed by root synset and reused both across LHS
+/// probe values and across duplicate RHS values.
+class ClosureCache {
+ public:
+  explicit ClosureCache(const Taxonomy* taxonomy) : taxonomy_(taxonomy) {}
+
+  /// The closure of `root`; computed on first use, shared thereafter.
+  const Closure& Get(SynsetId root, bool follow_equivalence = true);
+
+  /// Drops all materialized closures.
+  void Clear();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t size() const { return cache_.size(); }
+
+ private:
+  const Taxonomy* taxonomy_;
+  // key encodes (root, follow_equivalence)
+  std::unordered_map<uint64_t, Closure> cache_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace mural

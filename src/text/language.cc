@@ -1,0 +1,82 @@
+#include "text/language.h"
+
+#include "common/string_util.h"
+
+namespace mural {
+
+LanguageRegistry& LanguageRegistry::Default() {
+  static LanguageRegistry registry;
+  return registry;
+}
+
+LanguageRegistry::LanguageRegistry() {
+  by_id_.resize(1);  // id 0 = unknown, never registered
+  (void)Register({lang::kEnglish, "English", "en", Script::kLatin,
+                  G2pFamily::kEnglish});
+  (void)Register({lang::kHindi, "Hindi", "hi", Script::kDevanagari,
+                  G2pFamily::kIndic});
+  (void)Register({lang::kTamil, "Tamil", "ta", Script::kTamil,
+                  G2pFamily::kIndic});
+  (void)Register({lang::kKannada, "Kannada", "kn", Script::kKannada,
+                  G2pFamily::kIndic});
+  (void)Register({lang::kFrench, "French", "fr", Script::kLatin,
+                  G2pFamily::kRomance});
+  (void)Register({lang::kGerman, "German", "de", Script::kLatin,
+                  G2pFamily::kGermanic});
+  (void)Register({lang::kSpanish, "Spanish", "es", Script::kLatin,
+                  G2pFamily::kRomance});
+}
+
+Status LanguageRegistry::Register(LanguageInfo info) {
+  if (info.id == kLangUnknown) {
+    return Status::InvalidArgument("language id 0 is reserved");
+  }
+  if (info.name.empty()) {
+    return Status::InvalidArgument("language name must be non-empty");
+  }
+  if (const LanguageInfo* existing = FindByName(info.name)) {
+    if (existing->id != info.id) {
+      return Status::AlreadyExists("language name already registered: " +
+                                   info.name);
+    }
+  }
+  if (info.id < by_id_.size() && by_id_[info.id].id != kLangUnknown) {
+    return Status::AlreadyExists("language id already registered: " +
+                                 std::to_string(info.id));
+  }
+  if (info.id >= by_id_.size()) by_id_.resize(info.id + 1);
+  by_id_[info.id] = std::move(info);
+  return Status::OK();
+}
+
+const LanguageInfo* LanguageRegistry::Find(LangId id) const {
+  if (id == kLangUnknown || id >= by_id_.size()) return nullptr;
+  const LanguageInfo& info = by_id_[id];
+  return info.id == kLangUnknown ? nullptr : &info;
+}
+
+const LanguageInfo* LanguageRegistry::FindByName(std::string_view name) const {
+  for (const LanguageInfo& info : by_id_) {
+    if (info.id == kLangUnknown) continue;
+    if (EqualsIgnoreCase(info.name, name) ||
+        EqualsIgnoreCase(info.iso_code, name)) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+std::string LanguageRegistry::NameOf(LangId id) const {
+  const LanguageInfo* info = Find(id);
+  return info != nullptr ? info->name : "lang#" + std::to_string(id);
+}
+
+std::vector<LanguageInfo> LanguageRegistry::All() const {
+  std::vector<LanguageInfo> out;
+  for (const LanguageInfo& info : by_id_) {
+    if (info.id != kLangUnknown) out.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace mural

@@ -1,0 +1,97 @@
+// Language identifiers and the language registry.
+//
+// UniText tags every string with a LangId because several languages share a
+// script and a string's pronunciation/meaning depends on its language
+// (paper §3.1).  The registry maps ids <-> names and carries the metadata
+// the phonetic layer needs (which G2P rule set applies).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mural {
+
+/// Compact language identifier stored inside every UniText value.
+using LangId = uint16_t;
+
+/// Reserved id meaning "language unknown / not applicable".
+constexpr LangId kLangUnknown = 0;
+
+/// Writing system of a language (several languages share one script).
+enum class Script : uint8_t {
+  kLatin,
+  kDevanagari,
+  kTamil,
+  kKannada,
+  kArabic,
+  kCyrillic,
+  kOther,
+};
+
+/// Which grapheme-to-phoneme rule family to apply.
+enum class G2pFamily : uint8_t {
+  kNone,       // no phonetic rules registered
+  kEnglish,    // English orthography rules
+  kRomance,    // French/Spanish-style Latin orthography
+  kIndic,      // romanized Indic (Hindi/Tamil/Kannada) rules
+  kGermanic,   // German-style rules
+};
+
+/// Static description of one language.
+struct LanguageInfo {
+  LangId id = kLangUnknown;
+  std::string name;      // "English"
+  std::string iso_code;  // "en"
+  Script script = Script::kOther;
+  G2pFamily g2p = G2pFamily::kNone;
+};
+
+/// Registry of known languages.
+///
+/// A process-global default registry is pre-populated with the languages the
+/// paper's experiments use (English, Hindi, Tamil, Kannada, French, plus a
+/// few extras); applications may register more.
+class LanguageRegistry {
+ public:
+  /// The shared default registry (thread-compatible: register at startup).
+  static LanguageRegistry& Default();
+
+  LanguageRegistry();
+
+  /// Registers a language; its id must be unused.  Name and ISO-code
+  /// lookups are case-insensitive.
+  Status Register(LanguageInfo info);
+
+  /// Lookup by id; nullptr if unknown.
+  const LanguageInfo* Find(LangId id) const;
+
+  /// Lookup by name or ISO code, case-insensitively; nullptr if unknown.
+  const LanguageInfo* FindByName(std::string_view name) const;
+
+  /// Human-readable name, or "lang#<id>" for unregistered ids.
+  std::string NameOf(LangId id) const;
+
+  /// All registered languages in id order.
+  std::vector<LanguageInfo> All() const;
+
+ private:
+  std::vector<LanguageInfo> by_id_;  // index == id; id 0 unused
+};
+
+/// Well-known ids pre-registered in LanguageRegistry::Default().
+namespace lang {
+constexpr LangId kEnglish = 1;
+constexpr LangId kHindi = 2;
+constexpr LangId kTamil = 3;
+constexpr LangId kKannada = 4;
+constexpr LangId kFrench = 5;
+constexpr LangId kGerman = 6;
+constexpr LangId kSpanish = 7;
+}  // namespace lang
+
+}  // namespace mural

@@ -1,0 +1,28 @@
+#include "text/unitext.h"
+
+#include "common/utf8.h"
+
+namespace mural {
+
+StatusOr<UniText> UniText::Compose(std::string text, LangId lang) {
+  if (!utf8::IsValid(text)) {
+    return Status::InvalidArgument("UniText text is not well-formed UTF-8");
+  }
+  return UniText(std::move(text), lang);
+}
+
+StatusOr<UniText> UniText::Compose(std::string text, std::string_view lang) {
+  const LanguageInfo* info = LanguageRegistry::Default().FindByName(lang);
+  if (info == nullptr) {
+    return Status::NotFound("unknown language: " + std::string(lang));
+  }
+  return Compose(std::move(text), info->id);
+}
+
+size_t UniText::LengthCodePoints() const { return utf8::Length(text_); }
+
+std::string UniText::ToString() const {
+  return "'" + text_ + "'@" + LanguageRegistry::Default().NameOf(lang_);
+}
+
+}  // namespace mural

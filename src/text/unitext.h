@@ -1,0 +1,88 @@
+// UniText: the multilingual text datatype (paper §3.1).
+//
+// A UniText value is a 2-tuple (Text, LangId): a Unicode string in a
+// standardized encoding (we use UTF-8) plus an identifier of the language of
+// the string.  Optionally it carries a *materialized phoneme string* so that
+// repeated LexEQUAL evaluations (notably joins) avoid re-running the
+// text-to-phoneme transformation (paper §4.2).
+//
+// Operators (paper §3.1-3.2):
+//   - Compose (⊕):    UniText::Compose(text, lang)
+//   - Decompose (⊖):  Decompose() -> {text, lang}
+//   - Text ops (=, <, <=, ...) operate on the Text component only.
+//   - ≗ (FullEquals) compares both components.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+#include "text/language.h"
+
+namespace mural {
+
+/// The multilingual string type stored by UniText columns.
+class UniText {
+ public:
+  /// Empty string in the unknown language.
+  UniText() = default;
+
+  UniText(std::string text, LangId lang)
+      : text_(std::move(text)), lang_(lang) {}
+
+  /// The composing operator ⊕: builds a UniText from a Unicode string and
+  /// its language identifier.  Rejects malformed UTF-8.
+  static StatusOr<UniText> Compose(std::string text, LangId lang);
+
+  /// Convenience compose that resolves the language by name/ISO code via
+  /// LanguageRegistry::Default().
+  static StatusOr<UniText> Compose(std::string text, std::string_view lang);
+
+  /// The decomposing operator ⊖: splits into (text, lang).
+  std::pair<std::string, LangId> Decompose() const {
+    return {text_, lang_};
+  }
+
+  const std::string& text() const { return text_; }
+  LangId lang() const { return lang_; }
+
+  /// Materialized phoneme string, if the column/value carries one.
+  const std::optional<std::string>& phonemes() const { return phonemes_; }
+  void set_phonemes(std::string p) { phonemes_ = std::move(p); }
+  void clear_phonemes() { phonemes_.reset(); }
+  bool has_phonemes() const { return phonemes_.has_value(); }
+
+  /// Standard text comparison: operates on the Text component only
+  /// (byte-wise, which for UTF-8 equals code-point order).  The language
+  /// tag is deliberately ignored, so UniText supports the normal Text
+  /// operators unchanged (paper §3.2.1).
+  int CompareText(const UniText& other) const {
+    return text_.compare(other.text_);
+  }
+
+  bool operator==(const UniText& other) const {
+    return CompareText(other) == 0;
+  }
+  bool operator<(const UniText& other) const { return CompareText(other) < 0; }
+
+  /// The ≗ operator: equality of both the Text and LangId components.
+  bool FullEquals(const UniText& other) const {
+    return lang_ == other.lang_ && text_ == other.text_;
+  }
+
+  /// Number of code points in the text.
+  size_t LengthCodePoints() const;
+
+  /// "'text'@Language" rendering for diagnostics and query results.
+  std::string ToString() const;
+
+ private:
+  std::string text_;
+  LangId lang_ = kLangUnknown;
+  std::optional<std::string> phonemes_;
+};
+
+}  // namespace mural

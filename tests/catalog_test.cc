@@ -1,0 +1,254 @@
+// Tests for values, schemas, the tuple codec (including UniText with
+// materialized phonemes) and the catalog.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/schema.h"
+#include "catalog/tuple_codec.h"
+#include "catalog/value.h"
+#include "index/btree.h"
+#include "phonetic/transformer.h"
+#include "storage/disk_manager.h"
+
+namespace mural {
+namespace {
+
+// ----------------------------------------------------------------- Value
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).type(), TypeId::kBool);
+  EXPECT_EQ(Value::Int32(-7).int32(), -7);
+  EXPECT_EQ(Value::Int64(1LL << 40).int64(), 1LL << 40);
+  EXPECT_EQ(Value::Float64(2.5).float64(), 2.5);
+  EXPECT_EQ(Value::Text("hi").text(), "hi");
+  const Value u = Value::Uni("nehru", lang::kEnglish);
+  EXPECT_EQ(u.unitext().lang(), lang::kEnglish);
+}
+
+TEST(ValueTest, NumericComparisonCrossesWidths) {
+  EXPECT_EQ(Value::Int32(3).Compare(Value::Int64(3)), 0);
+  EXPECT_LT(Value::Int32(3).Compare(Value::Float64(3.5)), 0);
+  EXPECT_GT(Value::Int64(4).Compare(Value::Float64(3.5)), 0);
+  EXPECT_TRUE(Value::Int32(5).Equals(Value::Float64(5.0)));
+}
+
+TEST(ValueTest, NullComparesBeforeEverythingAndNeverEquals) {
+  EXPECT_LT(Value::Null().Compare(Value::Int32(0)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  EXPECT_FALSE(Value::Null().Equals(Value::Null()));  // SQL semantics
+  EXPECT_FALSE(Value::Int32(1).Equals(Value::Null()));
+}
+
+TEST(ValueTest, TextAndUniTextCompareByTextComponent) {
+  // Paper §3.2.1: ordinary text operators on UniText ignore the language.
+  const Value a = Value::Uni("alpha", lang::kEnglish);
+  const Value b = Value::Uni("alpha", lang::kTamil);
+  EXPECT_EQ(a.Compare(b), 0);
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_EQ(Value::Text("alpha").Compare(a), 0);
+  // The full-equality operator distinguishes them.
+  EXPECT_FALSE(a.unitext().FullEquals(b.unitext()));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int32(7).Hash(), Value::Int64(7).Hash());
+  EXPECT_EQ(Value::Int32(7).Hash(), Value::Float64(7.0).Hash());
+  EXPECT_NE(Value::Text("a").Hash(), Value::Text("b").Hash());
+}
+
+// ---------------------------------------------------------------- Schema
+
+TEST(SchemaTest, ResolveIsCaseInsensitive) {
+  Schema schema({{"Author", TypeId::kUniText}, {"Title", TypeId::kText}});
+  EXPECT_EQ(schema.IndexOf("author"), 0);
+  EXPECT_EQ(schema.IndexOf("TITLE"), 1);
+  EXPECT_EQ(schema.IndexOf("missing"), -1);
+  EXPECT_TRUE(schema.Resolve("missing").status().IsNotFound());
+  EXPECT_EQ(*schema.Resolve("Author"), 0u);
+}
+
+TEST(SchemaTest, ConcatDisambiguatesCollisions) {
+  Schema left({{"id", TypeId::kInt32}, {"name", TypeId::kText}});
+  Schema right({{"id", TypeId::kInt32}, {"city", TypeId::kText}});
+  const Schema joined = Schema::Concat(left, right);
+  ASSERT_EQ(joined.NumColumns(), 4u);
+  EXPECT_EQ(joined.column(0).name, "l.id");
+  EXPECT_EQ(joined.column(1).name, "name");
+  EXPECT_EQ(joined.column(2).name, "r.id");
+  EXPECT_EQ(joined.column(3).name, "city");
+}
+
+// ------------------------------------------------------------ TupleCodec
+
+TEST(TupleCodecTest, RoundTripsEveryType) {
+  Schema schema({{"b", TypeId::kBool},
+                 {"i", TypeId::kInt32},
+                 {"l", TypeId::kInt64},
+                 {"f", TypeId::kFloat64},
+                 {"t", TypeId::kText},
+                 {"u", TypeId::kUniText}});
+  UniText uni("charitram", lang::kTamil);
+  PhoneticTransformer::Default().Materialize(&uni);
+  Row row{Value::Bool(true),     Value::Int32(-5),
+          Value::Int64(1LL << 33), Value::Float64(0.125),
+          Value::Text("plain"),  Value::Uni(uni)};
+  std::string bytes;
+  ASSERT_TRUE(TupleCodec::Serialize(schema, row, &bytes).ok());
+  EXPECT_EQ(bytes.size(), TupleCodec::SerializedSize(schema, row));
+
+  Row decoded;
+  ASSERT_TRUE(TupleCodec::Deserialize(schema, bytes, &decoded).ok());
+  ASSERT_EQ(decoded.size(), 6u);
+  EXPECT_TRUE(decoded[0].bool_val());
+  EXPECT_EQ(decoded[1].int32(), -5);
+  EXPECT_EQ(decoded[2].int64(), 1LL << 33);
+  EXPECT_EQ(decoded[3].float64(), 0.125);
+  EXPECT_EQ(decoded[4].text(), "plain");
+  EXPECT_EQ(decoded[5].unitext().text(), "charitram");
+  EXPECT_EQ(decoded[5].unitext().lang(), lang::kTamil);
+  ASSERT_TRUE(decoded[5].unitext().has_phonemes());
+  EXPECT_EQ(*decoded[5].unitext().phonemes(), *uni.phonemes());
+}
+
+TEST(TupleCodecTest, NullsRoundTrip) {
+  Schema schema({{"a", TypeId::kInt32}, {"b", TypeId::kText}});
+  Row row{Value::Null(), Value::Null()};
+  std::string bytes;
+  ASSERT_TRUE(TupleCodec::Serialize(schema, row, &bytes).ok());
+  EXPECT_EQ(bytes.size(), 2u);  // two null flags only
+  Row decoded;
+  ASSERT_TRUE(TupleCodec::Deserialize(schema, bytes, &decoded).ok());
+  EXPECT_TRUE(decoded[0].is_null());
+  EXPECT_TRUE(decoded[1].is_null());
+}
+
+TEST(TupleCodecTest, TypeMismatchAndArityRejected) {
+  Schema schema({{"a", TypeId::kInt32}});
+  std::string bytes;
+  EXPECT_TRUE(TupleCodec::Serialize(schema, {Value::Text("x")}, &bytes)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(TupleCodec::Serialize(schema, {}, &bytes).IsInvalidArgument());
+}
+
+TEST(TupleCodecTest, CorruptBytesRejected) {
+  Schema schema({{"a", TypeId::kText}});
+  Row decoded;
+  EXPECT_FALSE(TupleCodec::Deserialize(schema, "\x01\xFF", &decoded).ok());
+  // Trailing garbage after a well-formed tuple.
+  std::string bytes;
+  ASSERT_TRUE(TupleCodec::Serialize(schema, {Value::Text("x")}, &bytes).ok());
+  bytes += "junk";
+  EXPECT_TRUE(
+      TupleCodec::Deserialize(schema, bytes, &decoded).IsCorruption());
+}
+
+// --------------------------------------------------------------- Catalog
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  CatalogTest() : pool_(&disk_, 64), catalog_(&pool_) {}
+
+  MemoryDiskManager disk_;
+  BufferPool pool_;
+  Catalog catalog_;
+};
+
+TEST_F(CatalogTest, CreateGetDropTable) {
+  Schema schema({{"id", TypeId::kInt32}, {"name", TypeId::kUniText}});
+  auto table = catalog_.CreateTable("Book", schema);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->name, "Book");
+  EXPECT_TRUE(catalog_.GetTable("book").ok());  // case-insensitive
+  EXPECT_TRUE(catalog_.CreateTable("BOOK", schema).status().code() ==
+              StatusCode::kAlreadyExists);
+  EXPECT_TRUE(catalog_.DropTable("Book").ok());
+  EXPECT_TRUE(catalog_.GetTable("Book").status().IsNotFound());
+  EXPECT_TRUE(catalog_.DropTable("Book").IsNotFound());
+}
+
+TEST_F(CatalogTest, EmptySchemaRejected) {
+  EXPECT_TRUE(
+      catalog_.CreateTable("empty", Schema(std::vector<Column>{})).status().IsInvalidArgument());
+}
+
+TEST_F(CatalogTest, WriterInsertsAndMaintainsIndexes) {
+  Schema schema({{"id", TypeId::kInt32}, {"name", TypeId::kText}});
+  auto table = catalog_.CreateTable("t", schema);
+  ASSERT_TRUE(table.ok());
+  auto btree = BTreeIndex::Create(&pool_);
+  ASSERT_TRUE(btree.ok());
+  auto index = catalog_.CreateIndex("t_id", "t", "id", /*on_phonemes=*/false,
+                                    IndexKind::kBTree, std::move(*btree));
+  ASSERT_TRUE(index.ok());
+
+  TableWriter writer(*table);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        writer.Insert({Value::Int32(i), Value::Text("n" + std::to_string(i))})
+            .ok());
+  }
+  EXPECT_EQ((*table)->heap->num_records(), 50u);
+  std::vector<Rid> rids;
+  ASSERT_TRUE((*index)->index->SearchEqual(Value::Int32(7), &rids).ok());
+  ASSERT_EQ(rids.size(), 1u);
+  std::string rec;
+  ASSERT_TRUE((*table)->heap->Get(rids[0], &rec).ok());
+  Row row;
+  ASSERT_TRUE(TupleCodec::Deserialize(schema, rec, &row).ok());
+  EXPECT_EQ(row[0].int32(), 7);
+  EXPECT_EQ(row[1].text(), "n7");
+}
+
+TEST_F(CatalogTest, PhonemeIndexRequiresMaterializedPhonemes) {
+  Schema schema({{"name", TypeId::kUniText, /*mat=*/true}});
+  auto table = catalog_.CreateTable("p", schema);
+  ASSERT_TRUE(table.ok());
+  auto btree = BTreeIndex::Create(&pool_);
+  ASSERT_TRUE(btree.ok());
+  ASSERT_TRUE(catalog_
+                  .CreateIndex("p_ph", "p", "name", /*on_phonemes=*/true,
+                               IndexKind::kBTree, std::move(*btree))
+                  .ok());
+  TableWriter writer(*table);
+  // Without materialized phonemes: rejected.
+  EXPECT_FALSE(
+      writer.Insert({Value::Uni("nehru", lang::kEnglish)}).ok());
+  // With: accepted.
+  UniText u("nehru", lang::kEnglish);
+  PhoneticTransformer::Default().Materialize(&u);
+  EXPECT_TRUE(writer.Insert({Value::Uni(u)}).ok());
+}
+
+TEST_F(CatalogTest, FindIndexesAndDropIndex) {
+  Schema schema({{"id", TypeId::kInt32}});
+  ASSERT_TRUE(catalog_.CreateTable("t", schema).ok());
+  auto b1 = BTreeIndex::Create(&pool_);
+  ASSERT_TRUE(catalog_
+                  .CreateIndex("i1", "t", "id", false, IndexKind::kBTree,
+                               std::move(*b1))
+                  .ok());
+  EXPECT_EQ(catalog_.FindIndexes("t", "id").size(), 1u);
+  EXPECT_EQ(catalog_.FindIndexes("t", "other").size(), 0u);
+  ASSERT_TRUE(catalog_.DropIndex("i1").ok());
+  EXPECT_EQ(catalog_.FindIndexes("t", "id").size(), 0u);
+  auto table = catalog_.GetTable("t");
+  EXPECT_TRUE((*table)->indexes.empty());
+}
+
+TEST_F(CatalogTest, DropTableCascadesToIndexes) {
+  Schema schema({{"id", TypeId::kInt32}});
+  ASSERT_TRUE(catalog_.CreateTable("t", schema).ok());
+  auto b1 = BTreeIndex::Create(&pool_);
+  ASSERT_TRUE(catalog_
+                  .CreateIndex("i1", "t", "id", false, IndexKind::kBTree,
+                               std::move(*b1))
+                  .ok());
+  ASSERT_TRUE(catalog_.DropTable("t").ok());
+  EXPECT_TRUE(catalog_.GetIndex("i1").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace mural

@@ -1,0 +1,223 @@
+// Tests for the data generators: determinism, structural knobs, and the
+// semantic properties the experiments rely on (homophone families stay
+// phonemically close; replicated taxonomies are isomorphic and linked).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datagen/catalog_generator.h"
+#include "datagen/name_generator.h"
+#include "datagen/taxonomy_generator.h"
+#include "distance/edit_distance.h"
+#include "phonetic/transformer.h"
+
+namespace mural {
+namespace {
+
+// ------------------------------------------------------------------ names
+
+TEST(NameGeneratorTest, DeterministicForSeed) {
+  NameGenOptions options;
+  options.seed = 5;
+  options.num_bases = 50;
+  options.variants_per_base = 3;
+  const auto a = GenerateNames(options);
+  const auto b = GenerateNames(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].name.FullEquals(b[i].name)) << i;
+  }
+  options.seed = 6;
+  const auto c = GenerateNames(options);
+  size_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].name.FullEquals(c[i].name)) ++diff;
+  }
+  EXPECT_GT(diff, a.size() / 2);
+}
+
+TEST(NameGeneratorTest, SizeAndLanguageCycle) {
+  NameGenOptions options;
+  options.num_bases = 40;
+  options.variants_per_base = 5;
+  options.languages = {lang::kEnglish, lang::kHindi};
+  const auto records = GenerateNames(options);
+  EXPECT_EQ(records.size(), 200u);
+  EXPECT_EQ(records[0].name.lang(), lang::kEnglish);
+  EXPECT_EQ(records[1].name.lang(), lang::kHindi);
+  EXPECT_EQ(records[2].name.lang(), lang::kEnglish);
+  for (const NameRecord& rec : records) {
+    EXPECT_FALSE(rec.name.text().empty());
+    EXPECT_LT(rec.base_id, 40u);
+  }
+}
+
+TEST(NameGeneratorTest, FamiliesArePhonemicallyClusteredMostOfTheTime) {
+  NameGenOptions options;
+  options.seed = 11;
+  options.num_bases = 120;
+  options.variants_per_base = 4;
+  const auto records = GenerateNames(options);
+  const PhoneticTransformer& t = PhoneticTransformer::Default();
+
+  // Within-family distances must be small for the large majority of
+  // variant pairs; cross-family distances mostly large.  These are the
+  // properties that make the generated data a valid LexEQUAL workload.
+  size_t close_in_family = 0, family_pairs = 0;
+  size_t far_cross = 0, cross_pairs = 0;
+  for (size_t i = 0; i < records.size(); i += 4) {
+    const PhonemeString base_ph = t.Transform(records[i].name);
+    for (size_t j = i + 1; j < i + 4; ++j) {
+      ++family_pairs;
+      if (Levenshtein(base_ph, t.Transform(records[j].name)) <= 3) {
+        ++close_in_family;
+      }
+    }
+    const size_t other = (i + 40) % records.size();
+    ++cross_pairs;
+    if (Levenshtein(base_ph, t.Transform(records[other].name)) > 3) {
+      ++far_cross;
+    }
+  }
+  EXPECT_GT(static_cast<double>(close_in_family) / family_pairs, 0.75);
+  EXPECT_GT(static_cast<double>(far_cross) / cross_pairs, 0.8);
+}
+
+// --------------------------------------------------------------- taxonomy
+
+TEST(TaxonomyGeneratorTest, StructuralKnobs) {
+  TaxonomyGenOptions options;
+  options.seed = 3;
+  options.base_synsets = 5000;
+  options.mean_fanout = 4.5;
+  options.languages = {lang::kEnglish, lang::kTamil, lang::kFrench};
+  const GeneratedTaxonomy gen = GenerateTaxonomy(options);
+  const TaxonomyStats stats = gen.taxonomy->ComputeStats();
+  EXPECT_EQ(stats.num_synsets, 15000u);  // 3 languages
+  EXPECT_EQ(stats.num_languages, 3u);
+  // Level-structured construction: height ~ log_f(n), not a path.
+  EXPECT_GE(stats.height, 4u);
+  EXPECT_LE(stats.height, 12u);
+  EXPECT_NEAR(stats.avg_fanout, options.mean_fanout, 3.0);
+  // Equivalence links: each base synset linked to each replica.
+  EXPECT_EQ(stats.num_equiv_edges, 2u * 5000u);
+}
+
+TEST(TaxonomyGeneratorTest, ReplicasAreIsomorphicAndLinked) {
+  TaxonomyGenOptions options;
+  options.base_synsets = 300;
+  options.languages = {lang::kEnglish, lang::kHindi};
+  const GeneratedTaxonomy gen = GenerateTaxonomy(options);
+  const Taxonomy& tax = *gen.taxonomy;
+  ASSERT_EQ(gen.base_synsets.size(), 300u);
+  ASSERT_EQ(gen.replicas.size(), 300u);
+  for (size_t i = 0; i < 300; ++i) {
+    ASSERT_EQ(gen.replicas[i].size(), 1u);
+    const SynsetId base = gen.base_synsets[i];
+    const SynsetId replica = gen.replicas[i][0];
+    EXPECT_EQ(tax.Get(base).lang, lang::kEnglish);
+    EXPECT_EQ(tax.Get(replica).lang, lang::kHindi);
+    // Same out-degree (isomorphic IS-A structure).
+    EXPECT_EQ(tax.ChildrenOf(base).size(), tax.ChildrenOf(replica).size());
+    // Mutually linked.
+    const auto& eq = tax.EquivalentsOf(base);
+    EXPECT_NE(std::find(eq.begin(), eq.end(), replica), eq.end());
+  }
+  // Cross-language closure equals base closure + its mirror image.
+  const Closure base_only =
+      tax.TransitiveClosure(gen.base_synsets[0], false);
+  const Closure full = tax.TransitiveClosure(gen.base_synsets[0], true);
+  EXPECT_EQ(full.size(), 2 * base_only.size());
+}
+
+TEST(TaxonomyGeneratorTest, FindRootsApproximatesTargets) {
+  TaxonomyGenOptions options;
+  options.base_synsets = 4000;
+  options.languages = {lang::kEnglish};
+  const GeneratedTaxonomy gen = GenerateTaxonomy(options);
+  std::vector<SynsetId> sample(gen.base_synsets.begin(),
+                               gen.base_synsets.begin() + 500);
+  for (size_t target : {20, 100, 400}) {
+    const auto roots =
+        FindRootsWithClosureSize(*gen.taxonomy, sample, target, 2);
+    ASSERT_FALSE(roots.empty());
+    const size_t size =
+        gen.taxonomy->TransitiveClosure(roots[0], false).size();
+    // Within a factor of ~4 of the target (discrete subtree sizes).
+    EXPECT_GT(size, target / 4);
+    EXPECT_LT(size, target * 4 + 10);
+  }
+}
+
+// ---------------------------------------------------------------- catalog
+
+TEST(CatalogGeneratorTest, ShapeAndForeignKeys) {
+  TaxonomyGenOptions tax_options;
+  tax_options.base_synsets = 200;
+  const GeneratedTaxonomy tax = GenerateTaxonomy(tax_options);
+  BooksGenOptions options;
+  options.num_authors = 100;
+  options.num_publishers = 20;
+  options.num_books = 500;
+  const BooksDataset data = GenerateBooks(options, tax);
+  EXPECT_EQ(data.authors.size(), 100u);
+  EXPECT_EQ(data.publishers.size(), 20u);
+  EXPECT_EQ(data.books.size(), 500u);
+  for (const BookRow& b : data.books) {
+    EXPECT_GE(b.author_id, 0);
+    EXPECT_LT(b.author_id, 100);
+    EXPECT_GE(b.publisher_id, 0);
+    EXPECT_LT(b.publisher_id, 20);
+    // Category lemma resolves in the taxonomy.
+    EXPECT_FALSE(
+        tax.taxonomy->Lookup(b.category.text(), b.category.lang()).empty());
+  }
+}
+
+TEST(CatalogGeneratorTest, PublisherOverlapProducesHomophones) {
+  TaxonomyGenOptions tax_options;
+  tax_options.base_synsets = 100;
+  const GeneratedTaxonomy tax = GenerateTaxonomy(tax_options);
+  BooksGenOptions options;
+  options.num_authors = 200;
+  options.num_publishers = 100;
+  options.num_books = 10;
+  options.publisher_author_overlap = 0.5;
+  const BooksDataset data = GenerateBooks(options, tax);
+  const PhoneticTransformer& t = PhoneticTransformer::Default();
+  // Count publishers within distance 3 of some author.
+  size_t with_match = 0;
+  for (const PublisherRow& p : data.publishers) {
+    const PhonemeString pph = t.Transform(p.name);
+    for (const AuthorRow& a : data.authors) {
+      if (WithinDistance(t.Transform(a.name), pph, 3)) {
+        ++with_match;
+        break;
+      }
+    }
+  }
+  // Roughly half the publishers share a base; allow generous slack.
+  EXPECT_GT(with_match, 25u);
+}
+
+TEST(CatalogGeneratorTest, CategoriesAreZipfSkewed) {
+  TaxonomyGenOptions tax_options;
+  tax_options.base_synsets = 500;
+  const GeneratedTaxonomy tax = GenerateTaxonomy(tax_options);
+  BooksGenOptions options;
+  options.num_books = 3000;
+  const BooksDataset data = GenerateBooks(options, tax);
+  std::map<std::string, size_t> counts;
+  for (const BookRow& b : data.books) ++counts[b.category.text()];
+  size_t max_count = 0;
+  for (const auto& [cat, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  // The hottest category is far above uniform (3000/500 = 6).
+  EXPECT_GT(max_count, 60u);
+}
+
+}  // namespace
+}  // namespace mural

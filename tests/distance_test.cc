@@ -1,0 +1,145 @@
+// Tests for the edit-distance algorithms, including the metric-axiom
+// property suite the M-Tree's pruning correctness rests on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "distance/edit_distance.h"
+#include "phonetic/phoneme.h"
+
+namespace mural {
+namespace {
+
+// ------------------------------------------------------------ known cases
+
+TEST(LevenshteinTest, KnownValues) {
+  EXPECT_EQ(Levenshtein("", ""), 0);
+  EXPECT_EQ(Levenshtein("abc", ""), 3);
+  EXPECT_EQ(Levenshtein("", "abc"), 3);
+  EXPECT_EQ(Levenshtein("kitten", "sitting"), 3);
+  EXPECT_EQ(Levenshtein("flaw", "lawn"), 2);
+  EXPECT_EQ(Levenshtein("intention", "execution"), 5);
+  EXPECT_EQ(Levenshtein("same", "same"), 0);
+  EXPECT_EQ(Levenshtein("a", "b"), 1);
+}
+
+TEST(BoundedLevenshteinTest, ExactWhenWithinThreshold) {
+  EXPECT_EQ(BoundedLevenshtein("kitten", "sitting", 3), 3);
+  EXPECT_EQ(BoundedLevenshtein("kitten", "sitting", 5), 3);
+  EXPECT_EQ(BoundedLevenshtein("same", "same", 0), 0);
+}
+
+TEST(BoundedLevenshteinTest, CapsWhenExceeded) {
+  EXPECT_EQ(BoundedLevenshtein("kitten", "sitting", 2), 3);  // k+1
+  EXPECT_EQ(BoundedLevenshtein("abcdefgh", "zzzzzzzz", 3), 4);
+  // Length-difference shortcut.
+  EXPECT_EQ(BoundedLevenshtein("a", "abcdefgh", 2), 3);
+}
+
+TEST(BoundedLevenshteinTest, NegativeThreshold) {
+  EXPECT_FALSE(WithinDistance("a", "a", -1));
+  EXPECT_TRUE(WithinDistance("a", "a", 0));
+}
+
+TEST(MyersTest, MatchesReferenceOnKnownCases) {
+  EXPECT_EQ(MyersLevenshtein("kitten", "sitting"), 3);
+  EXPECT_EQ(MyersLevenshtein("", "abc"), 3);
+  EXPECT_EQ(MyersLevenshtein("intention", "execution"), 5);
+}
+
+TEST(CodePointTest, MultibyteCharactersCountOnce) {
+  // Devanagari "naa" vs "na": one code point apart though several bytes.
+  std::string na, naa;
+  utf8::Append(0x928, &na);           // NA
+  utf8::Append(0x928, &naa);
+  utf8::Append(0x93E, &naa);          // AA matra
+  EXPECT_EQ(LevenshteinCodePoints(na, naa), 1);
+  // Byte-level distance would be 3 (the matra is 3 bytes).
+  EXPECT_EQ(Levenshtein(na, naa), 3);
+}
+
+TEST(DistanceStatsTest, CountsCallsAndCells) {
+  DistanceStats stats;
+  BoundedLevenshteinCounted("kitten", "sitting", 3, &stats);
+  BoundedLevenshteinCounted("abc", "abd", 1, &stats);
+  EXPECT_EQ(stats.calls, 2u);
+  EXPECT_GT(stats.cells, 0u);
+  stats.Reset();
+  EXPECT_EQ(stats.calls, 0u);
+}
+
+// ---------------------------------------------------- randomized equality
+
+std::string RandomPhonemeString(Rng* rng, size_t max_len) {
+  const size_t len = rng->Uniform(max_len + 1);
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(phoneme::kAlphabet[rng->Uniform(phoneme::kAlphabet.size())]);
+  }
+  return s;
+}
+
+class RandomizedDistanceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomizedDistanceTest, AllAlgorithmsAgree) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::string a = RandomPhonemeString(&rng, 24);
+    const std::string b = RandomPhonemeString(&rng, 24);
+    const int ref = Levenshtein(a, b);
+    EXPECT_EQ(MyersLevenshtein(a, b), ref) << a << " / " << b;
+    for (int k : {0, 1, 2, 3, 5, 30}) {
+      const int bounded = BoundedLevenshtein(a, b, k);
+      if (ref <= k) {
+        EXPECT_EQ(bounded, ref) << a << " / " << b << " k=" << k;
+      } else {
+        EXPECT_EQ(bounded, k + 1) << a << " / " << b << " k=" << k;
+      }
+      EXPECT_EQ(WithinDistance(a, b, k), ref <= k);
+    }
+  }
+}
+
+TEST_P(RandomizedDistanceTest, MetricAxiomsHold) {
+  Rng rng(GetParam() ^ 0xfeedULL);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::string a = RandomPhonemeString(&rng, 16);
+    const std::string b = RandomPhonemeString(&rng, 16);
+    const std::string c = RandomPhonemeString(&rng, 16);
+    const int dab = Levenshtein(a, b);
+    const int dba = Levenshtein(b, a);
+    const int dac = Levenshtein(a, c);
+    const int dcb = Levenshtein(c, b);
+    // Identity of indiscernibles.
+    EXPECT_EQ(Levenshtein(a, a), 0);
+    EXPECT_EQ(dab == 0, a == b);
+    // Symmetry.
+    EXPECT_EQ(dab, dba);
+    // Triangle inequality — what the M-Tree prunes with.
+    EXPECT_LE(dab, dac + dcb);
+    // Non-negativity and length bounds.
+    EXPECT_GE(dab, std::abs(static_cast<int>(a.size()) -
+                            static_cast<int>(b.size())));
+    EXPECT_LE(dab, static_cast<int>(std::max(a.size(), b.size())));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedDistanceTest,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+// Long strings exercise the >64-phoneme fallback in Myers.
+TEST(MyersTest, LongStringsFallBackCorrectly) {
+  Rng rng(99);
+  const std::string a = RandomPhonemeString(&rng, 200);
+  std::string b = a;
+  if (b.size() > 10) b.erase(3, 4);
+  b += "abc";
+  EXPECT_EQ(MyersLevenshtein(a, b), Levenshtein(a, b));
+}
+
+}  // namespace
+}  // namespace mural

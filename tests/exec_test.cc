@@ -1,0 +1,414 @@
+// Tests for expressions and physical operators, run against in-memory
+// tables built through the catalog.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "catalog/catalog.h"
+#include "exec/agg_ops.h"
+#include "exec/basic_ops.h"
+#include "exec/join_ops.h"
+#include "exec/mural_ops.h"
+#include "exec/scan_ops.h"
+#include "catalog/tuple_codec.h"
+#include "common/random.h"
+#include "index/btree.h"
+#include "index/mtree.h"
+#include "phonetic/transformer.h"
+#include "storage/disk_manager.h"
+#include "taxonomy/taxonomy.h"
+
+namespace mural {
+namespace {
+
+Value Uni(const char* text, LangId lang, bool materialize = true) {
+  UniText u(text, lang);
+  if (materialize) PhoneticTransformer::Default().Materialize(&u);
+  return Value::Uni(std::move(u));
+}
+
+class ExecTest : public ::testing::Test {
+ protected:
+  ExecTest() : pool_(&disk_, 256), catalog_(&pool_) {
+    ctx_.lexequal_threshold = 2;
+  }
+
+  TableInfo* MakeNames() {
+    Schema schema({{"id", TypeId::kInt32},
+                   {"name", TypeId::kUniText, /*mat=*/true}});
+    TableInfo* t = *catalog_.CreateTable("names", schema);
+    TableWriter w(t);
+    const std::pair<const char*, LangId> data[] = {
+        {"nehru", lang::kEnglish},  {"nehrU", lang::kHindi},
+        {"neharu", lang::kTamil},   {"gandhi", lang::kEnglish},
+        {"patel", lang::kEnglish},  {"smith", lang::kEnglish},
+        {"smyth", lang::kEnglish},  {"schmidt", lang::kGerman},
+    };
+    int id = 0;
+    for (const auto& [name, lang] : data) {
+      EXPECT_TRUE(w.Insert({Value::Int32(id++), Uni(name, lang)}).ok());
+    }
+    return t;
+  }
+
+  /// The bilingual History fixture from the taxonomy tests.
+  void MakeTaxonomy() {
+    tax_ = std::make_unique<Taxonomy>();
+    history_ = tax_->AddSynset(lang::kEnglish, "History");
+    const SynsetId autob = tax_->AddSynset(lang::kEnglish, "Autobiography");
+    const SynsetId science = tax_->AddSynset(lang::kEnglish, "Science");
+    const SynsetId charitram = tax_->AddSynset(lang::kTamil, "Charitram");
+    ASSERT_TRUE(tax_->AddIsA(autob, history_).ok());
+    ASSERT_TRUE(tax_->AddEquivalence(history_, charitram).ok());
+    (void)science;
+    cache_ = std::make_unique<ClosureCache>(tax_.get());
+    ctx_.taxonomy = tax_.get();
+    ctx_.closure_cache = cache_.get();
+  }
+
+  MemoryDiskManager disk_;
+  BufferPool pool_;
+  Catalog catalog_;
+  ExecContext ctx_;
+  std::unique_ptr<Taxonomy> tax_;
+  std::unique_ptr<ClosureCache> cache_;
+  SynsetId history_ = 0;
+};
+
+// ------------------------------------------------------------ expressions
+
+TEST_F(ExecTest, ComparisonAndLogicalExpressions) {
+  Row row{Value::Int32(5), Value::Text("abc")};
+  auto ge = Cmp(CompareOp::kGe, Col(0, "a"), Lit(Value::Int32(5)));
+  EXPECT_TRUE(*EvalPredicate(*ge, row, &ctx_));
+  auto lt = Cmp(CompareOp::kLt, Col(0, "a"), Lit(Value::Int32(5)));
+  EXPECT_FALSE(*EvalPredicate(*lt, row, &ctx_));
+  auto both = And(ge, Eq(Col(1, "b"), Lit(Value::Text("abc"))));
+  EXPECT_TRUE(*EvalPredicate(*both, row, &ctx_));
+  EXPECT_FALSE(*EvalPredicate(*Not(both), row, &ctx_));
+  // NULL handling: comparison with NULL is NULL -> predicate false.
+  Row with_null{Value::Null(), Value::Text("abc")};
+  EXPECT_FALSE(*EvalPredicate(*ge, with_null, &ctx_));
+  // OR short-circuits around the NULL.
+  auto or_expr = Or(Eq(Col(1, "b"), Lit(Value::Text("abc"))), ge);
+  EXPECT_TRUE(*EvalPredicate(*or_expr, with_null, &ctx_));
+}
+
+TEST_F(ExecTest, LexEqualExpressionUsesSessionThreshold) {
+  Row row{Uni("nehru", lang::kEnglish), Uni("neharu", lang::kTamil)};
+  auto psi = LexEq(Col(0, "a"), Col(1, "b"));
+  ctx_.lexequal_threshold = 2;
+  EXPECT_TRUE(*EvalPredicate(*psi, row, &ctx_));
+  ctx_.lexequal_threshold = 0;
+  EXPECT_FALSE(*EvalPredicate(*psi, row, &ctx_));
+  // Explicit override beats the session value.
+  auto psi3 = LexEq(Col(0, "a"), Col(1, "b"), 3);
+  EXPECT_TRUE(*EvalPredicate(*psi3, row, &ctx_));
+}
+
+TEST_F(ExecTest, LexEqualPrefersMaterializedPhonemes) {
+  UniText u("nehru", lang::kEnglish);
+  u.set_phonemes("zzz");  // poisoned: proves materialization is used
+  Row row{Value::Uni(u), Uni("nehru", lang::kEnglish)};
+  auto psi = LexEq(Col(0, "a"), Col(1, "b"));
+  ctx_.lexequal_threshold = 1;
+  EXPECT_FALSE(*EvalPredicate(*psi, row, &ctx_));
+}
+
+TEST_F(ExecTest, SemEqualExpression) {
+  MakeTaxonomy();
+  Row row{Uni("Autobiography", lang::kEnglish, false),
+          Uni("History", lang::kEnglish, false)};
+  auto omega = SemEq(Col(0, "a"), Col(1, "b"));
+  EXPECT_TRUE(*EvalPredicate(*omega, row, &ctx_));
+  // Not commutative.
+  auto reversed = SemEq(Col(1, "b"), Col(0, "a"));
+  EXPECT_FALSE(*EvalPredicate(*reversed, row, &ctx_));
+  // Without a taxonomy: error.
+  ctx_.taxonomy = nullptr;
+  EXPECT_FALSE(omega->Evaluate(row, &ctx_).ok());
+}
+
+TEST_F(ExecTest, LangInExpression) {
+  Row row{Uni("nehru", lang::kHindi)};
+  auto in = LangIn(Col(0, "a"), {lang::kHindi, lang::kTamil});
+  EXPECT_TRUE(*EvalPredicate(*in, row, &ctx_));
+  auto not_in = LangIn(Col(0, "a"), {lang::kEnglish});
+  EXPECT_FALSE(*EvalPredicate(*not_in, row, &ctx_));
+}
+
+// -------------------------------------------------------------- operators
+
+TEST_F(ExecTest, SeqScanReadsAllRows) {
+  TableInfo* t = MakeNames();
+  SeqScanOp scan(&ctx_, t);
+  auto rows = CollectAll(&scan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 8u);
+  EXPECT_EQ((*rows)[0][0].int32(), 0);
+  EXPECT_EQ((*rows)[7][1].unitext().text(), "schmidt");
+}
+
+TEST_F(ExecTest, FilterWithPsiPredicate) {
+  TableInfo* t = MakeNames();
+  const Value query = Uni("nehru", lang::kEnglish);
+  auto op = std::make_unique<FilterOp>(
+      &ctx_, std::make_unique<SeqScanOp>(&ctx_, t),
+      LexEq(Col(1, "name"), Lit(query), 2));
+  auto rows = CollectAll(op.get());
+  ASSERT_TRUE(rows.ok());
+  std::set<std::string> names;
+  for (const Row& r : *rows) names.insert(r[1].unitext().text());
+  EXPECT_TRUE(names.count("nehru"));
+  EXPECT_TRUE(names.count("nehrU"));
+  EXPECT_TRUE(names.count("neharu"));
+  EXPECT_FALSE(names.count("gandhi"));
+}
+
+TEST_F(ExecTest, IndexScanMTreeWithLanguageResidual) {
+  TableInfo* t = MakeNames();
+  auto mtree = MTreeIndex::Create(&pool_);
+  ASSERT_TRUE(mtree.ok());
+  auto index = catalog_.CreateIndex("names_ph", "names", "name",
+                                    /*on_phonemes=*/true, IndexKind::kMTree,
+                                    std::move(*mtree));
+  ASSERT_TRUE(index.ok());
+  // Rebuild entries (index created after inserts).
+  {
+    Row row;
+    for (auto it = t->heap->Begin(); it.Valid(); it.Next()) {
+      ASSERT_TRUE(TupleCodec::Deserialize(t->schema, it.record(), &row).ok());
+      ASSERT_TRUE((*index)
+                      ->index
+                      ->Insert(Value::Text(*row[1].unitext().phonemes()),
+                               it.rid())
+                      .ok());
+    }
+  }
+  IndexProbe probe;
+  probe.kind = IndexProbe::Kind::kWithin;
+  probe.key = Value::Text(
+      PhoneticTransformer::Default().Transform("nehru", lang::kEnglish));
+  probe.radius = 2;
+  // Residual: only Hindi/Tamil results (drops the English 'nehru').
+  IndexScanOp scan(&ctx_, t, *index, probe,
+                   LangIn(Col(1, "name"), {lang::kHindi, lang::kTamil}));
+  auto rows = CollectAll(&scan);
+  ASSERT_TRUE(rows.ok());
+  std::set<std::string> names;
+  for (const Row& r : *rows) names.insert(r[1].unitext().text());
+  EXPECT_EQ(names, (std::set<std::string>{"nehrU", "neharu"}));
+}
+
+TEST_F(ExecTest, ProjectLimitSort) {
+  TableInfo* t = MakeNames();
+  auto sort = std::make_unique<SortOp>(
+      &ctx_, std::make_unique<SeqScanOp>(&ctx_, t),
+      std::vector<SortKey>{{0, /*ascending=*/false}});
+  auto limit = std::make_unique<LimitOp>(&ctx_, std::move(sort), 3);
+  OpPtr project = ProjectOp::ByColumns(&ctx_, std::move(limit), {0});
+  auto rows = CollectAll(project.get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0][0].int32(), 7);
+  EXPECT_EQ((*rows)[2][0].int32(), 5);
+  EXPECT_EQ(project->output_schema().NumColumns(), 1u);
+}
+
+TEST_F(ExecTest, HashJoinMatchesNestedLoop) {
+  Schema s1({{"k", TypeId::kInt32}, {"a", TypeId::kText}});
+  Schema s2({{"k", TypeId::kInt32}, {"b", TypeId::kText}});
+  std::vector<Row> r1, r2;
+  Rng rng(3);
+  for (int i = 0; i < 60; ++i) {
+    r1.push_back({Value::Int32(static_cast<int32_t>(rng.Uniform(10))),
+                  Value::Text("a" + std::to_string(i))});
+    r2.push_back({Value::Int32(static_cast<int32_t>(rng.Uniform(10))),
+                  Value::Text("b" + std::to_string(i))});
+  }
+  auto hash = std::make_unique<HashJoinOp>(
+      &ctx_, std::make_unique<ValuesOp>(&ctx_, s1, r1),
+      std::make_unique<ValuesOp>(&ctx_, s2, r2), 0, 0);
+  auto nlj = std::make_unique<NestedLoopJoinOp>(
+      &ctx_, std::make_unique<ValuesOp>(&ctx_, s1, r1),
+      std::make_unique<ValuesOp>(&ctx_, s2, r2),
+      Eq(Col(0, "k"), Col(2, "k")));
+  auto hash_rows = CollectAll(hash.get());
+  auto nlj_rows = CollectAll(nlj.get());
+  ASSERT_TRUE(hash_rows.ok() && nlj_rows.ok());
+  auto Key = [](const Row& r) {
+    return r[1].text() + "|" + r[3].text();
+  };
+  std::multiset<std::string> h, n;
+  for (const Row& r : *hash_rows) h.insert(Key(r));
+  for (const Row& r : *nlj_rows) n.insert(Key(r));
+  EXPECT_EQ(h, n);
+  EXPECT_GT(h.size(), 0u);
+}
+
+TEST_F(ExecTest, HashJoinSkipsNullKeys) {
+  Schema s({{"k", TypeId::kInt32}});
+  std::vector<Row> left{{Value::Null()}, {Value::Int32(1)}};
+  std::vector<Row> right{{Value::Null()}, {Value::Int32(1)}};
+  HashJoinOp join(&ctx_, std::make_unique<ValuesOp>(&ctx_, s, left),
+                  std::make_unique<ValuesOp>(&ctx_, s, right), 0, 0);
+  auto rows = CollectAll(&join);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);  // only 1=1; NULLs never join
+}
+
+TEST_F(ExecTest, AggregateGlobalAndGrouped) {
+  Schema s({{"g", TypeId::kInt32}, {"v", TypeId::kInt32}});
+  std::vector<Row> rows{{Value::Int32(1), Value::Int32(10)},
+                        {Value::Int32(1), Value::Int32(20)},
+                        {Value::Int32(2), Value::Int32(5)},
+                        {Value::Int32(2), Value::Null()}};
+  // Global count(*), sum(v), avg(v), min(v), max(v).
+  AggregateOp global(
+      &ctx_, std::make_unique<ValuesOp>(&ctx_, s, rows), {},
+      {{AggKind::kCountStar, 0, "cnt"},
+       {AggKind::kSum, 1, "sum"},
+       {AggKind::kAvg, 1, "avg"},
+       {AggKind::kMin, 1, "min"},
+       {AggKind::kMax, 1, "max"}});
+  auto out = CollectAll(&global);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0][0].int64(), 4);
+  EXPECT_EQ((*out)[0][1].float64(), 35.0);
+  EXPECT_NEAR((*out)[0][2].float64(), 35.0 / 3, 1e-9);  // NULL skipped
+  EXPECT_EQ((*out)[0][3].int32(), 5);
+  EXPECT_EQ((*out)[0][4].int32(), 20);
+
+  AggregateOp grouped(&ctx_, std::make_unique<ValuesOp>(&ctx_, s, rows),
+                      {0}, {{AggKind::kCount, 1, "cnt"}});
+  auto gout = CollectAll(&grouped);
+  ASSERT_TRUE(gout.ok());
+  ASSERT_EQ(gout->size(), 2u);
+  EXPECT_EQ((*gout)[0][1].int64(), 2);  // group 1
+  EXPECT_EQ((*gout)[1][1].int64(), 1);  // group 2: NULL not counted
+}
+
+TEST_F(ExecTest, AggregateOverEmptyInput) {
+  Schema s({{"v", TypeId::kInt32}});
+  AggregateOp agg(&ctx_, std::make_unique<ValuesOp>(&ctx_, s, std::vector<Row>{}), {},
+                  {{AggKind::kCountStar, 0, "cnt"},
+                   {AggKind::kSum, 0, "sum"}});
+  auto out = CollectAll(&agg);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0][0].int64(), 0);
+  EXPECT_TRUE((*out)[0][1].is_null());
+}
+
+TEST_F(ExecTest, UnionAllConcatenates) {
+  Schema s({{"v", TypeId::kInt32}});
+  UnionAllOp u(&ctx_,
+               std::make_unique<ValuesOp>(
+                   &ctx_, s, std::vector<Row>{{Value::Int32(1)}}),
+               std::make_unique<ValuesOp>(
+                   &ctx_, s,
+                   std::vector<Row>{{Value::Int32(2)}, {Value::Int32(3)}}));
+  auto rows = CollectAll(&u);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[2][0].int32(), 3);
+}
+
+// --------------------------------------------------------- Psi/Omega join
+
+TEST_F(ExecTest, LexJoinFindsHomophonesAndTagsDistance) {
+  Schema s({{"name", TypeId::kUniText}});
+  std::vector<Row> left{{Uni("smith", lang::kEnglish)},
+                        {Uni("patel", lang::kEnglish)}};
+  std::vector<Row> right{{Uni("smyth", lang::kEnglish)},
+                         {Uni("schmidt", lang::kGerman)},
+                         {Uni("gandhi", lang::kEnglish)}};
+  LexJoinOp::Options options;
+  options.threshold = 2;
+  options.tag_distance = true;
+  LexJoinOp join(&ctx_, std::make_unique<ValuesOp>(&ctx_, s, left),
+                 std::make_unique<ValuesOp>(&ctx_, s, right), 0, 0,
+                 options);
+  auto rows = CollectAll(&join);
+  ASSERT_TRUE(rows.ok());
+  // smith~smyth (d<=1) and smith~schmidt (/smiF/ vs /Smit/, d=2).
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ(join.output_schema().NumColumns(), 3u);
+  for (const Row& r : *rows) {
+    EXPECT_EQ(r[0].unitext().text(), "smith");
+    EXPECT_LE(r[2].int32(), 2);
+  }
+}
+
+TEST_F(ExecTest, LexJoinAgreesWithFilterOverCrossProduct) {
+  TableInfo* t = MakeNames();
+  LexJoinOp::Options options;
+  options.threshold = 2;
+  LexJoinOp join(&ctx_, std::make_unique<SeqScanOp>(&ctx_, t),
+                 std::make_unique<SeqScanOp>(&ctx_, t), 1, 1, options);
+  auto join_rows = CollectAll(&join);
+  ASSERT_TRUE(join_rows.ok());
+
+  NestedLoopJoinOp cross(&ctx_, std::make_unique<SeqScanOp>(&ctx_, t),
+                         std::make_unique<SeqScanOp>(&ctx_, t),
+                         LexEq(Col(1, "l"), Col(3, "r"), 2));
+  auto cross_rows = CollectAll(&cross);
+  ASSERT_TRUE(cross_rows.ok());
+  EXPECT_EQ(join_rows->size(), cross_rows->size());
+  EXPECT_GE(join_rows->size(), 8u);  // at least the reflexive pairs
+}
+
+TEST_F(ExecTest, SemJoinReusesClosures) {
+  MakeTaxonomy();
+  Schema s({{"cat", TypeId::kUniText}});
+  std::vector<Row> lhs{{Uni("Autobiography", lang::kEnglish, false)},
+                       {Uni("Science", lang::kEnglish, false)},
+                       {Uni("Charitram", lang::kTamil, false)}};
+  // RHS has duplicate values: the closure must be computed once.
+  std::vector<Row> rhs{{Uni("History", lang::kEnglish, false)},
+                       {Uni("History", lang::kEnglish, false)},
+                       {Uni("History", lang::kEnglish, false)}};
+  SemJoinOp join(&ctx_, std::make_unique<ValuesOp>(&ctx_, s, lhs),
+                 std::make_unique<ValuesOp>(&ctx_, s, rhs), 0, 0);
+  auto rows = CollectAll(&join);
+  ASSERT_TRUE(rows.ok());
+  // 2 matching LHS values x 3 RHS duplicates.
+  EXPECT_EQ(rows->size(), 6u);
+  EXPECT_EQ(ctx_.stats.closure_computations, 1u);
+  EXPECT_EQ(ctx_.stats.closure_reuses, 2u);
+}
+
+TEST_F(ExecTest, SemJoinSortUniqueWithoutCache) {
+  MakeTaxonomy();
+  Schema s({{"cat", TypeId::kUniText}});
+  std::vector<Row> lhs{{Uni("Autobiography", lang::kEnglish, false)}};
+  std::vector<Row> rhs{{Uni("History", lang::kEnglish, false)},
+                       {Uni("Science", lang::kEnglish, false)},
+                       {Uni("History", lang::kEnglish, false)}};
+  SemJoinOp::Options options;
+  options.use_closure_cache = false;
+  options.sort_unique_rhs = true;
+  SemJoinOp join(&ctx_, std::make_unique<ValuesOp>(&ctx_, s, lhs),
+                 std::make_unique<ValuesOp>(&ctx_, s, rhs), 0, 0, options);
+  auto rows = CollectAll(&join);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);  // autobiography under both History dups
+  // Two unique RHS values -> exactly two closure computations.
+  EXPECT_EQ(ctx_.stats.closure_computations, 2u);
+  EXPECT_EQ(ctx_.stats.closure_reuses, 1u);
+}
+
+TEST_F(ExecTest, ExplainTreeRendersPlanShape) {
+  TableInfo* t = MakeNames();
+  auto filter = std::make_unique<FilterOp>(
+      &ctx_, std::make_unique<SeqScanOp>(&ctx_, t),
+      Eq(Col(0, "id"), Lit(Value::Int32(1))));
+  const std::string explain = ExplainTree(*filter);
+  EXPECT_NE(explain.find("Filter"), std::string::npos);
+  EXPECT_NE(explain.find("SeqScan(names)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mural

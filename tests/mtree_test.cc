@@ -1,0 +1,228 @@
+// Tests for the GiST framework and the M-Tree metric index: exactness of
+// range-by-distance search against brute force, split behaviour, pruning,
+// and the key-encoding helpers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "distance/edit_distance.h"
+#include "index/mtree.h"
+#include "phonetic/phoneme.h"
+#include "phonetic/transformer.h"
+#include "storage/disk_manager.h"
+
+namespace mural {
+namespace {
+
+Rid MakeRid(uint32_t n) { return Rid{n, 0}; }
+
+std::string RandomPhonemes(Rng* rng, size_t min_len, size_t max_len) {
+  const size_t len = min_len + rng->Uniform(max_len - min_len + 1);
+  std::string s;
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(phoneme::kAlphabet[rng->Uniform(phoneme::kAlphabet.size())]);
+  }
+  return s;
+}
+
+TEST(MTreeOpsTest, KeyEncodingRoundTrips) {
+  const std::string key = MTreeOps::MakeKey(17, "nEru");
+  const auto [radius, object] = MTreeOps::ParseKey(key);
+  EXPECT_EQ(radius, 17u);
+  EXPECT_EQ(object, "nEru");
+}
+
+TEST(MTreeOpsTest, ConsistentUsesTriangleInequality) {
+  MTreeOps ops;
+  GistEntry entry;
+  entry.key = MTreeOps::MakeKey(2, "abcd");
+  GistQuery query;
+  query.key = "abcf";  // d = 1
+  query.radius = 0;
+  // Internal: 1 <= 0 + 2 -> consistent.
+  EXPECT_TRUE(ops.Consistent(entry, query, /*is_leaf=*/false));
+  // Leaf with radius 0 key: d("abcd","abcf")=1 > 0 -> not consistent.
+  GistEntry leaf;
+  leaf.key = MTreeOps::MakeKey(0, "abcd");
+  EXPECT_FALSE(ops.Consistent(leaf, query, /*is_leaf=*/true));
+  query.radius = 1;
+  EXPECT_TRUE(ops.Consistent(leaf, query, /*is_leaf=*/true));
+}
+
+TEST(MTreeOpsTest, UnionCoversAllMembers) {
+  MTreeOps ops;
+  std::vector<GistEntry> entries;
+  for (const char* s : {"abc", "abd", "xyz", "abcdef"}) {
+    GistEntry e;
+    e.key = MTreeOps::MakeKey(0, s);
+    entries.push_back(e);
+  }
+  const std::string ukey = ops.Union(entries);
+  const auto [cover, routing] = MTreeOps::ParseKey(ukey);
+  for (const GistEntry& e : entries) {
+    const auto [r, obj] = MTreeOps::ParseKey(e.key);
+    EXPECT_LE(Levenshtein(routing, obj) + r, static_cast<int>(cover));
+  }
+}
+
+TEST(MTreeOpsTest, PickSplitKeepsAllEntriesAndBothSidesNonEmpty) {
+  MTreeOps ops;
+  Rng rng(3);
+  std::vector<GistEntry> entries;
+  for (uint32_t i = 0; i < 40; ++i) {
+    GistEntry e;
+    e.key = MTreeOps::MakeKey(0, RandomPhonemes(&rng, 2, 10));
+    e.rid = MakeRid(i);
+    entries.push_back(e);
+  }
+  std::vector<GistEntry> left, right;
+  ops.PickSplit(entries, &left, &right);
+  EXPECT_FALSE(left.empty());
+  EXPECT_FALSE(right.empty());
+  EXPECT_EQ(left.size() + right.size(), entries.size());
+  std::multiset<uint32_t> all;
+  for (const auto& e : left) all.insert(e.rid.page);
+  for (const auto& e : right) all.insert(e.rid.page);
+  EXPECT_EQ(all.size(), entries.size());
+}
+
+TEST(MTreeOpsTest, PickSplitIdenticalObjectsStillSplits) {
+  MTreeOps ops;
+  std::vector<GistEntry> entries;
+  for (uint32_t i = 0; i < 10; ++i) {
+    GistEntry e;
+    e.key = MTreeOps::MakeKey(0, "same");
+    e.rid = MakeRid(i);
+    entries.push_back(e);
+  }
+  std::vector<GistEntry> left, right;
+  ops.PickSplit(entries, &left, &right);
+  EXPECT_FALSE(left.empty());
+  EXPECT_FALSE(right.empty());
+}
+
+class MTreeIndexTest : public ::testing::Test {
+ protected:
+  MTreeIndexTest() : pool_(&disk_, 512) {}
+  MemoryDiskManager disk_;
+  BufferPool pool_;
+};
+
+TEST_F(MTreeIndexTest, RangeSearchIsExactAgainstBruteForce) {
+  auto mtree = MTreeIndex::Create(&pool_);
+  ASSERT_TRUE(mtree.ok());
+  Rng rng(21);
+  std::vector<std::string> keys;
+  for (uint32_t i = 0; i < 2000; ++i) {
+    keys.push_back(RandomPhonemes(&rng, 3, 14));
+    ASSERT_TRUE((*mtree)->Insert(Value::Text(keys.back()), MakeRid(i)).ok());
+  }
+  EXPECT_EQ((*mtree)->NumEntries(), 2000u);
+  EXPECT_GT((*mtree)->NumPages(), 1u);
+
+  for (int probe = 0; probe < 25; ++probe) {
+    const std::string q =
+        probe % 2 == 0 ? keys[rng.Uniform(keys.size())]
+                       : RandomPhonemes(&rng, 3, 14);
+    for (int k : {0, 1, 2, 3}) {
+      std::set<uint32_t> expect;
+      for (uint32_t i = 0; i < keys.size(); ++i) {
+        if (Levenshtein(keys[i], q) <= k) expect.insert(i);
+      }
+      std::vector<Rid> got_rids;
+      ASSERT_TRUE((*mtree)->SearchWithin(Value::Text(q), k, &got_rids).ok());
+      std::set<uint32_t> got;
+      for (Rid r : got_rids) got.insert(r.page);
+      EXPECT_EQ(got, expect) << "q=" << q << " k=" << k;
+    }
+  }
+}
+
+TEST_F(MTreeIndexTest, EqualitySearchFindsExactKeys) {
+  auto mtree = MTreeIndex::Create(&pool_);
+  ASSERT_TRUE(mtree.ok());
+  ASSERT_TRUE((*mtree)->Insert(Value::Text("nEru"), MakeRid(1)).ok());
+  ASSERT_TRUE((*mtree)->Insert(Value::Text("gandi"), MakeRid(2)).ok());
+  ASSERT_TRUE((*mtree)->Insert(Value::Text("nEru"), MakeRid(3)).ok());
+  std::vector<Rid> rids;
+  ASSERT_TRUE((*mtree)->SearchEqual(Value::Text("nEru"), &rids).ok());
+  std::set<uint32_t> pages;
+  for (Rid r : rids) pages.insert(r.page);
+  EXPECT_EQ(pages, (std::set<uint32_t>{1, 3}));
+}
+
+TEST_F(MTreeIndexTest, SearchPrunesSubtrees) {
+  auto mtree = MTreeIndex::Create(&pool_);
+  ASSERT_TRUE(mtree.ok());
+  Rng rng(5);
+  // Two well-separated clusters: short strings of 'a'-ish phonemes vs long
+  // strings of 'S'-ish phonemes.
+  for (uint32_t i = 0; i < 1500; ++i) {
+    std::string s;
+    if (i % 2 == 0) {
+      s = std::string(3 + rng.Uniform(2), 'a') + "e";
+    } else {
+      s = std::string(20 + rng.Uniform(4), 'S') + "Z";
+    }
+    ASSERT_TRUE((*mtree)->Insert(Value::Text(s), MakeRid(i)).ok());
+  }
+  (*mtree)->ops().ResetCounters();
+  const GistStats before = (*mtree)->tree().stats();
+  std::vector<Rid> rids;
+  ASSERT_TRUE((*mtree)->SearchWithin(Value::Text("aaae"), 1, &rids).ok());
+  const GistStats after = (*mtree)->tree().stats();
+  // The query in the short cluster must not visit every leaf entry: the
+  // long-cluster subtrees prune via covering radii.
+  EXPECT_LT(after.leaf_entries_tested - before.leaf_entries_tested, 1500u);
+  EXPECT_GT(rids.size(), 0u);
+}
+
+TEST_F(MTreeIndexTest, RejectsNonTextKeys) {
+  auto mtree = MTreeIndex::Create(&pool_);
+  ASSERT_TRUE(mtree.ok());
+  EXPECT_TRUE(
+      (*mtree)->Insert(Value::Int32(1), MakeRid(0)).IsInvalidArgument());
+  std::vector<Rid> rids;
+  EXPECT_TRUE((*mtree)
+                  ->SearchWithin(Value::Int32(1), 1, &rids)
+                  .IsInvalidArgument());
+  // Range scans are not an ordered-index operation.
+  EXPECT_TRUE((*mtree)
+                  ->SearchRange(Value::Text("a"), Value::Text("b"), &rids)
+                  .IsNotSupported());
+}
+
+TEST_F(MTreeIndexTest, WorksOnRealPhonemeStrings) {
+  auto mtree = MTreeIndex::Create(&pool_);
+  ASSERT_TRUE(mtree.ok());
+  const PhoneticTransformer& t = PhoneticTransformer::Default();
+  const std::vector<std::pair<std::string, LangId>> names = {
+      {"nehru", lang::kEnglish},   {"nehrU", lang::kHindi},
+      {"neharu", lang::kTamil},    {"gandhi", lang::kEnglish},
+      {"gandhee", lang::kHindi},   {"patel", lang::kEnglish},
+      {"schmidt", lang::kGerman},  {"smith", lang::kEnglish},
+      {"rousseau", lang::kFrench}, {"russo", lang::kEnglish},
+  };
+  for (uint32_t i = 0; i < names.size(); ++i) {
+    const PhonemeString ph = t.Transform(names[i].first, names[i].second);
+    ASSERT_TRUE((*mtree)->Insert(Value::Text(ph), MakeRid(i)).ok());
+  }
+  // Query: phonemes of "Nehru" within distance 2 — finds the 3 variants.
+  std::vector<Rid> rids;
+  ASSERT_TRUE(
+      (*mtree)
+          ->SearchWithin(
+              Value::Text(t.Transform("nehru", lang::kEnglish)), 2, &rids)
+          .ok());
+  std::set<uint32_t> pages;
+  for (Rid r : rids) pages.insert(r.page);
+  EXPECT_TRUE(pages.count(0));
+  EXPECT_TRUE(pages.count(1));
+  EXPECT_TRUE(pages.count(2));
+  EXPECT_FALSE(pages.count(3));  // gandhi is far away
+}
+
+}  // namespace
+}  // namespace mural

@@ -1,0 +1,370 @@
+// Tests for the PL language: lexer/parser, interpreter semantics, the wire
+// boundary, the stock UDF library, and its agreement with the native
+// edit-distance implementation.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "distance/edit_distance.h"
+#include "phonetic/phoneme.h"
+#include "plfront/pl_interpreter.h"
+#include "plfront/pl_parser.h"
+#include "plfront/udf_runtime.h"
+
+namespace mural {
+namespace pl {
+namespace {
+
+StatusOr<PlValue> RunPl(const std::string& source, const std::string& fn,
+                      std::vector<PlValue> args) {
+  MURAL_ASSIGN_OR_RETURN(FunctionLibrary lib, ParseProgram(source));
+  Interpreter interp(std::move(lib));
+  return interp.Call(fn, args);
+}
+
+// ------------------------------------------------------------------ parse
+
+TEST(PlParserTest, ParsesFunctionShape) {
+  auto lib = ParseProgram(R"PL(
+FUNCTION add(a INT, b INT) RETURNS INT AS
+BEGIN
+  RETURN a + b;
+END;
+)PL");
+  ASSERT_TRUE(lib.ok()) << lib.status().ToString();
+  ASSERT_EQ(lib->count("ADD"), 1u);
+  EXPECT_EQ(lib->at("ADD").params.size(), 2u);
+}
+
+TEST(PlParserTest, RejectsMalformedSource) {
+  EXPECT_FALSE(ParseProgram("FUNCTION broken( RETURNS INT AS BEGIN END;")
+                   .ok());
+  EXPECT_FALSE(ParseProgram("SELECT 1").ok());
+  EXPECT_FALSE(
+      ParseProgram("FUNCTION f() RETURNS INT AS BEGIN RETURN 'x; END;")
+          .ok());  // unterminated string
+}
+
+TEST(PlParserTest, CommentsAndCaseInsensitivity) {
+  auto result = RunPl(R"PL(
+-- a comment
+function MiXeD() returns int as
+  x int := 3;  -- trailing comment
+begin
+  return X;
+end;
+)PL",
+                    "mixed", {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->AsInt(), 3);
+}
+
+// ------------------------------------------------------------- semantics
+
+TEST(PlInterpreterTest, ArithmeticAndComparison) {
+  auto result = RunPl(R"PL(
+FUNCTION f(a INT, b INT) RETURNS INT AS
+BEGIN
+  IF a * 2 >= b AND NOT (a = 0) THEN
+    RETURN a * b + 7 / 2 - 1;
+  END IF;
+  RETURN -1;
+END;
+)PL",
+                    "f", {PlValue(int64_t{5}), PlValue(int64_t{6})});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->AsInt(), 5 * 6 + 3 - 1);
+}
+
+TEST(PlInterpreterTest, WhileAndForLoops) {
+  auto result = RunPl(R"PL(
+FUNCTION sums(n INT) RETURNS INT AS
+  total INT := 0;
+  i INT := 1;
+BEGIN
+  WHILE i <= n LOOP
+    total := total + i;
+    i := i + 1;
+  END LOOP;
+  FOR j IN 1 .. n LOOP
+    total := total + j;
+  END LOOP;
+  RETURN total;
+END;
+)PL",
+                    "sums", {PlValue(int64_t{10})});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->AsInt(), 110);
+}
+
+TEST(PlInterpreterTest, ArraysHaveReferenceSemantics) {
+  auto result = RunPl(R"PL(
+FUNCTION touch(a ARRAY) RETURNS INT AS
+BEGIN
+  a[0] := 42;
+  RETURN 0;
+END;
+
+FUNCTION f() RETURNS INT AS
+  arr ARRAY;
+  ignore INT;
+BEGIN
+  arr := ARRAY(3, 0);
+  ignore := touch(arr);
+  RETURN arr[0];
+END;
+)PL",
+                    "f", {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->AsInt(), 42);
+}
+
+TEST(PlInterpreterTest, StringBuiltins) {
+  auto result = RunPl(R"PL(
+FUNCTION f(s TEXT) RETURNS TEXT AS
+BEGIN
+  RETURN SUBSTR(s, 2, 3) || CHR(CODE(s, 1));
+END;
+)PL",
+                    "f", {PlValue(std::string("nehru"))});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->AsString(), "ehrn");
+}
+
+TEST(PlInterpreterTest, ElsifChains) {
+  const char* src = R"PL(
+FUNCTION grade(x INT) RETURNS TEXT AS
+BEGIN
+  IF x >= 90 THEN RETURN 'A';
+  ELSIF x >= 80 THEN RETURN 'B';
+  ELSIF x >= 70 THEN RETURN 'C';
+  ELSE RETURN 'F';
+  END IF;
+END;
+)PL";
+  EXPECT_EQ(RunPl(src, "grade", {PlValue(int64_t{95})})->AsString(), "A");
+  EXPECT_EQ(RunPl(src, "grade", {PlValue(int64_t{85})})->AsString(), "B");
+  EXPECT_EQ(RunPl(src, "grade", {PlValue(int64_t{75})})->AsString(), "C");
+  EXPECT_EQ(RunPl(src, "grade", {PlValue(int64_t{10})})->AsString(), "F");
+}
+
+TEST(PlInterpreterTest, ErrorsSurfaceCleanly) {
+  // Unknown variable.
+  EXPECT_FALSE(RunPl("FUNCTION f() RETURNS INT AS BEGIN RETURN nope; END;",
+                   "f", {})
+                   .ok());
+  // Division by zero.
+  EXPECT_FALSE(
+      RunPl("FUNCTION f() RETURNS INT AS BEGIN RETURN 1 / 0; END;", "f", {})
+          .ok());
+  // Array out of bounds.
+  EXPECT_FALSE(RunPl(R"PL(
+FUNCTION f() RETURNS INT AS
+  a ARRAY;
+BEGIN
+  a := ARRAY(2, 0);
+  RETURN a[5];
+END;
+)PL",
+                   "f", {})
+                   .ok());
+  // Missing RETURN.
+  EXPECT_FALSE(
+      RunPl("FUNCTION f() RETURNS INT AS x INT; BEGIN x := 1; END;", "f", {})
+          .ok());
+  // Unbounded recursion is cut off.
+  EXPECT_FALSE(
+      RunPl("FUNCTION f() RETURNS INT AS BEGIN RETURN f(); END;", "f", {})
+          .ok());
+}
+
+TEST(PlInterpreterTest, HostFunctionsAndStats) {
+  auto lib = ParseProgram(R"PL(
+FUNCTION f() RETURNS INT AS
+BEGIN
+  RETURN HOSTVAL() + HOSTVAL();
+END;
+)PL");
+  ASSERT_TRUE(lib.ok());
+  Interpreter interp(std::move(*lib));
+  int calls = 0;
+  interp.RegisterHost("HOSTVAL",
+                      [&calls](const std::vector<PlValue>&)
+                          -> StatusOr<PlValue> {
+                        ++calls;
+                        return PlValue(int64_t{21});
+                      });
+  auto result = interp.Call("f", {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->AsInt(), 42);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(interp.stats().host_calls, 2u);
+  EXPECT_GT(interp.stats().statements, 0u);
+}
+
+// ------------------------------------------------------------------ wire
+
+TEST(UdfWireTest, ArgsRoundTrip) {
+  std::vector<PlValue> args{PlValue(), PlValue(true),
+                            PlValue(int64_t{-12345}), PlValue(2.5),
+                            PlValue(std::string("nEru"))};
+  const std::string wire = UdfRuntime::SerializeArgs(args);
+  auto back = UdfRuntime::DeserializeArgs(wire);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), args.size());
+  EXPECT_TRUE((*back)[0].is_null());
+  EXPECT_TRUE((*back)[1].AsBool());
+  EXPECT_EQ((*back)[2].AsInt(), -12345);
+  EXPECT_EQ((*back)[3].AsDouble(), 2.5);
+  EXPECT_EQ((*back)[4].AsString(), "nEru");
+}
+
+TEST(UdfWireTest, CorruptWireRejected) {
+  EXPECT_FALSE(UdfRuntime::DeserializeArgs("\x01").ok());
+  std::string bad;
+  bad.push_back(1);
+  bad.append(3, '\0');  // count=big-endian garbage? count=..., truncated
+  // Construct: count=1, tag=9 (invalid).
+  std::string wire = UdfRuntime::SerializeArgs({PlValue(true)});
+  wire[4] = 9;
+  EXPECT_FALSE(UdfRuntime::DeserializeArgs(wire).ok());
+}
+
+// ---------------------------------------------------------- stock library
+
+TEST(UdfLibraryTest, EditDistMatchesNative) {
+  auto udf = UdfRuntime::Create();
+  ASSERT_TRUE(udf.ok()) << udf.status().ToString();
+  Rng rng(17);
+  for (int iter = 0; iter < 40; ++iter) {
+    std::string a, b;
+    const size_t la = rng.Uniform(12), lb = rng.Uniform(12);
+    for (size_t i = 0; i < la; ++i) {
+      a.push_back(phoneme::kAlphabet[rng.Uniform(8)]);
+    }
+    for (size_t i = 0; i < lb; ++i) {
+      b.push_back(phoneme::kAlphabet[rng.Uniform(8)]);
+    }
+    for (int k : {0, 1, 2, 3}) {
+      auto result = (*udf)->CallWire(
+          "EDITDIST",
+          {PlValue(a), PlValue(b), PlValue(static_cast<int64_t>(k))});
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(result->AsInt(), BoundedLevenshtein(a, b, k))
+          << a << " / " << b << " k=" << k;
+    }
+  }
+}
+
+TEST(UdfLibraryTest, LexMatchBooleanForm) {
+  auto udf = UdfRuntime::Create();
+  ASSERT_TRUE(udf.ok());
+  auto yes = (*udf)->CallWire("LEXMATCH",
+                              {PlValue(std::string("nEru")),
+                               PlValue(std::string("nehru")),
+                               PlValue(int64_t{2})});
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(yes->AsBool());
+  auto no = (*udf)->CallWire("LEXMATCH",
+                             {PlValue(std::string("nEru")),
+                              PlValue(std::string("gandI")),
+                              PlValue(int64_t{2})});
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(no->AsBool());
+}
+
+TEST(UdfLibraryTest, WireBoundaryCountsCallsAndBytes) {
+  auto udf = UdfRuntime::Create();
+  ASSERT_TRUE(udf.ok());
+  ASSERT_TRUE((*udf)
+                  ->CallWire("LEXMATCH",
+                             {PlValue(std::string("abc")),
+                              PlValue(std::string("abd")),
+                              PlValue(int64_t{1})})
+                  .ok());
+  EXPECT_EQ((*udf)->stats().calls, 1u);
+  EXPECT_GT((*udf)->stats().wire_bytes, 10u);
+}
+
+TEST(UdfLibraryTest, ClosureViaHostCallbacks) {
+  auto udf = UdfRuntime::Create();
+  ASSERT_TRUE(udf.ok());
+  // Tiny taxonomy: 0 -> {1, 2}, 1 -> {3}; lookup("root") = {0}.
+  auto children = [](const std::vector<PlValue>& args)
+      -> StatusOr<PlValue> {
+    auto out = std::make_shared<std::vector<PlValue>>();
+    const int64_t node = args[0].AsInt();
+    if (node == 0) {
+      out->emplace_back(int64_t{1});
+      out->emplace_back(int64_t{2});
+    } else if (node == 1) {
+      out->emplace_back(int64_t{3});
+    }
+    return PlValue(std::move(out));
+  };
+  (*udf)->RegisterHost("SQL_CHILDREN", children);
+  (*udf)->RegisterHost("SQL_EQUIVALENTS",
+                       [](const std::vector<PlValue>&) -> StatusOr<PlValue> {
+                         return PlValue(
+                             std::make_shared<std::vector<PlValue>>());
+                       });
+  (*udf)->RegisterHost(
+      "SQL_LOOKUP", [](const std::vector<PlValue>& args)
+                        -> StatusOr<PlValue> {
+        auto out = std::make_shared<std::vector<PlValue>>();
+        if (args[0].AsString() == "root") out->emplace_back(int64_t{0});
+        if (args[0].AsString() == "leaf") out->emplace_back(int64_t{3});
+        return PlValue(std::move(out));
+      });
+  // Tempsets backed by a local map.
+  auto sets = std::make_shared<std::map<int64_t, std::set<int64_t>>>();
+  auto next = std::make_shared<int64_t>(1);
+  (*udf)->RegisterHost("TEMPSET_NEW",
+                       [sets, next](const std::vector<PlValue>&)
+                           -> StatusOr<PlValue> {
+                         (*sets)[*next] = {};
+                         return PlValue((*next)++);
+                       });
+  (*udf)->RegisterHost(
+      "TEMPSET_ADD",
+      [sets](const std::vector<PlValue>& args) -> StatusOr<PlValue> {
+        return PlValue(
+            (*sets)[args[0].AsInt()].insert(args[1].AsInt()).second);
+      });
+  (*udf)->RegisterHost(
+      "TEMPSET_CONTAINS",
+      [sets](const std::vector<PlValue>& args) -> StatusOr<PlValue> {
+        return PlValue((*sets)[args[0].AsInt()].count(args[1].AsInt()) > 0);
+      });
+  (*udf)->RegisterHost(
+      "TEMPSET_SIZE",
+      [sets](const std::vector<PlValue>& args) -> StatusOr<PlValue> {
+        return PlValue(
+            static_cast<int64_t>((*sets)[args[0].AsInt()].size()));
+      });
+  (*udf)->RegisterHost(
+      "TEMPSET_FREE",
+      [sets](const std::vector<PlValue>& args) -> StatusOr<PlValue> {
+        sets->erase(args[0].AsInt());
+        return PlValue(true);
+      });
+
+  auto size = (*udf)->CallWire(
+      "CLOSURE_SIZE", {PlValue(std::string("root")), PlValue(int64_t{1}),
+                       PlValue(int64_t{1})});
+  ASSERT_TRUE(size.ok()) << size.status().ToString();
+  EXPECT_EQ(size->AsInt(), 4);  // {0,1,2,3}
+
+  auto match = (*udf)->CallWire(
+      "SEM_MATCH", {PlValue(std::string("leaf")), PlValue(int64_t{1}),
+                    PlValue(std::string("root")), PlValue(int64_t{1})});
+  ASSERT_TRUE(match.ok()) << match.status().ToString();
+  EXPECT_TRUE(match->AsBool());
+}
+
+}  // namespace
+}  // namespace pl
+}  // namespace mural

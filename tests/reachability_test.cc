@@ -1,0 +1,226 @@
+// Tests for the ReachabilityIndex (the §4.3.1 future-work extension):
+// agreement with materialized transitive closures on trees, DAGs, and
+// interlinked multilingual hierarchies.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/taxonomy_generator.h"
+#include "taxonomy/reachability_index.h"
+
+namespace mural {
+namespace {
+
+/// Exhaustively compares Reaches() against the materialized closure for
+/// every (root, node) pair drawn from `roots` x all nodes.
+void CheckAgainstClosures(const Taxonomy& tax,
+                          const std::vector<SynsetId>& roots,
+                          bool follow_equivalence) {
+  auto index = ReachabilityIndex::Build(&tax);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  for (SynsetId root : roots) {
+    const Closure closure =
+        tax.TransitiveClosure(root, follow_equivalence);
+    for (SynsetId node = 0; node < tax.size(); ++node) {
+      EXPECT_EQ(index->Reaches(root, node, follow_equivalence),
+                closure.count(node) > 0)
+          << "root=" << root << " node=" << node
+          << " follow_eq=" << follow_equivalence;
+    }
+  }
+}
+
+TEST(ReachabilityTest, PureTreeMatchesClosure) {
+  Taxonomy tax;
+  Rng rng(5);
+  std::vector<SynsetId> nodes{tax.AddSynset(lang::kEnglish, "n0")};
+  for (int i = 1; i < 200; ++i) {
+    const SynsetId v =
+        tax.AddSynset(lang::kEnglish, "n" + std::to_string(i));
+    ASSERT_TRUE(tax.AddIsA(v, nodes[rng.Uniform(nodes.size())]).ok());
+    nodes.push_back(v);
+  }
+  std::vector<SynsetId> roots;
+  for (int i = 0; i < 20; ++i) roots.push_back(nodes[rng.Uniform(200)]);
+  CheckAgainstClosures(tax, roots, false);
+}
+
+TEST(ReachabilityTest, TreeClosureSizeIsExact) {
+  Taxonomy tax;
+  Rng rng(7);
+  std::vector<SynsetId> nodes{tax.AddSynset(lang::kEnglish, "n0")};
+  for (int i = 1; i < 300; ++i) {
+    const SynsetId v =
+        tax.AddSynset(lang::kEnglish, "n" + std::to_string(i));
+    ASSERT_TRUE(tax.AddIsA(v, nodes[rng.Uniform(nodes.size())]).ok());
+    nodes.push_back(v);
+  }
+  auto index = ReachabilityIndex::Build(&tax);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_hops(), 0u);
+  for (int i = 0; i < 30; ++i) {
+    const SynsetId root = nodes[rng.Uniform(nodes.size())];
+    EXPECT_EQ(index->ClosureSize(root, false),
+              tax.TransitiveClosure(root, false).size())
+        << root;
+  }
+}
+
+TEST(ReachabilityTest, DagWithExtraEdgesMatchesClosure) {
+  // Diamond plus random extra hypernyms.
+  Taxonomy tax;
+  Rng rng(11);
+  std::vector<SynsetId> nodes{tax.AddSynset(lang::kEnglish, "n0")};
+  for (int i = 1; i < 120; ++i) {
+    const SynsetId v =
+        tax.AddSynset(lang::kEnglish, "n" + std::to_string(i));
+    ASSERT_TRUE(tax.AddIsA(v, nodes[rng.Uniform(nodes.size())]).ok());
+    nodes.push_back(v);
+  }
+  // 8 extra (multiple-inheritance) edges.
+  int added = 0;
+  while (added < 8) {
+    const SynsetId child = nodes[1 + rng.Uniform(nodes.size() - 1)];
+    const SynsetId parent = nodes[rng.Uniform(child)];
+    if (parent == tax.ParentsOf(child)[0]) continue;
+    if (tax.AddIsA(child, parent).ok()) ++added;
+  }
+  auto index = ReachabilityIndex::Build(&tax);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_hops(), 8u);
+  std::vector<SynsetId> roots;
+  for (int i = 0; i < 15; ++i) roots.push_back(nodes[rng.Uniform(120)]);
+  CheckAgainstClosures(tax, roots, false);
+}
+
+TEST(ReachabilityTest, PaperFixtureWithMemberLevelEquivalence) {
+  // The Books fixture: History/Historiography/Autobiography in English,
+  // Charitram/Suyasarithai in Tamil, equivalences at both root and
+  // member level (the taxonomy_test Fixture, which exercises the
+  // member-image bridge).
+  Taxonomy tax;
+  const SynsetId history = tax.AddSynset(lang::kEnglish, "History");
+  const SynsetId historiography =
+      tax.AddSynset(lang::kEnglish, "Historiography");
+  const SynsetId autob = tax.AddSynset(lang::kEnglish, "Autobiography");
+  const SynsetId science = tax.AddSynset(lang::kEnglish, "Science");
+  const SynsetId physics = tax.AddSynset(lang::kEnglish, "Physics");
+  const SynsetId charitram = tax.AddSynset(lang::kTamil, "Charitram");
+  const SynsetId suyasarithai =
+      tax.AddSynset(lang::kTamil, "Suyasarithai");
+  ASSERT_TRUE(tax.AddIsA(historiography, history).ok());
+  ASSERT_TRUE(tax.AddIsA(autob, history).ok());
+  ASSERT_TRUE(tax.AddIsA(physics, science).ok());
+  ASSERT_TRUE(tax.AddIsA(suyasarithai, charitram).ok());
+  ASSERT_TRUE(tax.AddEquivalence(history, charitram).ok());
+  ASSERT_TRUE(tax.AddEquivalence(autob, suyasarithai).ok());
+
+  CheckAgainstClosures(
+      tax, {history, autob, science, charitram, suyasarithai}, true);
+  CheckAgainstClosures(tax, {history, science, charitram}, false);
+}
+
+TEST(ReachabilityTest, ReplicatedWordNetMatchesClosure) {
+  TaxonomyGenOptions options;
+  options.seed = 13;
+  options.base_synsets = 400;
+  options.languages = {lang::kEnglish, lang::kTamil, lang::kFrench};
+  options.dag_edge_fraction = 0.02;
+  const GeneratedTaxonomy gen = GenerateTaxonomy(options);
+  const Taxonomy& tax = *gen.taxonomy;
+  Rng rng(3);
+  std::vector<SynsetId> roots;
+  for (int i = 0; i < 8; ++i) {
+    roots.push_back(gen.base_synsets[rng.Uniform(400)]);
+    roots.push_back(gen.replicas[rng.Uniform(400)][rng.Uniform(2)]);
+  }
+  CheckAgainstClosures(tax, roots, true);
+  CheckAgainstClosures(tax, roots, false);
+}
+
+TEST(ReachabilityTest, ClosureSizeBoundsOnDags) {
+  TaxonomyGenOptions options;
+  options.base_synsets = 600;
+  options.languages = {lang::kEnglish};
+  options.dag_edge_fraction = 0.02;
+  const GeneratedTaxonomy gen = GenerateTaxonomy(options);
+  auto index = ReachabilityIndex::Build(gen.taxonomy.get());
+  ASSERT_TRUE(index.ok());
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    const SynsetId root = gen.base_synsets[rng.Uniform(600)];
+    const size_t exact =
+        gen.taxonomy->TransitiveClosure(root, false).size();
+    const size_t estimate = index->ClosureSize(root, false);
+    EXPECT_GE(estimate, exact);            // upper bound
+    EXPECT_LE(estimate, exact * 2 + 16);   // not wildly loose
+  }
+}
+
+TEST(ReachabilityTest, PreparedCoverMatchesClosureExactly) {
+  TaxonomyGenOptions options;
+  options.seed = 21;
+  options.base_synsets = 500;
+  options.languages = {lang::kEnglish, lang::kTamil, lang::kFrench};
+  options.dag_edge_fraction = 0.02;
+  const GeneratedTaxonomy gen = GenerateTaxonomy(options);
+  const Taxonomy& tax = *gen.taxonomy;
+  auto index = ReachabilityIndex::Build(&tax);
+  ASSERT_TRUE(index.ok());
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const SynsetId root = gen.base_synsets[rng.Uniform(500)];
+    for (bool follow_eq : {true, false}) {
+      const Closure closure = tax.TransitiveClosure(root, follow_eq);
+      const PreparedReachability prepared =
+          index->Prepare(root, follow_eq);
+      EXPECT_EQ(prepared.size(), closure.size())
+          << "root=" << root << " eq=" << follow_eq;
+      for (SynsetId node = 0; node < tax.size(); ++node) {
+        ASSERT_EQ(prepared.Contains(node), closure.count(node) > 0)
+            << "root=" << root << " node=" << node << " eq=" << follow_eq;
+      }
+      // The interval cover is drastically more compact than the hash set.
+      EXPECT_LE(prepared.num_intervals(), closure.size());
+    }
+  }
+}
+
+TEST(ReachabilityTest, PreparedMemberLevelEquivalence) {
+  // Same fixture as PaperFixtureWithMemberLevelEquivalence.
+  Taxonomy tax;
+  const SynsetId history = tax.AddSynset(lang::kEnglish, "History");
+  const SynsetId autob = tax.AddSynset(lang::kEnglish, "Autobiography");
+  const SynsetId charitram = tax.AddSynset(lang::kTamil, "Charitram");
+  const SynsetId suyasarithai =
+      tax.AddSynset(lang::kTamil, "Suyasarithai");
+  const SynsetId science = tax.AddSynset(lang::kEnglish, "Science");
+  ASSERT_TRUE(tax.AddIsA(autob, history).ok());
+  ASSERT_TRUE(tax.AddIsA(suyasarithai, charitram).ok());
+  ASSERT_TRUE(tax.AddEquivalence(history, charitram).ok());
+  ASSERT_TRUE(tax.AddEquivalence(autob, suyasarithai).ok());
+  auto index = ReachabilityIndex::Build(&tax);
+  ASSERT_TRUE(index.ok());
+  const PreparedReachability prepared = index->Prepare(history, true);
+  EXPECT_TRUE(prepared.Contains(history));
+  EXPECT_TRUE(prepared.Contains(autob));
+  EXPECT_TRUE(prepared.Contains(charitram));
+  EXPECT_TRUE(prepared.Contains(suyasarithai));
+  EXPECT_FALSE(prepared.Contains(science));
+  EXPECT_EQ(prepared.size(), 4u);
+}
+
+TEST(ReachabilityTest, InvalidIdsAndNullTaxonomy) {
+  EXPECT_FALSE(ReachabilityIndex::Build(nullptr).ok());
+  Taxonomy tax;
+  const SynsetId a = tax.AddSynset(lang::kEnglish, "a");
+  auto index = ReachabilityIndex::Build(&tax);
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE(index->Reaches(a, a));
+  EXPECT_FALSE(index->Reaches(a, 999));
+  EXPECT_FALSE(index->Reaches(999, a));
+  EXPECT_EQ(index->ClosureSize(999), 0u);
+}
+
+}  // namespace
+}  // namespace mural

@@ -1,0 +1,212 @@
+// Tests for the multilingual taxonomy substrate: construction invariants,
+// transitive closures across IS-A and equivalence links, the closure cache,
+// SemEQUAL semantics and structural statistics.
+
+#include <gtest/gtest.h>
+
+#include "taxonomy/taxonomy.h"
+#include "text/language.h"
+
+namespace mural {
+namespace {
+
+// A small bilingual concept tree mirroring the paper's Books example:
+//
+//   en:History                    ta:Charitram   (equivalent)
+//     en:Historiography
+//     en:Autobiography              ta:Suyasarithai (equivalent)
+//   en:Science
+//     en:Physics
+struct Fixture {
+  Taxonomy tax;
+  SynsetId history, historiography, autobiography, science, physics;
+  SynsetId charitram, suyasarithai;
+
+  Fixture() {
+    history = tax.AddSynset(lang::kEnglish, "History");
+    historiography = tax.AddSynset(lang::kEnglish, "Historiography");
+    autobiography = tax.AddSynset(lang::kEnglish, "Autobiography");
+    science = tax.AddSynset(lang::kEnglish, "Science");
+    physics = tax.AddSynset(lang::kEnglish, "Physics");
+    charitram = tax.AddSynset(lang::kTamil, "Charitram");
+    suyasarithai = tax.AddSynset(lang::kTamil, "Suyasarithai");
+    EXPECT_TRUE(tax.AddIsA(historiography, history).ok());
+    EXPECT_TRUE(tax.AddIsA(autobiography, history).ok());
+    EXPECT_TRUE(tax.AddIsA(physics, science).ok());
+    EXPECT_TRUE(tax.AddIsA(suyasarithai, charitram).ok());
+    EXPECT_TRUE(tax.AddEquivalence(history, charitram).ok());
+    EXPECT_TRUE(tax.AddEquivalence(autobiography, suyasarithai).ok());
+  }
+};
+
+TEST(TaxonomyTest, ConstructionValidation) {
+  Taxonomy tax;
+  const SynsetId a = tax.AddSynset(lang::kEnglish, "A");
+  const SynsetId b = tax.AddSynset(lang::kTamil, "B");
+  EXPECT_TRUE(tax.AddIsA(a, a).IsInvalidArgument());
+  EXPECT_TRUE(tax.AddIsA(a, b).IsInvalidArgument());  // cross-language IS-A
+  EXPECT_TRUE(tax.AddIsA(a, 999).IsInvalidArgument());
+  EXPECT_TRUE(tax.AddEquivalence(a, a).IsInvalidArgument());
+  EXPECT_TRUE(tax.AddEquivalence(a, b).ok());
+}
+
+TEST(TaxonomyTest, LookupByLemmaAndLanguage) {
+  Fixture f;
+  EXPECT_EQ(f.tax.Lookup("History", lang::kEnglish).size(), 1u);
+  EXPECT_EQ(f.tax.Lookup("History", lang::kTamil).size(), 0u);
+  EXPECT_EQ(f.tax.Lookup("Charitram", lang::kTamil)[0], f.charitram);
+  EXPECT_TRUE(f.tax.Lookup("Nonexistent", lang::kEnglish).empty());
+}
+
+TEST(TaxonomyTest, ClosureWithinOneLanguage) {
+  Fixture f;
+  const Closure c =
+      f.tax.TransitiveClosure(f.science, /*follow_equivalence=*/false);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_TRUE(c.count(f.science));
+  EXPECT_TRUE(c.count(f.physics));
+  EXPECT_FALSE(c.count(f.history));
+}
+
+TEST(TaxonomyTest, ClosureCrossesEquivalenceLinks) {
+  Fixture f;
+  const Closure c = f.tax.TransitiveClosure(f.history);
+  // history + its two children + charitram + its child (reached via the
+  // equivalence link, then IS-A below it) + suyasarithai via either path.
+  EXPECT_TRUE(c.count(f.history));
+  EXPECT_TRUE(c.count(f.historiography));
+  EXPECT_TRUE(c.count(f.autobiography));
+  EXPECT_TRUE(c.count(f.charitram));
+  EXPECT_TRUE(c.count(f.suyasarithai));
+  EXPECT_FALSE(c.count(f.science));
+  EXPECT_EQ(c.size(), 5u);
+}
+
+TEST(TaxonomyTest, ClosureOfLeafIsItself) {
+  Fixture f;
+  const Closure c =
+      f.tax.TransitiveClosure(f.physics, /*follow_equivalence=*/false);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(TaxonomyTest, ClosureOfAllUnionsRoots) {
+  Fixture f;
+  const Closure c = f.tax.TransitiveClosureOfAll({f.science, f.physics},
+                                                 /*follow_equivalence=*/false);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(TaxonomyTest, ClosureIsMonotone) {
+  // Closure of a parent contains closure of each child — SemEQUAL's
+  // subsumption semantics depend on this.
+  Fixture f;
+  const Closure parent = f.tax.TransitiveClosure(f.history);
+  const Closure child = f.tax.TransitiveClosure(f.autobiography);
+  for (SynsetId id : child) EXPECT_TRUE(parent.count(id)) << id;
+}
+
+TEST(TaxonomyTest, SemMatchImplementsSubsumption) {
+  Fixture f;
+  const UniText history("History", lang::kEnglish);
+  const UniText autob("Autobiography", lang::kEnglish);
+  const UniText charitram("Charitram", lang::kTamil);
+  const UniText physics("Physics", lang::kEnglish);
+  // Everything under History matches History — including across languages.
+  EXPECT_TRUE(f.tax.SemMatch(autob, history));
+  EXPECT_TRUE(f.tax.SemMatch(charitram, history));
+  EXPECT_TRUE(f.tax.SemMatch(history, history));  // reflexive
+  // Tamil Suyasarithai is under Charitram == History.
+  EXPECT_TRUE(
+      f.tax.SemMatch(UniText("Suyasarithai", lang::kTamil), history));
+  // Omega does NOT commute (Table 1): History is not under Autobiography.
+  EXPECT_FALSE(f.tax.SemMatch(history, autob));
+  EXPECT_FALSE(f.tax.SemMatch(physics, history));
+  // Unknown lemmas never match.
+  EXPECT_FALSE(f.tax.SemMatch(UniText("Blob", lang::kEnglish), history));
+  EXPECT_FALSE(f.tax.SemMatch(history, UniText("Blob", lang::kEnglish)));
+}
+
+TEST(TaxonomyTest, HomonymsMatchThroughAnySense) {
+  Taxonomy tax;
+  const SynsetId root = tax.AddSynset(lang::kEnglish, "Institution");
+  const SynsetId bank_river = tax.AddSynset(lang::kEnglish, "Bank");
+  const SynsetId bank_fin = tax.AddSynset(lang::kEnglish, "Bank");
+  ASSERT_TRUE(tax.AddIsA(bank_fin, root).ok());
+  (void)bank_river;
+  EXPECT_TRUE(tax.SemMatch(UniText("Bank", lang::kEnglish),
+                           UniText("Institution", lang::kEnglish)));
+}
+
+TEST(TaxonomyTest, StatsReflectStructure) {
+  Fixture f;
+  const TaxonomyStats stats = f.tax.ComputeStats();
+  EXPECT_EQ(stats.num_synsets, 7u);
+  EXPECT_EQ(stats.num_isa_edges, 4u);
+  EXPECT_EQ(stats.num_equiv_edges, 2u);
+  EXPECT_EQ(stats.num_languages, 2u);
+  EXPECT_EQ(stats.height, 1u);  // all trees here are 1 deep
+  EXPECT_GT(stats.avg_fanout, 0.0);
+}
+
+TEST(TaxonomyTest, StatsHeightOfChain) {
+  Taxonomy tax;
+  SynsetId prev = tax.AddSynset(lang::kEnglish, "n0");
+  for (int i = 1; i <= 5; ++i) {
+    const SynsetId next =
+        tax.AddSynset(lang::kEnglish, "n" + std::to_string(i));
+    ASSERT_TRUE(tax.AddIsA(next, prev).ok());
+    prev = next;
+  }
+  EXPECT_EQ(tax.ComputeStats().height, 5u);
+}
+
+// ----------------------------------------------------------- closure cache
+
+TEST(ClosureCacheTest, MemoizesAndCountsHits) {
+  Fixture f;
+  ClosureCache cache(&f.tax);
+  const Closure& c1 = cache.Get(f.history);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  const Closure& c2 = cache.Get(f.history);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(&c1, &c2);  // same materialized hash table (paper §4.3)
+  EXPECT_EQ(c1.size(), 5u);
+
+  // Different equivalence mode is a distinct cache entry.
+  const Closure& c3 = cache.Get(f.history, /*follow_equivalence=*/false);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(c3.size(), 3u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(ClosureCacheTest, ReuseAcrossDuplicateRhsValues) {
+  // Simulates the Omega join pattern: many RHS duplicates, one closure.
+  Fixture f;
+  ClosureCache cache(&f.tax);
+  for (int i = 0; i < 100; ++i) cache.Get(f.history);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 99u);
+}
+
+// DAG (multiple inheritance) handling.
+TEST(TaxonomyTest, DagClosureVisitsSharedDescendantsOnce) {
+  Taxonomy tax;
+  const SynsetId a = tax.AddSynset(lang::kEnglish, "A");
+  const SynsetId b = tax.AddSynset(lang::kEnglish, "B");
+  const SynsetId c = tax.AddSynset(lang::kEnglish, "C");
+  const SynsetId d = tax.AddSynset(lang::kEnglish, "D");
+  ASSERT_TRUE(tax.AddIsA(b, a).ok());
+  ASSERT_TRUE(tax.AddIsA(c, a).ok());
+  ASSERT_TRUE(tax.AddIsA(d, b).ok());
+  ASSERT_TRUE(tax.AddIsA(d, c).ok());  // diamond
+  const Closure closure = tax.TransitiveClosure(a);
+  EXPECT_EQ(closure.size(), 4u);
+  EXPECT_EQ(tax.ComputeStats().height, 2u);
+}
+
+}  // namespace
+}  // namespace mural

@@ -1,0 +1,97 @@
+// Tests for the UniText datatype proper (paper §3.1-3.2.1): the compose /
+// decompose operators, the text-component comparison semantics, the
+// full-equality operator, and UTF-8 validation at the type boundary.
+
+#include <gtest/gtest.h>
+
+#include "common/utf8.h"
+#include "text/unitext.h"
+
+namespace mural {
+namespace {
+
+TEST(UniTextTest, ComposeAcceptsValidUtf8) {
+  auto u = UniText::Compose("nehru", lang::kEnglish);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->text(), "nehru");
+  EXPECT_EQ(u->lang(), lang::kEnglish);
+
+  // Multi-byte scripts compose fine.
+  std::string devanagari;
+  utf8::Append(0x928, &devanagari);  // NA
+  utf8::Append(0x947, &devanagari);  // E matra
+  auto hi = UniText::Compose(devanagari, lang::kHindi);
+  ASSERT_TRUE(hi.ok());
+  EXPECT_EQ(hi->LengthCodePoints(), 2u);
+}
+
+TEST(UniTextTest, ComposeRejectsMalformedUtf8) {
+  auto bad = UniText::Compose(std::string("\xC0\xAF", 2), lang::kEnglish);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(UniTextTest, ComposeByLanguageName) {
+  auto u = UniText::Compose("charitram", "Tamil");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->lang(), lang::kTamil);
+  auto iso = UniText::Compose("charitram", "ta");
+  ASSERT_TRUE(iso.ok());
+  EXPECT_EQ(iso->lang(), lang::kTamil);
+  EXPECT_TRUE(UniText::Compose("x", "Klingon").status().IsNotFound());
+}
+
+TEST(UniTextTest, DecomposeIsInverseOfCompose) {
+  auto u = UniText::Compose("une corde", lang::kFrench);
+  ASSERT_TRUE(u.ok());
+  const auto [text, lang] = u->Decompose();
+  EXPECT_EQ(text, "une corde");
+  EXPECT_EQ(lang, lang::kFrench);
+}
+
+TEST(UniTextTest, TextComparisonIgnoresLanguage) {
+  // Paper §3.2.1: the ordinary text operators see only the Text part.
+  const UniText a("alpha", lang::kEnglish);
+  const UniText b("alpha", lang::kTamil);
+  const UniText c("beta", lang::kEnglish);
+  EXPECT_EQ(a.CompareText(b), 0);
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(a < c);
+  EXPECT_FALSE(c < a);
+}
+
+TEST(UniTextTest, FullEqualsRequiresBothComponents) {
+  const UniText a("alpha", lang::kEnglish);
+  const UniText b("alpha", lang::kTamil);
+  const UniText c("alpha", lang::kEnglish);
+  EXPECT_FALSE(a.FullEquals(b));
+  EXPECT_TRUE(a.FullEquals(c));
+}
+
+TEST(UniTextTest, PhonemeMaterializationRoundTrip) {
+  UniText u("nehru", lang::kEnglish);
+  EXPECT_FALSE(u.has_phonemes());
+  u.set_phonemes("nEru");
+  ASSERT_TRUE(u.has_phonemes());
+  EXPECT_EQ(*u.phonemes(), "nEru");
+  u.clear_phonemes();
+  EXPECT_FALSE(u.has_phonemes());
+}
+
+TEST(UniTextTest, ToStringShowsLanguage) {
+  const UniText u("nehru", lang::kHindi);
+  EXPECT_EQ(u.ToString(), "'nehru'@Hindi");
+  const UniText unknown("x", 999);
+  EXPECT_EQ(unknown.ToString(), "'x'@lang#999");
+}
+
+TEST(UniTextTest, LengthCountsCodePointsNotBytes) {
+  std::string s = "ab";
+  utf8::Append(0x20AC, &s);  // euro sign, 3 bytes
+  const UniText u(s, lang::kEnglish);
+  EXPECT_EQ(u.text().size(), 5u);
+  EXPECT_EQ(u.LengthCodePoints(), 3u);
+}
+
+}  // namespace
+}  // namespace mural
