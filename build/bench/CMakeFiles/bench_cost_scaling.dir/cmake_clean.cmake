@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_scaling.dir/bench_cost_scaling.cc.o"
+  "CMakeFiles/bench_cost_scaling.dir/bench_cost_scaling.cc.o.d"
+  "bench_cost_scaling"
+  "bench_cost_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distance_ablation.dir/bench_distance_ablation.cc.o"
+  "CMakeFiles/bench_distance_ablation.dir/bench_distance_ablation.cc.o.d"
+  "bench_distance_ablation"
+  "bench_distance_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distance_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

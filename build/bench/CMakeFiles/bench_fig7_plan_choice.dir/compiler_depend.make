@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig7_plan_choice.
+# This may be replaced when dependencies are built.

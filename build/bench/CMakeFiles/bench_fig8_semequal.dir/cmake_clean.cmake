@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_semequal.dir/bench_fig8_semequal.cc.o"
+  "CMakeFiles/bench_fig8_semequal.dir/bench_fig8_semequal.cc.o.d"
+  "bench_fig8_semequal"
+  "bench_fig8_semequal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_semequal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reachability_ablation.dir/bench_reachability_ablation.cc.o"
+  "CMakeFiles/bench_reachability_ablation.dir/bench_reachability_ablation.cc.o.d"
+  "bench_reachability_ablation"
+  "bench_reachability_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reachability_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regression_monolingual.dir/bench_regression_monolingual.cc.o"
+  "CMakeFiles/bench_regression_monolingual.dir/bench_regression_monolingual.cc.o.d"
+  "bench_regression_monolingual"
+  "bench_regression_monolingual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regression_monolingual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_lexequal.dir/bench_table4_lexequal.cc.o"
+  "CMakeFiles/bench_table4_lexequal.dir/bench_table4_lexequal.cc.o.d"
+  "bench_table4_lexequal"
+  "bench_table4_lexequal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_lexequal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/books_catalog.dir/books_catalog.cc.o"
+  "CMakeFiles/books_catalog.dir/books_catalog.cc.o.d"
+  "books_catalog"
+  "books_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/books_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

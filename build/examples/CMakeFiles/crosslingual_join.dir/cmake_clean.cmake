@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crosslingual_join.dir/crosslingual_join.cc.o"
+  "CMakeFiles/crosslingual_join.dir/crosslingual_join.cc.o.d"
+  "crosslingual_join"
+  "crosslingual_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crosslingual_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

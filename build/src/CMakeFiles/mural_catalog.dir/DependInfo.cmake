@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/mural_catalog.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/mural_catalog.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/mural_catalog.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/mural_catalog.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/catalog/tuple_codec.cc" "src/CMakeFiles/mural_catalog.dir/catalog/tuple_codec.cc.o" "gcc" "src/CMakeFiles/mural_catalog.dir/catalog/tuple_codec.cc.o.d"
+  "/root/repo/src/catalog/value.cc" "src/CMakeFiles/mural_catalog.dir/catalog/value.cc.o" "gcc" "src/CMakeFiles/mural_catalog.dir/catalog/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mural_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mural_catalog.dir/catalog/catalog.cc.o"
+  "CMakeFiles/mural_catalog.dir/catalog/catalog.cc.o.d"
+  "CMakeFiles/mural_catalog.dir/catalog/schema.cc.o"
+  "CMakeFiles/mural_catalog.dir/catalog/schema.cc.o.d"
+  "CMakeFiles/mural_catalog.dir/catalog/tuple_codec.cc.o"
+  "CMakeFiles/mural_catalog.dir/catalog/tuple_codec.cc.o.d"
+  "CMakeFiles/mural_catalog.dir/catalog/value.cc.o"
+  "CMakeFiles/mural_catalog.dir/catalog/value.cc.o.d"
+  "libmural_catalog.a"
+  "libmural_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mural_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mural_common.dir/common/logging.cc.o"
+  "CMakeFiles/mural_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/mural_common.dir/common/random.cc.o"
+  "CMakeFiles/mural_common.dir/common/random.cc.o.d"
+  "CMakeFiles/mural_common.dir/common/status.cc.o"
+  "CMakeFiles/mural_common.dir/common/status.cc.o.d"
+  "CMakeFiles/mural_common.dir/common/utf8.cc.o"
+  "CMakeFiles/mural_common.dir/common/utf8.cc.o.d"
+  "libmural_common.a"
+  "libmural_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mural_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

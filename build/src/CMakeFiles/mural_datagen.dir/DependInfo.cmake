@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/catalog_generator.cc" "src/CMakeFiles/mural_datagen.dir/datagen/catalog_generator.cc.o" "gcc" "src/CMakeFiles/mural_datagen.dir/datagen/catalog_generator.cc.o.d"
+  "/root/repo/src/datagen/name_generator.cc" "src/CMakeFiles/mural_datagen.dir/datagen/name_generator.cc.o" "gcc" "src/CMakeFiles/mural_datagen.dir/datagen/name_generator.cc.o.d"
+  "/root/repo/src/datagen/taxonomy_generator.cc" "src/CMakeFiles/mural_datagen.dir/datagen/taxonomy_generator.cc.o" "gcc" "src/CMakeFiles/mural_datagen.dir/datagen/taxonomy_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mural_phonetic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mural_datagen.dir/datagen/catalog_generator.cc.o"
+  "CMakeFiles/mural_datagen.dir/datagen/catalog_generator.cc.o.d"
+  "CMakeFiles/mural_datagen.dir/datagen/name_generator.cc.o"
+  "CMakeFiles/mural_datagen.dir/datagen/name_generator.cc.o.d"
+  "CMakeFiles/mural_datagen.dir/datagen/taxonomy_generator.cc.o"
+  "CMakeFiles/mural_datagen.dir/datagen/taxonomy_generator.cc.o.d"
+  "libmural_datagen.a"
+  "libmural_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mural_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mural_distance.dir/distance/edit_distance.cc.o"
+  "CMakeFiles/mural_distance.dir/distance/edit_distance.cc.o.d"
+  "libmural_distance.a"
+  "libmural_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mural_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mural_engine.dir/engine/closure_exec.cc.o"
+  "CMakeFiles/mural_engine.dir/engine/closure_exec.cc.o.d"
+  "CMakeFiles/mural_engine.dir/engine/database.cc.o"
+  "CMakeFiles/mural_engine.dir/engine/database.cc.o.d"
+  "CMakeFiles/mural_engine.dir/engine/outside_server.cc.o"
+  "CMakeFiles/mural_engine.dir/engine/outside_server.cc.o.d"
+  "libmural_engine.a"
+  "libmural_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mural_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mural_engine.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/agg_ops.cc" "src/CMakeFiles/mural_exec.dir/exec/agg_ops.cc.o" "gcc" "src/CMakeFiles/mural_exec.dir/exec/agg_ops.cc.o.d"
+  "/root/repo/src/exec/basic_ops.cc" "src/CMakeFiles/mural_exec.dir/exec/basic_ops.cc.o" "gcc" "src/CMakeFiles/mural_exec.dir/exec/basic_ops.cc.o.d"
+  "/root/repo/src/exec/expression.cc" "src/CMakeFiles/mural_exec.dir/exec/expression.cc.o" "gcc" "src/CMakeFiles/mural_exec.dir/exec/expression.cc.o.d"
+  "/root/repo/src/exec/join_ops.cc" "src/CMakeFiles/mural_exec.dir/exec/join_ops.cc.o" "gcc" "src/CMakeFiles/mural_exec.dir/exec/join_ops.cc.o.d"
+  "/root/repo/src/exec/mural_ops.cc" "src/CMakeFiles/mural_exec.dir/exec/mural_ops.cc.o" "gcc" "src/CMakeFiles/mural_exec.dir/exec/mural_ops.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/CMakeFiles/mural_exec.dir/exec/operator.cc.o" "gcc" "src/CMakeFiles/mural_exec.dir/exec/operator.cc.o.d"
+  "/root/repo/src/exec/scan_ops.cc" "src/CMakeFiles/mural_exec.dir/exec/scan_ops.cc.o" "gcc" "src/CMakeFiles/mural_exec.dir/exec/scan_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mural_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_phonetic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

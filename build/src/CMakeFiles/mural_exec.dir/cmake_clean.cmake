@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mural_exec.dir/exec/agg_ops.cc.o"
+  "CMakeFiles/mural_exec.dir/exec/agg_ops.cc.o.d"
+  "CMakeFiles/mural_exec.dir/exec/basic_ops.cc.o"
+  "CMakeFiles/mural_exec.dir/exec/basic_ops.cc.o.d"
+  "CMakeFiles/mural_exec.dir/exec/expression.cc.o"
+  "CMakeFiles/mural_exec.dir/exec/expression.cc.o.d"
+  "CMakeFiles/mural_exec.dir/exec/join_ops.cc.o"
+  "CMakeFiles/mural_exec.dir/exec/join_ops.cc.o.d"
+  "CMakeFiles/mural_exec.dir/exec/mural_ops.cc.o"
+  "CMakeFiles/mural_exec.dir/exec/mural_ops.cc.o.d"
+  "CMakeFiles/mural_exec.dir/exec/operator.cc.o"
+  "CMakeFiles/mural_exec.dir/exec/operator.cc.o.d"
+  "CMakeFiles/mural_exec.dir/exec/scan_ops.cc.o"
+  "CMakeFiles/mural_exec.dir/exec/scan_ops.cc.o.d"
+  "libmural_exec.a"
+  "libmural_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mural_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

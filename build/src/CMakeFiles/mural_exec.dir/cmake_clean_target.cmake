@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmural_exec.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mural_index.dir/index/btree.cc.o"
+  "CMakeFiles/mural_index.dir/index/btree.cc.o.d"
+  "CMakeFiles/mural_index.dir/index/gist.cc.o"
+  "CMakeFiles/mural_index.dir/index/gist.cc.o.d"
+  "CMakeFiles/mural_index.dir/index/key_codec.cc.o"
+  "CMakeFiles/mural_index.dir/index/key_codec.cc.o.d"
+  "CMakeFiles/mural_index.dir/index/mdi.cc.o"
+  "CMakeFiles/mural_index.dir/index/mdi.cc.o.d"
+  "CMakeFiles/mural_index.dir/index/mtree.cc.o"
+  "CMakeFiles/mural_index.dir/index/mtree.cc.o.d"
+  "libmural_index.a"
+  "libmural_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mural_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

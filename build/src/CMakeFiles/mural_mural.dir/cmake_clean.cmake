@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mural_mural.dir/mural/algebra.cc.o"
+  "CMakeFiles/mural_mural.dir/mural/algebra.cc.o.d"
+  "libmural_mural.a"
+  "libmural_mural.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mural_mural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/cardinality.cc" "src/CMakeFiles/mural_optimizer.dir/optimizer/cardinality.cc.o" "gcc" "src/CMakeFiles/mural_optimizer.dir/optimizer/cardinality.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/mural_optimizer.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/mural_optimizer.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/logical_plan.cc" "src/CMakeFiles/mural_optimizer.dir/optimizer/logical_plan.cc.o" "gcc" "src/CMakeFiles/mural_optimizer.dir/optimizer/logical_plan.cc.o.d"
+  "/root/repo/src/optimizer/planner.cc" "src/CMakeFiles/mural_optimizer.dir/optimizer/planner.cc.o" "gcc" "src/CMakeFiles/mural_optimizer.dir/optimizer/planner.cc.o.d"
+  "/root/repo/src/optimizer/stats.cc" "src/CMakeFiles/mural_optimizer.dir/optimizer/stats.cc.o" "gcc" "src/CMakeFiles/mural_optimizer.dir/optimizer/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mural_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_phonetic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

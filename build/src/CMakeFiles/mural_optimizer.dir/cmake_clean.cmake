@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mural_optimizer.dir/optimizer/cardinality.cc.o"
+  "CMakeFiles/mural_optimizer.dir/optimizer/cardinality.cc.o.d"
+  "CMakeFiles/mural_optimizer.dir/optimizer/cost_model.cc.o"
+  "CMakeFiles/mural_optimizer.dir/optimizer/cost_model.cc.o.d"
+  "CMakeFiles/mural_optimizer.dir/optimizer/logical_plan.cc.o"
+  "CMakeFiles/mural_optimizer.dir/optimizer/logical_plan.cc.o.d"
+  "CMakeFiles/mural_optimizer.dir/optimizer/planner.cc.o"
+  "CMakeFiles/mural_optimizer.dir/optimizer/planner.cc.o.d"
+  "CMakeFiles/mural_optimizer.dir/optimizer/stats.cc.o"
+  "CMakeFiles/mural_optimizer.dir/optimizer/stats.cc.o.d"
+  "libmural_optimizer.a"
+  "libmural_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mural_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

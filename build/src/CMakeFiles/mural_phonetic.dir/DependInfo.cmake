@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phonetic/g2p_engine.cc" "src/CMakeFiles/mural_phonetic.dir/phonetic/g2p_engine.cc.o" "gcc" "src/CMakeFiles/mural_phonetic.dir/phonetic/g2p_engine.cc.o.d"
+  "/root/repo/src/phonetic/phoneme.cc" "src/CMakeFiles/mural_phonetic.dir/phonetic/phoneme.cc.o" "gcc" "src/CMakeFiles/mural_phonetic.dir/phonetic/phoneme.cc.o.d"
+  "/root/repo/src/phonetic/rules_english.cc" "src/CMakeFiles/mural_phonetic.dir/phonetic/rules_english.cc.o" "gcc" "src/CMakeFiles/mural_phonetic.dir/phonetic/rules_english.cc.o.d"
+  "/root/repo/src/phonetic/rules_germanic.cc" "src/CMakeFiles/mural_phonetic.dir/phonetic/rules_germanic.cc.o" "gcc" "src/CMakeFiles/mural_phonetic.dir/phonetic/rules_germanic.cc.o.d"
+  "/root/repo/src/phonetic/rules_indic.cc" "src/CMakeFiles/mural_phonetic.dir/phonetic/rules_indic.cc.o" "gcc" "src/CMakeFiles/mural_phonetic.dir/phonetic/rules_indic.cc.o.d"
+  "/root/repo/src/phonetic/rules_romance.cc" "src/CMakeFiles/mural_phonetic.dir/phonetic/rules_romance.cc.o" "gcc" "src/CMakeFiles/mural_phonetic.dir/phonetic/rules_romance.cc.o.d"
+  "/root/repo/src/phonetic/transformer.cc" "src/CMakeFiles/mural_phonetic.dir/phonetic/transformer.cc.o" "gcc" "src/CMakeFiles/mural_phonetic.dir/phonetic/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mural_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mural_phonetic.dir/phonetic/g2p_engine.cc.o"
+  "CMakeFiles/mural_phonetic.dir/phonetic/g2p_engine.cc.o.d"
+  "CMakeFiles/mural_phonetic.dir/phonetic/phoneme.cc.o"
+  "CMakeFiles/mural_phonetic.dir/phonetic/phoneme.cc.o.d"
+  "CMakeFiles/mural_phonetic.dir/phonetic/rules_english.cc.o"
+  "CMakeFiles/mural_phonetic.dir/phonetic/rules_english.cc.o.d"
+  "CMakeFiles/mural_phonetic.dir/phonetic/rules_germanic.cc.o"
+  "CMakeFiles/mural_phonetic.dir/phonetic/rules_germanic.cc.o.d"
+  "CMakeFiles/mural_phonetic.dir/phonetic/rules_indic.cc.o"
+  "CMakeFiles/mural_phonetic.dir/phonetic/rules_indic.cc.o.d"
+  "CMakeFiles/mural_phonetic.dir/phonetic/rules_romance.cc.o"
+  "CMakeFiles/mural_phonetic.dir/phonetic/rules_romance.cc.o.d"
+  "CMakeFiles/mural_phonetic.dir/phonetic/transformer.cc.o"
+  "CMakeFiles/mural_phonetic.dir/phonetic/transformer.cc.o.d"
+  "libmural_phonetic.a"
+  "libmural_phonetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mural_phonetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mural_plfront.dir/plfront/pl_interpreter.cc.o"
+  "CMakeFiles/mural_plfront.dir/plfront/pl_interpreter.cc.o.d"
+  "CMakeFiles/mural_plfront.dir/plfront/pl_parser.cc.o"
+  "CMakeFiles/mural_plfront.dir/plfront/pl_parser.cc.o.d"
+  "CMakeFiles/mural_plfront.dir/plfront/pl_value.cc.o"
+  "CMakeFiles/mural_plfront.dir/plfront/pl_value.cc.o.d"
+  "CMakeFiles/mural_plfront.dir/plfront/udf_runtime.cc.o"
+  "CMakeFiles/mural_plfront.dir/plfront/udf_runtime.cc.o.d"
+  "libmural_plfront.a"
+  "libmural_plfront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mural_plfront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mural_sql.dir/sql/sql.cc.o"
+  "CMakeFiles/mural_sql.dir/sql/sql.cc.o.d"
+  "libmural_sql.a"
+  "libmural_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mural_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

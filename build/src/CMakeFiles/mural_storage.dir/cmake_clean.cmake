@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mural_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/mural_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/mural_storage.dir/storage/disk_manager.cc.o"
+  "CMakeFiles/mural_storage.dir/storage/disk_manager.cc.o.d"
+  "CMakeFiles/mural_storage.dir/storage/heap_file.cc.o"
+  "CMakeFiles/mural_storage.dir/storage/heap_file.cc.o.d"
+  "CMakeFiles/mural_storage.dir/storage/page.cc.o"
+  "CMakeFiles/mural_storage.dir/storage/page.cc.o.d"
+  "libmural_storage.a"
+  "libmural_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mural_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mural_taxonomy.dir/taxonomy/reachability_index.cc.o"
+  "CMakeFiles/mural_taxonomy.dir/taxonomy/reachability_index.cc.o.d"
+  "CMakeFiles/mural_taxonomy.dir/taxonomy/taxonomy.cc.o"
+  "CMakeFiles/mural_taxonomy.dir/taxonomy/taxonomy.cc.o.d"
+  "libmural_taxonomy.a"
+  "libmural_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mural_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

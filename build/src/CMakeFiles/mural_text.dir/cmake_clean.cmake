@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mural_text.dir/text/language.cc.o"
+  "CMakeFiles/mural_text.dir/text/language.cc.o.d"
+  "CMakeFiles/mural_text.dir/text/unitext.cc.o"
+  "CMakeFiles/mural_text.dir/text/unitext.cc.o.d"
+  "libmural_text.a"
+  "libmural_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mural_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mural_composition_test.dir/mural_composition_test.cc.o"
+  "CMakeFiles/mural_composition_test.dir/mural_composition_test.cc.o.d"
+  "mural_composition_test"
+  "mural_composition_test.pdb"
+  "mural_composition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mural_composition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

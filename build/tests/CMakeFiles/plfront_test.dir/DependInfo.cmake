@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/plfront_test.cc" "tests/CMakeFiles/plfront_test.dir/plfront_test.cc.o" "gcc" "tests/CMakeFiles/plfront_test.dir/plfront_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mural_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_mural.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_plfront.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_phonetic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mural_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

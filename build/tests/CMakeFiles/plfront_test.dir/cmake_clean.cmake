@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plfront_test.dir/plfront_test.cc.o"
+  "CMakeFiles/plfront_test.dir/plfront_test.cc.o.d"
+  "plfront_test"
+  "plfront_test.pdb"
+  "plfront_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plfront_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unitext_test.dir/unitext_test.cc.o"
+  "CMakeFiles/unitext_test.dir/unitext_test.cc.o.d"
+  "unitext_test"
+  "unitext_test.pdb"
+  "unitext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unitext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/phonetic_test[1]_include.cmake")
+include("/root/repo/build/tests/distance_test[1]_include.cmake")
+include("/root/repo/build/tests/taxonomy_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/mtree_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_test[1]_include.cmake")
+include("/root/repo/build/tests/plfront_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/mural_composition_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/gist_test[1]_include.cmake")
+include("/root/repo/build/tests/reachability_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/unitext_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_smoke_test[1]_include.cmake")
