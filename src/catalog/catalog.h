@@ -44,32 +44,33 @@ class Catalog {
   explicit Catalog(BufferPool* pool) : pool_(pool) {}
 
   /// Creates an empty table.
+  [[nodiscard]]
   StatusOr<TableInfo*> CreateTable(const std::string& name, Schema schema);
 
   /// Table by name; NotFound if absent.
-  StatusOr<TableInfo*> GetTable(const std::string& name) const;
+  [[nodiscard]] StatusOr<TableInfo*> GetTable(const std::string& name) const;
 
   /// Removes the table and its indexes from the catalog.  (Heap pages are
   /// not reclaimed: no free-space management, matching scope.)
-  Status DropTable(const std::string& name);
+  [[nodiscard]] Status DropTable(const std::string& name);
 
   /// Registers an index implementation for `table.column`.  The catalog
   /// takes ownership; the caller (engine layer) constructs the concrete
   /// AccessMethod and bulk-loads it before or after registration.
-  StatusOr<IndexInfo*> CreateIndex(const std::string& index_name,
+  [[nodiscard]] StatusOr<IndexInfo*> CreateIndex(const std::string& index_name,
                                    const std::string& table,
                                    const std::string& column,
                                    bool on_phonemes, IndexKind kind,
                                    std::unique_ptr<AccessMethod> index);
 
   /// Index by name; NotFound if absent.
-  StatusOr<IndexInfo*> GetIndex(const std::string& name) const;
+  [[nodiscard]] StatusOr<IndexInfo*> GetIndex(const std::string& name) const;
 
   /// Indexes on a given table/column (any kind).
   std::vector<IndexInfo*> FindIndexes(const std::string& table,
                                       const std::string& column) const;
 
-  Status DropIndex(const std::string& name);
+  [[nodiscard]] Status DropIndex(const std::string& name);
 
   std::vector<std::string> TableNames() const;
 
@@ -93,7 +94,7 @@ class TableWriter {
   /// Serializes and appends `row`; updates every index registered on the
   /// table (B-Tree keys use the raw column value; phoneme-keyed indexes
   /// use the materialized phoneme string, which must be present).
-  StatusOr<Rid> Insert(const Row& row);
+  [[nodiscard]] StatusOr<Rid> Insert(const Row& row);
 
  private:
   TableInfo* table_;

@@ -40,7 +40,7 @@ class Schema {
   int IndexOf(std::string_view name) const;
 
   /// Like IndexOf but returns a Status for binder-style error reporting.
-  StatusOr<size_t> Resolve(std::string_view name) const;
+  [[nodiscard]] StatusOr<size_t> Resolve(std::string_view name) const;
 
   /// Concatenation (for join outputs); duplicate names get the side
   /// prefixes "l." / "r." only when they collide.

@@ -1,4 +1,10 @@
-// Little-endian fixed-width encodings for tuple and index-page layouts.
+// Fixed-width encodings for tuple and index-page layouts.
+//
+// Invariant (enforced by review + the ubsan preset): every multi-byte load
+// or store in this file goes through std::memcpy, never a pointer cast, so
+// the codec is alignment-safe on any buffer offset — tuple fields are
+// packed back-to-back in slotted pages and land on odd addresses all the
+// time.  Keep it that way when adding encodings.
 
 #pragma once
 

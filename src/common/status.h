@@ -37,7 +37,11 @@ const char* StatusCodeToString(StatusCode code);
 /// Status is cheap to copy in the OK case (no allocation) and cheap to move
 /// always.  Functions that can fail return Status (or StatusOr<T>); callers
 /// must consult ok() before using any out-parameters.
-class Status {
+///
+/// The class-level [[nodiscard]] makes the compiler reject any call site
+/// that silently drops a returned Status; use MURAL_IGNORE_ERROR for the
+/// rare case where dropping is intentional.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -77,9 +81,9 @@ class Status {
     return Status(StatusCode::kAborted, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return msg_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return msg_; }
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsInvalidArgument() const {
@@ -105,7 +109,7 @@ class Status {
 /// Access the value only after checking ok().  ValueOrDie-style accessors
 /// assert in debug builds.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from a value: success.
   StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -115,10 +119,10 @@ class StatusOr {
     assert(!std::get<Status>(rep_).ok());
   }
 
-  bool ok() const { return std::holds_alternative<T>(rep_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(rep_); }
 
   /// The error status; OK() if this holds a value.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return ok() ? Status::OK() : std::get<Status>(rep_);
   }
 
@@ -151,6 +155,14 @@ class StatusOr {
   do {                                             \
     ::mural::Status _st = (expr);                  \
     if (!_st.ok()) return _st;                     \
+  } while (0)
+
+/// Documents an intentionally discarded Status or StatusOr at a call site
+/// where failure is acceptable (best-effort cleanup, background prefetch).
+/// This is the only sanctioned way to drop a [[nodiscard]] result.
+#define MURAL_IGNORE_ERROR(expr)                   \
+  do {                                             \
+    [[maybe_unused]] auto&& _ignored = (expr);     \
   } while (0)
 
 #define MURAL_CONCAT_INNER_(a, b) a##b

@@ -50,54 +50,56 @@ struct QueryResult {
 
 class Database {
  public:
-  static StatusOr<std::unique_ptr<Database>> Open(
+  [[nodiscard]] static StatusOr<std::unique_ptr<Database>> Open(
       DatabaseOptions options = DatabaseOptions());
 
   // ------------------------------------------------------------- DDL/DML
 
-  Status CreateTable(const std::string& name, Schema schema);
+  [[nodiscard]] Status CreateTable(const std::string& name, Schema schema);
 
   /// Inserts a row; UniText values in MATERIALIZE PHONEMES columns get
   /// their phoneme strings computed and stored (paper §4.2).
-  Status Insert(const std::string& table, Row row);
+  [[nodiscard]] Status Insert(const std::string& table, Row row);
 
+  [[nodiscard]]
   Status InsertBulk(const std::string& table, std::vector<Row> rows);
 
   /// Creates and registers an index.  `on_phonemes` keys the index by the
   /// materialized phoneme string (required for kMTree/kMdi).
+  [[nodiscard]]
   Status CreateIndex(const std::string& index_name, const std::string& table,
                      const std::string& column, IndexKind kind,
                      bool on_phonemes);
 
   /// Rebuilds optimizer statistics for a table.
-  Status Analyze(const std::string& table);
+  [[nodiscard]] Status Analyze(const std::string& table);
 
   // ------------------------------------------------------------ taxonomy
 
   /// Pins `taxonomy` in memory for SemEQUAL *and* persists it into the
   /// relational tables tax_synsets / tax_edges / tax_equiv, so closure
   /// computation can also run against storage (the Figure-8 experiments).
-  Status LoadTaxonomy(std::unique_ptr<Taxonomy> taxonomy);
+  [[nodiscard]] Status LoadTaxonomy(std::unique_ptr<Taxonomy> taxonomy);
 
   /// Adds B+Tree indexes on tax_edges.parent and tax_equiv.a (the
   /// "B+Tree index on the parent attribute" configuration of §5.4).
-  Status CreateTaxonomyIndexes();
+  [[nodiscard]] Status CreateTaxonomyIndexes();
 
   const Taxonomy* taxonomy() const { return taxonomy_.get(); }
 
   // ------------------------------------------------------------- queries
 
   /// Plans without executing (EXPLAIN).
-  StatusOr<PhysicalPlan> PlanQuery(const LogicalPtr& plan,
+  [[nodiscard]] StatusOr<PhysicalPlan> PlanQuery(const LogicalPtr& plan,
                                    PlannerHints hints = PlannerHints());
 
   /// Plans and executes, reporting predictions, timings and counters.
-  StatusOr<QueryResult> Query(const LogicalPtr& plan,
+  [[nodiscard]] StatusOr<QueryResult> Query(const LogicalPtr& plan,
                               PlannerHints hints = PlannerHints());
 
   /// Parses and runs a SQL statement (SELECT / EXPLAIN / SET / CREATE /
   /// INSERT / ANALYZE); see src/sql.
-  StatusOr<QueryResult> Sql(const std::string& statement);
+  [[nodiscard]] StatusOr<QueryResult> Sql(const std::string& statement);
 
   // ------------------------------------------------------------ settings
 
@@ -118,7 +120,7 @@ class Database {
   /// callbacks bound to this database.  `use_btree_for_closure` selects
   /// how the SQL_CHILDREN host statement executes: B+Tree probe (requires
   /// CreateTaxonomyIndexes) vs full scan of tax_edges.
-  StatusOr<pl::UdfRuntime*> udf_runtime();
+  [[nodiscard]] StatusOr<pl::UdfRuntime*> udf_runtime();
   void set_outside_closure_uses_btree(bool use) {
     outside_closure_btree_ = use;
   }
@@ -126,7 +128,7 @@ class Database {
  private:
   Database() = default;
 
-  Status BindUdfHosts();
+  [[nodiscard]] Status BindUdfHosts();
 
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;

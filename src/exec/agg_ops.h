@@ -30,9 +30,9 @@ class AggregateOp : public PhysicalOp {
   AggregateOp(ExecContext* ctx, OpPtr child, std::vector<size_t> group_by,
               std::vector<AggSpec> aggs);
 
-  Status Open() override;
-  StatusOr<bool> Next(Row* out) override;
-  Status Close() override;
+  [[nodiscard]] Status Open() override;
+  [[nodiscard]] StatusOr<bool> Next(Row* out) override;
+  [[nodiscard]] Status Close() override;
   const Schema& output_schema() const override { return schema_; }
   std::string DisplayName() const override;
   std::vector<const PhysicalOp*> Children() const override {
@@ -47,6 +47,7 @@ class AggregateOp : public PhysicalOp {
     Value min, max;
   };
 
+  [[nodiscard]]
   Status Accumulate(const Row& row, std::vector<AggState>* states) const;
   Row Finalize(const Row& group, const std::vector<AggState>& states) const;
 

@@ -37,6 +37,7 @@ class Expr {
  public:
   virtual ~Expr() = default;
 
+  [[nodiscard]]
   virtual StatusOr<Value> Evaluate(const Row& row, ExecContext* ctx) const = 0;
 
   /// Display form for EXPLAIN.
@@ -52,6 +53,7 @@ class ColumnRefExpr : public Expr {
   ColumnRefExpr(size_t index, std::string name)
       : index_(index), name_(std::move(name)) {}
 
+  [[nodiscard]]
   StatusOr<Value> Evaluate(const Row& row, ExecContext* ctx) const override;
   std::string ToString() const override { return name_; }
   void CollectColumns(std::set<size_t>* out) const override {
@@ -70,6 +72,7 @@ class LiteralExpr : public Expr {
  public:
   explicit LiteralExpr(Value value) : value_(std::move(value)) {}
 
+  [[nodiscard]]
   StatusOr<Value> Evaluate(const Row& row, ExecContext* ctx) const override;
   std::string ToString() const override { return value_.ToString(); }
   void CollectColumns(std::set<size_t>*) const override {}
@@ -86,6 +89,7 @@ class ComparisonExpr : public Expr {
   ComparisonExpr(CompareOp op, ExprPtr left, ExprPtr right)
       : op_(op), left_(std::move(left)), right_(std::move(right)) {}
 
+  [[nodiscard]]
   StatusOr<Value> Evaluate(const Row& row, ExecContext* ctx) const override;
   std::string ToString() const override;
   void CollectColumns(std::set<size_t>* out) const override {
@@ -110,6 +114,7 @@ class LogicalExpr : public Expr {
   LogicalExpr(LogicalOp op, ExprPtr left, ExprPtr right = nullptr)
       : op_(op), left_(std::move(left)), right_(std::move(right)) {}
 
+  [[nodiscard]]
   StatusOr<Value> Evaluate(const Row& row, ExecContext* ctx) const override;
   std::string ToString() const override;
   void CollectColumns(std::set<size_t>* out) const override {
@@ -132,6 +137,7 @@ class FullEqualsExpr : public Expr {
   FullEqualsExpr(ExprPtr left, ExprPtr right)
       : left_(std::move(left)), right_(std::move(right)) {}
 
+  [[nodiscard]]
   StatusOr<Value> Evaluate(const Row& row, ExecContext* ctx) const override;
   std::string ToString() const override {
     return left_->ToString() + " === " + right_->ToString();
@@ -157,6 +163,7 @@ class LexEqualExpr : public Expr {
         right_(std::move(right)),
         threshold_override_(threshold_override) {}
 
+  [[nodiscard]]
   StatusOr<Value> Evaluate(const Row& row, ExecContext* ctx) const override;
   std::string ToString() const override;
   void CollectColumns(std::set<size_t>* out) const override {
@@ -186,6 +193,7 @@ class SemEqualExpr : public Expr {
   SemEqualExpr(ExprPtr left, ExprPtr right)
       : left_(std::move(left)), right_(std::move(right)) {}
 
+  [[nodiscard]]
   StatusOr<Value> Evaluate(const Row& row, ExecContext* ctx) const override;
   std::string ToString() const override {
     return left_->ToString() + " SemEQUAL " + right_->ToString();
@@ -209,6 +217,7 @@ class LangInExpr : public Expr {
   LangInExpr(ExprPtr operand, std::set<LangId> langs)
       : operand_(std::move(operand)), langs_(std::move(langs)) {}
 
+  [[nodiscard]]
   StatusOr<Value> Evaluate(const Row& row, ExecContext* ctx) const override;
   std::string ToString() const override;
   void CollectColumns(std::set<size_t>* out) const override {
@@ -238,10 +247,12 @@ ExprPtr LangIn(ExprPtr operand, std::set<LangId> langs);
 /// Helper used by both the expression evaluator and physical operators:
 /// the phoneme string of a value (materialized if available, else
 /// transformed; TEXT values transform with the English rules).
+[[nodiscard]]
 StatusOr<PhonemeString> PhonemesOf(const Value& v, ExecContext* ctx);
 
 /// Helper: evaluates a predicate expression to a definite boolean (NULL ->
 /// false, matching SQL WHERE semantics).
+[[nodiscard]]
 StatusOr<bool> EvalPredicate(const Expr& e, const Row& row, ExecContext* ctx);
 
 }  // namespace mural

@@ -40,9 +40,9 @@ class LexJoinOp : public PhysicalOp {
   LexJoinOp(ExecContext* ctx, OpPtr outer, OpPtr inner, size_t outer_col,
             size_t inner_col, Options options = Options());
 
-  Status Open() override;
-  StatusOr<bool> Next(Row* out) override;
-  Status Close() override;
+  [[nodiscard]] Status Open() override;
+  [[nodiscard]] StatusOr<bool> Next(Row* out) override;
+  [[nodiscard]] Status Close() override;
   const Schema& output_schema() const override { return schema_; }
   std::string DisplayName() const override;
   std::vector<const PhysicalOp*> Children() const override {
@@ -92,9 +92,9 @@ class SemJoinOp : public PhysicalOp {
   SemJoinOp(ExecContext* ctx, OpPtr lhs_child, OpPtr rhs_child,
             size_t lhs_col, size_t rhs_col, Options options = Options());
 
-  Status Open() override;
-  StatusOr<bool> Next(Row* out) override;
-  Status Close() override;
+  [[nodiscard]] Status Open() override;
+  [[nodiscard]] StatusOr<bool> Next(Row* out) override;
+  [[nodiscard]] Status Close() override;
   const Schema& output_schema() const override { return schema_; }
   std::string DisplayName() const override;
   std::vector<const PhysicalOp*> Children() const override {
@@ -102,7 +102,7 @@ class SemJoinOp : public PhysicalOp {
   }
 
  private:
-  Status ComputeClosureFor(const Value& rhs_value);
+  [[nodiscard]] Status ComputeClosureFor(const Value& rhs_value);
 
   OpPtr lhs_, rhs_;
   size_t lhs_col_, rhs_col_;
@@ -131,9 +131,9 @@ class LexIndexJoinOp : public PhysicalOp {
                  const IndexInfo* inner_index, size_t outer_col,
                  int threshold = -1);
 
-  Status Open() override;
-  StatusOr<bool> Next(Row* out) override;
-  Status Close() override;
+  [[nodiscard]] Status Open() override;
+  [[nodiscard]] StatusOr<bool> Next(Row* out) override;
+  [[nodiscard]] Status Close() override;
   const Schema& output_schema() const override { return schema_; }
   std::string DisplayName() const override;
   std::vector<const PhysicalOp*> Children() const override {

@@ -33,20 +33,22 @@ namespace mural {
 class BTree {
  public:
   /// Creates an empty tree (allocates the root leaf).
-  static StatusOr<BTree> Create(BufferPool* pool);
+  [[nodiscard]] static StatusOr<BTree> Create(BufferPool* pool);
 
   /// Inserts (key, rid); duplicates allowed.
-  Status Insert(std::string_view key, Rid rid);
+  [[nodiscard]] Status Insert(std::string_view key, Rid rid);
 
   /// Invokes `fn` for every entry with lo <= key <= hi, in key order, until
   /// it returns false.  Empty `lo` means unbounded below; `unbounded_hi`
   /// ignores `hi`.
+  [[nodiscard]]
   Status Scan(std::string_view lo, std::string_view hi, bool unbounded_hi,
               const std::function<bool(std::string_view key, Rid rid)>& fn)
       const;
 
   /// Bulk-loads from (key, rid) pairs, replacing the current contents.
   /// Entries need not be pre-sorted.  Builds the tree bottom-up.
+  [[nodiscard]]
   Status BulkLoad(std::vector<std::pair<std::string, Rid>> entries);
 
   uint64_t num_entries() const { return num_entries_; }
@@ -64,7 +66,7 @@ class BTree {
     PageId right = kInvalidPage;
   };
 
-  Status InsertRec(PageId node, std::string_view key, Rid rid,
+  [[nodiscard]] Status InsertRec(PageId node, std::string_view key, Rid rid,
                    SplitResult* out);
 
   BufferPool* pool_;
@@ -78,13 +80,15 @@ class BTree {
 /// a column value (or of the materialized phoneme string).
 class BTreeIndex : public AccessMethod {
  public:
+  [[nodiscard]]
   static StatusOr<std::unique_ptr<BTreeIndex>> Create(BufferPool* pool);
 
   IndexKind kind() const override { return IndexKind::kBTree; }
 
-  Status Insert(const Value& key, Rid rid) override;
+  [[nodiscard]] Status Insert(const Value& key, Rid rid) override;
+  [[nodiscard]]
   Status SearchEqual(const Value& key, std::vector<Rid>* out) override;
-  Status SearchRange(const Value& lo, const Value& hi,
+  [[nodiscard]] Status SearchRange(const Value& lo, const Value& hi,
                      std::vector<Rid>* out) override;
 
   uint64_t NumEntries() const override { return tree_.num_entries(); }

@@ -77,14 +77,15 @@ struct GistStats {
 class GistTree {
  public:
   /// Creates an empty tree; `ops` must outlive the tree.
+  [[nodiscard]]
   static StatusOr<GistTree> Create(BufferPool* pool, const GistOps* ops);
 
   /// Inserts a (key, rid) pair.
-  Status Insert(std::string key, Rid rid);
+  [[nodiscard]] Status Insert(std::string key, Rid rid);
 
   /// Calls `fn` for every leaf entry consistent with `query`; traversal
   /// prunes subtrees whose entries are not Consistent.
-  Status Search(const GistQuery& query,
+  [[nodiscard]] Status Search(const GistQuery& query,
                 const std::function<void(const GistEntry&)>& fn) const;
 
   uint64_t num_entries() const { return num_entries_; }
@@ -103,8 +104,10 @@ class GistTree {
     PageId right = kInvalidPage;
   };
 
+  [[nodiscard]]
   Status InsertRec(PageId node, GistEntry entry, uint16_t target_level,
                    SplitResult* out, std::string* new_union);
+  [[nodiscard]]
   Status SplitNode(PageGuard* guard, std::vector<GistEntry> entries,
                    SplitResult* out);
 

@@ -29,18 +29,20 @@ namespace mural {
 
 class MdiIndex : public AccessMethod {
  public:
+  [[nodiscard]]
   static StatusOr<std::unique_ptr<MdiIndex>> Create(BufferPool* pool);
 
   IndexKind kind() const override { return IndexKind::kMdi; }
 
-  Status Insert(const Value& key, Rid rid) override;
+  [[nodiscard]] Status Insert(const Value& key, Rid rid) override;
 
   /// Equality probes degrade to a candidate scan too (distance collision).
+  [[nodiscard]]
   Status SearchEqual(const Value& key, std::vector<Rid>* out) override;
 
   /// Candidate rids for "within edit distance `radius` of key": complete
   /// (no false negatives) but approximate (false positives possible).
-  Status SearchWithin(const Value& key, int radius,
+  [[nodiscard]] Status SearchWithin(const Value& key, int radius,
                       std::vector<Rid>* out) override;
 
   uint64_t NumEntries() const override {
@@ -57,7 +59,7 @@ class MdiIndex : public AccessMethod {
   std::string EncodeKey(const std::string& phonemes) const;
 
   /// Chooses pivots from the pending sample and flushes it into the tree.
-  Status FreezePivots();
+  [[nodiscard]] Status FreezePivots();
 
   static constexpr size_t kSampleSize = 64;
   static constexpr size_t kNumPivots = 5;

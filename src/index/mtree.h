@@ -59,14 +59,16 @@ class MTreeOps : public GistOps {
 /// holding phoneme strings.
 class MTreeIndex : public AccessMethod {
  public:
+  [[nodiscard]]
   static StatusOr<std::unique_ptr<MTreeIndex>> Create(BufferPool* pool,
                                                       uint64_t seed = 7);
 
   IndexKind kind() const override { return IndexKind::kMTree; }
 
-  Status Insert(const Value& key, Rid rid) override;
+  [[nodiscard]] Status Insert(const Value& key, Rid rid) override;
+  [[nodiscard]]
   Status SearchEqual(const Value& key, std::vector<Rid>* out) override;
-  Status SearchWithin(const Value& key, int radius,
+  [[nodiscard]] Status SearchWithin(const Value& key, int radius,
                       std::vector<Rid>* out) override;
 
   uint64_t NumEntries() const override { return tree_->num_entries(); }

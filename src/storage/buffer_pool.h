@@ -67,14 +67,14 @@ class BufferPool {
   BufferPool(DiskManager* disk, size_t capacity);
 
   /// Pins page `id`, reading it from disk on a miss.
-  StatusOr<PageGuard> Fetch(PageId id);
+  [[nodiscard]] StatusOr<PageGuard> Fetch(PageId id);
 
   /// Allocates a fresh page on disk, pins it, and Init()s it as a slotted
   /// page is left to the caller (index pages use their own layout).
-  StatusOr<PageGuard> NewPage();
+  [[nodiscard]] StatusOr<PageGuard> NewPage();
 
   /// Writes back all dirty pages (does not evict).
-  Status FlushAll();
+  [[nodiscard]] Status FlushAll();
 
   size_t capacity() const { return capacity_; }
   const BufferPoolStats& stats() const { return stats_; }
@@ -95,7 +95,7 @@ class BufferPool {
   };
 
   void Unpin(PageId id, bool dirty);
-  StatusOr<size_t> GetFreeFrame();  // may evict
+  [[nodiscard]] StatusOr<size_t> GetFreeFrame();  // may evict
 
   DiskManager* disk_;
   size_t capacity_;

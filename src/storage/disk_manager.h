@@ -35,13 +35,13 @@ class DiskManager {
   virtual ~DiskManager() = default;
 
   /// Appends a fresh zeroed page; returns its id.
-  virtual StatusOr<PageId> AllocatePage() = 0;
+  [[nodiscard]] virtual StatusOr<PageId> AllocatePage() = 0;
 
   /// Reads page `id` into `out` (exactly kPageSize bytes).
-  virtual Status ReadPage(PageId id, char* out) = 0;
+  [[nodiscard]] virtual Status ReadPage(PageId id, char* out) = 0;
 
   /// Writes page `id` from `data` (exactly kPageSize bytes).
-  virtual Status WritePage(PageId id, const char* data) = 0;
+  [[nodiscard]] virtual Status WritePage(PageId id, const char* data) = 0;
 
   /// Number of allocated pages.
   virtual uint32_t NumPages() const = 0;
@@ -57,9 +57,9 @@ class DiskManager {
 /// logical I/O counts matter.
 class MemoryDiskManager : public DiskManager {
  public:
-  StatusOr<PageId> AllocatePage() override;
-  Status ReadPage(PageId id, char* out) override;
-  Status WritePage(PageId id, const char* data) override;
+  [[nodiscard]] StatusOr<PageId> AllocatePage() override;
+  [[nodiscard]] Status ReadPage(PageId id, char* out) override;
+  [[nodiscard]] Status WritePage(PageId id, const char* data) override;
   uint32_t NumPages() const override {
     return static_cast<uint32_t>(frames_.size());
   }
@@ -72,14 +72,14 @@ class MemoryDiskManager : public DiskManager {
 class FileDiskManager : public DiskManager {
  public:
   /// Opens (creating if needed) the backing file.
-  static StatusOr<std::unique_ptr<FileDiskManager>> Open(
+  [[nodiscard]] static StatusOr<std::unique_ptr<FileDiskManager>> Open(
       const std::string& path);
 
   ~FileDiskManager() override;
 
-  StatusOr<PageId> AllocatePage() override;
-  Status ReadPage(PageId id, char* out) override;
-  Status WritePage(PageId id, const char* data) override;
+  [[nodiscard]] StatusOr<PageId> AllocatePage() override;
+  [[nodiscard]] Status ReadPage(PageId id, char* out) override;
+  [[nodiscard]] Status WritePage(PageId id, const char* data) override;
   uint32_t NumPages() const override { return num_pages_; }
 
  private:

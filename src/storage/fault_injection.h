@@ -29,19 +29,19 @@ class FaultInjectionDiskManager : public DiskManager {
 
   uint64_t injected_failures() const { return injected_; }
 
-  StatusOr<PageId> AllocatePage() override {
+  [[nodiscard]] StatusOr<PageId> AllocatePage() override {
     MURAL_RETURN_IF_ERROR(MaybeFail("alloc"));
     MURAL_ASSIGN_OR_RETURN(const PageId id, inner_->AllocatePage());
     ++stats_.page_allocs;
     return id;
   }
-  Status ReadPage(PageId id, char* out) override {
+  [[nodiscard]] Status ReadPage(PageId id, char* out) override {
     MURAL_RETURN_IF_ERROR(MaybeFail("read"));
     MURAL_RETURN_IF_ERROR(inner_->ReadPage(id, out));
     ++stats_.page_reads;
     return Status::OK();
   }
-  Status WritePage(PageId id, const char* data) override {
+  [[nodiscard]] Status WritePage(PageId id, const char* data) override {
     MURAL_RETURN_IF_ERROR(MaybeFail("write"));
     MURAL_RETURN_IF_ERROR(inner_->WritePage(id, data));
     ++stats_.page_writes;
@@ -50,7 +50,7 @@ class FaultInjectionDiskManager : public DiskManager {
   uint32_t NumPages() const override { return inner_->NumPages(); }
 
  private:
-  Status MaybeFail(const char* op) {
+  [[nodiscard]] Status MaybeFail(const char* op) {
     if (!armed_) return Status::OK();
     if (remaining_ > 0) {
       --remaining_;

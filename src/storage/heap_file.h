@@ -20,21 +20,22 @@ namespace mural {
 class HeapFile {
  public:
   /// Creates a new empty heap (allocates its first page).
-  static StatusOr<HeapFile> Create(BufferPool* pool);
+  [[nodiscard]] static StatusOr<HeapFile> Create(BufferPool* pool);
 
   /// Opens an existing heap rooted at `first_page`.
+  [[nodiscard]]
   static StatusOr<HeapFile> Open(BufferPool* pool, PageId first_page,
                                  PageId last_page, uint64_t num_records);
 
   /// Appends a record.
-  StatusOr<Rid> Insert(Slice record);
+  [[nodiscard]] StatusOr<Rid> Insert(Slice record);
 
   /// Reads a record by rid into `out` (copies: the page pin is released
   /// before returning).
-  Status Get(Rid rid, std::string* out) const;
+  [[nodiscard]] Status Get(Rid rid, std::string* out) const;
 
   /// Tombstones a record.
-  Status Delete(Rid rid);
+  [[nodiscard]] Status Delete(Rid rid);
 
   /// Full-scan cursor.  Usage:
   ///   for (auto it = heap.Begin(); it.Valid(); it.Next()) { it.record() }

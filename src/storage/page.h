@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <type_traits>
 
 #include "common/slice.h"
 #include "common/status.h"
@@ -31,7 +32,12 @@ using SlotId = uint16_t;
 /// A slotted page.  The object *is* the 8 KiB buffer; it is always
 /// allocated inside a buffer-pool frame and reinterpret_cast from the raw
 /// frame bytes, so it must stay trivially copyable with no virtuals.
-class Page {
+///
+/// The alignas keeps header()/slot_array() aligned for their uint16/uint32
+/// members no matter where a frame lands, so the in-page casts are
+/// UBSan-clean by construction (record payloads are still accessed only
+/// via memcpy / the Decoder in common/coding.h).
+class alignas(alignof(uint64_t)) Page {
  public:
   /// Formats a zeroed frame as an empty slotted page.
   void Init() {
@@ -61,18 +67,18 @@ class Page {
   }
 
   /// Inserts a record; fails with ResourceExhausted when it does not fit.
-  StatusOr<SlotId> Insert(Slice record);
+  [[nodiscard]] StatusOr<SlotId> Insert(Slice record);
 
   /// Reads the record in `slot`; NotFound for tombstoned/unknown slots.
-  StatusOr<Slice> Get(SlotId slot) const;
+  [[nodiscard]] StatusOr<Slice> Get(SlotId slot) const;
 
   /// Tombstones `slot`.  Space is not reclaimed (no compaction), matching
   /// the simple heap semantics the experiments need.
-  Status Delete(SlotId slot);
+  [[nodiscard]] Status Delete(SlotId slot);
 
   /// Overwrites a record in place if the new value is not longer than the
   /// old; otherwise fails with NotSupported (caller re-inserts).
-  Status Update(SlotId slot, Slice record);
+  [[nodiscard]] Status Update(SlotId slot, Slice record);
 
   /// Singly-linked list of pages forming a heap file (also used as the
   /// leaf chain by the B+Tree).
@@ -114,6 +120,8 @@ class Page {
 };
 
 static_assert(sizeof(Page) == kPageSize, "Page must be exactly one frame");
+static_assert(std::is_trivially_copyable_v<Page>,
+              "Page is reinterpret_cast from raw frame bytes");
 
 /// Record identifier: (page, slot) — stable for the record's lifetime.
 struct Rid {

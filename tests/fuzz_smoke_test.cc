@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "catalog/tuple_codec.h"
+#include "common/coding.h"
 #include "common/random.h"
 #include "common/utf8.h"
 #include "plfront/pl_parser.h"
@@ -111,6 +112,98 @@ TEST_P(FuzzSmokeTest, TupleCodecSurvivesTruncationOfValidTuples) {
     (void)TupleCodec::Deserialize(schema, mutated, &out);
   }
   SUCCEED();
+}
+
+// Hand-crafted malformed UTF-8: overlong encodings, surrogate halves,
+// out-of-range values, bare continuation bytes, and truncated sequences.
+// Strict decoding must reject every one; lenient decoding must survive.
+// Under ASan/UBSan this also proves the decoder never reads past the end
+// of a short buffer.
+TEST(Utf8AdversarialTest, MalformedSequencesAreRejectedCleanly) {
+  const std::vector<std::string> malformed = {
+      "\xC0\xAF",               // overlong '/': 2 bytes for U+002F
+      "\xC1\xBF",               // overlong: top of the C0/C1 dead zone
+      "\xE0\x80\xAF",           // overlong '/': 3 bytes
+      "\xF0\x80\x80\xAF",       // overlong '/': 4 bytes
+      "\xE0\x9F\xBF",           // overlong: 3-byte below U+0800
+      "\xF0\x8F\xBF\xBF",       // overlong: 4-byte below U+10000
+      "\xED\xA0\x80",           // UTF-16 high surrogate U+D800
+      "\xED\xBF\xBF",           // UTF-16 low surrogate U+DFFF
+      "\xF4\x90\x80\x80",       // first code point beyond U+10FFFF
+      "\xF5\x80\x80\x80",       // lead byte that can never be valid
+      "\xFE",                   // illegal lead byte
+      "\xFF",                   // illegal lead byte
+      "\x80",                   // bare continuation byte
+      "\xBF\xBF",               // continuation bytes with no lead
+      "\xC2",                   // truncated 2-byte sequence
+      "\xE2\x82",               // truncated 3-byte sequence
+      "\xF0\x9F\x92",           // truncated 4-byte sequence (half an emoji)
+      "\xC2\x41",               // lead byte followed by ASCII, not cont.
+      "\xE2\x28\xA1",           // 3-byte with bad 2nd byte
+      "ok\xC0\xAFtail",         // malformed bytes embedded in ASCII
+  };
+  for (const std::string& bytes : malformed) {
+    EXPECT_FALSE(utf8::IsValid(bytes)) << "accepted: " << bytes;
+    const auto strict = utf8::DecodeStrict(bytes);
+    EXPECT_FALSE(strict.ok()) << "strict-decoded: " << bytes;
+    // Lenient decode substitutes U+FFFD and never crashes or over-reads.
+    const std::vector<CodePoint> lenient = utf8::Decode(bytes);
+    EXPECT_LE(lenient.size(), bytes.size());
+    for (const CodePoint cp : lenient) {
+      EXPECT_LE(cp, kMaxCodePoint);
+    }
+  }
+}
+
+TEST(Utf8AdversarialTest, BoundaryCodePointsRoundTrip) {
+  // The last valid code point before each encoding-width boundary and the
+  // first after it — off-by-one territory for the encoder tables.
+  const std::vector<CodePoint> boundaries = {0x00,    0x7F,   0x80,
+                                             0x7FF,   0x800,  0xFFFF,
+                                             0x10000, 0x10FFFF};
+  for (const CodePoint cp : boundaries) {
+    if (cp >= 0xD800 && cp <= 0xDFFF) continue;
+    const std::string enc = utf8::Encode({cp});
+    EXPECT_TRUE(utf8::IsValid(enc)) << "cp=" << cp;
+    const auto dec = utf8::DecodeStrict(enc);
+    ASSERT_TRUE(dec.ok()) << "cp=" << cp;
+    ASSERT_EQ(dec.value().size(), 1u);
+    EXPECT_EQ(dec.value()[0], cp);
+  }
+}
+
+// Length prefixes that lie: a tuple whose TEXT/UNITEXT field claims far
+// more bytes than the buffer holds must fail with a clean Status.  Under
+// ASan this is the canonical heap-overflow probe for the decoder.
+TEST(TupleCodecAdversarialTest, LyingLengthPrefixesFailCleanly) {
+  Schema schema({{"t", TypeId::kText}});
+  Row out;
+  for (const uint32_t lie :
+       {uint32_t{8}, uint32_t{0x7FFFFFFF}, uint32_t{0xFFFFFFFF}}) {
+    std::string bytes;
+    PutU8(&bytes, 1);     // non-null flag
+    PutU32(&bytes, lie);  // declared length
+    bytes += "abc";       // actual payload: 3 bytes
+    const Status st = TupleCodec::Deserialize(schema, bytes, &out);
+    EXPECT_FALSE(st.ok()) << "declared " << lie << " bytes, decoded anyway";
+  }
+}
+
+TEST(TupleCodecAdversarialTest, TruncatedUniTextPhonemesFailCleanly) {
+  Schema schema({{"u", TypeId::kUniText}});
+  Row row{Value::Uni(UniText("svara", lang::kTamil))};
+  row[0].mutable_unitext().set_phonemes("S V A R A");
+  std::string bytes;
+  ASSERT_TRUE(TupleCodec::Serialize(schema, row, &bytes).ok());
+  Row out;
+  // Every strict prefix must fail; none may crash or over-read.
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(
+        TupleCodec::Deserialize(schema, bytes.substr(0, cut), &out).ok())
+        << "prefix of length " << cut << " decoded";
+  }
+  // Trailing garbage after a well-formed tuple must also be rejected.
+  EXPECT_FALSE(TupleCodec::Deserialize(schema, bytes + "x", &out).ok());
 }
 
 TEST_P(FuzzSmokeTest, Utf8DecodersNeverCrash) {

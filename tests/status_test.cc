@@ -1,0 +1,174 @@
+// Tests for the Status/StatusOr error model: construction, classification,
+// copy/move semantics, the propagation macros, and the [[nodiscard]]
+// escape hatch.
+
+#include "common/status.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mural {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  struct Case {
+    Status st;
+    StatusCode code;
+  };
+  const std::vector<Case> cases = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument},
+      {Status::NotFound("b"), StatusCode::kNotFound},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists},
+      {Status::OutOfRange("d"), StatusCode::kOutOfRange},
+      {Status::Corruption("e"), StatusCode::kCorruption},
+      {Status::NotSupported("f"), StatusCode::kNotSupported},
+      {Status::ResourceExhausted("g"), StatusCode::kResourceExhausted},
+      {Status::Internal("h"), StatusCode::kInternal},
+      {Status::IOError("i"), StatusCode::kIOError},
+      {Status::Aborted("j"), StatusCode::kAborted},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.st.ok());
+    EXPECT_EQ(c.st.code(), c.code);
+  }
+}
+
+TEST(StatusTest, PredicatesMatchCodes) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_FALSE(Status::NotFound("x").IsCorruption());
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  const Status st = Status::Corruption("page 7 checksum");
+  EXPECT_NE(st.ToString().find("Corruption"), std::string::npos);
+  EXPECT_NE(st.ToString().find("page 7 checksum"), std::string::npos);
+}
+
+TEST(StatusTest, CopyAndMovePreserveState) {
+  Status orig = Status::IOError("disk gone");
+  Status copy = orig;
+  EXPECT_EQ(copy, orig);
+
+  Status moved = std::move(orig);
+  EXPECT_FALSE(moved.ok());
+  EXPECT_EQ(moved.code(), StatusCode::kIOError);
+  EXPECT_EQ(moved.message(), "disk gone");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("k"), Status::NotFound("k"));
+  EXPECT_FALSE(Status::NotFound("k") == Status::NotFound("other"));
+  EXPECT_FALSE(Status::NotFound("k") == Status::Corruption("k"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> so(42);
+  ASSERT_TRUE(so.ok());
+  EXPECT_EQ(so.value(), 42);
+  EXPECT_EQ(*so, 42);
+  EXPECT_TRUE(so.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> so(Status::NotFound("no row"));
+  ASSERT_FALSE(so.ok());
+  EXPECT_TRUE(so.status().IsNotFound());
+  EXPECT_EQ(so.status().message(), "no row");
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> so(std::make_unique<int>(7));
+  ASSERT_TRUE(so.ok());
+  std::unique_ptr<int> p = std::move(so).value();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> so(std::string("abcd"));
+  ASSERT_TRUE(so.ok());
+  EXPECT_EQ(so->size(), 4u);
+}
+
+TEST(StatusOrTest, MutationThroughReference) {
+  StatusOr<std::vector<int>> so(std::vector<int>{1, 2});
+  so->push_back(3);
+  EXPECT_EQ(so.value().size(), 3u);
+}
+
+namespace propagation {
+
+Status Fail() { return Status::OutOfRange("limit"); }
+Status Succeed() { return Status::OK(); }
+
+Status Caller(bool fail) {
+  MURAL_RETURN_IF_ERROR(Succeed());
+  MURAL_RETURN_IF_ERROR(fail ? Fail() : Succeed());
+  return Status::OK();
+}
+
+StatusOr<int> Half(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+StatusOr<int> Quarter(int v) {
+  MURAL_ASSIGN_OR_RETURN(const int h, Half(v));
+  MURAL_ASSIGN_OR_RETURN(const int q, Half(h));
+  return q;
+}
+
+}  // namespace propagation
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(propagation::Caller(false).ok());
+  const Status st = propagation::Caller(true);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(st.message(), "limit");
+}
+
+TEST(StatusMacrosTest, AssignOrReturnChains) {
+  const StatusOr<int> ok = propagation::Quarter(12);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 3);
+
+  // 6/2 = 3 is odd, so the second Half fails and propagates.
+  const StatusOr<int> err = propagation::Quarter(6);
+  ASSERT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsInvalidArgument());
+}
+
+TEST(StatusMacrosTest, IgnoreErrorIsTheSanctionedDiscard) {
+  // Status and StatusOr are [[nodiscard]]; this must compile without
+  // -Wunused-result (which the build promotes to an error).
+  MURAL_IGNORE_ERROR(propagation::Fail());
+  MURAL_IGNORE_ERROR(propagation::Succeed());
+  MURAL_IGNORE_ERROR(propagation::Half(3));  // StatusOr discard, error case
+  MURAL_IGNORE_ERROR(propagation::Half(4));  // StatusOr discard, value case
+}
+
+TEST(StatusCodeTest, NamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+}
+
+}  // namespace
+}  // namespace mural

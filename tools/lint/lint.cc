@@ -1,0 +1,474 @@
+#include "lint.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace mural::lint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when src[pos..] starts the keyword `word` with identifier
+/// boundaries on both sides.
+bool IsKeywordAt(std::string_view src, size_t pos, std::string_view word) {
+  if (src.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && IsIdentChar(src[pos - 1])) return false;
+  const size_t end = pos + word.size();
+  if (end < src.size() && IsIdentChar(src[end])) return false;
+  return true;
+}
+
+int LineOf(std::string_view src, size_t pos) {
+  int line = 1;
+  for (size_t i = 0; i < pos && i < src.size(); ++i) {
+    if (src[i] == '\n') ++line;
+  }
+  return line;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool PathContains(const std::string& path, std::string_view dir) {
+  return path.find(dir) != std::string::npos;
+}
+
+std::string_view TrimView(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// The statement text preceding `pos`: everything after the last ';', '{',
+/// or '}' before pos.  Used to decide whether a `new` is smart-pointer
+/// owned at its use site.
+std::string_view StatementPrefix(std::string_view src, size_t pos) {
+  size_t start = 0;
+  for (size_t i = pos; i > 0; --i) {
+    const char c = src[i - 1];
+    if (c == ';' || c == '{' || c == '}') {
+      start = i;
+      break;
+    }
+  }
+  return src.substr(start, pos - start);
+}
+
+/// True when the `=` at `i` is part of a comparison (==, !=, <=, >=) or a
+/// compound token that is not a plain assignment of interest here.
+bool IsComparisonEquals(std::string_view s, size_t i) {
+  if (i + 1 < s.size() && s[i + 1] == '=') return true;  // == (first char)
+  if (i > 0) {
+    const char p = s[i - 1];
+    if (p == '=' || p == '!' || p == '<' || p == '>') return true;
+  }
+  return false;
+}
+
+/// Heuristic: an assert argument has a side effect if it contains ++/-- or
+/// a bare assignment.  Compound assignments (+=, -=, |=, ...) read as
+/// `X op =`, which the bare-assignment scan also catches because the char
+/// before `=` is an operator, not one of the comparison leads — special
+/// cased below.
+bool HasSideEffect(std::string_view arg) {
+  for (size_t i = 0; i + 1 < arg.size(); ++i) {
+    if ((arg[i] == '+' && arg[i + 1] == '+') ||
+        (arg[i] == '-' && arg[i + 1] == '-')) {
+      return true;
+    }
+  }
+  for (size_t i = 0; i < arg.size(); ++i) {
+    if (arg[i] != '=') continue;
+    if (IsComparisonEquals(arg, i)) {
+      if (i + 1 < arg.size() && arg[i + 1] == '=') ++i;  // skip 2nd = of ==
+      continue;
+    }
+    // Lambda captures like [=] are not assignments.
+    if (i > 0 && arg[i - 1] == '[') continue;
+    return true;
+  }
+  return false;
+}
+
+/// Extracts the balanced-paren argument of a call whose '(' is at `open`.
+/// Returns npos-based empty view if unbalanced.
+std::string_view BalancedArgs(std::string_view src, size_t open,
+                              size_t* close_out) {
+  int depth = 0;
+  for (size_t i = open; i < src.size(); ++i) {
+    if (src[i] == '(') ++depth;
+    if (src[i] == ')') {
+      --depth;
+      if (depth == 0) {
+        *close_out = i;
+        return src.substr(open + 1, i - open - 1);
+      }
+    }
+  }
+  *close_out = std::string_view::npos;
+  return {};
+}
+
+bool IsHeaderPath(const std::string& path) {
+  return path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+bool IsSourcePath(const std::string& path) {
+  return path.size() > 3 && path.compare(path.size() - 3, 3, ".cc") == 0;
+}
+
+std::string Basename(std::string_view path) {
+  const size_t slash = path.rfind('/');
+  return std::string(slash == std::string_view::npos ? path
+                                                     : path.substr(slash + 1));
+}
+
+void CheckThrow(const std::string& path, std::string_view stripped,
+                std::vector<Violation>* out) {
+  if (PathContains(path, "tools/")) return;
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    if (IsKeywordAt(stripped, i, "throw")) {
+      out->push_back({path, LineOf(stripped, i), "no-throw",
+                      "exceptions are forbidden outside tools/; return a "
+                      "Status instead"});
+    }
+  }
+}
+
+void CheckNewDelete(const std::string& path, std::string_view stripped,
+                    std::vector<Violation>* out) {
+  if (PathContains(path, "storage/")) return;
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    if (IsKeywordAt(stripped, i, "new")) {
+      const std::string_view stmt = StatementPrefix(stripped, i);
+      const bool owned = stmt.find("unique_ptr") != std::string_view::npos ||
+                         stmt.find("shared_ptr") != std::string_view::npos ||
+                         stmt.find(".reset(") != std::string_view::npos ||
+                         stmt.find("->reset(") != std::string_view::npos;
+      if (!owned) {
+        out->push_back({path, LineOf(stripped, i), "no-raw-new-delete",
+                        "raw `new` outside storage/; use std::make_unique or "
+                        "wrap in a smart pointer immediately"});
+      }
+    } else if (IsKeywordAt(stripped, i, "delete")) {
+      // `= delete` (deleted special members) is declaration syntax, not a
+      // deallocation.
+      std::string_view before = TrimView(stripped.substr(0, i));
+      if (!before.empty() && before.back() == '=') continue;
+      out->push_back({path, LineOf(stripped, i), "no-raw-new-delete",
+                      "raw `delete` outside storage/; ownership must live in "
+                      "a smart pointer"});
+    }
+  }
+}
+
+void CheckPragmaOnce(const std::string& path, std::string_view original,
+                     std::vector<Violation>* out) {
+  if (!IsHeaderPath(path)) return;
+  if (original.find("#pragma once") == std::string_view::npos) {
+    out->push_back(
+        {path, 1, "pragma-once", "header is missing `#pragma once`"});
+  }
+}
+
+void CheckAssertSideEffect(const std::string& path, std::string_view stripped,
+                           std::vector<Violation>* out) {
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    if (!IsKeywordAt(stripped, i, "assert")) continue;
+    size_t open = i + 6;
+    while (open < stripped.size() &&
+           std::isspace(static_cast<unsigned char>(stripped[open]))) {
+      ++open;
+    }
+    if (open >= stripped.size() || stripped[open] != '(') continue;
+    size_t close = 0;
+    const std::string_view arg = BalancedArgs(stripped, open, &close);
+    if (close == std::string_view::npos) continue;
+    if (HasSideEffect(arg)) {
+      out->push_back({path, LineOf(stripped, i), "assert-side-effect",
+                      "assert argument appears to mutate state; it vanishes "
+                      "under NDEBUG"});
+    }
+    i = close;
+  }
+}
+
+void CheckOwnHeaderFirst(const std::string& path, std::string_view original,
+                         std::vector<Violation>* out) {
+  if (!IsSourcePath(path)) return;
+  const std::string base = Basename(path);
+  const std::string stem = base.substr(0, base.size() - 3);
+  // Match the header by its last TWO path components (dir/stem.h) so a
+  // same-named header in another directory ("sql/expression.h" for
+  // src/exec/expression.cc) does not satisfy the rule.  Files directly
+  // under the root fall back to the bare "stem.h" form.
+  std::string dir;
+  const size_t slash = path.rfind('/');
+  if (slash != std::string::npos) {
+    const size_t prev = path.rfind('/', slash - 1);
+    dir = path.substr(prev == std::string::npos ? 0 : prev + 1,
+                      slash - (prev == std::string::npos ? 0 : prev + 1));
+  }
+  const std::string own_header =
+      dir.empty() ? ("\"" + stem + ".h\"") : (dir + "/" + stem + ".h\"");
+  const std::string own_header_bare = "\"" + stem + ".h\"";
+
+  int first_include_line = 0;
+  bool first_is_own = false;
+  bool includes_own = false;
+  int line = 0;
+  size_t pos = 0;
+  while (pos <= original.size()) {
+    const size_t eol = original.find('\n', pos);
+    const std::string_view raw =
+        original.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                           : eol - pos);
+    ++line;
+    const std::string_view l = TrimView(raw);
+    if (StartsWith(l, "#include")) {
+      const bool is_own = l.find(own_header) != std::string_view::npos ||
+                          l.find(own_header_bare) != std::string_view::npos;
+      if (first_include_line == 0) {
+        first_include_line = line;
+        first_is_own = is_own;
+      }
+      if (is_own) includes_own = true;
+    }
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  if (includes_own && !first_is_own) {
+    out->push_back({path, first_include_line, "own-header-first",
+                    "a .cc must include its own header before any other "
+                    "#include (catches non-self-contained headers)"});
+  }
+}
+
+/// True when a paren-argument text reads like a constructor *declaration's*
+/// parameter list rather than constructor-call arguments: some top-level
+/// piece is "Type name" (identifier, separator, identifier) or ends with a
+/// bare `&`/`*`/`&&` (unnamed reference/pointer parameter).  Empty parens
+/// are also treated as a declaration (`Status();` inside a class body is
+/// the default-ctor declaration).
+bool LooksLikeParamList(std::string_view args) {
+  if (TrimView(args).empty()) return true;
+  int depth = 0;
+  size_t piece_start = 0;
+  for (size_t i = 0; i <= args.size(); ++i) {
+    const char c = i < args.size() ? args[i] : ',';
+    if (c == '(' || c == '<' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == '>' || c == ']' || c == '}') --depth;
+    if (c == ',' && depth > 0) continue;
+    if (c != ',') continue;
+    const std::string_view piece = TrimView(args.substr(piece_start, i - piece_start));
+    piece_start = i + 1;
+    if (piece.empty()) continue;
+    if (piece.back() == '&' || piece.back() == '*') return true;
+    // "Type name": trailing identifier preceded by space/&/* preceded by
+    // more of the piece (the type).
+    size_t e = piece.size();
+    while (e > 0 && IsIdentChar(piece[e - 1])) --e;
+    if (e == 0 || e == piece.size()) continue;  // not ident-terminated
+    const char sep = piece[e - 1];
+    if ((sep == ' ' || sep == '&' || sep == '*') &&
+        IsIdentChar(piece[0])) {
+      // Exclude value expressions like "a + b": the head must be a plain
+      // qualified-id token run (identifiers, ::, <...>) up to the separator.
+      bool type_like = true;
+      for (size_t k = 0; k + 1 < e; ++k) {
+        const char t = piece[k];
+        if (!IsIdentChar(t) && t != ':' && t != '<' && t != '>' &&
+            t != ' ' && t != '&' && t != '*' && t != ',') {
+          type_like = false;
+          break;
+        }
+      }
+      if (type_like) return true;
+    }
+  }
+  return false;
+}
+
+void CheckDiscardedStatus(const std::string& path, std::string_view stripped,
+                          std::vector<Violation>* out) {
+  int line = 0;
+  size_t pos = 0;
+  while (pos <= stripped.size()) {
+    const size_t eol = stripped.find('\n', pos);
+    const std::string_view raw = stripped.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    ++line;
+    std::string_view l = TrimView(raw);
+    // Match `Status(...);` or `Status::Factory(...);` as a whole statement
+    // line with nothing binding the result.  Constructor *declarations*
+    // (`Status(StatusCode code, std::string msg);`) are excluded by
+    // requiring the arguments to read like values, not parameters.
+    if (StartsWith(l, "::mural::")) l.remove_prefix(9);
+    if (StartsWith(l, "mural::")) l.remove_prefix(7);
+    if (StartsWith(l, "Status") && !l.empty() && l.back() == ';') {
+      std::string_view rest = l.substr(6);
+      const bool is_factory = StartsWith(rest, "::");
+      if (is_factory) {
+        rest.remove_prefix(2);
+        while (!rest.empty() && IsIdentChar(rest.front())) {
+          rest.remove_prefix(1);
+        }
+      }
+      if (StartsWith(rest, "(")) {
+        size_t close = 0;
+        const std::string_view args = BalancedArgs(rest, 0, &close);
+        const bool bare_stmt =
+            close != std::string_view::npos &&
+            TrimView(rest.substr(close + 1)) == ";";
+        if (bare_stmt && (is_factory || !LooksLikeParamList(args))) {
+          out->push_back({path, line, "discarded-status",
+                          "Status constructed and discarded on its own line; "
+                          "return it, check it, or drop the statement"});
+        }
+      }
+    }
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(std::string_view src) {
+  std::string out;
+  out.reserve(src.size());
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !IsIdentChar(src[i - 1]))) {
+          // Raw string literal: R"delim( ... )delim"
+          size_t j = i + 2;
+          raw_delim.clear();
+          while (j < src.size() && src[j] != '(') raw_delim += src[j++];
+          out.append(j + 1 - i, ' ');
+          i = j;  // now at '(' (or end)
+          state = State::kRawString;
+        } else if (c == '"') {
+          state = State::kString;
+          out += ' ';
+        } else if (c == '\'') {
+          // Distinguish a char literal from a C++14 digit separator
+          // (1'000'000, 0xFF'FF): a separator sits inside a numeric
+          // literal, i.e. the preceding identifier-run starts with a
+          // digit.
+          size_t run = i;
+          while (run > 0 && (IsIdentChar(src[run - 1]) || src[run - 1] == '\'')) {
+            --run;
+          }
+          if (run < i && std::isdigit(static_cast<unsigned char>(src[run]))) {
+            out += ' ';  // digit separator: stay in code state
+          } else {
+            state = State::kChar;
+            out += ' ';
+          }
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += (c == '\n') ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += (c == '\n') ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kRawString: {
+        const std::string closer = ")" + raw_delim + "\"";
+        if (src.compare(i, closer.size(), closer) == 0) {
+          out.append(closer.size(), ' ');
+          i += closer.size() - 1;
+          state = State::kCode;
+        } else {
+          out += (c == '\n') ? '\n' : ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> LintFile(const std::string& rel_path,
+                                std::string_view content) {
+  std::vector<Violation> out;
+  const std::string stripped = StripCommentsAndStrings(content);
+  CheckThrow(rel_path, stripped, &out);
+  CheckNewDelete(rel_path, stripped, &out);
+  CheckPragmaOnce(rel_path, content, &out);
+  CheckAssertSideEffect(rel_path, stripped, &out);
+  CheckOwnHeaderFirst(rel_path, content, &out);
+  CheckDiscardedStatus(rel_path, stripped, &out);
+  return out;
+}
+
+std::string FormatViolation(const Violation& v) {
+  return v.file + ":" + std::to_string(v.line) + ": [" + v.rule + "] " +
+         v.message;
+}
+
+}  // namespace mural::lint

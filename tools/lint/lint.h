@@ -1,0 +1,49 @@
+// mural_lint: repo-invariant checks that clang-tidy cannot express.
+//
+// The core is a pure function over (path label, file content) so the unit
+// test can feed synthetic sources with seeded violations.  Rules:
+//
+//   no-throw            `throw` is forbidden outside tools/ (the engine's
+//                       error model is Status/StatusOr, never exceptions).
+//   no-raw-new-delete   `new` not immediately owned by a smart pointer, and
+//                       any `delete`, are forbidden outside storage/.
+//   pragma-once         every header must contain `#pragma once`.
+//   assert-side-effect  `assert(...)` arguments must not mutate state
+//                       (they vanish under NDEBUG).
+//   own-header-first    a .cc that includes its own header must include it
+//                       before any other #include.
+//   discarded-status    a Status constructed as a bare expression statement
+//                       is dead code that looks like error handling.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mural::lint {
+
+struct Violation {
+  std::string file;     // repo-relative path label, e.g. "src/exec/foo.cc"
+  int line = 0;         // 1-based
+  std::string rule;     // stable rule id, e.g. "no-throw"
+  std::string message;  // human-readable detail
+
+  bool operator==(const Violation& o) const {
+    return file == o.file && line == o.line && rule == o.rule;
+  }
+};
+
+/// Replaces comments, string literals (including raw strings), and char
+/// literals with spaces, preserving newlines so line numbers survive.
+std::string StripCommentsAndStrings(std::string_view src);
+
+/// Runs every rule against one file.  `rel_path` decides path-scoped rules
+/// (tools/ may throw, storage/ may new/delete) and the own-header check.
+std::vector<Violation> LintFile(const std::string& rel_path,
+                                std::string_view content);
+
+/// Formats "file:line: [rule] message".
+std::string FormatViolation(const Violation& v);
+
+}  // namespace mural::lint

@@ -1,0 +1,230 @@
+// Unit tests for the mural_lint rules: each rule must fire on a seeded
+// violation and stay silent on the idiomatic equivalent.
+
+#include "lint.h"
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace mural::lint {
+namespace {
+
+bool HasRule(const std::vector<Violation>& vs, const std::string& rule) {
+  return std::any_of(vs.begin(), vs.end(),
+                     [&](const Violation& v) { return v.rule == rule; });
+}
+
+int CountRule(const std::vector<Violation>& vs, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(vs.begin(), vs.end(),
+                    [&](const Violation& v) { return v.rule == rule; }));
+}
+
+TEST(StripTest, RemovesCommentsAndStringsPreservingLines) {
+  const std::string src =
+      "int a; // throw in a comment\n"
+      "const char* s = \"throw new delete\";\n"
+      "/* throw\n   across lines */ int b;\n";
+  const std::string out = StripCommentsAndStrings(src);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_EQ(out.find("throw"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(StripTest, RawStringLiterals) {
+  const std::string src = "auto s = R\"(throw new \" delete)\"; int x;\n";
+  const std::string out = StripCommentsAndStrings(src);
+  EXPECT_EQ(out.find("throw"), std::string::npos);
+  EXPECT_NE(out.find("int x;"), std::string::npos);
+}
+
+TEST(StripTest, DigitSeparatorsAreNotCharLiterals) {
+  // 1'000'000 must not open a char literal and swallow the code after it.
+  const auto vs = LintFile(
+      "src/a.cc",
+      "int big = 1'000'000; void F() { throw 1; } int hex = 0xFF'FF;\n");
+  EXPECT_TRUE(HasRule(vs, "no-throw"));
+  // Real char literals still strip: 'x' must not leak its content.
+  const std::string out =
+      StripCommentsAndStrings("char c = 'x'; auto u = u'\\u00e9';\n");
+  EXPECT_EQ(out.find('x'), std::string::npos);
+}
+
+TEST(NoThrowRule, FiresOnThrowOutsideTools) {
+  const auto vs =
+      LintFile("src/exec/foo.cc", "void F() { throw 42; }\n");
+  EXPECT_TRUE(HasRule(vs, "no-throw"));
+}
+
+TEST(NoThrowRule, AllowsThrowInTools) {
+  const auto vs =
+      LintFile("tools/lint/foo.cc", "void F() { throw 42; }\n");
+  EXPECT_FALSE(HasRule(vs, "no-throw"));
+}
+
+TEST(NoThrowRule, IgnoresCommentsStringsAndIdentifiers) {
+  const auto vs = LintFile("src/a.cc",
+                           "// throw\n"
+                           "const char* s = \"throw\";\n"
+                           "int rethrow_count = 0;\n");
+  EXPECT_FALSE(HasRule(vs, "no-throw"));
+}
+
+TEST(NewDeleteRule, FiresOnRawNewOutsideStorage) {
+  const auto vs = LintFile("src/exec/foo.cc", "int* p = new int(3);\n");
+  EXPECT_TRUE(HasRule(vs, "no-raw-new-delete"));
+}
+
+TEST(NewDeleteRule, FiresOnDeleteOutsideStorage) {
+  const auto vs = LintFile("src/exec/foo.cc", "void F(int* p) { delete p; }\n");
+  EXPECT_TRUE(HasRule(vs, "no-raw-new-delete"));
+}
+
+TEST(NewDeleteRule, AllowsSmartPointerWrappedNew) {
+  const auto vs = LintFile(
+      "src/engine/db.cc",
+      "std::unique_ptr<Database> db(new Database());\n"
+      "auto p = std::shared_ptr<Node>(new Node(1, 2));\n");
+  EXPECT_FALSE(HasRule(vs, "no-raw-new-delete"));
+}
+
+TEST(NewDeleteRule, AllowsResetWithNew) {
+  const auto vs = LintFile("src/engine/db.cc",
+                           "void F(std::unique_ptr<int>& p) {\n"
+                           "  p.reset(new int(3));\n"
+                           "  ptr->reset(new int(4));\n"
+                           "}\n");
+  EXPECT_FALSE(HasRule(vs, "no-raw-new-delete"));
+}
+
+TEST(NewDeleteRule, AllowsDeletedSpecialMembers) {
+  const auto vs = LintFile("src/a.h",
+                           "#pragma once\n"
+                           "struct S { S(const S&) = delete; };\n");
+  EXPECT_FALSE(HasRule(vs, "no-raw-new-delete"));
+}
+
+TEST(NewDeleteRule, AllowsEverythingInStorage) {
+  const auto vs = LintFile("src/storage/pool.cc",
+                           "char* f = new char[8192]; delete[] f;\n");
+  EXPECT_FALSE(HasRule(vs, "no-raw-new-delete"));
+}
+
+TEST(PragmaOnceRule, FiresOnHeaderWithoutPragma) {
+  const auto vs = LintFile("src/a.h", "struct S {};\n");
+  EXPECT_TRUE(HasRule(vs, "pragma-once"));
+}
+
+TEST(PragmaOnceRule, SilentWithPragmaAndOnSourceFiles) {
+  EXPECT_FALSE(
+      HasRule(LintFile("src/a.h", "#pragma once\nstruct S {};\n"),
+              "pragma-once"));
+  EXPECT_FALSE(HasRule(LintFile("src/a.cc", "struct S {};\n"),
+                       "pragma-once"));
+}
+
+TEST(AssertRule, FiresOnMutatingAssert) {
+  EXPECT_TRUE(HasRule(LintFile("src/a.cc", "void F(int i){assert(i++);}\n"),
+                      "assert-side-effect"));
+  EXPECT_TRUE(
+      HasRule(LintFile("src/a.cc", "void F(int i){assert(i = 3);}\n"),
+              "assert-side-effect"));
+}
+
+TEST(AssertRule, AllowsPureAsserts) {
+  const auto vs = LintFile(
+      "src/a.cc",
+      "void F(int i){ assert(i == 3); assert(i <= 4 && i != 0); }\n");
+  EXPECT_FALSE(HasRule(vs, "assert-side-effect"));
+}
+
+TEST(OwnHeaderRule, FiresWhenOwnHeaderNotFirst) {
+  const auto vs = LintFile("src/exec/foo.cc",
+                           "#include <vector>\n"
+                           "#include \"exec/foo.h\"\n");
+  EXPECT_TRUE(HasRule(vs, "own-header-first"));
+}
+
+TEST(OwnHeaderRule, SameBasenameInOtherDirDoesNotSatisfy) {
+  // sql/expression.h is NOT exec/expression.cc's own header; including it
+  // first while the real own header comes later must still fire.
+  const auto vs = LintFile("src/exec/expression.cc",
+                           "#include \"sql/expression.h\"\n"
+                           "#include \"exec/expression.h\"\n");
+  EXPECT_TRUE(HasRule(vs, "own-header-first"));
+}
+
+TEST(OwnHeaderRule, SilentWhenOwnHeaderFirstOrAbsent) {
+  EXPECT_FALSE(HasRule(LintFile("src/exec/foo.cc",
+                                "#include \"exec/foo.h\"\n"
+                                "#include <vector>\n"),
+                       "own-header-first"));
+  // A main-style file with no matching header is exempt.
+  EXPECT_FALSE(HasRule(LintFile("src/exec/tool_main.cc",
+                                "#include <vector>\n"),
+                       "own-header-first"));
+}
+
+TEST(DiscardedStatusRule, FiresOnBareStatusStatement) {
+  const auto vs = LintFile("src/a.cc",
+                           "void F() {\n"
+                           "  Status::InvalidArgument(\"oops\");\n"
+                           "  mural::Status(StatusCode::kInternal, \"x\");\n"
+                           "}\n");
+  EXPECT_EQ(CountRule(vs, "discarded-status"), 2);
+}
+
+TEST(DiscardedStatusRule, IgnoresConstructorDeclarations) {
+  // Member declarations inside the Status class itself (or a wrapper) look
+  // like bare Status(...) statements but are parameter lists, not values.
+  const auto vs = LintFile("src/common/status.h",
+                           "#pragma once\n"
+                           "class Status {\n"
+                           " public:\n"
+                           "  Status();\n"
+                           "  Status(StatusCode code, std::string msg);\n"
+                           "  Status(const Status&);\n"
+                           "  Status(const Status&) = default;\n"
+                           "  Status(Status&& other) noexcept;\n"
+                           "};\n");
+  EXPECT_FALSE(HasRule(vs, "discarded-status"));
+}
+
+TEST(DiscardedStatusRule, AllowsBoundAndReturnedStatus) {
+  const auto vs = LintFile(
+      "src/a.cc",
+      "Status F() { return Status::OK(); }\n"
+      "void G() { Status st = Status::OK(); (void)st; }\n"
+      "Status H();\n");
+  EXPECT_FALSE(HasRule(vs, "discarded-status"));
+}
+
+TEST(LintFileTest, CleanFileHasNoViolations) {
+  const std::string src =
+      "#include \"exec/clean.h\"\n"
+      "\n"
+      "#include <memory>\n"
+      "\n"
+      "namespace mural {\n"
+      "Status Clean::Run() {\n"
+      "  assert(ready_);\n"
+      "  auto node = std::make_unique<Node>();\n"
+      "  return Status::OK();\n"
+      "}\n"
+      "}  // namespace mural\n";
+  EXPECT_TRUE(LintFile("src/exec/clean.cc", src).empty());
+}
+
+TEST(LintFileTest, ReportsLineNumbers) {
+  const auto vs = LintFile("src/a.cc",
+                           "int x;\n"
+                           "int y;\n"
+                           "void F() { throw 1; }\n");
+  ASSERT_TRUE(HasRule(vs, "no-throw"));
+  EXPECT_EQ(vs.front().line, 3);
+}
+
+}  // namespace
+}  // namespace mural::lint

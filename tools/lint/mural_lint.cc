@@ -1,0 +1,93 @@
+// mural_lint driver: walks the given directories, lints every .h/.cc file,
+// prints violations, and exits non-zero when any are found.  Registered as a
+// tier-1 ctest test over src/ so every PR runs it.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsLintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+/// Label files relative to the parent of the scanned root, so scanning
+/// /repo/src yields "src/exec/foo.cc" — the path form the path-scoped rules
+/// (tools/, storage/) expect.
+std::string LabelFor(const fs::path& root, const fs::path& file) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(file, root.parent_path(), ec);
+  return (ec ? file : rel).generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: mural_lint <dir-or-file>...\n";
+    return 2;
+  }
+  int files_checked = 0;
+  std::vector<mural::lint::Violation> all;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path root = fs::absolute(argv[i]).lexically_normal();
+    std::error_code ec;
+    std::vector<fs::path> files;
+    if (fs::is_directory(root, ec)) {
+      // A walk that errors out must fail the run loudly: linting zero
+      // files and exiting 0 would turn the CI gate into a no-op.
+      fs::recursive_directory_iterator it(root, ec);
+      if (ec) {
+        std::cerr << "mural_lint: cannot walk " << root << ": "
+                  << ec.message() << "\n";
+        return 2;
+      }
+      for (const fs::recursive_directory_iterator end; it != end;
+           it.increment(ec)) {
+        if (ec) {
+          std::cerr << "mural_lint: directory walk failed under " << root
+                    << ": " << ec.message() << "\n";
+          return 2;
+        }
+        std::error_code fec;
+        if (it->is_regular_file(fec) && !fec && IsLintable(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+    } else {
+      std::cerr << "mural_lint: cannot open " << root << "\n";
+      return 2;
+    }
+    for (const auto& file : files) {
+      std::ifstream in(file, std::ios::binary);
+      if (!in) {
+        std::cerr << "mural_lint: cannot read " << file << "\n";
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      ++files_checked;
+      const std::string label = LabelFor(root, file);
+      for (auto& v : mural::lint::LintFile(label, buf.str())) {
+        all.push_back(std::move(v));
+      }
+    }
+  }
+  for (const auto& v : all) {
+    std::cout << mural::lint::FormatViolation(v) << "\n";
+  }
+  std::cout << "mural_lint: " << files_checked << " files, " << all.size()
+            << " violation(s)\n";
+  return all.empty() ? 0 : 1;
+}
