@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/thread_pool.h"
 #include "mural/algebra.h"
 
 using namespace mural;
@@ -98,6 +99,52 @@ int main() {
                 ms * 1000.0 / (pairs / 1000.0));
   }
   std::printf("(us-per-1k-pairs roughly flat => bilinear in n_l * n_r, "
-              "matching O(n_l*n_r*k*L))\n");
+              "matching O(n_l*n_r*k*L))\n\n");
+
+  // ---- parallel scaling: runtime vs degree_of_parallelism ---------------
+  // The Parallelize(cost, dop) model says cpu/dop + fixed coordination;
+  // this sweep shows what morsel parallelism actually buys on this
+  // machine (with 1 hardware thread, expect flat-to-slightly-worse — the
+  // point of printing it is honesty, plan choice is tested elsewhere).
+  std::printf("-- Psi scan + join: runtime vs DOP (k=2) --\n");
+  std::printf("(%u hardware thread(s) on this machine)\n",
+              static_cast<unsigned>(ThreadPool::HardwareConcurrency()));
+  {
+    std::vector<NameRecord> records;
+    auto db_or = MakeNamesDb(8000, 3, 42, &records);
+    BENCH_CHECK_OK(db_or.status());
+    std::unique_ptr<Database> db = std::move(*db_or);
+    db->SetLexequalThreshold(2);
+    db->SetDegreeOfParallelism(8);
+    BENCH_CHECK_OK(AddSecondNamesTable(db.get(), "others", 400, 2, 7));
+    auto scan_plan =
+        MuralBuilder::Scan("names",
+                           (*db->catalog()->GetTable("names"))->schema)
+            .PsiSelect("name", records[0].name)
+            .Aggregate({}, {{AggKind::kCountStar, 0, "n"}})
+            .Build();
+    auto join_plan =
+        MuralBuilder::Scan("names",
+                           (*db->catalog()->GetTable("names"))->schema)
+            .PsiJoin(MuralBuilder::Scan(
+                         "others",
+                         (*db->catalog()->GetTable("others"))->schema),
+                     "name", "name")
+            .Aggregate({}, {{AggKind::kCountStar, 0, "n"}})
+            .Build();
+    std::printf("%6s %16s %16s\n", "dop", "scan (ms)", "join (ms)");
+    for (int dop : {1, 2, 4, 8}) {
+      PlannerHints hints;
+      hints.enable_mtree = false;
+      hints.degree_of_parallelism = dop;
+      const double scan_ms = TimeMedianMs(3, [&] {
+        BENCH_CHECK_OK(db->Query(scan_plan, hints).status());
+      });
+      const double join_ms = TimeMedianMs(3, [&] {
+        BENCH_CHECK_OK(db->Query(join_plan, hints).status());
+      });
+      std::printf("%6d %16.2f %16.2f\n", dop, scan_ms, join_ms);
+    }
+  }
   return 0;
 }

@@ -1,0 +1,114 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <utility>
+
+namespace mural {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+std::future<Status> ThreadPool::Submit(Task task) {
+  // The wrapper funnels any escaping exception into the Status channel so
+  // workers never unwind across the queue (which would std::terminate).
+  std::packaged_task<Status()> wrapped([task = std::move(task)] {
+    try {
+      return task();
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("task threw: ") + e.what());
+    } catch (...) {
+      return Status::Internal("task threw a non-std exception");
+    }
+  });
+  std::future<Status> future = wrapped.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      std::promise<Status> aborted;
+      aborted.set_value(Status::Aborted("thread pool is shut down"));
+      return aborted.get_future();
+    }
+    queue_.push_back(std::move(wrapped));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<Status()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // result flows through the packaged_task's future
+  }
+}
+
+size_t ThreadPool::HardwareConcurrency() {
+  size_t n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+Status ParallelMorsels(
+    ThreadPool* pool, size_t count, size_t morsel_size, int dop,
+    const std::function<Status(size_t morsel_index, size_t begin,
+                               size_t end)>& fn) {
+  if (count == 0) return Status::OK();
+  morsel_size = std::max<size_t>(1, morsel_size);
+  const size_t num_morsels = (count + morsel_size - 1) / morsel_size;
+
+  auto run_strip = [&, num_morsels](size_t strip, size_t stride) {
+    for (size_t m = strip; m < num_morsels; m += stride) {
+      const size_t begin = m * morsel_size;
+      const size_t end = std::min(count, begin + morsel_size);
+      MURAL_RETURN_IF_ERROR(fn(m, begin, end));
+    }
+    return Status::OK();
+  };
+
+  const size_t strips =
+      std::min<size_t>(dop <= 1 ? 1 : static_cast<size_t>(dop), num_morsels);
+  if (pool == nullptr || strips <= 1) return run_strip(0, 1);
+
+  // Strip 0 runs on the calling thread so a dop-way loop occupies only
+  // dop - 1 pool workers (and still makes progress on a saturated pool).
+  std::vector<std::future<Status>> futures;
+  futures.reserve(strips - 1);
+  for (size_t s = 1; s < strips; ++s) {
+    futures.push_back(
+        pool->Submit([&run_strip, s, strips] { return run_strip(s, strips); }));
+  }
+  Status first_error = run_strip(0, strips);
+  for (std::future<Status>& future : futures) {
+    Status status = future.get();
+    if (first_error.ok() && !status.ok()) first_error = std::move(status);
+  }
+  return first_error;
+}
+
+}  // namespace mural

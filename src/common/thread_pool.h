@@ -1,0 +1,84 @@
+// ThreadPool: the engine's only sanctioned source of threads.
+//
+// A fixed set of workers drains a FIFO task queue; tasks are
+// Status-returning closures and their results come back through
+// std::future<Status>, so the engine's no-exceptions error model survives
+// the thread boundary (a task that *does* throw — e.g. a std::bad_alloc
+// escaping a standard-library call — is converted to Status::Internal by
+// the submission wrapper rather than calling std::terminate).
+//
+// All intra-query parallelism (morsel-driven Psi scans and joins, the
+// parallel stress harness) is built on this pool; bare std::thread outside
+// common/ is rejected by mural_lint's no-bare-thread rule.
+
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mural {
+
+/// A fixed-size worker pool executing Status-returning tasks.
+class ThreadPool {
+ public:
+  using Task = std::function<Status()>;
+
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Shuts down (drains queued tasks, joins workers).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Schedules `task` for execution.  The returned future yields the
+  /// task's Status; if the task throws, the exception is converted to
+  /// Status::Internal.  After Shutdown the future is immediately ready
+  /// with Status::Aborted.
+  [[nodiscard]] std::future<Status> Submit(Task task);
+
+  /// Stops accepting tasks, runs everything already queued, and joins the
+  /// workers.  Idempotent; also called by the destructor.
+  void Shutdown();
+
+  /// The degree of parallelism the hardware supports (>= 1 even when the
+  /// runtime reports 0).
+  static size_t HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<Status()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+};
+
+/// Morsel-driven parallel loop: partitions [0, count) into fixed-size
+/// morsels and processes them with `dop` concurrent strips on `pool`.
+/// Strip s handles morsels s, s + dop, s + 2*dop, ... so the assignment of
+/// morsels to strips is deterministic; callers that write results into a
+/// per-morsel slot get bit-identical output regardless of scheduling.
+///
+/// `fn(morsel_index, begin, end)` is invoked once per morsel, concurrently
+/// across strips but sequentially within one strip.  Runs inline on the
+/// calling thread when `pool` is null, `dop` <= 1, or there is a single
+/// morsel.  Returns the error of the lowest-numbered failing strip (a
+/// strip stops at its first error).
+[[nodiscard]] Status ParallelMorsels(
+    ThreadPool* pool, size_t count, size_t morsel_size, int dop,
+    const std::function<Status(size_t morsel_index, size_t begin,
+                               size_t end)>& fn);
+
+}  // namespace mural

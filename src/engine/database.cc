@@ -45,7 +45,28 @@ StatusOr<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
                                            options.buffer_pool_pages);
   db->catalog_ = std::make_unique<Catalog>(db->pool_.get());
   db->ctx_.lexequal_threshold = options.lexequal_threshold;
+  db->phoneme_cache_ =
+      std::make_unique<PhonemeCache>(options.phoneme_cache_capacity);
+  if (db->phoneme_cache_->enabled()) {
+    db->ctx_.phoneme_cache = db->phoneme_cache_.get();
+  }
+  db->SetDegreeOfParallelism(options.degree_of_parallelism);
   return db;
+}
+
+void Database::SetDegreeOfParallelism(int dop) {
+  if (dop <= 0) dop = static_cast<int>(ThreadPool::HardwareConcurrency());
+  ctx_.degree_of_parallelism = std::max(1, dop);
+  if (ctx_.degree_of_parallelism > 1) {
+    // ParallelMorsels runs strip 0 on the calling thread, so a dop-way
+    // phase needs dop - 1 pool workers.  Grow-only: raising then lowering
+    // the session DOP keeps the larger pool.
+    const size_t want = static_cast<size_t>(ctx_.degree_of_parallelism - 1);
+    if (thread_pool_ == nullptr || thread_pool_->num_threads() < want) {
+      thread_pool_ = std::make_unique<ThreadPool>(want);
+    }
+  }
+  ctx_.thread_pool = thread_pool_.get();
 }
 
 Status Database::CreateTable(const std::string& name, Schema schema) {
@@ -233,6 +254,8 @@ StatusOr<QueryResult> Database::Query(const LogicalPtr& plan,
   result.exec_stats.rows_emitted -= before.rows_emitted;
   result.exec_stats.predicate_evals -= before.predicate_evals;
   result.exec_stats.phoneme_transforms -= before.phoneme_transforms;
+  result.exec_stats.phoneme_cache_hits -= before.phoneme_cache_hits;
+  result.exec_stats.phoneme_cache_misses -= before.phoneme_cache_misses;
   result.exec_stats.closure_computations -= before.closure_computations;
   result.exec_stats.closure_reuses -= before.closure_reuses;
   result.exec_stats.index_probes -= before.index_probes;
@@ -265,10 +288,13 @@ StatusOr<QueryResult> Database::Sql(const std::string& statement) {
       return result;
     }
     case sql::StatementKind::kSet: {
-      if (!EqualsIgnoreCase(stmt.set_name, "lexequal_threshold")) {
+      if (EqualsIgnoreCase(stmt.set_name, "lexequal_threshold")) {
+        SetLexequalThreshold(static_cast<int>(stmt.set_value));
+      } else if (EqualsIgnoreCase(stmt.set_name, "degree_of_parallelism")) {
+        SetDegreeOfParallelism(static_cast<int>(stmt.set_value));
+      } else {
         return Status::NotFound("unknown setting: " + stmt.set_name);
       }
-      SetLexequalThreshold(static_cast<int>(stmt.set_value));
       result.schema = Schema({{"ok", TypeId::kBool}});
       result.rows.push_back({Value::Bool(true)});
       return result;

@@ -12,9 +12,11 @@
 #include <string>
 
 #include "catalog/catalog.h"
+#include "common/thread_pool.h"
 #include "datagen/taxonomy_generator.h"
 #include "exec/exec_context.h"
 #include "optimizer/planner.h"
+#include "phonetic/phoneme_cache.h"
 #include "plfront/udf_runtime.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -29,6 +31,11 @@ struct DatabaseOptions {
   /// Initial LexEQUAL mismatch threshold (SET LEXEQUAL_THRESHOLD changes
   /// it per session).
   int lexequal_threshold = 2;
+  /// Degree of parallelism for Psi operators.  0 = hardware concurrency;
+  /// 1 = serial plans (SET DEGREE_OF_PARALLELISM changes it per session).
+  int degree_of_parallelism = 0;
+  /// Entry budget of the session phoneme cache; 0 disables caching.
+  size_t phoneme_cache_capacity = 1 << 16;
 };
 
 /// Result of one query execution.
@@ -108,6 +115,11 @@ class Database {
   }
   int lexequal_threshold() const { return ctx_.lexequal_threshold; }
 
+  /// Sets the session DOP (0 = hardware concurrency) and (re)provisions
+  /// the worker pool when dop > 1.
+  void SetDegreeOfParallelism(int dop);
+  int degree_of_parallelism() const { return ctx_.degree_of_parallelism; }
+
   // -------------------------------------------------------------- access
 
   ExecContext* exec_context() { return &ctx_; }
@@ -115,6 +127,8 @@ class Database {
   StatsCatalog* stats_catalog() { return &stats_; }
   BufferPool* buffer_pool() { return pool_.get(); }
   DiskManager* disk() { return disk_.get(); }
+  PhonemeCache* phoneme_cache() { return phoneme_cache_.get(); }
+  ThreadPool* thread_pool() { return thread_pool_.get(); }
 
   /// The outside-the-server UDF runtime with SQL_*/TEMPSET_* host
   /// callbacks bound to this database.  `use_btree_for_closure` selects
@@ -137,6 +151,8 @@ class Database {
   ExecContext ctx_;
   std::unique_ptr<Taxonomy> taxonomy_;
   std::unique_ptr<ClosureCache> closure_cache_;
+  std::unique_ptr<PhonemeCache> phoneme_cache_;
+  std::unique_ptr<ThreadPool> thread_pool_;
   std::unique_ptr<pl::UdfRuntime> udf_;
   bool outside_closure_btree_ = false;
   // TEMPSET_* backing store (models PL/SQL temp tables with an index).

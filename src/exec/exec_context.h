@@ -17,11 +17,16 @@
 
 namespace mural {
 
+class PhonemeCache;
+class ThreadPool;
+
 /// Effort counters accumulated during one query execution.
 struct ExecStats {
   uint64_t rows_emitted = 0;
   uint64_t predicate_evals = 0;
   uint64_t phoneme_transforms = 0;     // non-materialized conversions
+  uint64_t phoneme_cache_hits = 0;     // phoneme cache lookups served
+  uint64_t phoneme_cache_misses = 0;   // phoneme cache lookups computed
   uint64_t closure_computations = 0;   // closure cache misses
   uint64_t closure_reuses = 0;         // closure cache hits
   uint64_t index_probes = 0;
@@ -29,6 +34,21 @@ struct ExecStats {
   DistanceStats distance;
 
   void Reset() { *this = ExecStats(); }
+
+  /// Folds a worker thread's counters into this (post-gather merge).
+  void Merge(const ExecStats& other) {
+    rows_emitted += other.rows_emitted;
+    predicate_evals += other.predicate_evals;
+    phoneme_transforms += other.phoneme_transforms;
+    phoneme_cache_hits += other.phoneme_cache_hits;
+    phoneme_cache_misses += other.phoneme_cache_misses;
+    closure_computations += other.closure_computations;
+    closure_reuses += other.closure_reuses;
+    index_probes += other.index_probes;
+    udf_calls += other.udf_calls;
+    distance.calls += other.distance.calls;
+    distance.cells += other.distance.cells;
+  }
 };
 
 /// Shared query-execution context.  Not owned by operators; the engine's
@@ -48,7 +68,30 @@ struct ExecContext {
   /// Text-to-phoneme engine for non-materialized UniText values.
   const PhoneticTransformer* transformer = &PhoneticTransformer::Default();
 
+  /// Shared G2P memoization (thread-safe, session-owned); null = compute
+  /// every transform directly.
+  PhonemeCache* phoneme_cache = nullptr;
+
+  /// Worker pool for morsel-parallel operators; null = serial execution
+  /// regardless of degree_of_parallelism.
+  ThreadPool* thread_pool = nullptr;
+
+  /// Session degree of parallelism for Psi operators (1 = serial plans).
+  int degree_of_parallelism = 1;
+
   ExecStats stats;
+
+  /// A context for one morsel worker: same session state, fresh stats,
+  /// and no nested parallelism or non-thread-safe caches.  Workers merge
+  /// their stats back after the gather (ExecStats::Merge).
+  ExecContext WorkerClone() const {
+    ExecContext clone = *this;
+    clone.stats.Reset();
+    clone.thread_pool = nullptr;
+    clone.degree_of_parallelism = 1;
+    clone.closure_cache = nullptr;  // ClosureCache is not thread-safe
+    return clone;
+  }
 };
 
 }  // namespace mural

@@ -1,6 +1,7 @@
 #include "exec/expression.h"
 
 #include "common/string_util.h"
+#include "phonetic/phoneme_cache.h"
 
 namespace mural {
 
@@ -114,16 +115,40 @@ StatusOr<Value> FullEqualsExpr::Evaluate(const Row& row,
   return Value::Bool(l.unitext().FullEquals(r.unitext()));
 }
 
+namespace {
+
+// Cache-aware G2P: a hit costs a lookup, a miss costs (and counts) the
+// transform.  Without a session cache every call is a transform, which is
+// the pre-cache behavior the counters' consumers expect.
+PhonemeString TransformCounted(std::string_view text, LangId lang,
+                               ExecContext* ctx) {
+  if (ctx->phoneme_cache != nullptr) {
+    bool was_hit = false;
+    PhonemeString p =
+        ctx->phoneme_cache->GetOrCompute(text, lang, *ctx->transformer,
+                                         &was_hit);
+    if (was_hit) {
+      ++ctx->stats.phoneme_cache_hits;
+    } else {
+      ++ctx->stats.phoneme_cache_misses;
+      ++ctx->stats.phoneme_transforms;
+    }
+    return p;
+  }
+  ++ctx->stats.phoneme_transforms;
+  return ctx->transformer->Transform(text, lang);
+}
+
+}  // namespace
+
 StatusOr<PhonemeString> PhonemesOf(const Value& v, ExecContext* ctx) {
   if (v.type() == TypeId::kUniText) {
     const UniText& u = v.unitext();
     if (u.has_phonemes()) return *u.phonemes();
-    ++ctx->stats.phoneme_transforms;
-    return ctx->transformer->Transform(u.text(), u.lang());
+    return TransformCounted(u.text(), u.lang(), ctx);
   }
   if (v.type() == TypeId::kText) {
-    ++ctx->stats.phoneme_transforms;
-    return ctx->transformer->Transform(v.text(), lang::kEnglish);
+    return TransformCounted(v.text(), lang::kEnglish, ctx);
   }
   return Status::InvalidArgument("LexEQUAL operand must be UNITEXT or TEXT");
 }

@@ -31,6 +31,15 @@ struct LexJoinOptions {
   int threshold = -1;
   /// Append an INT column "psi_distance" with the pair's distance.
   bool tag_distance = false;
+  /// Degree of parallelism for the build/probe phases.  > 1 (with a
+  /// thread pool in the context) switches to the morsel-parallel path:
+  /// both inputs are drained serially, then inner phoneme construction
+  /// and outer probing run as morsels on the pool, gathered in morsel
+  /// order so output order is identical to the serial path.
+  int dop = 1;
+  /// Rows per morsel in the parallel phases (tests shrink this to force
+  /// multi-morsel execution on small inputs).
+  size_t morsel_size = 2048;
 };
 
 class LexJoinOp : public PhysicalOp {
@@ -50,6 +59,8 @@ class LexJoinOp : public PhysicalOp {
   }
 
  private:
+  [[nodiscard]] Status OpenParallel(int dop);
+
   OpPtr outer_, inner_;
   size_t outer_col_, inner_col_;
   Options options_;
@@ -66,6 +77,14 @@ class LexJoinOp : public PhysicalOp {
   bool outer_valid_ = false;
   bool outer_null_ = false;
   size_t inner_pos_ = 0;
+
+  // Parallel (dop > 1) path: the join result is computed during Open and
+  // replayed by Next in deterministic (serial-identical) order.
+  bool parallel_mode_ = false;
+  std::vector<Row> results_;
+  size_t result_pos_ = 0;
+  uint64_t cache_hits_ = 0;    // phoneme-cache lookups by this operator
+  uint64_t cache_misses_ = 0;
 };
 
 /// Omega join: emits outer x inner pairs where the LHS value is subsumed

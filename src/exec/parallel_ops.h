@@ -1,0 +1,59 @@
+// ParallelLexScanOp: morsel-driven parallel evaluation of a Psi (LexEQUAL)
+// selection predicate.
+//
+// Table 3 makes the no-index Psi scan CPU-bound (G2P conversion + banded
+// edit distance per row), so the operator splits its materialized input
+// into fixed-size morsels and evaluates the predicate on the session's
+// worker pool.  The child is drained serially first — storage (BufferPool,
+// HeapFile) is not thread-safe — so only the pure CPU work parallelizes.
+//
+// Determinism: each morsel filters into its own result slot and the gather
+// concatenates slots in morsel-index order, so the output sequence is
+// bit-identical to a serial Filter(child) regardless of thread scheduling.
+// The differential harness (tests/parallel_differential_test.cc) pins this
+// down for DOP in {1, 2, 4, 8}.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/expression.h"
+#include "exec/operator.h"
+
+namespace mural {
+
+class ParallelLexScanOp : public PhysicalOp {
+ public:
+  static constexpr size_t kDefaultMorselSize = 2048;
+
+  /// `dop` > 1 with a thread pool in the context runs morsels on the
+  /// pool; otherwise the operator degrades to an inline serial filter
+  /// (same code path, one strip).
+  ParallelLexScanOp(ExecContext* ctx, OpPtr child, ExprPtr predicate,
+                    int dop, size_t morsel_size = kDefaultMorselSize);
+
+  [[nodiscard]] Status Open() override;
+  [[nodiscard]] StatusOr<bool> Next(Row* out) override;
+  [[nodiscard]] Status Close() override;
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  std::string DisplayName() const override;
+  std::vector<const PhysicalOp*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OpPtr child_;
+  ExprPtr predicate_;
+  int dop_;
+  size_t morsel_size_;
+
+  std::vector<Row> results_;
+  size_t result_pos_ = 0;
+  uint64_t cache_hits_ = 0;    // phoneme-cache lookups by this operator
+  uint64_t cache_misses_ = 0;
+};
+
+}  // namespace mural

@@ -148,4 +148,12 @@ Cost CostModel::Materialize(double rows) const {
   return {rows * params_.cpu_tuple_cost, 0.0};
 }
 
+Cost CostModel::Parallelize(const Cost& serial, int dop) const {
+  if (dop <= 1) return serial;
+  const double d = static_cast<double>(dop);
+  return {serial.cpu / d + params_.parallel_setup_cost +
+              params_.parallel_worker_cost * d,
+          serial.io};
+}
+
 }  // namespace mural

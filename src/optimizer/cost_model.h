@@ -43,6 +43,10 @@ struct CostParams {
   /// Approximate-index scan fraction: frac(k) = min(1, base + slope * k).
   double mtree_frac_base = 0.05;
   double mtree_frac_slope = 0.30;
+  /// Fixed cost of launching a morsel-parallel phase (gather, slots).
+  double parallel_setup_cost = 10.0;
+  /// Per-worker coordination cost of a parallel phase.
+  double parallel_worker_cost = 2.0;
 };
 
 /// A (cpu, io) cost pair.
@@ -115,6 +119,13 @@ class CostModel {
                  double rhs_unique, double closure_size, double tax_nodes,
                  double tax_pages, double tax_height, bool btree,
                  double btree_height, double fanout) const;
+
+  // ------------------------------------------------- parallelism
+  /// Cost of running a CPU-bound operator with `dop` morsel workers: the
+  /// Table-3 CPU term divides by dop (morsels are embarrassingly
+  /// parallel), the I/O term does not (input is drained serially), and
+  /// setup/coordination overhead is added so small inputs stay serial.
+  Cost Parallelize(const Cost& serial, int dop) const;
 
   // ------------------------------------------------------- other ops
   Cost Filter(double rows) const;

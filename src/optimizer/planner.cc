@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "exec/parallel_ops.h"
 
 namespace mural {
 
@@ -70,7 +71,24 @@ bool ContainsPsi(const Expr& expr) {
   return false;
 }
 
+bool ContainsOmega(const Expr& expr) {
+  if (dynamic_cast<const SemEqualExpr*>(&expr) != nullptr) return true;
+  if (const auto* logical = dynamic_cast<const LogicalExpr*>(&expr)) {
+    if (ContainsOmega(*logical->left())) return true;
+    if (logical->right() && ContainsOmega(*logical->right())) return true;
+  }
+  return false;
+}
+
 }  // namespace
+
+int Planner::EffectiveDop(const PlannerHints& hints) const {
+  if (ctx_->thread_pool == nullptr) return 1;
+  const int dop = hints.degree_of_parallelism >= 0
+                      ? hints.degree_of_parallelism
+                      : ctx_->degree_of_parallelism;
+  return std::max(1, dop);
+}
 
 RelProfile Planner::ProfileOf(const Planned& planned, size_t key_col) const {
   RelProfile profile;
@@ -298,6 +316,22 @@ StatusOr<Planner::Planned> Planner::PlanScan(const LogicalNode& node,
         ctx_, std::make_unique<SeqScanOp>(ctx_, table), node.predicate);
   }
 
+  // --- candidate 1b: morsel-parallel Psi scan.  The Table-3 CPU term
+  // divides by DOP; setup/worker overhead keeps small inputs serial.
+  // Omega predicates are excluded: the closure cache is not thread-safe,
+  // so workers would recompute closures per morsel.
+  const int dop = EffectiveDop(hints);
+  if (dop > 1 && !hints.opaque_multilingual &&
+      ContainsPsi(*node.predicate) && !ContainsOmega(*node.predicate)) {
+    const Cost par_cost = cost_model_.Parallelize(best.cost, dop);
+    if (par_cost.total() < best.cost.total()) {
+      best.cost = par_cost;
+      best.op = std::make_unique<ParallelLexScanOp>(
+          ctx_, std::make_unique<SeqScanOp>(ctx_, table), node.predicate,
+          dop);
+    }
+  }
+
   // --- candidate 2: index scans over one indexable conjunct
   std::vector<ExprPtr> conjuncts;
   FlattenConjuncts(node.predicate, &conjuncts);
@@ -445,7 +479,17 @@ StatusOr<Planner::Planned> Planner::PlanPsiJoin(const LogicalNode& node,
   out.rows = std::max(1.0, l.rows * r.rows * sel);
   const RelProfile lp = ProfileOf(l, node.left_col);
   const RelProfile rp = ProfileOf(r, node.right_col);
-  const Cost nlj_cost = cost_model_.PsiJoinNoIndex(lp, rp, k);
+  const Cost serial_nlj_cost = cost_model_.PsiJoinNoIndex(lp, rp, k);
+
+  // Morsel-parallel build/probe: the quadratic CPU term divides by DOP.
+  const int dop = EffectiveDop(hints);
+  const Cost par_nlj_cost =
+      hints.opaque_multilingual
+          ? serial_nlj_cost
+          : cost_model_.Parallelize(serial_nlj_cost, dop);
+  const bool parallel_wins =
+      dop > 1 && par_nlj_cost.total() < serial_nlj_cost.total();
+  const Cost nlj_cost = parallel_wins ? par_nlj_cost : serial_nlj_cost;
 
   // Index-nested-loop via an M-Tree on the right side's base table.
   const IndexInfo* mtree = nullptr;
@@ -478,6 +522,7 @@ StatusOr<Planner::Planned> Planner::PlanPsiJoin(const LogicalNode& node,
   LexJoinOp::Options options;
   options.threshold = node.psi_threshold;
   options.tag_distance = node.psi_tag_distance;
+  if (parallel_wins) options.dop = dop;
   out.op = std::make_unique<LexJoinOp>(ctx_, std::move(l.op),
                                        std::move(r.op), node.left_col,
                                        node.right_col, options);

@@ -33,6 +33,11 @@ struct PlannerHints {
   /// default selectivity and no index support — how an engine sees
   /// outside-the-server UDFs.
   bool opaque_multilingual = false;
+  /// Degree of parallelism for morsel-parallel Psi operators.
+  /// -1 = inherit the session setting (ctx->degree_of_parallelism);
+  ///  1 = force serial plans.  Parallel candidates are only generated
+  /// when the session has a thread pool.
+  int degree_of_parallelism = -1;
 };
 
 /// A planned query: the executable tree plus the optimizer's predictions.
@@ -84,6 +89,10 @@ class Planner {
                                   const PlannerHints& hints);
 
   RelProfile ProfileOf(const Planned& planned, size_t key_col) const;
+
+  /// The DOP parallel plan candidates are costed at: the hint override or
+  /// the session setting, forced to 1 without a worker pool.
+  int EffectiveDop(const PlannerHints& hints) const;
 
   Catalog* catalog_;
   const StatsCatalog* stats_;

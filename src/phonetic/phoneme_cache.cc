@@ -1,0 +1,91 @@
+#include "phonetic/phoneme_cache.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+namespace mural {
+
+PhonemeCache::PhonemeCache(size_t capacity)
+    : capacity_(capacity),
+      shard_capacity_(capacity == 0
+                          ? 0
+                          : std::max<size_t>(1, capacity / kNumShards)),
+      shards_(kNumShards) {}
+
+std::string PhonemeCache::MakeKey(std::string_view text, LangId lang) {
+  // 0x1f (unit separator) cannot appear in valid UTF-8 query text produced
+  // by UniText::Compose, so the key is unambiguous.
+  std::string key;
+  key.reserve(text.size() + 6);
+  key.append(text);
+  key.push_back('\x1f');
+  key.append(std::to_string(lang));
+  return key;
+}
+
+PhonemeCache::Shard& PhonemeCache::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
+}
+
+PhonemeString PhonemeCache::GetOrCompute(std::string_view text, LangId lang,
+                                         const PhoneticTransformer& transformer,
+                                         bool* was_hit) {
+  if (capacity_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (was_hit != nullptr) *was_hit = false;
+    return transformer.Transform(text, lang);
+  }
+
+  std::string key = MakeKey(text, lang);
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (was_hit != nullptr) *was_hit = true;
+      return it->second->second;
+    }
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (was_hit != nullptr) *was_hit = false;
+  PhonemeString phonemes = transformer.Transform(text, lang);
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Lost a race with another thread computing the same key; its entry is
+    // identical (Transform is deterministic), so just refresh recency.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return phonemes;
+  }
+  shard.lru.emplace_front(std::move(key), phonemes);
+  shard.index.emplace(shard.lru.front().first, shard.lru.begin());
+  while (shard.lru.size() > shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+  }
+  return phonemes;
+}
+
+size_t PhonemeCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+void PhonemeCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.index.clear();
+    shard.lru.clear();
+  }
+}
+
+}  // namespace mural

@@ -1,0 +1,87 @@
+// PhonemeCache: a sharded, thread-safe LRU cache of G2P transformations.
+//
+// Table 3 makes LexEQUAL CPU-bound on text-to-phoneme conversion; when
+// phoneme strings are not materialized in storage (§4.2's fallback), every
+// probe used to re-run G2P.  The cache memoizes (text, language) ->
+// phonemes across operators, queries, and worker threads, so each distinct
+// value is converted at most once per residency.
+//
+// Sharding: the key hash picks one of a fixed set of shards, each with its
+// own mutex + LRU list, so concurrent morsel workers rarely contend on the
+// same lock.  Transformation runs *outside* the shard lock (G2P is pure
+// and deterministic, so a duplicate compute under contention is benign and
+// both writers store the same string).
+//
+// Capacity 0 disables caching: lookups always compute, count a miss, and
+// store nothing — the ablation baseline for the benchmarks.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "phonetic/transformer.h"
+#include "text/language.h"
+
+namespace mural {
+
+class PhonemeCache {
+ public:
+  static constexpr size_t kNumShards = 8;
+
+  /// `capacity` is the total entry budget, split evenly across shards
+  /// (each shard holds at least one entry unless capacity is 0).
+  explicit PhonemeCache(size_t capacity);
+
+  PhonemeCache(const PhonemeCache&) = delete;
+  PhonemeCache& operator=(const PhonemeCache&) = delete;
+
+  /// Returns the phoneme string for (text, lang), computing it with
+  /// `transformer` on a miss.  Sets *was_hit (if non-null) so callers can
+  /// attribute the lookup to per-query stats.
+  PhonemeString GetOrCompute(std::string_view text, LangId lang,
+                             const PhoneticTransformer& transformer,
+                             bool* was_hit = nullptr);
+
+  /// Cumulative lookup counters across all threads and queries.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+  /// Entries currently resident (sums the shards; approximate under
+  /// concurrent mutation).
+  size_t size() const;
+
+  size_t capacity() const { return capacity_; }
+  bool enabled() const { return capacity_ > 0; }
+
+  /// Drops every entry (counters are preserved).
+  void Clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // Front = most recently used.  The map points into the list.
+    std::list<std::pair<std::string, PhonemeString>> lru;
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<std::string, PhonemeString>>::iterator>
+        index;
+  };
+
+  static std::string MakeKey(std::string_view text, LangId lang);
+  Shard& ShardFor(const std::string& key);
+
+  const size_t capacity_;
+  const size_t shard_capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace mural

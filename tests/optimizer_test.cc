@@ -263,6 +263,78 @@ TEST_F(OptimizerTest, OpaqueMultilingualHintBlocksMetricIndex) {
   EXPECT_EQ(physical->Explain().find("mtreeIndexScan"), std::string::npos);
 }
 
+// ------------------------------------------------------------ parallelism
+
+TEST_F(OptimizerTest, ParallelizeDividesCpuAndChargesCoordination) {
+  CostModel model;
+  const Cost serial{/*cpu=*/100.0, /*io=*/40.0};
+  // dop = 1 is the identity: no setup, no worker charge.
+  const Cost same = model.Parallelize(serial, 1);
+  EXPECT_DOUBLE_EQ(same.cpu, serial.cpu);
+  EXPECT_DOUBLE_EQ(same.io, serial.io);
+  // dop = 4: cpu/4 plus setup plus per-worker coordination; I/O is not
+  // parallelized (children are drained serially).
+  const Cost par = model.Parallelize(serial, 4);
+  EXPECT_DOUBLE_EQ(par.cpu, 100.0 / 4 + 10.0 + 2.0 * 4);
+  EXPECT_DOUBLE_EQ(par.io, serial.io);
+  // Tiny CPU loads never win: the fixed charges dominate.
+  const Cost tiny{/*cpu=*/5.0, /*io=*/1.0};
+  EXPECT_GT(model.Parallelize(tiny, 4).total(), tiny.total());
+}
+
+TEST_F(OptimizerTest, SerialPlanAtDopOneAndAtSmallCardinality) {
+  db_->SetDegreeOfParallelism(8);  // provision the pool
+  auto plan = MuralBuilder::Scan(
+                  "names", (*db_->catalog()->GetTable("names"))->schema)
+                  .PsiSelect("name", UniText("nehru", lang::kEnglish))
+                  .Build();
+  PlannerHints hints;
+  hints.enable_mtree = false;
+
+  // Explicit DOP = 1: never a parallel operator.
+  hints.degree_of_parallelism = 1;
+  auto serial = db_->PlanQuery(plan, hints);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(serial->Explain().find("ParallelLexScan"), std::string::npos)
+      << serial->Explain();
+
+  // DOP = 4 but only 1000 rows at threshold 2: the Table-3 CPU term
+  // (~12 units) is below the parallel setup+worker charge, so the cost
+  // model keeps the serial plan.
+  db_->SetLexequalThreshold(2);
+  hints.degree_of_parallelism = 4;
+  auto small = db_->PlanQuery(plan, hints);
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->Explain().find("ParallelLexScan"), std::string::npos)
+      << small->Explain();
+}
+
+TEST_F(OptimizerTest, ParallelPlanWhenCpuTermDominates) {
+  db_->SetDegreeOfParallelism(8);
+  // Threshold 6 widens the edit-distance band: the per-row CPU term grows
+  // past the parallel overhead, so the parallel candidate wins.
+  db_->SetLexequalThreshold(6);
+  auto plan = MuralBuilder::Scan(
+                  "names", (*db_->catalog()->GetTable("names"))->schema)
+                  .PsiSelect("name", UniText("nehru", lang::kEnglish))
+                  .Build();
+  PlannerHints hints;
+  hints.enable_mtree = false;
+  hints.degree_of_parallelism = 4;
+  auto par = db_->PlanQuery(plan, hints);
+  ASSERT_TRUE(par.ok());
+  EXPECT_NE(par->Explain().find("ParallelLexScan"), std::string::npos)
+      << par->Explain();
+  EXPECT_NE(par->Explain().find("dop=4"), std::string::npos);
+
+  // The opaque-multilingual hint (paper §4.1: engine can't see inside the
+  // predicate) also blocks parallel rewrites.
+  hints.opaque_multilingual = true;
+  auto opaque = db_->PlanQuery(plan, hints);
+  ASSERT_TRUE(opaque.ok());
+  EXPECT_EQ(opaque->Explain().find("ParallelLexScan"), std::string::npos);
+}
+
 TEST_F(OptimizerTest, PredictedRowsTrackActualForPsiScan) {
   db_->SetLexequalThreshold(1);
   auto plan = MuralBuilder::Scan(

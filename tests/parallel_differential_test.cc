@@ -1,0 +1,401 @@
+// Differential harness for morsel-parallel Psi execution (the PR's
+// mandatory equivalence proof): every seeded scan/join workload runs under
+// DOP in {1, 2, 4, 8} and must produce results bit-identical to the serial
+// reference — same rows, and (for the operator-level cases) the same
+// emission order, since the exchange-style gather concatenates morsel
+// slots in morsel-index order.
+//
+// Two layers:
+//   1. Operator-level: ParallelLexScanOp / LexJoinOp constructed directly
+//      over seeded ValuesOp inputs (guaranteed to exercise the parallel
+//      code path, with small morsels so inputs span many morsels).
+//   2. Planner-level: full Database queries under a degree_of_parallelism
+//      hint sweep, with datasets sized so the cost model actually picks
+//      the parallel plan at dop > 1.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "datagen/name_generator.h"
+#include "engine/database.h"
+#include "exec/basic_ops.h"
+#include "exec/mural_ops.h"
+#include "exec/parallel_ops.h"
+#include "mural/algebra.h"
+#include "phonetic/phoneme_cache.h"
+
+namespace mural {
+namespace {
+
+constexpr uint64_t kSeeds[] = {42, 7, 1234};
+constexpr int kDops[] = {1, 2, 4, 8};
+
+std::string RenderRow(const Row& row) {
+  std::string out;
+  for (const Value& v : row) {
+    out += v.ToString();
+    out += '|';
+  }
+  return out;
+}
+
+std::vector<std::string> RenderAll(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Row& r : rows) out.push_back(RenderRow(r));
+  return out;
+}
+
+std::vector<std::string> Sorted(std::vector<std::string> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// Seeded names as rows; `materialize` controls whether phoneme strings
+// are precomputed (false = workers must run G2P through the cache).
+std::vector<Row> SeededNameRows(uint64_t seed, size_t bases, size_t variants,
+                                bool materialize) {
+  NameGenOptions options;
+  options.seed = seed;
+  options.num_bases = bases;
+  options.variants_per_base = variants;
+  std::vector<Row> rows;
+  for (NameRecord& rec : GenerateNames(options)) {
+    if (materialize) {
+      PhoneticTransformer::Default().Materialize(&rec.name);
+    }
+    rows.push_back({Value::Int32(static_cast<int32_t>(rec.id)),
+                    Value::Uni(std::move(rec.name))});
+  }
+  return rows;
+}
+
+Schema NamesSchema() {
+  return Schema({{"id", TypeId::kInt32}, {"name", TypeId::kUniText}});
+}
+
+// ------------------------------------------------------------------
+// Layer 1: operator-level equivalence.
+
+class OperatorDifferentialTest : public ::testing::Test {
+ protected:
+  OperatorDifferentialTest() : pool_(8) {}
+
+  ExecContext MakeCtx(int dop) {
+    ExecContext ctx;
+    ctx.lexequal_threshold = 2;
+    ctx.phoneme_cache = &cache_;
+    if (dop > 1) {
+      ctx.thread_pool = &pool_;
+      ctx.degree_of_parallelism = dop;
+    }
+    return ctx;
+  }
+
+  ThreadPool pool_;
+  PhonemeCache cache_{1 << 14};
+};
+
+TEST_F(OperatorDifferentialTest, ParallelLexScanMatchesSerialFilter) {
+  for (const uint64_t seed : kSeeds) {
+    for (const bool materialize : {true, false}) {
+      std::vector<Row> data =
+          SeededNameRows(seed, /*bases=*/300, /*variants=*/4, materialize);
+      // Probe with the first generated name: guarantees non-empty output.
+      const UniText probe = data.front()[1].unitext();
+      auto predicate = [&] {
+        return LexEq(Col(1, "name"), Lit(Value::Uni(probe)), 2);
+      };
+
+      // Serial reference: FilterOp over the same rows.
+      ExecContext serial_ctx = MakeCtx(1);
+      FilterOp serial(&serial_ctx,
+                      std::make_unique<ValuesOp>(&serial_ctx, NamesSchema(),
+                                                 data),
+                      predicate());
+      StatusOr<std::vector<Row>> expected = CollectAll(&serial);
+      ASSERT_TRUE(expected.ok());
+      ASSERT_FALSE(expected->empty());
+
+      for (const int dop : kDops) {
+        ExecContext ctx = MakeCtx(dop);
+        ParallelLexScanOp scan(
+            &ctx, std::make_unique<ValuesOp>(&ctx, NamesSchema(), data),
+            predicate(), dop, /*morsel_size=*/64);
+        StatusOr<std::vector<Row>> actual = CollectAll(&scan);
+        ASSERT_TRUE(actual.ok()) << "seed=" << seed << " dop=" << dop;
+        // Bit-identical including order (morsel-order gather).
+        EXPECT_EQ(RenderAll(*actual), RenderAll(*expected))
+            << "seed=" << seed << " dop=" << dop
+            << " materialize=" << materialize;
+      }
+    }
+  }
+}
+
+TEST_F(OperatorDifferentialTest, ParallelLexJoinMatchesSerial) {
+  for (const uint64_t seed : kSeeds) {
+    for (const bool materialize : {true, false}) {
+      // Overlapping sides cut from one seeded dataset: variants of a
+      // shared base fall within the threshold, so the join is non-empty.
+      std::vector<Row> all =
+          SeededNameRows(seed, /*bases=*/80, /*variants=*/3, materialize);
+      std::vector<Row> outer = all;
+      std::vector<Row> inner(all.begin(),
+                             all.begin() + (all.size() * 3) / 5);
+
+      auto run = [&](int dop, bool tag) -> std::vector<std::string> {
+        ExecContext ctx = MakeCtx(dop);
+        LexJoinOp::Options options;
+        options.threshold = 2;
+        options.tag_distance = tag;
+        options.dop = dop;
+        options.morsel_size = 32;  // many morsels even at this scale
+        LexJoinOp join(&ctx,
+                       std::make_unique<ValuesOp>(&ctx, NamesSchema(), outer),
+                       std::make_unique<ValuesOp>(&ctx, NamesSchema(), inner),
+                       1, 1, options);
+        StatusOr<std::vector<Row>> rows = CollectAll(&join);
+        EXPECT_TRUE(rows.ok()) << "seed=" << seed << " dop=" << dop;
+        return RenderAll(*rows);
+      };
+
+      for (const bool tag : {false, true}) {
+        const std::vector<std::string> expected = run(1, tag);
+        ASSERT_FALSE(expected.empty());
+        for (const int dop : kDops) {
+          EXPECT_EQ(run(dop, tag), expected)
+              << "seed=" << seed << " dop=" << dop << " tag=" << tag
+              << " materialize=" << materialize;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(OperatorDifferentialTest, NullKeysAreSkippedIdentically) {
+  std::vector<Row> all = SeededNameRows(42, 40, 3, true);
+  std::vector<Row> outer = all;
+  std::vector<Row> inner(all.begin(), all.begin() + (all.size() * 3) / 4);
+  // Null out every 5th key on both sides.
+  for (size_t i = 0; i < outer.size(); i += 5) outer[i][1] = Value::Null();
+  for (size_t i = 0; i < inner.size(); i += 5) inner[i][1] = Value::Null();
+
+  auto run = [&](int dop) {
+    ExecContext ctx = MakeCtx(dop);
+    LexJoinOp::Options options;
+    options.threshold = 2;
+    options.dop = dop;
+    options.morsel_size = 16;
+    LexJoinOp join(&ctx,
+                   std::make_unique<ValuesOp>(&ctx, NamesSchema(), outer),
+                   std::make_unique<ValuesOp>(&ctx, NamesSchema(), inner),
+                   1, 1, options);
+    StatusOr<std::vector<Row>> rows = CollectAll(&join);
+    EXPECT_TRUE(rows.ok());
+    return RenderAll(*rows);
+  };
+
+  const std::vector<std::string> expected = run(1);
+  for (const int dop : kDops) EXPECT_EQ(run(dop), expected) << dop;
+}
+
+TEST_F(OperatorDifferentialTest, ParallelStatsMatchSerialCounts) {
+  // Determinism extends to the effort counters: the per-morsel contexts
+  // merge in morsel order, so predicate_evals and distance.calls are
+  // DOP-invariant.
+  std::vector<Row> outer = SeededNameRows(7, 50, 2, true);
+  std::vector<Row> inner = SeededNameRows(8, 40, 2, true);
+  uint64_t serial_evals = 0, serial_calls = 0;
+  for (const int dop : kDops) {
+    ExecContext ctx = MakeCtx(dop);
+    LexJoinOp::Options options;
+    options.threshold = 2;
+    options.dop = dop;
+    options.morsel_size = 16;
+    LexJoinOp join(&ctx,
+                   std::make_unique<ValuesOp>(&ctx, NamesSchema(), outer),
+                   std::make_unique<ValuesOp>(&ctx, NamesSchema(), inner),
+                   1, 1, options);
+    StatusOr<std::vector<Row>> rows = CollectAll(&join);
+    ASSERT_TRUE(rows.ok());
+    if (dop == 1) {
+      serial_evals = ctx.stats.predicate_evals;
+      serial_calls = ctx.stats.distance.calls;
+      ASSERT_GT(serial_evals, 0u);
+    } else {
+      EXPECT_EQ(ctx.stats.predicate_evals, serial_evals) << dop;
+      EXPECT_EQ(ctx.stats.distance.calls, serial_calls) << dop;
+    }
+  }
+}
+
+// ------------------------------------------------------------------
+// Layer 2: planner-level equivalence (the cost model must actually pick
+// the parallel plan, and the full query results must match the serial
+// reference).
+
+StatusOr<std::unique_ptr<Database>> MakeNamesDatabase(size_t bases,
+                                                      size_t variants,
+                                                      uint64_t seed) {
+  MURAL_ASSIGN_OR_RETURN(std::unique_ptr<Database> db, Database::Open());
+  Schema schema({{"id", TypeId::kInt32},
+                 {"name", TypeId::kUniText, /*mat=*/true}});
+  MURAL_RETURN_IF_ERROR(db->CreateTable("names", schema));
+  NameGenOptions options;
+  options.seed = seed;
+  options.num_bases = bases;
+  options.variants_per_base = variants;
+  for (const NameRecord& rec : GenerateNames(options)) {
+    MURAL_RETURN_IF_ERROR(
+        db->Insert("names", {Value::Int32(static_cast<int32_t>(rec.id)),
+                             Value::Uni(rec.name)}));
+  }
+  MURAL_RETURN_IF_ERROR(db->Analyze("names"));
+  return db;
+}
+
+TEST(PlannerDifferentialTest, ScanSweepProducesIdenticalResults) {
+  for (const uint64_t seed : kSeeds) {
+    auto db_or = MakeNamesDatabase(/*bases=*/1600, /*variants=*/3, seed);
+    ASSERT_TRUE(db_or.ok());
+    std::unique_ptr<Database> db = std::move(*db_or);
+    // Provision the worker pool regardless of this machine's core count;
+    // the hint sweep below selects the per-query DOP.
+    db->SetDegreeOfParallelism(8);
+
+    NameGenOptions gen;
+    gen.seed = seed;
+    gen.num_bases = 1600;
+    gen.variants_per_base = 3;
+    const std::vector<NameRecord> records = GenerateNames(gen);
+    const Schema schema({{"id", TypeId::kInt32},
+                         {"name", TypeId::kUniText, /*mat=*/true}});
+
+    const LogicalPtr plan =
+        MuralBuilder::Scan("names", schema)
+            .PsiSelect("name", records[1].name, {}, 3)
+            .Build();
+
+    std::vector<std::string> reference;
+    for (const int dop : kDops) {
+      PlannerHints hints;
+      hints.enable_mtree = false;
+      hints.degree_of_parallelism = dop;
+      auto result = db->Query(plan, hints);
+      ASSERT_TRUE(result.ok()) << "seed=" << seed << " dop=" << dop;
+      if (dop == 1) {
+        EXPECT_EQ(result->explain.find("ParallelLexScan"), std::string::npos)
+            << result->explain;
+        reference = Sorted(RenderAll(result->rows));
+        ASSERT_FALSE(reference.empty());
+      } else {
+        // The CPU term dominates at this scale, so the parallel candidate
+        // must win for every dop > 1.
+        EXPECT_NE(result->explain.find("dop=" + std::to_string(dop)),
+                  std::string::npos)
+            << "seed=" << seed << " dop=" << dop << "\n" << result->explain;
+        EXPECT_EQ(Sorted(RenderAll(result->rows)), reference)
+            << "seed=" << seed << " dop=" << dop;
+      }
+    }
+  }
+}
+
+TEST(PlannerDifferentialTest, JoinSweepProducesIdenticalResults) {
+  for (const uint64_t seed : kSeeds) {
+    auto db_or = MakeNamesDatabase(/*bases=*/120, /*variants=*/3, seed);
+    ASSERT_TRUE(db_or.ok());
+    std::unique_ptr<Database> db = std::move(*db_or);
+    db->SetDegreeOfParallelism(8);
+
+    // Second table for the join.
+    const Schema schema({{"id", TypeId::kInt32},
+                         {"name", TypeId::kUniText, /*mat=*/true}});
+    ASSERT_TRUE(db->CreateTable("others", schema).ok());
+    // Same seed as "names" so the two tables share bases: variants of a
+    // shared base join within the threshold.
+    NameGenOptions gen;
+    gen.seed = seed;
+    gen.num_bases = 120;
+    gen.variants_per_base = 3;
+    const std::vector<NameRecord> all = GenerateNames(gen);
+    for (size_t i = 0; i < (all.size() * 3) / 4; ++i) {
+      const NameRecord& rec = all[i];
+      ASSERT_TRUE(
+          db->Insert("others", {Value::Int32(static_cast<int32_t>(rec.id)),
+                                Value::Uni(rec.name)})
+              .ok());
+    }
+    ASSERT_TRUE(db->Analyze("others").ok());
+
+    const LogicalPtr plan =
+        MuralBuilder::Scan("names", schema)
+            .PsiJoin(MuralBuilder::Scan("others", schema), "name", "name", 2)
+            .Build();
+
+    std::vector<std::string> reference;
+    for (const int dop : kDops) {
+      PlannerHints hints;
+      hints.enable_mtree = false;
+      hints.degree_of_parallelism = dop;
+      auto result = db->Query(plan, hints);
+      ASSERT_TRUE(result.ok()) << "seed=" << seed << " dop=" << dop;
+      if (dop == 1) {
+        EXPECT_EQ(result->explain.find("dop="), std::string::npos)
+            << result->explain;
+        reference = Sorted(RenderAll(result->rows));
+        ASSERT_FALSE(reference.empty());
+      } else {
+        EXPECT_NE(result->explain.find("dop=" + std::to_string(dop)),
+                  std::string::npos)
+            << "seed=" << seed << " dop=" << dop << "\n" << result->explain;
+        EXPECT_EQ(Sorted(RenderAll(result->rows)), reference)
+            << "seed=" << seed << " dop=" << dop;
+      }
+    }
+  }
+}
+
+TEST(PlannerDifferentialTest, SessionDopViaSqlSetIsHonored) {
+  auto db_or = MakeNamesDatabase(/*bases=*/1600, /*variants=*/3, 42);
+  ASSERT_TRUE(db_or.ok());
+  std::unique_ptr<Database> db = std::move(*db_or);
+
+  auto set4 = db->Sql("SET degree_of_parallelism = 4");
+  ASSERT_TRUE(set4.ok());
+  EXPECT_EQ(db->degree_of_parallelism(), 4);
+  ASSERT_NE(db->thread_pool(), nullptr);
+
+  NameGenOptions gen;
+  gen.seed = 42;
+  gen.num_bases = 1600;
+  gen.variants_per_base = 3;
+  const std::vector<NameRecord> records = GenerateNames(gen);
+  const Schema schema({{"id", TypeId::kInt32},
+                       {"name", TypeId::kUniText, /*mat=*/true}});
+  const LogicalPtr plan = MuralBuilder::Scan("names", schema)
+                              .PsiSelect("name", records[1].name, {}, 3)
+                              .Build();
+  PlannerHints hints;
+  hints.enable_mtree = false;  // hints.degree_of_parallelism stays -1
+  auto par = db->Query(plan, hints);
+  ASSERT_TRUE(par.ok());
+  EXPECT_NE(par->explain.find("dop=4"), std::string::npos) << par->explain;
+
+  auto set1 = db->Sql("SET degree_of_parallelism = 1");
+  ASSERT_TRUE(set1.ok());
+  auto serial = db->Query(plan, hints);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(serial->explain.find("dop="), std::string::npos)
+      << serial->explain;
+  EXPECT_EQ(Sorted(RenderAll(serial->rows)), Sorted(RenderAll(par->rows)));
+}
+
+}  // namespace
+}  // namespace mural

@@ -1,0 +1,209 @@
+// Unit tests for the sharded phoneme LRU cache: hit/miss accounting, LRU
+// eviction at capacity, cross-thread sharing, the capacity-0 (disabled)
+// mode, and the LexJoinOp G2P-hoist regression (one transform per row, not
+// per candidate pair).
+
+#include "phonetic/phoneme_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "exec/basic_ops.h"
+#include "exec/mural_ops.h"
+#include "phonetic/transformer.h"
+
+namespace mural {
+namespace {
+
+const PhoneticTransformer& Xf() { return PhoneticTransformer::Default(); }
+
+TEST(PhonemeCacheTest, MissThenHitReturnsTheSamePhonemes) {
+  PhonemeCache cache(64);
+  bool hit = true;
+  const PhonemeString first =
+      cache.GetOrCompute("nehru", lang::kEnglish, Xf(), &hit);
+  EXPECT_FALSE(hit);
+  const PhonemeString again =
+      cache.GetOrCompute("nehru", lang::kEnglish, Xf(), &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(first, Xf().Transform("nehru", lang::kEnglish));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PhonemeCacheTest, LanguageIsPartOfTheKey) {
+  PhonemeCache cache(64);
+  (void)cache.GetOrCompute("nehru", lang::kEnglish, Xf());
+  bool hit = true;
+  (void)cache.GetOrCompute("nehru", lang::kHindi, Xf(), &hit);
+  EXPECT_FALSE(hit);  // different language, different entry
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PhonemeCacheTest, EvictsAtCapacity) {
+  PhonemeCache cache(16);  // 2 entries per shard
+  for (int i = 0; i < 1000; ++i) {
+    (void)cache.GetOrCompute("name" + std::to_string(i), lang::kEnglish,
+                             Xf());
+  }
+  EXPECT_LE(cache.size(), 16u);
+  EXPECT_EQ(cache.misses(), 1000u);
+  // The first key was evicted long ago, so re-reading it is a miss.
+  bool hit = true;
+  (void)cache.GetOrCompute("name0", lang::kEnglish, Xf(), &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST(PhonemeCacheTest, RecentUseProtectsFromEviction) {
+  PhonemeCache cache(8);  // 1 entry per shard: strict per-shard LRU
+  (void)cache.GetOrCompute("anchor", lang::kEnglish, Xf());
+  // Re-touch "anchor" after every insert; it must stay resident in its
+  // shard, so the final lookup is a hit.
+  for (int i = 0; i < 50; ++i) {
+    (void)cache.GetOrCompute("fill" + std::to_string(i), lang::kEnglish,
+                             Xf());
+    bool hit = false;
+    (void)cache.GetOrCompute("anchor", lang::kEnglish, Xf(), &hit);
+    // A fill key that lands in anchor's shard evicts it (capacity 1), so
+    // the re-touch may miss once — but then reloads it.
+    (void)hit;
+  }
+  bool hit = false;
+  (void)cache.GetOrCompute("anchor", lang::kEnglish, Xf(), &hit);
+  EXPECT_TRUE(hit);
+}
+
+TEST(PhonemeCacheTest, CapacityZeroDisablesCaching) {
+  PhonemeCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  for (int i = 0; i < 3; ++i) {
+    bool hit = true;
+    const PhonemeString p =
+        cache.GetOrCompute("nehru", lang::kEnglish, Xf(), &hit);
+    EXPECT_FALSE(hit);  // never stored, never hit
+    EXPECT_EQ(p, Xf().Transform("nehru", lang::kEnglish));
+  }
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PhonemeCacheTest, ClearDropsEntriesButKeepsCounters) {
+  PhonemeCache cache(64);
+  (void)cache.GetOrCompute("nehru", lang::kEnglish, Xf());
+  (void)cache.GetOrCompute("nehru", lang::kEnglish, Xf());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  bool hit = true;
+  (void)cache.GetOrCompute("nehru", lang::kEnglish, Xf(), &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST(PhonemeCacheTest, CrossThreadHitsAreAccounted) {
+  PhonemeCache cache(1024);
+  // Warm the cache serially so every parallel lookup below is a hit
+  // (avoids the benign duplicate-compute race inflating misses).
+  const int kKeys = 32;
+  for (int i = 0; i < kKeys; ++i) {
+    (void)cache.GetOrCompute("key" + std::to_string(i), lang::kEnglish,
+                             Xf());
+  }
+  const uint64_t misses_after_warm = cache.misses();
+  EXPECT_EQ(misses_after_warm, static_cast<uint64_t>(kKeys));
+
+  ThreadPool pool(4);
+  const int kTasks = 8, kLookupsPerTask = 100;
+  std::vector<std::future<Status>> futures;
+  for (int t = 0; t < kTasks; ++t) {
+    futures.push_back(pool.Submit([&cache] {
+      for (int i = 0; i < kLookupsPerTask; ++i) {
+        bool hit = false;
+        (void)cache.GetOrCompute("key" + std::to_string(i % kKeys),
+                                 lang::kEnglish, Xf(), &hit);
+        if (!hit) return Status::Internal("expected warm hit");
+      }
+      return Status::OK();
+    }));
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(cache.hits(), static_cast<uint64_t>(kTasks * kLookupsPerTask));
+  EXPECT_EQ(cache.misses(), misses_after_warm);
+}
+
+// ---------------------------------------------------------------------
+// Regression: LexJoinOp must transform each row's phonemes once (hoisted
+// per outer row and materialized per inner row), never once per candidate
+// pair.  With non-materialized UniText values and no cache, the transform
+// counter must equal n_outer + n_inner exactly.
+
+Value RawUni(const char* text, LangId lang) {
+  return Value::Uni(UniText(text, lang));  // no materialized phonemes
+}
+
+std::unique_ptr<ValuesOp> MakeNamesValues(ExecContext* ctx,
+                                          const char* prefix, int n) {
+  Schema schema({{"name", TypeId::kUniText}});
+  std::vector<Row> rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back(
+        {RawUni((std::string(prefix) + std::to_string(i)).c_str(),
+                lang::kEnglish)});
+  }
+  return std::make_unique<ValuesOp>(ctx, schema, std::move(rows));
+}
+
+TEST(LexJoinG2pHoistTest, OneTransformPerRowWithoutCache) {
+  ExecContext ctx;
+  const int kOuter = 7, kInner = 5;
+  LexJoinOp join(&ctx, MakeNamesValues(&ctx, "outer", kOuter),
+                 MakeNamesValues(&ctx, "inner", kInner), 0, 0);
+  ASSERT_TRUE(join.Open().ok());
+  Row row;
+  while (true) {
+    StatusOr<bool> more = join.Next(&row);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+  }
+  ASSERT_TRUE(join.Close().ok());
+  // Hoisted: n_outer + n_inner transforms, not n_outer * n_inner.
+  EXPECT_EQ(ctx.stats.phoneme_transforms,
+            static_cast<uint64_t>(kOuter + kInner));
+}
+
+TEST(LexJoinG2pHoistTest, CacheTurnsRepeatedValuesIntoHits) {
+  PhonemeCache cache(256);
+  ExecContext ctx;
+  ctx.phoneme_cache = &cache;
+  // Rerunning the identical join: the second Open/Next pass finds every
+  // (text, lang) pair already cached — zero new transforms.
+  const int kOuter = 6, kInner = 4;
+  for (int round = 0; round < 2; ++round) {
+    LexJoinOp join(&ctx, MakeNamesValues(&ctx, "outer", kOuter),
+                   MakeNamesValues(&ctx, "inner", kInner), 0, 0);
+    ASSERT_TRUE(join.Open().ok());
+    Row row;
+    while (true) {
+      StatusOr<bool> more = join.Next(&row);
+      ASSERT_TRUE(more.ok());
+      if (!*more) break;
+    }
+    ASSERT_TRUE(join.Close().ok());
+  }
+  EXPECT_EQ(ctx.stats.phoneme_transforms,
+            static_cast<uint64_t>(kOuter + kInner));  // first round only
+  EXPECT_EQ(ctx.stats.phoneme_cache_misses,
+            static_cast<uint64_t>(kOuter + kInner));
+  EXPECT_EQ(ctx.stats.phoneme_cache_hits,
+            static_cast<uint64_t>(kOuter + kInner));  // second round
+}
+
+}  // namespace
+}  // namespace mural

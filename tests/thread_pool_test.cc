@@ -1,0 +1,155 @@
+// Unit tests for the worker pool behind morsel-parallel execution:
+// submit/wait/shutdown, exception-to-Status propagation, and the
+// deterministic ParallelMorsels strip scheduler.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace mural {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsTasksAndReturnsTheirStatus) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> ran{0};
+  std::vector<std::future<Status>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([&ran] {
+      ran.fetch_add(1);
+      return Status::OK();
+    }));
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPoolTest, ErrorStatusPropagatesThroughTheFuture) {
+  ThreadPool pool(2);
+  std::future<Status> f =
+      pool.Submit([] { return Status::InvalidArgument("bad morsel"); });
+  const Status s = f.get();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("bad morsel"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, ThrownExceptionBecomesInternalStatus) {
+  ThreadPool pool(2);
+  // std::stoi on a non-number throws std::invalid_argument inside the
+  // task; the pool must convert it rather than terminate.
+  std::future<Status> f = pool.Submit([] {
+    const int parsed = std::stoi("not a number");
+    return parsed == 0 ? Status::OK() : Status::OK();
+  });
+  const Status s = f.get();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("task threw"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  std::vector<std::future<Status>> futures;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back(pool.Submit([&ran] {
+        ran.fetch_add(1);
+        return Status::OK();
+      }));
+    }
+    pool.Shutdown();
+    EXPECT_EQ(ran.load(), 16);
+    pool.Shutdown();  // idempotent
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownReturnsAborted) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  std::future<Status> f = pool.Submit([] { return Status::OK(); });
+  const Status s = f.get();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("shut down"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, HardwareConcurrencyIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::HardwareConcurrency(), 1u);
+}
+
+TEST(ParallelMorselsTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 10'000;
+  std::vector<std::atomic<int>> touched(n);
+  const Status s = ParallelMorsels(
+      &pool, n, /*morsel_size=*/256, /*dop=*/4,
+      [&touched](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+        return Status::OK();
+      });
+  ASSERT_TRUE(s.ok());
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(touched[i].load(), 1) << i;
+}
+
+TEST(ParallelMorselsTest, MorselIndexingIsDeterministic) {
+  // Morsel m must always cover [m * size, min(n, (m+1) * size)), so
+  // writers keyed by morsel index produce identical layouts at any DOP.
+  ThreadPool pool(4);
+  const size_t n = 1000, size = 64;
+  for (int dop : {1, 2, 4, 8}) {
+    std::vector<std::pair<size_t, size_t>> ranges((n + size - 1) / size);
+    const Status s = ParallelMorsels(
+        &pool, n, size, dop,
+        [&ranges](size_t m, size_t begin, size_t end) {
+          ranges[m] = {begin, end};
+          return Status::OK();
+        });
+    ASSERT_TRUE(s.ok());
+    for (size_t m = 0; m < ranges.size(); ++m) {
+      EXPECT_EQ(ranges[m].first, m * size);
+      EXPECT_EQ(ranges[m].second, std::min(n, (m + 1) * size));
+    }
+  }
+}
+
+TEST(ParallelMorselsTest, RunsInlineWithoutAPool) {
+  size_t covered = 0;
+  const Status s = ParallelMorsels(
+      nullptr, 100, 16, /*dop=*/8,
+      [&covered](size_t, size_t begin, size_t end) {
+        covered += end - begin;  // safe: inline path is single-threaded
+        return Status::OK();
+      });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(covered, 100u);
+}
+
+TEST(ParallelMorselsTest, EmptyInputIsANoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  const Status s = ParallelMorsels(&pool, 0, 16, 4,
+                                   [&calls](size_t, size_t, size_t) {
+                                     ++calls;
+                                     return Status::OK();
+                                   });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelMorselsTest, FirstErrorWins) {
+  ThreadPool pool(4);
+  const Status s = ParallelMorsels(
+      &pool, 1000, 10, 4, [](size_t m, size_t, size_t) {
+        if (m == 3) return Status::InvalidArgument("morsel 3 failed");
+        return Status::OK();
+      });
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("failed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mural

@@ -339,6 +339,26 @@ void CheckDiscardedStatus(const std::string& path, std::string_view stripped,
   }
 }
 
+void CheckBareThread(const std::string& path, std::string_view stripped,
+                     std::vector<Violation>* out) {
+  // common/ owns the one sanctioned ThreadPool implementation; tools/ are
+  // standalone binaries outside the engine's concurrency model.
+  if (PathContains(path, "common/") || PathContains(path, "tools/")) return;
+  for (const std::string_view spawn :
+       {std::string_view("std::thread"), std::string_view("std::jthread"),
+        std::string_view("std::async")}) {
+    for (size_t pos = stripped.find(spawn); pos != std::string_view::npos;
+         pos = stripped.find(spawn, pos + spawn.size())) {
+      if (pos > 0 && IsIdentChar(stripped[pos - 1])) continue;
+      const size_t end = pos + spawn.size();
+      if (end < stripped.size() && IsIdentChar(stripped[end])) continue;
+      out->push_back({path, LineOf(stripped, pos), "no-bare-thread",
+                      "spawn threads via common/thread_pool.h (ThreadPool), "
+                      "not bare " + std::string(spawn)});
+    }
+  }
+}
+
 }  // namespace
 
 std::string StripCommentsAndStrings(std::string_view src) {
@@ -463,6 +483,7 @@ std::vector<Violation> LintFile(const std::string& rel_path,
   CheckAssertSideEffect(rel_path, stripped, &out);
   CheckOwnHeaderFirst(rel_path, content, &out);
   CheckDiscardedStatus(rel_path, stripped, &out);
+  CheckBareThread(rel_path, stripped, &out);
   return out;
 }
 

@@ -14,6 +14,10 @@
 //                       before any other #include.
 //   discarded-status    a Status constructed as a bare expression statement
 //                       is dead code that looks like error handling.
+//   no-bare-thread      std::thread / std::jthread / std::async outside
+//                       common/ (and tools/): all engine concurrency goes
+//                       through common/thread_pool.h so parallelism stays
+//                       bounded, observable, and Status-propagating.
 
 #pragma once
 

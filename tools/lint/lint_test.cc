@@ -201,6 +201,36 @@ TEST(DiscardedStatusRule, AllowsBoundAndReturnedStatus) {
   EXPECT_FALSE(HasRule(vs, "discarded-status"));
 }
 
+TEST(BareThreadRule, FiresOnStdThreadOutsideCommon) {
+  const auto vs = LintFile(
+      "src/exec/foo.cc",
+      "void F() { std::thread t([]{}); t.join(); }\n"
+      "void G() { auto f = std::async([]{ return 1; }); }\n"
+      "void H() { std::jthread t([]{}); }\n");
+  EXPECT_EQ(CountRule(vs, "no-bare-thread"), 3);
+}
+
+TEST(BareThreadRule, AllowsThreadInCommonAndTools) {
+  EXPECT_FALSE(HasRule(
+      LintFile("src/common/thread_pool.cc",
+               "void ThreadPool::Start() { workers_.emplace_back("
+               "std::thread([this] { Loop(); })); }\n"),
+      "no-bare-thread"));
+  EXPECT_FALSE(HasRule(
+      LintFile("tools/bench/driver.cc", "std::thread t([]{});\n"),
+      "no-bare-thread"));
+}
+
+TEST(BareThreadRule, IgnoresLookalikesAndNonSpawningUses) {
+  const auto vs = LintFile(
+      "src/exec/foo.cc",
+      "// std::thread in a comment\n"
+      "const char* s = \"std::thread\";\n"
+      "int std_thread_count = 0;\n"
+      "void F() { std::this_thread::yield(); }\n");
+  EXPECT_FALSE(HasRule(vs, "no-bare-thread"));
+}
+
 TEST(LintFileTest, CleanFileHasNoViolations) {
   const std::string src =
       "#include \"exec/clean.h\"\n"
