@@ -1,0 +1,131 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace mural {
+
+namespace {
+
+/// "storage.io_errors" -> "mural_storage_io_errors".
+std::string PromName(const std::string& name) {
+  std::string out = "mural_";
+  for (char c : name) {
+    const bool word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9');
+    out.push_back(word ? c : '_');
+  }
+  return out;
+}
+
+std::string PromDouble(double v) {
+  std::string s = StringFormat("%.9g", v);
+  return s;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() +
+                                                         1)) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  const size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double old = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(old, old + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+void Histogram::ResetForTest() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> DefaultLatencyBoundsMillis() {
+  return {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0};
+}
+
+std::vector<double> DefaultRatioBounds() {
+  return {1.0, 1.5, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0};
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Function-local static: registered metric objects stay valid until
+  // process exit (the registry never erases entries).
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot.reset(new Counter());
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot.reset(new Gauge());
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot.reset(new Histogram(std::move(bounds)));
+  return slot.get();
+}
+
+std::string MetricsRegistry::TextExposition() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(gauge->value()) + "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < hist->bounds().size(); ++i) {
+      cumulative += hist->bucket_count(i);
+      out += prom + "_bucket{le=\"" + PromDouble(hist->bounds()[i]) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    cumulative += hist->bucket_count(hist->bounds().size());
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+    out += prom + "_sum " + PromDouble(hist->sum()) + "\n";
+    out += prom + "_count " + std::to_string(hist->count()) + "\n";
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->ResetForTest();
+  for (auto& [name, gauge] : gauges_) gauge->ResetForTest();
+  for (auto& [name, hist] : histograms_) hist->ResetForTest();
+}
+
+}  // namespace mural

@@ -1,0 +1,123 @@
+// Process-wide metrics registry: counters, gauges, and fixed-bucket
+// latency histograms with a lock-free fast path.
+//
+// Usage pattern: resolve the metric once (the registry hands out stable
+// pointers that live for the process lifetime) and update it with relaxed
+// atomics on the hot path:
+//
+//   static Counter* hits =
+//       MetricsRegistry::Global().GetCounter("storage.buffer_pool.hits");
+//   hits->Increment();
+//
+// Registration takes a mutex; updates never do.  ResetForTest() zeroes
+// every value in place without invalidating cached pointers, so tests can
+// take clean deltas.  TextExposition() renders the whole registry in the
+// Prometheus text format (see tools/metrics_dump).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mural {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth, in-progress spans).  May go negative
+/// transiently under concurrent updates; Set/Add are individually atomic.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram.  Bucket upper bounds are set at registration
+/// and immutable afterwards; Observe() is lock-free (one relaxed
+/// fetch_add per bucket/count plus a CAS loop for the running sum).
+class Histogram {
+ public:
+  /// Records one observation.
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Non-cumulative count for bucket i (i == bounds().size() is +Inf).
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+  void ResetForTest();
+
+  std::vector<double> bounds_;  // sorted upper bounds, exclusive of +Inf
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default latency-histogram bounds in milliseconds.
+std::vector<double> DefaultLatencyBoundsMillis();
+
+/// Default bounds for q-error style ratio histograms.
+std::vector<double> DefaultRatioBounds();
+
+/// Named registry of process-wide metrics.  Metric objects are never
+/// destroyed or moved once registered, so pointers from Get* may be
+/// cached indefinitely.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Registers (first call) or looks up (later calls) a metric by name.
+  /// Names use dotted lowercase ("storage.io_errors").
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` applies only on first registration and must be sorted
+  /// ascending; later calls return the existing histogram unchanged.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  /// Renders every metric in Prometheus text-exposition format.  Dots in
+  /// names become underscores and everything is prefixed "mural_".
+  std::string TextExposition() const;
+
+  /// Zeroes every registered value in place.  Cached pointers stay valid.
+  void ResetForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mural

@@ -5,7 +5,31 @@
 #include <exception>
 #include <utility>
 
+#include "common/metrics.h"
+
 namespace mural {
+
+namespace {
+
+Gauge* QueueDepthGauge() {
+  static Gauge* g =
+      MetricsRegistry::Global().GetGauge("exec.thread_pool.queue_depth");
+  return g;
+}
+
+Counter* TasksRunCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("exec.thread_pool.tasks_run");
+  return c;
+}
+
+Counter* MorselsRunCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("exec.morsels_run");
+  return c;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
@@ -38,6 +62,7 @@ std::future<Status> ThreadPool::Submit(Task task) {
       return aborted.get_future();
     }
     queue_.push_back(std::move(wrapped));
+    QueueDepthGauge()->Add(1);
   }
   cv_.notify_one();
   return future;
@@ -64,7 +89,9 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutdown_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      QueueDepthGauge()->Add(-1);
     }
+    TasksRunCounter()->Increment();
     task();  // result flows through the packaged_task's future
   }
 }
@@ -81,6 +108,9 @@ Status ParallelMorsels(
   if (count == 0) return Status::OK();
   morsel_size = std::max<size_t>(1, morsel_size);
   const size_t num_morsels = (count + morsel_size - 1) / morsel_size;
+  // ceil(count / morsel_size), independent of DOP and scheduling — the
+  // metrics-determinism tests rely on this.
+  MorselsRunCounter()->Add(num_morsels);
 
   auto run_strip = [&, num_morsels](size_t strip, size_t stride) {
     for (size_t m = strip; m < num_morsels; m += stride) {

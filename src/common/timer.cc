@@ -1,0 +1,16 @@
+#include "common/timer.h"
+
+#include <chrono>
+
+namespace mural {
+
+std::atomic<SpanClock::NowFn> SpanClock::now_fn_{nullptr};
+
+uint64_t SpanClock::RealNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace mural

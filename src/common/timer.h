@@ -1,35 +1,61 @@
 // Wall-clock timing helpers for benchmarks and the EXPLAIN ANALYZE path.
+//
+// All engine timing goes through SpanClock so tests can substitute a fake
+// clock; mural_lint's no-direct-clock rule forbids direct
+// std::chrono::steady_clock::now() calls outside common/.
 
 #pragma once
 
-#include <chrono>
+#include <atomic>
 #include <cstdint>
 
 namespace mural {
 
-/// Monotonic stopwatch.  Start() resets; Elapsed*() read without stopping.
+/// The engine's monotonic nanosecond clock.  Reads a real steady clock by
+/// default; tests install a deterministic source with SetNowFnForTest so
+/// span output is reproducible.
+class SpanClock {
+ public:
+  using NowFn = uint64_t (*)();
+
+  /// Nanoseconds from an arbitrary monotonic epoch.
+  static uint64_t NowNanos() {
+    NowFn fn = now_fn_.load(std::memory_order_relaxed);
+    return fn != nullptr ? fn() : RealNowNanos();
+  }
+
+  /// Installs `fn` as the clock source; nullptr restores the real clock.
+  /// Returns the previous override (nullptr if none) for restoration.
+  static NowFn SetNowFnForTest(NowFn fn) {
+    return now_fn_.exchange(fn, std::memory_order_relaxed);
+  }
+
+ private:
+  static uint64_t RealNowNanos();
+  static std::atomic<NowFn> now_fn_;
+};
+
+/// Monotonic stopwatch over SpanClock.  Start() resets; Elapsed*() read
+/// without stopping.
 class Timer {
  public:
   Timer() { Start(); }
 
-  void Start() { start_ = Clock::now(); }
+  void Start() { start_ns_ = SpanClock::NowNanos(); }
 
+  uint64_t ElapsedNanos() const { return SpanClock::NowNanos() - start_ns_; }
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
   }
-
-  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
-  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
-  uint64_t ElapsedNanos() const {
-    return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                             start_)
-            .count());
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-3;
   }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  uint64_t start_ns_ = 0;
 };
 
 }  // namespace mural

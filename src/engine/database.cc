@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "catalog/tuple_codec.h"
+#include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "index/btree.h"
@@ -31,6 +33,29 @@ std::string QueryResult::ToTable(size_t max_rows) const {
   }
   return out;
 }
+
+namespace {
+
+/// Pre-order walk collecting estimate-vs-actual feedback for every node
+/// the planner stamped with a cardinality estimate.
+void CollectFeedback(const PhysicalOp& op, int depth,
+                     std::vector<NodeFeedback>* out) {
+  if (op.estimated_rows() >= 0) {
+    NodeFeedback fb;
+    fb.op = op.DisplayName();
+    fb.depth = depth;
+    fb.estimated_rows = op.estimated_rows();
+    fb.actual_rows = op.rows_produced();
+    fb.qerror = QError(static_cast<double>(fb.estimated_rows),
+                       static_cast<double>(fb.actual_rows));
+    out->push_back(std::move(fb));
+  }
+  for (const PhysicalOp* child : op.Children()) {
+    CollectFeedback(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   std::unique_ptr<Database> db(new Database());
@@ -247,21 +272,35 @@ StatusOr<QueryResult> Database::Query(const LogicalPtr& plan,
   Timer timer;
   MURAL_ASSIGN_OR_RETURN(result.rows, CollectAll(physical.root.get()));
   result.runtime_ms = timer.ElapsedMillis();
-  result.explain_analyze =
-      ExplainTree(*physical.root, /*with_actuals=*/true);
+
+  // Plan-vs-actual feedback: walk the executed tree, compare each node's
+  // cardinality estimate with its observed row count, and export the
+  // q-error distribution through the metrics registry.
+  static Histogram* qerror_hist = MetricsRegistry::Global().GetHistogram(
+      "optimizer.qerror", DefaultRatioBounds());
+  CollectFeedback(*physical.root, 0, &result.feedback);
+  for (const NodeFeedback& fb : result.feedback) {
+    result.max_qerror = std::max(result.max_qerror, fb.qerror);
+    qerror_hist->Observe(fb.qerror);
+  }
+  result.explain_analyze = TraceTree(*physical.root);
+  result.explain_analyze += StringFormat(
+      "q-error: max=%.2f over %zu estimated nodes\n", result.max_qerror,
+      result.feedback.size());
+
+  if (slow_query_millis_ >= 0 &&
+      result.runtime_ms >= static_cast<double>(slow_query_millis_)) {
+    static Counter* slow_queries =
+        MetricsRegistry::Global().GetCounter("engine.slow_queries");
+    slow_queries->Increment();
+    MURAL_LOG(Warn) << "slow query (" << result.runtime_ms << " ms >= "
+                    << slow_query_millis_ << " ms):\n"
+                    << result.explain_analyze;
+  }
+
   // Per-query counter deltas.
   result.exec_stats = ctx_.stats;
-  result.exec_stats.rows_emitted -= before.rows_emitted;
-  result.exec_stats.predicate_evals -= before.predicate_evals;
-  result.exec_stats.phoneme_transforms -= before.phoneme_transforms;
-  result.exec_stats.phoneme_cache_hits -= before.phoneme_cache_hits;
-  result.exec_stats.phoneme_cache_misses -= before.phoneme_cache_misses;
-  result.exec_stats.closure_computations -= before.closure_computations;
-  result.exec_stats.closure_reuses -= before.closure_reuses;
-  result.exec_stats.index_probes -= before.index_probes;
-  result.exec_stats.udf_calls -= before.udf_calls;
-  result.exec_stats.distance.calls -= before.distance.calls;
-  result.exec_stats.distance.cells -= before.distance.cells;
+  result.exec_stats.SubtractBaseline(before);
   return result;
 }
 
@@ -277,6 +316,19 @@ StatusOr<QueryResult> Database::Sql(const std::string& statement) {
     case sql::StatementKind::kExplain: {
       MURAL_ASSIGN_OR_RETURN(LogicalPtr plan,
                              sql::Bind(stmt, catalog_.get()));
+      if (stmt.explain_analyze) {
+        // EXPLAIN ANALYZE: execute, then return the timed plan tree (with
+        // estimated vs actual rows and the q-error summary) as rows.
+        MURAL_ASSIGN_OR_RETURN(QueryResult executed, Query(plan));
+        result = std::move(executed);
+        result.rows.clear();
+        result.schema = Schema({{"plan", TypeId::kText}});
+        for (const std::string& line :
+             Split(result.explain_analyze, '\n')) {
+          if (!line.empty()) result.rows.push_back({Value::Text(line)});
+        }
+        return result;
+      }
       MURAL_ASSIGN_OR_RETURN(PhysicalPlan physical, PlanQuery(plan));
       result.schema = Schema({{"plan", TypeId::kText}});
       result.predicted_rows = physical.predicted_rows;
@@ -292,6 +344,8 @@ StatusOr<QueryResult> Database::Sql(const std::string& statement) {
         SetLexequalThreshold(static_cast<int>(stmt.set_value));
       } else if (EqualsIgnoreCase(stmt.set_name, "degree_of_parallelism")) {
         SetDegreeOfParallelism(static_cast<int>(stmt.set_value));
+      } else if (EqualsIgnoreCase(stmt.set_name, "slow_query_millis")) {
+        SetSlowQueryMillis(stmt.set_value);
       } else {
         return Status::NotFound("unknown setting: " + stmt.set_name);
       }

@@ -38,6 +38,16 @@ struct DatabaseOptions {
   size_t phoneme_cache_capacity = 1 << 16;
 };
 
+/// Plan-vs-actual feedback for one executed plan node: the planner's
+/// cardinality estimate against the observed row count, as a q-error.
+struct NodeFeedback {
+  std::string op;        // operator display name
+  int depth = 0;         // position in the plan tree
+  int64_t estimated_rows = -1;
+  uint64_t actual_rows = 0;
+  double qerror = 1.0;   // max(est/actual, actual/est), both floored at 1
+};
+
 /// Result of one query execution.
 struct QueryResult {
   std::vector<Row> rows;
@@ -47,9 +57,14 @@ struct QueryResult {
   double runtime_ms = 0;
   ExecStats exec_stats;   // counters for this query only
   std::string explain;
-  /// EXPLAIN ANALYZE form: the executed plan annotated with actual
-  /// per-operator row counts.
+  /// EXPLAIN ANALYZE form: the executed plan as a timed tree (per-operator
+  /// wall time, estimated vs actual rows, per-node q-error) plus a q-error
+  /// summary line.
   std::string explain_analyze;
+  /// Per-node estimate feedback, pre-order; nodes without an estimate are
+  /// skipped.  max_qerror summarizes the worst node.
+  std::vector<NodeFeedback> feedback;
+  double max_qerror = 1.0;
 
   /// Pretty-prints rows as an aligned table.
   std::string ToTable(size_t max_rows = 20) const;
@@ -120,6 +135,12 @@ class Database {
   void SetDegreeOfParallelism(int dop);
   int degree_of_parallelism() const { return ctx_.degree_of_parallelism; }
 
+  /// Queries running at least this many milliseconds log a warning with
+  /// the serialized timed plan tree; negative disables (default).
+  /// SET SLOW_QUERY_MILLIS changes it per session.
+  void SetSlowQueryMillis(int64_t millis) { slow_query_millis_ = millis; }
+  int64_t slow_query_millis() const { return slow_query_millis_; }
+
   // -------------------------------------------------------------- access
 
   ExecContext* exec_context() { return &ctx_; }
@@ -154,6 +175,7 @@ class Database {
   std::unique_ptr<PhonemeCache> phoneme_cache_;
   std::unique_ptr<ThreadPool> thread_pool_;
   std::unique_ptr<pl::UdfRuntime> udf_;
+  int64_t slow_query_millis_ = -1;  // negative = slow-query log disabled
   bool outside_closure_btree_ = false;
   // TEMPSET_* backing store (models PL/SQL temp tables with an index).
   std::map<int64_t, std::unordered_set<int64_t>> tempsets_;

@@ -123,7 +123,7 @@ Row AggregateOp::Finalize(const Row& group,
   return out;
 }
 
-Status AggregateOp::Open() {
+Status AggregateOp::OpenImpl() {
   MURAL_RETURN_IF_ERROR(child_->Open());
   results_.clear();
   pos_ = 0;
@@ -161,16 +161,16 @@ Status AggregateOp::Open() {
   return Status::OK();
 }
 
-StatusOr<bool> AggregateOp::Next(Row* out) {
+StatusOr<bool> AggregateOp::NextImpl(Row* out) {
   if (pos_ >= results_.size()) return false;
   *out = results_[pos_++];
   CountRow();
   return true;
 }
 
-Status AggregateOp::Close() {
+Status AggregateOp::CloseImpl() {
   results_.clear();
-  return Status::OK();
+  return child_->Close();
 }
 
 std::string AggregateOp::DisplayName() const {

@@ -30,9 +30,9 @@ class AggregateOp : public PhysicalOp {
   AggregateOp(ExecContext* ctx, OpPtr child, std::vector<size_t> group_by,
               std::vector<AggSpec> aggs);
 
-  [[nodiscard]] Status Open() override;
-  [[nodiscard]] StatusOr<bool> Next(Row* out) override;
-  [[nodiscard]] Status Close() override;
+  [[nodiscard]] Status OpenImpl() override;
+  [[nodiscard]] StatusOr<bool> NextImpl(Row* out) override;
+  [[nodiscard]] Status CloseImpl() override;
   const Schema& output_schema() const override { return schema_; }
   std::string DisplayName() const override;
   std::vector<const PhysicalOp*> Children() const override {

@@ -4,7 +4,7 @@
 
 namespace mural {
 
-StatusOr<bool> FilterOp::Next(Row* out) {
+StatusOr<bool> FilterOp::NextImpl(Row* out) {
   while (true) {
     MURAL_ASSIGN_OR_RETURN(const bool more, child_->Next(out));
     if (!more) return false;
@@ -30,7 +30,7 @@ OpPtr ProjectOp::ByColumns(ExecContext* ctx, OpPtr child,
                                      Schema(std::move(cols)));
 }
 
-StatusOr<bool> ProjectOp::Next(Row* out) {
+StatusOr<bool> ProjectOp::NextImpl(Row* out) {
   Row in;
   MURAL_ASSIGN_OR_RETURN(const bool more, child_->Next(&in));
   if (!more) return false;
@@ -54,7 +54,7 @@ std::string ProjectOp::DisplayName() const {
   return out;
 }
 
-StatusOr<bool> LimitOp::Next(Row* out) {
+StatusOr<bool> LimitOp::NextImpl(Row* out) {
   if (seen_ >= limit_) return false;
   MURAL_ASSIGN_OR_RETURN(const bool more, child_->Next(out));
   if (!more) return false;
@@ -63,7 +63,7 @@ StatusOr<bool> LimitOp::Next(Row* out) {
   return true;
 }
 
-Status MaterializeOp::Open() {
+Status MaterializeOp::OpenImpl() {
   pos_ = 0;
   if (rows_.has_value()) return Status::OK();  // rescan: replay
   MURAL_RETURN_IF_ERROR(child_->Open());
@@ -77,16 +77,20 @@ Status MaterializeOp::Open() {
   return child_->Close();
 }
 
-StatusOr<bool> MaterializeOp::Next(Row* out) {
+StatusOr<bool> MaterializeOp::NextImpl(Row* out) {
   if (pos_ >= rows_->size()) return false;
   *out = (*rows_)[pos_++];
   CountRow();
   return true;
 }
 
-Status MaterializeOp::Close() { return Status::OK(); }
+Status MaterializeOp::CloseImpl() {
+  // No-op unless a failed Open left the child mid-drain (Close is
+  // idempotent); releases it so no span dangles.
+  return child_->Close();
+}
 
-StatusOr<bool> UnionAllOp::Next(Row* out) {
+StatusOr<bool> UnionAllOp::NextImpl(Row* out) {
   if (!on_right_) {
     MURAL_ASSIGN_OR_RETURN(const bool more, left_->Next(out));
     if (more) {
@@ -100,7 +104,7 @@ StatusOr<bool> UnionAllOp::Next(Row* out) {
   return more;
 }
 
-Status SortOp::Open() {
+Status SortOp::OpenImpl() {
   MURAL_RETURN_IF_ERROR(child_->Open());
   rows_.clear();
   pos_ = 0;
@@ -123,16 +127,16 @@ Status SortOp::Open() {
   return Status::OK();
 }
 
-StatusOr<bool> SortOp::Next(Row* out) {
+StatusOr<bool> SortOp::NextImpl(Row* out) {
   if (pos_ >= rows_.size()) return false;
   *out = rows_[pos_++];
   CountRow();
   return true;
 }
 
-Status SortOp::Close() {
+Status SortOp::CloseImpl() {
   rows_.clear();
-  return Status::OK();
+  return child_->Close();
 }
 
 std::string SortOp::DisplayName() const {

@@ -18,9 +18,9 @@ class FilterOp : public PhysicalOp {
         child_(std::move(child)),
         predicate_(std::move(predicate)) {}
 
-  [[nodiscard]] Status Open() override { return child_->Open(); }
-  [[nodiscard]] StatusOr<bool> Next(Row* out) override;
-  [[nodiscard]] Status Close() override { return child_->Close(); }
+  [[nodiscard]] Status OpenImpl() override { return child_->Open(); }
+  [[nodiscard]] StatusOr<bool> NextImpl(Row* out) override;
+  [[nodiscard]] Status CloseImpl() override { return child_->Close(); }
   const Schema& output_schema() const override {
     return child_->output_schema();
   }
@@ -50,9 +50,9 @@ class ProjectOp : public PhysicalOp {
   static OpPtr ByColumns(ExecContext* ctx, OpPtr child,
                          const std::vector<size_t>& columns);
 
-  [[nodiscard]] Status Open() override { return child_->Open(); }
-  [[nodiscard]] StatusOr<bool> Next(Row* out) override;
-  [[nodiscard]] Status Close() override { return child_->Close(); }
+  [[nodiscard]] Status OpenImpl() override { return child_->Open(); }
+  [[nodiscard]] StatusOr<bool> NextImpl(Row* out) override;
+  [[nodiscard]] Status CloseImpl() override { return child_->Close(); }
   const Schema& output_schema() const override { return schema_; }
   std::string DisplayName() const override;
   std::vector<const PhysicalOp*> Children() const override {
@@ -71,12 +71,12 @@ class LimitOp : public PhysicalOp {
   LimitOp(ExecContext* ctx, OpPtr child, uint64_t limit)
       : PhysicalOp(ctx), child_(std::move(child)), limit_(limit) {}
 
-  [[nodiscard]] Status Open() override {
+  [[nodiscard]] Status OpenImpl() override {
     seen_ = 0;
     return child_->Open();
   }
-  [[nodiscard]] StatusOr<bool> Next(Row* out) override;
-  [[nodiscard]] Status Close() override { return child_->Close(); }
+  [[nodiscard]] StatusOr<bool> NextImpl(Row* out) override;
+  [[nodiscard]] Status CloseImpl() override { return child_->Close(); }
   const Schema& output_schema() const override {
     return child_->output_schema();
   }
@@ -100,9 +100,9 @@ class MaterializeOp : public PhysicalOp {
   MaterializeOp(ExecContext* ctx, OpPtr child)
       : PhysicalOp(ctx), child_(std::move(child)) {}
 
-  [[nodiscard]] Status Open() override;
-  [[nodiscard]] StatusOr<bool> Next(Row* out) override;
-  [[nodiscard]] Status Close() override;
+  [[nodiscard]] Status OpenImpl() override;
+  [[nodiscard]] StatusOr<bool> NextImpl(Row* out) override;
+  [[nodiscard]] Status CloseImpl() override;
   const Schema& output_schema() const override {
     return child_->output_schema();
   }
@@ -129,9 +129,9 @@ class SortOp : public PhysicalOp {
   SortOp(ExecContext* ctx, OpPtr child, std::vector<SortKey> keys)
       : PhysicalOp(ctx), child_(std::move(child)), keys_(std::move(keys)) {}
 
-  [[nodiscard]] Status Open() override;
-  [[nodiscard]] StatusOr<bool> Next(Row* out) override;
-  [[nodiscard]] Status Close() override;
+  [[nodiscard]] Status OpenImpl() override;
+  [[nodiscard]] StatusOr<bool> NextImpl(Row* out) override;
+  [[nodiscard]] Status CloseImpl() override;
   const Schema& output_schema() const override {
     return child_->output_schema();
   }
@@ -153,13 +153,13 @@ class UnionAllOp : public PhysicalOp {
   UnionAllOp(ExecContext* ctx, OpPtr left, OpPtr right)
       : PhysicalOp(ctx), left_(std::move(left)), right_(std::move(right)) {}
 
-  [[nodiscard]] Status Open() override {
+  [[nodiscard]] Status OpenImpl() override {
     on_right_ = false;
     MURAL_RETURN_IF_ERROR(left_->Open());
     return right_->Open();
   }
-  [[nodiscard]] StatusOr<bool> Next(Row* out) override;
-  [[nodiscard]] Status Close() override {
+  [[nodiscard]] StatusOr<bool> NextImpl(Row* out) override;
+  [[nodiscard]] Status CloseImpl() override {
     // Close both children even if the left one fails, so the right
     // subtree's buffer-pool pins are released; report the first error.
     const Status left_st = left_->Close();
@@ -188,17 +188,17 @@ class ValuesOp : public PhysicalOp {
         schema_(std::move(schema)),
         rows_(std::move(rows)) {}
 
-  [[nodiscard]] Status Open() override {
+  [[nodiscard]] Status OpenImpl() override {
     pos_ = 0;
     return Status::OK();
   }
-  [[nodiscard]] StatusOr<bool> Next(Row* out) override {
+  [[nodiscard]] StatusOr<bool> NextImpl(Row* out) override {
     if (pos_ >= rows_.size()) return false;
     *out = rows_[pos_++];
     CountRow();
     return true;
   }
-  [[nodiscard]] Status Close() override { return Status::OK(); }
+  [[nodiscard]] Status CloseImpl() override { return Status::OK(); }
   const Schema& output_schema() const override { return schema_; }
   std::string DisplayName() const override {
     return "Values(" + std::to_string(rows_.size()) + " rows)";

@@ -21,6 +21,12 @@ class PhonemeCache;
 class ThreadPool;
 
 /// Effort counters accumulated during one query execution.
+///
+/// Every counter must be listed in ForEachCounter, which drives Merge and
+/// the per-query delta in Database::Query.  The static_assert below checks
+/// the field count against the struct size, so adding a field without
+/// extending the visitor fails to compile instead of silently dropping the
+/// new counter on the morsel-gather merge.
 struct ExecStats {
   uint64_t rows_emitted = 0;
   uint64_t predicate_evals = 0;
@@ -33,23 +39,55 @@ struct ExecStats {
   uint64_t udf_calls = 0;              // outside-the-server boundary calls
   DistanceStats distance;
 
+  /// Number of uint64 counters, including the DistanceStats members.
+  static constexpr size_t kNumCounters = 11;
+
+  /// Visits every counter as (name, uint64&).  `Self` is ExecStats or
+  /// const ExecStats; the visitor sees const refs in the latter case.
+  template <typename Self, typename Fn>
+  static void ForEachCounter(Self& s, Fn&& fn) {
+    fn("rows_emitted", s.rows_emitted);
+    fn("predicate_evals", s.predicate_evals);
+    fn("phoneme_transforms", s.phoneme_transforms);
+    fn("phoneme_cache_hits", s.phoneme_cache_hits);
+    fn("phoneme_cache_misses", s.phoneme_cache_misses);
+    fn("closure_computations", s.closure_computations);
+    fn("closure_reuses", s.closure_reuses);
+    fn("index_probes", s.index_probes);
+    fn("udf_calls", s.udf_calls);
+    fn("distance_calls", s.distance.calls);
+    fn("distance_cells", s.distance.cells);
+  }
+
   void Reset() { *this = ExecStats(); }
 
   /// Folds a worker thread's counters into this (post-gather merge).
   void Merge(const ExecStats& other) {
-    rows_emitted += other.rows_emitted;
-    predicate_evals += other.predicate_evals;
-    phoneme_transforms += other.phoneme_transforms;
-    phoneme_cache_hits += other.phoneme_cache_hits;
-    phoneme_cache_misses += other.phoneme_cache_misses;
-    closure_computations += other.closure_computations;
-    closure_reuses += other.closure_reuses;
-    index_probes += other.index_probes;
-    udf_calls += other.udf_calls;
-    distance.calls += other.distance.calls;
-    distance.cells += other.distance.cells;
+    const uint64_t* theirs[kNumCounters];
+    size_t n = 0;
+    ForEachCounter(other,
+                   [&](const char*, const uint64_t& v) { theirs[n++] = &v; });
+    size_t i = 0;
+    ForEachCounter(*this, [&](const char*, uint64_t& v) { v += *theirs[i++]; });
+  }
+
+  /// Subtracts `before` from every counter (per-query delta against a
+  /// session-cumulative snapshot).
+  void SubtractBaseline(const ExecStats& before) {
+    const uint64_t* base[kNumCounters];
+    size_t n = 0;
+    ForEachCounter(before,
+                   [&](const char*, const uint64_t& v) { base[n++] = &v; });
+    size_t i = 0;
+    ForEachCounter(*this, [&](const char*, uint64_t& v) { v -= *base[i++]; });
   }
 };
+
+// Completeness guard: if a field is added to ExecStats (or DistanceStats)
+// without bumping kNumCounters + extending ForEachCounter, this trips.
+static_assert(sizeof(ExecStats) == ExecStats::kNumCounters * sizeof(uint64_t),
+              "ExecStats field added: update kNumCounters and "
+              "ForEachCounter so Merge does not silently drop it");
 
 /// Shared query-execution context.  Not owned by operators; the engine's
 /// session owns one and threads it through the plan.

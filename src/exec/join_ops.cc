@@ -23,7 +23,7 @@ NestedLoopJoinOp::NestedLoopJoinOp(ExecContext* ctx, OpPtr outer, OpPtr inner,
       schema_(Schema::Concat(outer_->output_schema(),
                              inner_->output_schema())) {}
 
-Status NestedLoopJoinOp::Open() {
+Status NestedLoopJoinOp::OpenImpl() {
   MURAL_RETURN_IF_ERROR(outer_->Open());
   MURAL_RETURN_IF_ERROR(inner_->Open());
   inner_rows_.clear();
@@ -39,7 +39,7 @@ Status NestedLoopJoinOp::Open() {
   return Status::OK();
 }
 
-StatusOr<bool> NestedLoopJoinOp::Next(Row* out) {
+StatusOr<bool> NestedLoopJoinOp::NextImpl(Row* out) {
   while (true) {
     if (!outer_valid_) {
       MURAL_ASSIGN_OR_RETURN(const bool more, outer_->Next(&outer_row_));
@@ -64,9 +64,12 @@ StatusOr<bool> NestedLoopJoinOp::Next(Row* out) {
   }
 }
 
-Status NestedLoopJoinOp::Close() {
+Status NestedLoopJoinOp::CloseImpl() {
   inner_rows_.clear();
-  return outer_->Close();
+  const Status outer_st = outer_->Close();
+  const Status inner_st = inner_->Close();  // no-op unless Open failed
+  MURAL_RETURN_IF_ERROR(outer_st);
+  return inner_st;
 }
 
 HashJoinOp::HashJoinOp(ExecContext* ctx, OpPtr outer, OpPtr inner,
@@ -79,7 +82,7 @@ HashJoinOp::HashJoinOp(ExecContext* ctx, OpPtr outer, OpPtr inner,
       schema_(Schema::Concat(outer_->output_schema(),
                              inner_->output_schema())) {}
 
-Status HashJoinOp::Open() {
+Status HashJoinOp::OpenImpl() {
   MURAL_RETURN_IF_ERROR(outer_->Open());
   MURAL_RETURN_IF_ERROR(inner_->Open());
   table_.clear();
@@ -97,7 +100,7 @@ Status HashJoinOp::Open() {
   return Status::OK();
 }
 
-StatusOr<bool> HashJoinOp::Next(Row* out) {
+StatusOr<bool> HashJoinOp::NextImpl(Row* out) {
   while (true) {
     if (!matches_open_) {
       MURAL_ASSIGN_OR_RETURN(const bool more, outer_->Next(&outer_row_));
@@ -123,9 +126,12 @@ StatusOr<bool> HashJoinOp::Next(Row* out) {
   }
 }
 
-Status HashJoinOp::Close() {
+Status HashJoinOp::CloseImpl() {
   table_.clear();
-  return outer_->Close();
+  const Status outer_st = outer_->Close();
+  const Status inner_st = inner_->Close();  // no-op unless Open failed
+  MURAL_RETURN_IF_ERROR(outer_st);
+  return inner_st;
 }
 
 std::string HashJoinOp::DisplayName() const {

@@ -18,9 +18,9 @@ class NestedLoopJoinOp : public PhysicalOp {
   NestedLoopJoinOp(ExecContext* ctx, OpPtr outer, OpPtr inner,
                    ExprPtr predicate);
 
-  [[nodiscard]] Status Open() override;
-  [[nodiscard]] StatusOr<bool> Next(Row* out) override;
-  [[nodiscard]] Status Close() override;
+  [[nodiscard]] Status OpenImpl() override;
+  [[nodiscard]] StatusOr<bool> NextImpl(Row* out) override;
+  [[nodiscard]] Status CloseImpl() override;
   const Schema& output_schema() const override { return schema_; }
   std::string DisplayName() const override {
     return "NestedLoopJoin(" +
@@ -47,9 +47,9 @@ class HashJoinOp : public PhysicalOp {
   HashJoinOp(ExecContext* ctx, OpPtr outer, OpPtr inner, size_t outer_col,
              size_t inner_col);
 
-  [[nodiscard]] Status Open() override;
-  [[nodiscard]] StatusOr<bool> Next(Row* out) override;
-  [[nodiscard]] Status Close() override;
+  [[nodiscard]] Status OpenImpl() override;
+  [[nodiscard]] StatusOr<bool> NextImpl(Row* out) override;
+  [[nodiscard]] Status CloseImpl() override;
   const Schema& output_schema() const override { return schema_; }
   std::string DisplayName() const override;
   std::vector<const PhysicalOp*> Children() const override {

@@ -28,7 +28,7 @@ LexJoinOp::LexJoinOp(ExecContext* ctx, OpPtr outer, OpPtr inner,
   }
 }
 
-Status LexJoinOp::Open() {
+Status LexJoinOp::OpenImpl() {
   MURAL_RETURN_IF_ERROR(outer_->Open());
   MURAL_RETURN_IF_ERROR(inner_->Open());
   inner_rows_.clear();
@@ -154,7 +154,7 @@ Status LexJoinOp::OpenParallel(int dop) {
   return Status::OK();
 }
 
-StatusOr<bool> LexJoinOp::Next(Row* out) {
+StatusOr<bool> LexJoinOp::NextImpl(Row* out) {
   if (parallel_mode_) {
     if (result_pos_ >= results_.size()) return false;
     *out = results_[result_pos_++];
@@ -198,13 +198,16 @@ StatusOr<bool> LexJoinOp::Next(Row* out) {
   }
 }
 
-Status LexJoinOp::Close() {
+Status LexJoinOp::CloseImpl() {
   inner_rows_.clear();
   inner_phonemes_.clear();
   inner_valid_.clear();
   results_.clear();
   result_pos_ = 0;
-  return outer_->Close();
+  const Status outer_st = outer_->Close();
+  const Status inner_st = inner_->Close();  // no-op unless Open failed
+  MURAL_RETURN_IF_ERROR(outer_st);
+  return inner_st;
 }
 
 std::string LexJoinOp::DisplayName() const {
@@ -262,7 +265,7 @@ Status SemJoinOp::ComputeClosureFor(const Value& rhs_value) {
   return Status::OK();
 }
 
-Status SemJoinOp::Open() {
+Status SemJoinOp::OpenImpl() {
   if (ctx_->taxonomy == nullptr) {
     return Status::InvalidArgument(
         "SemJoin requires a taxonomy pinned in the session");
@@ -302,7 +305,7 @@ Status SemJoinOp::Open() {
   return Status::OK();
 }
 
-StatusOr<bool> SemJoinOp::Next(Row* out) {
+StatusOr<bool> SemJoinOp::NextImpl(Row* out) {
   while (true) {
     if (!rhs_open_) {
       if (rhs_pos_ >= rhs_rows_.size()) return false;
@@ -356,11 +359,16 @@ StatusOr<bool> SemJoinOp::Next(Row* out) {
   }
 }
 
-Status SemJoinOp::Close() {
+Status SemJoinOp::CloseImpl() {
   lhs_rows_.clear();
   rhs_rows_.clear();
   current_closure_ = nullptr;
-  return Status::OK();
+  // Both sides are normally drained and closed in Open; these are no-ops
+  // unless a failed Open left one mid-drain.
+  const Status lhs_st = lhs_->Close();
+  const Status rhs_st = rhs_->Close();
+  MURAL_RETURN_IF_ERROR(lhs_st);
+  return rhs_st;
 }
 
 std::string SemJoinOp::DisplayName() const {
@@ -389,14 +397,14 @@ LexIndexJoinOp::LexIndexJoinOp(ExecContext* ctx, OpPtr outer,
       schema_(Schema::Concat(outer_->output_schema(),
                              inner_table->schema)) {}
 
-Status LexIndexJoinOp::Open() {
+Status LexIndexJoinOp::OpenImpl() {
   outer_valid_ = false;
   matches_.clear();
   match_pos_ = 0;
   return outer_->Open();
 }
 
-StatusOr<bool> LexIndexJoinOp::Next(Row* out) {
+StatusOr<bool> LexIndexJoinOp::NextImpl(Row* out) {
   const int k = threshold_ >= 0 ? threshold_ : ctx_->lexequal_threshold;
   std::string record;
   while (true) {
@@ -431,7 +439,7 @@ StatusOr<bool> LexIndexJoinOp::Next(Row* out) {
   }
 }
 
-Status LexIndexJoinOp::Close() {
+Status LexIndexJoinOp::CloseImpl() {
   matches_.clear();
   return outer_->Close();
 }

@@ -1,8 +1,20 @@
 #include "exec/operator.h"
 
+#include <algorithm>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
 namespace mural {
 
 namespace {
+
+Gauge* SpansInProgressGauge() {
+  static Gauge* gauge =
+      MetricsRegistry::Global().GetGauge("exec.spans_in_progress");
+  return gauge;
+}
 
 void ExplainRec(const PhysicalOp& op, int depth, bool with_actuals,
                 std::string* out) {
@@ -20,7 +32,68 @@ void ExplainRec(const PhysicalOp& op, int depth, bool with_actuals,
   }
 }
 
+void TraceRec(const PhysicalOp& op, int depth, const TraceOptions& opts,
+              std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append("-> ");
+  out->append(op.DisplayName());
+  out->append(" (");
+  if (opts.with_estimates && op.estimated_rows() >= 0) {
+    out->append(StringFormat("est rows=%lld ",
+                             static_cast<long long>(op.estimated_rows())));
+  }
+  out->append(StringFormat("actual rows=%llu",
+                           static_cast<unsigned long long>(
+                               op.rows_produced())));
+  if (opts.with_estimates && op.estimated_rows() >= 0) {
+    out->append(StringFormat(
+        " q=%.2f", QError(static_cast<double>(op.estimated_rows()),
+                          static_cast<double>(op.rows_produced()))));
+  }
+  if (opts.with_times) {
+    out->append(StringFormat(" time=%.3fms", op.span().TotalMillis()));
+  }
+  out->append(")\n");
+  for (const PhysicalOp* child : op.Children()) {
+    TraceRec(*child, depth + 1, opts, out);
+  }
+}
+
 }  // namespace
+
+PhysicalOp::~PhysicalOp() {
+  // Safety net: a plan destroyed without Close (driver bug) must not leak
+  // an in-progress span in the process-wide gauge.
+  if (in_progress_) SpansInProgressGauge()->Add(-1);
+}
+
+Status PhysicalOp::Open() {
+  if (!in_progress_) {
+    in_progress_ = true;
+    SpansInProgressGauge()->Add(1);
+  }
+  const uint64_t t0 = SpanClock::NowNanos();
+  Status s = OpenImpl();
+  span_.open_ns += SpanClock::NowNanos() - t0;
+  return s;
+}
+
+StatusOr<bool> PhysicalOp::Next(Row* out) {
+  const uint64_t t0 = SpanClock::NowNanos();
+  StatusOr<bool> r = NextImpl(out);
+  span_.next_ns += SpanClock::NowNanos() - t0;
+  return r;
+}
+
+Status PhysicalOp::Close() {
+  if (!in_progress_) return Status::OK();
+  const uint64_t t0 = SpanClock::NowNanos();
+  Status s = CloseImpl();
+  span_.close_ns += SpanClock::NowNanos() - t0;
+  in_progress_ = false;
+  SpansInProgressGauge()->Add(-1);
+  return s;
+}
 
 std::string ExplainTree(const PhysicalOp& root, bool with_actuals) {
   std::string out;
@@ -28,16 +101,38 @@ std::string ExplainTree(const PhysicalOp& root, bool with_actuals) {
   return out;
 }
 
+std::string TraceTree(const PhysicalOp& root, const TraceOptions& opts) {
+  std::string out;
+  TraceRec(root, 0, opts, &out);
+  return out;
+}
+
+double QError(double estimated, double actual) {
+  const double e = std::max(estimated, 1.0);
+  const double a = std::max(actual, 1.0);
+  return std::max(e / a, a / e);
+}
+
 StatusOr<std::vector<Row>> CollectAll(PhysicalOp* root) {
-  MURAL_RETURN_IF_ERROR(root->Open());
+  Status status = root->Open();
   std::vector<Row> rows;
-  Row row;
-  while (true) {
-    MURAL_ASSIGN_OR_RETURN(const bool more, root->Next(&row));
-    if (!more) break;
-    rows.push_back(row);
+  if (status.ok()) {
+    Row row;
+    while (true) {
+      StatusOr<bool> more = root->Next(&row);
+      if (!more.ok()) {
+        status = more.status();
+        break;
+      }
+      if (!*more) break;
+      rows.push_back(row);
+    }
   }
-  MURAL_RETURN_IF_ERROR(root->Close());
+  // Close even on failure: operators release resources and the span
+  // gauge returns to zero.  The execution error wins over a close error.
+  const Status close_status = root->Close();
+  MURAL_RETURN_IF_ERROR(status);
+  MURAL_RETURN_IF_ERROR(close_status);
   return rows;
 }
 

@@ -1,8 +1,16 @@
 // PhysicalOp: the Volcano-style iterator interface all physical operators
-// implement (Open / Next / Close), plus EXPLAIN-tree rendering.
+// implement, plus EXPLAIN-tree rendering.
+//
+// The public Open/Next/Close entry points are non-virtual: they time the
+// call through SpanClock into a per-operator trace span, maintain the
+// process-wide `exec.spans_in_progress` gauge, and delegate to the
+// protected OpenImpl/NextImpl/CloseImpl virtuals that subclasses override.
+// Close() is idempotent and safe after a failed Open, so a driver can
+// unconditionally Close a plan on any error and leave no span dangling.
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,19 +24,36 @@ namespace mural {
 class PhysicalOp;
 using OpPtr = std::unique_ptr<PhysicalOp>;
 
+/// Wall-time trace span for one operator, split by iterator phase.
+/// Next time is inclusive of children (parents drive children from their
+/// NextImpl), matching the EXPLAIN ANALYZE convention.
+struct OpSpan {
+  uint64_t open_ns = 0;
+  uint64_t next_ns = 0;
+  uint64_t close_ns = 0;
+
+  uint64_t TotalNanos() const { return open_ns + next_ns + close_ns; }
+  double TotalMillis() const {
+    return static_cast<double>(TotalNanos()) * 1e-6;
+  }
+};
+
 /// Base class for physical operators.
 class PhysicalOp {
  public:
   explicit PhysicalOp(ExecContext* ctx) : ctx_(ctx) {}
-  virtual ~PhysicalOp() = default;
+  virtual ~PhysicalOp();
 
   /// Prepares for iteration.  May be called again after Close (rescan).
-  virtual Status Open() = 0;
+  /// On failure the operator still counts as in progress; call Close()
+  /// to release it (the span gauge invariant relies on this).
+  [[nodiscard]] Status Open();
 
   /// Produces the next row into *out; returns false when exhausted.
-  virtual StatusOr<bool> Next(Row* out) = 0;
+  [[nodiscard]] StatusOr<bool> Next(Row* out);
 
-  virtual Status Close() = 0;
+  /// Idempotent; a no-op unless a prior Open is outstanding.
+  [[nodiscard]] Status Close();
 
   virtual const Schema& output_schema() const = 0;
 
@@ -39,7 +64,18 @@ class PhysicalOp {
 
   uint64_t rows_produced() const { return rows_produced_; }
 
+  /// Trace span accumulated across Open/Next/Close calls so far.
+  const OpSpan& span() const { return span_; }
+
+  /// Planner's cardinality estimate for this node; -1 = not estimated.
+  int64_t estimated_rows() const { return estimated_rows_; }
+  void set_estimated_rows(int64_t rows) { estimated_rows_ = rows; }
+
  protected:
+  virtual Status OpenImpl() = 0;
+  virtual StatusOr<bool> NextImpl(Row* out) = 0;
+  virtual Status CloseImpl() = 0;
+
   /// Subclasses call this when emitting a row.
   void CountRow() {
     ++rows_produced_;
@@ -48,6 +84,11 @@ class PhysicalOp {
 
   ExecContext* ctx_;
   uint64_t rows_produced_ = 0;
+
+ private:
+  OpSpan span_;
+  int64_t estimated_rows_ = -1;
+  bool in_progress_ = false;
 };
 
 /// Renders an indented operator tree (EXPLAIN-style).  With
@@ -55,7 +96,25 @@ class PhysicalOp {
 /// after execution for EXPLAIN ANALYZE output.
 std::string ExplainTree(const PhysicalOp& root, bool with_actuals = false);
 
-/// Drives a plan to completion, collecting all rows.
+/// Rendering options for TraceTree.
+struct TraceOptions {
+  bool with_times = true;      // per-operator wall time from the span
+  bool with_estimates = true;  // est rows + per-node q-error where known
+};
+
+/// Renders the executed plan as a timed tree: estimated vs actual rows,
+/// per-node q-error, and per-operator wall time.  The `actual rows=N`
+/// annotation matches ExplainTree's EXPLAIN ANALYZE format.
+std::string TraceTree(const PhysicalOp& root,
+                      const TraceOptions& opts = TraceOptions());
+
+/// q-error between an estimate and an observation, both floored at one
+/// row: max(est/actual, actual/est) >= 1, with 1 = perfect.
+double QError(double estimated, double actual);
+
+/// Drives a plan to completion, collecting all rows.  The plan is always
+/// Closed before returning — also on Open/Next failure — so no operator
+/// is left with an in-progress span.
 StatusOr<std::vector<Row>> CollectAll(PhysicalOp* root);
 
 }  // namespace mural

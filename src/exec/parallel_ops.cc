@@ -16,7 +16,7 @@ ParallelLexScanOp::ParallelLexScanOp(ExecContext* ctx, OpPtr child,
       dop_(dop < 1 ? 1 : dop),
       morsel_size_(morsel_size == 0 ? kDefaultMorselSize : morsel_size) {}
 
-Status ParallelLexScanOp::Open() {
+Status ParallelLexScanOp::OpenImpl() {
   results_.clear();
   result_pos_ = 0;
 
@@ -65,17 +65,17 @@ Status ParallelLexScanOp::Open() {
   return Status::OK();
 }
 
-StatusOr<bool> ParallelLexScanOp::Next(Row* out) {
+StatusOr<bool> ParallelLexScanOp::NextImpl(Row* out) {
   if (result_pos_ >= results_.size()) return false;
   *out = results_[result_pos_++];
   CountRow();
   return true;
 }
 
-Status ParallelLexScanOp::Close() {
+Status ParallelLexScanOp::CloseImpl() {
   results_.clear();
   result_pos_ = 0;
-  return Status::OK();
+  return child_->Close();  // no-op unless Open failed mid-drain
 }
 
 std::string ParallelLexScanOp::DisplayName() const {

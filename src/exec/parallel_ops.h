@@ -33,9 +33,9 @@ class ParallelLexScanOp : public PhysicalOp {
   ParallelLexScanOp(ExecContext* ctx, OpPtr child, ExprPtr predicate,
                     int dop, size_t morsel_size = kDefaultMorselSize);
 
-  [[nodiscard]] Status Open() override;
-  [[nodiscard]] StatusOr<bool> Next(Row* out) override;
-  [[nodiscard]] Status Close() override;
+  [[nodiscard]] Status OpenImpl() override;
+  [[nodiscard]] StatusOr<bool> NextImpl(Row* out) override;
+  [[nodiscard]] Status CloseImpl() override;
   const Schema& output_schema() const override {
     return child_->output_schema();
   }

@@ -4,12 +4,12 @@
 
 namespace mural {
 
-Status SeqScanOp::Open() {
+Status SeqScanOp::OpenImpl() {
   it_.emplace(table_->heap->Begin());
   return Status::OK();
 }
 
-StatusOr<bool> SeqScanOp::Next(Row* out) {
+StatusOr<bool> SeqScanOp::NextImpl(Row* out) {
   while (it_->Valid()) {
     const std::string& record = it_->record();
     MURAL_RETURN_IF_ERROR(
@@ -22,7 +22,7 @@ StatusOr<bool> SeqScanOp::Next(Row* out) {
   return false;
 }
 
-Status SeqScanOp::Close() {
+Status SeqScanOp::CloseImpl() {
   it_.reset();
   return Status::OK();
 }
@@ -39,7 +39,7 @@ std::string IndexProbe::ToString() const {
   return "?";
 }
 
-Status IndexScanOp::Open() {
+Status IndexScanOp::OpenImpl() {
   rids_.clear();
   pos_ = 0;
   ++ctx_->stats.index_probes;
@@ -59,7 +59,7 @@ Status IndexScanOp::Open() {
   return Status::OK();
 }
 
-StatusOr<bool> IndexScanOp::Next(Row* out) {
+StatusOr<bool> IndexScanOp::NextImpl(Row* out) {
   std::string record;
   while (pos_ < rids_.size()) {
     const Rid rid = rids_[pos_++];
@@ -77,7 +77,7 @@ StatusOr<bool> IndexScanOp::Next(Row* out) {
   return false;
 }
 
-Status IndexScanOp::Close() {
+Status IndexScanOp::CloseImpl() {
   rids_.clear();
   return Status::OK();
 }

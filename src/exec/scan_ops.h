@@ -17,9 +17,9 @@ class SeqScanOp : public PhysicalOp {
   SeqScanOp(ExecContext* ctx, const TableInfo* table)
       : PhysicalOp(ctx), table_(table) {}
 
-  [[nodiscard]] Status Open() override;
-  [[nodiscard]] StatusOr<bool> Next(Row* out) override;
-  [[nodiscard]] Status Close() override;
+  [[nodiscard]] Status OpenImpl() override;
+  [[nodiscard]] StatusOr<bool> NextImpl(Row* out) override;
+  [[nodiscard]] Status CloseImpl() override;
   const Schema& output_schema() const override { return table_->schema; }
   std::string DisplayName() const override {
     return "SeqScan(" + table_->name + ")";
@@ -58,9 +58,9 @@ class IndexScanOp : public PhysicalOp {
         probe_(std::move(probe)),
         residual_(std::move(residual)) {}
 
-  [[nodiscard]] Status Open() override;
-  [[nodiscard]] StatusOr<bool> Next(Row* out) override;
-  [[nodiscard]] Status Close() override;
+  [[nodiscard]] Status OpenImpl() override;
+  [[nodiscard]] StatusOr<bool> NextImpl(Row* out) override;
+  [[nodiscard]] Status CloseImpl() override;
   const Schema& output_schema() const override { return table_->schema; }
   std::string DisplayName() const override;
 

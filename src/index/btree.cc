@@ -4,6 +4,7 @@
 
 #include "common/coding.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace mural {
 
@@ -379,6 +380,9 @@ Status BTreeIndex::Insert(const Value& key, Rid rid) {
 }
 
 Status BTreeIndex::SearchEqual(const Value& key, std::vector<Rid>* out) {
+  static Counter* probes =
+      MetricsRegistry::Global().GetCounter("index.btree.probes");
+  probes->Increment();
   MURAL_ASSIGN_OR_RETURN(const std::string k, KeyCodec::Encode(key));
   return tree_.Scan(k, k, /*unbounded_hi=*/false,
                     [out](std::string_view, Rid rid) {
@@ -389,6 +393,9 @@ Status BTreeIndex::SearchEqual(const Value& key, std::vector<Rid>* out) {
 
 Status BTreeIndex::SearchRange(const Value& lo, const Value& hi,
                                std::vector<Rid>* out) {
+  static Counter* probes =
+      MetricsRegistry::Global().GetCounter("index.btree.probes");
+  probes->Increment();
   std::string klo;
   if (!lo.is_null()) {
     MURAL_ASSIGN_OR_RETURN(klo, KeyCodec::Encode(lo));

@@ -4,6 +4,7 @@
 
 #include "common/coding.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace mural {
 
@@ -192,6 +193,9 @@ Status GistTree::InsertRec(PageId node, GistEntry entry,
 Status GistTree::Search(
     const GistQuery& query,
     const std::function<void(const GistEntry&)>& fn) const {
+  static Counter* probes =
+      MetricsRegistry::Global().GetCounter("index.gist.probes");
+  probes->Increment();
   std::vector<PageId> stack{root_};
   while (!stack.empty()) {
     const PageId node = stack.back();

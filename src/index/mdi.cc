@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <climits>
 
+#include "common/metrics.h"
+
 namespace mural {
 
 StatusOr<std::unique_ptr<MdiIndex>> MdiIndex::Create(BufferPool* pool) {
@@ -85,6 +87,9 @@ Status MdiIndex::SearchEqual(const Value& key, std::vector<Rid>* out) {
 
 Status MdiIndex::SearchWithin(const Value& key, int radius,
                               std::vector<Rid>* out) {
+  static Counter* probes =
+      MetricsRegistry::Global().GetCounter("index.mdi.probes");
+  probes->Increment();
   if (key.type() != TypeId::kText) {
     return Status::InvalidArgument(
         "MDI queries must be TEXT phoneme strings");

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace mural {
 
@@ -132,6 +133,9 @@ Status MTreeIndex::SearchEqual(const Value& key, std::vector<Rid>* out) {
 
 Status MTreeIndex::SearchWithin(const Value& key, int radius,
                                 std::vector<Rid>* out) {
+  static Counter* probes =
+      MetricsRegistry::Global().GetCounter("index.mtree.probes");
+  probes->Increment();
   if (key.type() != TypeId::kText) {
     return Status::InvalidArgument(
         "M-Tree queries must be TEXT phoneme strings");

@@ -128,6 +128,18 @@ StatusOr<PhysicalPlan> Planner::Plan(const LogicalPtr& root,
 
 StatusOr<Planner::Planned> Planner::PlanNode(const LogicalNode& node,
                                              const PlannerHints& hints) {
+  MURAL_ASSIGN_OR_RETURN(Planned planned, PlanNodeImpl(node, hints));
+  if (planned.op != nullptr) {
+    // Stamp the estimate on the operator so EXPLAIN ANALYZE can report
+    // estimated-vs-actual rows and the per-node q-error.
+    planned.op->set_estimated_rows(
+        static_cast<int64_t>(planned.rows + 0.5));
+  }
+  return planned;
+}
+
+StatusOr<Planner::Planned> Planner::PlanNodeImpl(const LogicalNode& node,
+                                                 const PlannerHints& hints) {
   switch (node.kind) {
     case LogicalKind::kScan:
       return PlanScan(node, hints);

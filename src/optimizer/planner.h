@@ -77,8 +77,12 @@ class Planner {
     const TableStats* base_stats = nullptr;
   };
 
+  /// Dispatches to the per-kind planners and stamps the winning operator
+  /// with its cardinality estimate (plan-vs-actual feedback).
   StatusOr<Planned> PlanNode(const LogicalNode& node,
                              const PlannerHints& hints);
+  StatusOr<Planned> PlanNodeImpl(const LogicalNode& node,
+                                 const PlannerHints& hints);
   StatusOr<Planned> PlanScan(const LogicalNode& node,
                              const PlannerHints& hints);
   StatusOr<Planned> PlanEquiJoin(const LogicalNode& node,

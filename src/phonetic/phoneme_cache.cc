@@ -4,7 +4,25 @@
 #include <functional>
 #include <utility>
 
+#include "common/metrics.h"
+
 namespace mural {
+
+namespace {
+
+Counter* HitsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("phonetic.phoneme_cache.hits");
+  return c;
+}
+
+Counter* MissesCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("phonetic.phoneme_cache.misses");
+  return c;
+}
+
+}  // namespace
 
 PhonemeCache::PhonemeCache(size_t capacity)
     : capacity_(capacity),
@@ -33,6 +51,7 @@ PhonemeString PhonemeCache::GetOrCompute(std::string_view text, LangId lang,
                                          bool* was_hit) {
   if (capacity_ == 0) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    MissesCounter()->Increment();
     if (was_hit != nullptr) *was_hit = false;
     return transformer.Transform(text, lang);
   }
@@ -45,12 +64,14 @@ PhonemeString PhonemeCache::GetOrCompute(std::string_view text, LangId lang,
     if (it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       hits_.fetch_add(1, std::memory_order_relaxed);
+      HitsCounter()->Increment();
       if (was_hit != nullptr) *was_hit = true;
       return it->second->second;
     }
   }
 
   misses_.fetch_add(1, std::memory_order_relaxed);
+  MissesCounter()->Increment();
   if (was_hit != nullptr) *was_hit = false;
   PhonemeString phonemes = transformer.Transform(text, lang);
 

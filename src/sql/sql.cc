@@ -137,6 +137,10 @@ class SqlParser {
     Statement stmt;
     if (PeekIdent("EXPLAIN")) {
       Advance();
+      if (PeekIdent("ANALYZE")) {
+        Advance();
+        stmt.explain_analyze = true;
+      }
       MURAL_RETURN_IF_ERROR(ParseSelect(&stmt));
       stmt.kind = StatementKind::kExplain;
     } else if (PeekIdent("SELECT")) {

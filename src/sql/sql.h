@@ -40,7 +40,7 @@ struct SqlExpr;
 
 enum class StatementKind {
   kSelect,
-  kExplain,      // EXPLAIN SELECT ...
+  kExplain,      // EXPLAIN [ANALYZE] SELECT ...
   kSet,          // SET <name> = <int>
   kCreateTable,
   kCreateIndex,
@@ -72,6 +72,9 @@ struct Statement {
   std::vector<std::pair<std::string, bool>> order_by;  // (col, ascending)
   std::vector<std::string> group_by;
   std::optional<uint64_t> limit;
+  /// kExplain only: EXPLAIN ANALYZE executes the plan and renders the
+  /// timed per-operator tree instead of the predicted plan.
+  bool explain_analyze = false;
 
   // kSet
   std::string set_name;

@@ -3,8 +3,43 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace mural {
+
+namespace {
+
+struct PoolMetrics {
+  Counter* hits;
+  Counter* misses;
+  Counter* evictions;
+  Counter* dirty_writebacks;
+  Counter* io_errors;
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics m = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    PoolMetrics out;
+    out.hits = reg.GetCounter("storage.buffer_pool.hits");
+    out.misses = reg.GetCounter("storage.buffer_pool.misses");
+    out.evictions = reg.GetCounter("storage.buffer_pool.evictions");
+    out.dirty_writebacks =
+        reg.GetCounter("storage.buffer_pool.dirty_writebacks");
+    out.io_errors = reg.GetCounter("storage.io_errors");
+    return out;
+  }();
+  return m;
+}
+
+/// Counts a failed disk call in storage.io_errors — exactly once per
+/// failing operation, at the buffer pool's disk boundary.
+Status CountIoError(Status s) {
+  if (!s.ok()) Metrics().io_errors->Increment();
+  return s;
+}
+
+}  // namespace
 
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
   if (this != &other) {
@@ -62,13 +97,15 @@ StatusOr<size_t> BufferPool::GetFreeFrame() {
   frame.in_lru = false;
   MURAL_DCHECK(frame.pin_count == 0);
   if (frame.dirty) {
-    MURAL_RETURN_IF_ERROR(disk_->WritePage(
-        frame.id, reinterpret_cast<const char*>(frame.page.get())));
+    MURAL_RETURN_IF_ERROR(CountIoError(disk_->WritePage(
+        frame.id, reinterpret_cast<const char*>(frame.page.get()))));
     ++stats_.dirty_writebacks;
+    Metrics().dirty_writebacks->Increment();
     frame.dirty = false;
   }
   page_table_.erase(frame.id);
   ++stats_.evictions;
+  Metrics().evictions->Increment();
   return victim;
 }
 
@@ -82,13 +119,15 @@ StatusOr<PageGuard> BufferPool::Fetch(PageId id) {
     }
     ++frame.pin_count;
     ++stats_.hits;
+    Metrics().hits->Increment();
     return PageGuard(this, id, frame.page.get());
   }
   ++stats_.misses;
+  Metrics().misses->Increment();
   MURAL_ASSIGN_OR_RETURN(const size_t idx, GetFreeFrame());
   Frame& frame = frames_[idx];
-  MURAL_RETURN_IF_ERROR(
-      disk_->ReadPage(id, reinterpret_cast<char*>(frame.page.get())));
+  MURAL_RETURN_IF_ERROR(CountIoError(
+      disk_->ReadPage(id, reinterpret_cast<char*>(frame.page.get()))));
   frame.id = id;
   frame.pin_count = 1;
   frame.dirty = false;
@@ -97,7 +136,9 @@ StatusOr<PageGuard> BufferPool::Fetch(PageId id) {
 }
 
 StatusOr<PageGuard> BufferPool::NewPage() {
-  MURAL_ASSIGN_OR_RETURN(const PageId id, disk_->AllocatePage());
+  StatusOr<PageId> alloc = disk_->AllocatePage();
+  MURAL_RETURN_IF_ERROR(CountIoError(alloc.status()));
+  const PageId id = *alloc;
   MURAL_ASSIGN_OR_RETURN(const size_t idx, GetFreeFrame());
   Frame& frame = frames_[idx];
   std::memset(frame.page.get(), 0, kPageSize);
@@ -125,8 +166,8 @@ Status BufferPool::FlushAll() {
   for (Frame& frame : frames_) {
     if (frame.id != kInvalidPage && frame.dirty &&
         page_table_.count(frame.id) > 0) {
-      MURAL_RETURN_IF_ERROR(disk_->WritePage(
-          frame.id, reinterpret_cast<const char*>(frame.page.get())));
+      MURAL_RETURN_IF_ERROR(CountIoError(disk_->WritePage(
+          frame.id, reinterpret_cast<const char*>(frame.page.get()))));
       frame.dirty = false;
     }
   }

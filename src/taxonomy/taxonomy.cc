@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace mural {
 
@@ -162,14 +163,20 @@ TaxonomyStats Taxonomy::ComputeStats() const {
 }
 
 const Closure& ClosureCache::Get(SynsetId root, bool follow_equivalence) {
+  static Counter* hits_counter =
+      MetricsRegistry::Global().GetCounter("taxonomy.closure_cache.hits");
+  static Counter* misses_counter =
+      MetricsRegistry::Global().GetCounter("taxonomy.closure_cache.misses");
   const uint64_t key =
       (static_cast<uint64_t>(root) << 1) | (follow_equivalence ? 1u : 0u);
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++hits_;
+    hits_counter->Increment();
     return it->second;
   }
   ++misses_;
+  misses_counter->Increment();
   Closure closure = taxonomy_->TransitiveClosure(root, follow_equivalence);
   return cache_.emplace(key, std::move(closure)).first->second;
 }

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "catalog/catalog.h"
+#include "common/metrics.h"
 #include "exec/basic_ops.h"
 #include "exec/scan_ops.h"
 #include "index/btree.h"
@@ -138,6 +139,67 @@ TEST_F(FaultInjectionTest, QueryExecutionSurfacesErrors) {
   ASSERT_TRUE(ok_rows.ok());
   EXPECT_EQ(ok_rows->size(), 3000u);
   EXPECT_EQ((*ok_rows)[2999][0].int32(), 2999);
+}
+
+TEST_F(FaultInjectionTest, IoErrorsCounterMatchesInjectedFailures) {
+  // Every disk failure surfaces through exactly one of the buffer pool's
+  // four disk-call sites, so the process-wide `storage.io_errors` counter
+  // must advance in lock-step with the injector's own failure count —
+  // exactly once per injected failure, never double-counted.
+  Counter* io_errors =
+      MetricsRegistry::Global().GetCounter("storage.io_errors");
+  const uint64_t counter0 = io_errors->value();
+  const uint64_t injected0 = faulty_.injected_failures();
+
+  auto heap = HeapFile::Create(&pool_);
+  ASSERT_TRUE(heap.ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(heap->Insert("warm-" + std::to_string(i) +
+                             std::string(64, '.'))
+                    .ok());
+  }
+  faulty_.Arm(0);
+  bool saw_error = false;
+  for (int i = 0; i < 2000 && !saw_error; ++i) {
+    saw_error = !heap->Insert("rec-" + std::to_string(i) +
+                              std::string(64, '.'))
+                     .ok();
+  }
+  faulty_.Disarm();
+  ASSERT_TRUE(saw_error);
+
+  const uint64_t injected = faulty_.injected_failures() - injected0;
+  EXPECT_GT(injected, 0u);
+  EXPECT_EQ(io_errors->value() - counter0, injected);
+}
+
+TEST_F(FaultInjectionTest, FailedQueryLeavesNoDanglingSpan) {
+  // The `exec.spans_in_progress` gauge must return to its baseline after a
+  // query fails mid-scan: CollectAll closes the plan on the error path and
+  // Close is idempotent, so no operator span stays open.
+  Gauge* spans =
+      MetricsRegistry::Global().GetGauge("exec.spans_in_progress");
+  const int64_t baseline = spans->value();
+
+  Schema schema({{"id", TypeId::kInt32}, {"pad", TypeId::kText}});
+  auto table = catalog_.CreateTable("spans", schema);
+  ASSERT_TRUE(table.ok());
+  TableWriter writer(*table);
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(
+        writer.Insert({Value::Int32(i), Value::Text(std::string(80, 'p'))})
+            .ok());
+  }
+  faulty_.Arm(2);
+  {
+    SeqScanOp scan(&ctx_, *table);
+    auto rows = CollectAll(&scan);
+    EXPECT_FALSE(rows.ok());
+    EXPECT_EQ(spans->value(), baseline)
+        << "failed query left an in-progress span";
+  }
+  faulty_.Disarm();
+  EXPECT_EQ(spans->value(), baseline);
 }
 
 // A tiny buffer pool under a heavy B+Tree workload: correctness must not

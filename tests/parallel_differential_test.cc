@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "datagen/name_generator.h"
 #include "engine/database.h"
@@ -231,6 +232,82 @@ TEST_F(OperatorDifferentialTest, ParallelStatsMatchSerialCounts) {
     } else {
       EXPECT_EQ(ctx.stats.predicate_evals, serial_evals) << dop;
       EXPECT_EQ(ctx.stats.distance.calls, serial_calls) << dop;
+    }
+  }
+}
+
+TEST_F(OperatorDifferentialTest, TraceTreeAndMergedMetricsAreDopInvariant) {
+  // Observability determinism: the executed plan tree's per-node row counts
+  // and the merged process metrics (phoneme cache hits+misses, morsels run)
+  // must be identical across DOP {1, 2, 4, 8}.  Wall times and the
+  // hit/miss *split* are excluded: times vary by machine, and two workers
+  // can duplicate-compute the same key (each counting a miss) — only the
+  // hits+misses sum equals the deterministic lookup count.
+  std::vector<Row> data =
+      SeededNameRows(42, /*bases=*/300, /*variants=*/4, /*materialize=*/false);
+  const UniText probe = data.front()[1].unitext();
+  auto predicate = [&] {
+    return LexEq(Col(1, "name"), Lit(Value::Uni(probe)), 2);
+  };
+
+  Counter* hits =
+      MetricsRegistry::Global().GetCounter("phonetic.phoneme_cache.hits");
+  Counter* misses =
+      MetricsRegistry::Global().GetCounter("phonetic.phoneme_cache.misses");
+  Counter* morsels = MetricsRegistry::Global().GetCounter("exec.morsels_run");
+
+  // Normalizes one trace line per node: the operator name truncated at '('
+  // (drops the dop= and per-run cache annotations in DisplayName) plus the
+  // actual-rows annotation.
+  auto normalize = [](const std::string& tree) {
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos < tree.size()) {
+      size_t eol = tree.find('\n', pos);
+      if (eol == std::string::npos) eol = tree.size();
+      const std::string line = tree.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (line.empty()) continue;
+      std::string norm = line.substr(0, line.find('('));
+      const size_t rows = line.find("actual rows=");
+      if (rows != std::string::npos) {
+        const size_t end = line.find_first_of(" )", rows);
+        norm += line.substr(rows, end - rows);
+      }
+      out.push_back(norm);
+    }
+    return out;
+  };
+
+  std::vector<std::string> reference_tree;
+  uint64_t reference_lookups = 0;
+  uint64_t reference_morsels = 0;
+  for (const int dop : kDops) {
+    const uint64_t lookups0 = hits->value() + misses->value();
+    const uint64_t morsels0 = morsels->value();
+    ExecContext ctx = MakeCtx(dop);
+    ParallelLexScanOp scan(
+        &ctx, std::make_unique<ValuesOp>(&ctx, NamesSchema(), data),
+        predicate(), dop, /*morsel_size=*/64);
+    StatusOr<std::vector<Row>> rows = CollectAll(&scan);
+    ASSERT_TRUE(rows.ok()) << "dop=" << dop;
+    TraceOptions opts;
+    opts.with_times = false;
+    const std::vector<std::string> tree = normalize(TraceTree(scan, opts));
+    const uint64_t lookups = hits->value() + misses->value() - lookups0;
+    const uint64_t morsels_run = morsels->value() - morsels0;
+    if (dop == 1) {
+      reference_tree = tree;
+      reference_lookups = lookups;
+      reference_morsels = morsels_run;
+      ASSERT_FALSE(reference_tree.empty());
+      ASSERT_GT(reference_lookups, 0u);
+      // ceil(n / morsel_size), by construction DOP-independent.
+      EXPECT_EQ(reference_morsels, (data.size() + 63) / 64);
+    } else {
+      EXPECT_EQ(tree, reference_tree) << "dop=" << dop;
+      EXPECT_EQ(lookups, reference_lookups) << "dop=" << dop;
+      EXPECT_EQ(morsels_run, reference_morsels) << "dop=" << dop;
     }
   }
 }

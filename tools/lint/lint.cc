@@ -359,6 +359,22 @@ void CheckBareThread(const std::string& path, std::string_view stripped,
   }
 }
 
+void CheckDirectClock(const std::string& path, std::string_view stripped,
+                      std::vector<Violation>* out) {
+  // common/timer.cc is the single sanctioned steady_clock call site; all
+  // timing flows through SpanClock::NowNanos() so tests can substitute a
+  // fake clock (common/timer.h).  tools/ are standalone binaries.
+  if (PathContains(path, "common/") || PathContains(path, "tools/")) return;
+  const std::string_view needle = "steady_clock::now";
+  for (size_t pos = stripped.find(needle); pos != std::string_view::npos;
+       pos = stripped.find(needle, pos + needle.size())) {
+    out->push_back({path, LineOf(stripped, pos), "no-direct-clock",
+                    "read time via SpanClock::NowNanos() or Timer "
+                    "(common/timer.h), not steady_clock::now(); direct clock "
+                    "reads cannot be faked in tests"});
+  }
+}
+
 }  // namespace
 
 std::string StripCommentsAndStrings(std::string_view src) {
@@ -484,6 +500,7 @@ std::vector<Violation> LintFile(const std::string& rel_path,
   CheckOwnHeaderFirst(rel_path, content, &out);
   CheckDiscardedStatus(rel_path, stripped, &out);
   CheckBareThread(rel_path, stripped, &out);
+  CheckDirectClock(rel_path, stripped, &out);
   return out;
 }
 

@@ -18,6 +18,10 @@
 //                       common/ (and tools/): all engine concurrency goes
 //                       through common/thread_pool.h so parallelism stays
 //                       bounded, observable, and Status-propagating.
+//   no-direct-clock     std::chrono::steady_clock::now() outside common/
+//                       (and tools/): all timing goes through
+//                       SpanClock::NowNanos() / Timer (common/timer.h) so
+//                       tests can install a deterministic fake clock.
 
 #pragma once
 

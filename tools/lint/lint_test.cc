@@ -231,6 +231,35 @@ TEST(BareThreadRule, IgnoresLookalikesAndNonSpawningUses) {
   EXPECT_FALSE(HasRule(vs, "no-bare-thread"));
 }
 
+TEST(DirectClockRule, FiresOnSteadyClockNowOutsideCommon) {
+  const auto vs = LintFile(
+      "src/exec/foo.cc",
+      "auto t = std::chrono::steady_clock::now();\n"
+      "auto u = steady_clock::now();\n");
+  EXPECT_EQ(CountRule(vs, "no-direct-clock"), 2);
+}
+
+TEST(DirectClockRule, AllowsClockInCommonAndTools) {
+  EXPECT_FALSE(HasRule(
+      LintFile("src/common/timer.cc",
+               "uint64_t Now() { return std::chrono::steady_clock::now()"
+               ".time_since_epoch().count(); }\n"),
+      "no-direct-clock"));
+  EXPECT_FALSE(HasRule(
+      LintFile("tools/bench/driver.cc",
+               "auto t = std::chrono::steady_clock::now();\n"),
+      "no-direct-clock"));
+}
+
+TEST(DirectClockRule, IgnoresCommentsAndStrings) {
+  const auto vs = LintFile(
+      "src/exec/foo.cc",
+      "// steady_clock::now() in a comment\n"
+      "const char* s = \"steady_clock::now\";\n"
+      "uint64_t t = SpanClock::NowNanos();\n");
+  EXPECT_FALSE(HasRule(vs, "no-direct-clock"));
+}
+
 TEST(LintFileTest, CleanFileHasNoViolations) {
   const std::string src =
       "#include \"exec/clean.h\"\n"
