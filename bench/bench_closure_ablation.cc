@@ -16,7 +16,19 @@
 using namespace mural;
 using namespace mural::bench;
 
+namespace {
+
+const char* ConfigLabel(bool cache, bool sort_unique) {
+  if (cache && sort_unique) return "cache_sorted";
+  if (cache) return "cache";
+  if (sort_unique) return "sorted_unique";
+  return "naive";
+}
+
+}  // namespace
+
 int main() {
+  JsonReporter json("closure_ablation");
   std::printf("=== §4.3 closure-reuse ablation (Omega join) ===\n\n");
 
   auto db_or = Database::Open();
@@ -98,6 +110,11 @@ int main() {
                     ctx->stats.closure_computations - built_before),
                 static_cast<unsigned long long>(ctx->stats.closure_reuses -
                                                 reuse_before));
+    const char* label = ConfigLabel(config.cache, config.sort_unique);
+    json.Record(label, "runtime_ms", ms);
+    json.Record(label, "closures_built",
+                static_cast<double>(ctx->stats.closure_computations -
+                                    built_before));
   }
   std::printf("\n(identical %zu result rows in every configuration; the\n"
               "reuse strategies collapse 400 RHS closures to ~12 distinct "

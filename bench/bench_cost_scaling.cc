@@ -13,6 +13,7 @@ using namespace mural;
 using namespace mural::bench;
 
 int main() {
+  JsonReporter json("cost_scaling");
   std::printf("=== Table 3 validation: measured scaling of the Psi "
               "operators ===\n\n");
 
@@ -38,6 +39,7 @@ int main() {
     });
     std::printf("%10zu %14.2f %16.3f\n", bases * 3, ms,
                 ms / (bases * 3 / 1000.0));
+    json.Record("scan_n_" + std::to_string(bases * 3), "runtime_ms", ms);
   }
   std::printf("(ms-per-1k-rows roughly flat => linear in n, "
               "matching O(n*k*L))\n\n");
@@ -62,6 +64,7 @@ int main() {
         BENCH_CHECK_OK(db->Query(plan).status());
       });
       std::printf("%6d %14.2f\n", k, ms);
+      json.Record("scan_k_" + std::to_string(k), "runtime_ms", ms);
     }
   }
   std::printf("(growth bounded by the (2k+1)-diagonal band, then "
@@ -97,6 +100,9 @@ int main() {
     const double pairs = static_cast<double>(lb) * 2 * rb * 2;
     std::printf("%10d %10d %14.2f %18.3f\n", lb * 2, rb * 2, ms,
                 ms * 1000.0 / (pairs / 1000.0));
+    json.Record("join_" + std::to_string(lb * 2) + "x" +
+                    std::to_string(rb * 2),
+                "runtime_ms", ms);
   }
   std::printf("(us-per-1k-pairs roughly flat => bilinear in n_l * n_r, "
               "matching O(n_l*n_r*k*L))\n\n");
@@ -144,6 +150,8 @@ int main() {
         BENCH_CHECK_OK(db->Query(join_plan, hints).status());
       });
       std::printf("%6d %16.2f %16.2f\n", dop, scan_ms, join_ms);
+      json.Record("dop_" + std::to_string(dop), "scan_ms", scan_ms);
+      json.Record("dop_" + std::to_string(dop), "join_ms", join_ms);
     }
   }
   return 0;

@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "common/random.h"
 #include "distance/edit_distance.h"
 #include "phonetic/phoneme.h"
@@ -98,4 +101,28 @@ BENCHMARK(BM_InterpretedUdfEditDist)->Arg(8)->Arg(16)->Arg(32);
 }  // namespace
 }  // namespace mural
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() that defaults the JSON emission to the
+// repo-wide BENCH_<name>.json convention (see bench_util.h) so CI picks
+// this harness up with the same artifact glob as the printf benches.
+// Explicit --benchmark_out on the command line still wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  char out_flag[] = "--benchmark_out=BENCH_distance_ablation.json";
+  char fmt_flag[] = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

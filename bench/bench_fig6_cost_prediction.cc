@@ -41,6 +41,7 @@ double LogCorrelation(const std::vector<std::pair<double, double>>& points) {
 }  // namespace
 
 int main() {
+  JsonReporter json("fig6_cost_prediction");
   std::printf(
       "=== Figure 6: optimizer predicted cost vs actual runtime ===\n");
   std::printf("(Psi joins collapsed with count(*); log-log scatter)\n\n");
@@ -105,6 +106,10 @@ int main() {
     const double predicted = timed->predicted_cost.total();
     const double runtime = timed->runtime_ms;
     points.emplace_back(predicted, runtime);
+    const std::string label =
+        "q" + std::to_string(points.size());
+    json.Record(label, "predicted_cost", predicted);
+    json.Record(label, "runtime_ms", runtime);
     std::printf("%8zu %8zu %4d %16.0f %14.2f\n",
                 config.left_bases * config.left_variants,
                 config.right_bases * config.right_variants *
@@ -113,6 +118,7 @@ int main() {
   }
 
   const double r = LogCorrelation(points);
+  json.Record("summary", "log_log_correlation", r);
   std::printf("\nlog-log correlation coefficient: %.3f "
               "(paper: 'well over 0.9')\n", r);
   std::printf("%s\n", r > 0.9 ? "SHAPE OK: strong cost/runtime correlation"

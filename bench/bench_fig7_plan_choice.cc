@@ -23,6 +23,7 @@ using namespace mural;
 using namespace mural::bench;
 
 int main() {
+  JsonReporter json("fig7_plan_choice");
   std::printf("=== §5.2.1 / Figure 7: plan choice for the "
               "author~publisher query (threshold 3) ===\n\n");
 
@@ -115,6 +116,10 @@ int main() {
               predicted[1] / predicted[0]);
   std::printf("runtime   ratio plan2/plan1: %.2fx (paper: 28.5x)\n",
               runtime[1] / runtime[0]);
+  json.Record("plan1", "predicted_cost", predicted[0]);
+  json.Record("plan1", "runtime_ms", runtime[0]);
+  json.Record("plan2", "predicted_cost", predicted[1]);
+  json.Record("plan2", "runtime_ms", runtime[1]);
   const bool shape_ok = answers[0] == answers[1] &&
                         predicted[0] < predicted[1] &&
                         runtime[0] < runtime[1];

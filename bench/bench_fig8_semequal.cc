@@ -23,6 +23,7 @@ using namespace mural;
 using namespace mural::bench;
 
 int main() {
+  JsonReporter json("fig8_semequal");
   std::printf("=== Figure 8: closure computation time vs closure size "
               "(log-log) ===\n\n");
 
@@ -117,6 +118,11 @@ int main() {
     std::printf("%10zu %16.2f %16.2f %16.2f %16.2f\n", size,
                 out_seq->second.millis, out_btree_ms, core_seq_ms,
                 core_btree_ms);
+    const std::string label = "closure_" + std::to_string(size);
+    json.Record(label, "outside_noidx_ms", out_seq->second.millis);
+    json.Record(label, "outside_btree_ms", out_btree_ms);
+    json.Record(label, "core_noidx_ms", core_seq_ms);
+    json.Record(label, "core_btree_ms", core_btree_ms);
     ordering_ok = ordering_ok && core_btree_ms < out_btree_ms &&
                   core_seq_ms < out_seq->second.millis;
   }

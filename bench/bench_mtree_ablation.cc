@@ -51,7 +51,8 @@ std::vector<std::string> UniformKeys(size_t count, size_t len) {
   return keys;
 }
 
-void RunSeries(const char* label, const std::vector<std::string>& keys) {
+void RunSeries(const char* label, const std::vector<std::string>& keys,
+               JsonReporter* json) {
   MemoryDiskManager disk;
   BufferPool pool(&disk, 4096);
   auto mtree_or = MTreeIndex::Create(&pool);
@@ -76,18 +77,23 @@ void RunSeries(const char* label, const std::vector<std::string>& keys) {
         (static_cast<double>(keys.size()) * kQueries);
     std::printf("%-12s %6d %19.1f%% %18.1f\n", label, k, frac * 100,
                 static_cast<double>(results) / kQueries);
+    const std::string row = std::string(label) + "_k" + std::to_string(k);
+    json->Record(row, "leaf_frac_examined", frac);
+    json->Record(row, "avg_results",
+                 static_cast<double>(results) / kQueries);
   }
 }
 
 }  // namespace
 
 int main() {
+  JsonReporter json("mtree_ablation");
   std::printf("=== M-Tree pruning-efficiency ablation (paper §5.3) ===\n\n");
   std::printf("%-12s %6s %20s %18s\n", "dataset", "k",
               "leaf frac examined", "avg results");
-  RunSeries("clustered", ClusteredKeys(8000));
-  RunSeries("uniform-8", UniformKeys(8000, 8));
-  RunSeries("uniform-16", UniformKeys(8000, 16));
+  RunSeries("clustered", ClusteredKeys(8000), &json);
+  RunSeries("uniform-8", UniformKeys(8000, 8), &json);
+  RunSeries("uniform-16", UniformKeys(8000, 16), &json);
 
   std::printf(
       "\nReading the table (paper's analysis):\n"

@@ -17,6 +17,7 @@ using namespace mural;
 using namespace mural::bench;
 
 int main() {
+  JsonReporter json("reachability_ablation");
   std::printf("=== A4: closure materialization (§4.3) vs reachability "
               "index (§4.3.1 direction) ===\n\n");
 
@@ -37,6 +38,7 @@ int main() {
   std::printf("taxonomy: %zu synsets; index build %.1f ms (%zu hop "
               "entries)\n\n",
               tax.size(), build_ms, index.num_hops());
+  json.Record("index", "build_ms", build_ms);
 
   // Query roots of varying closure sizes; probe values random.
   Rng rng(7);
@@ -78,6 +80,9 @@ int main() {
                 closure_ms, index_ms,
                 hits_a == hits_b ? "identical" : "MISMATCH",
                 num_intervals);
+    const std::string label = "closure_" + std::to_string(size);
+    json.Record(label, "closure_path_ms", closure_ms);
+    json.Record(label, "reach_index_ms", index_ms);
   }
 
   std::printf(

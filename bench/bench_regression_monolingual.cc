@@ -90,6 +90,7 @@ double RunSuite(Database* db) {
 }  // namespace
 
 int main() {
+  JsonReporter json("regression_monolingual");
   std::printf("=== §5.1 regression check: monolingual suite with vs "
               "without the multilingual additions ===\n\n");
 
@@ -118,6 +119,9 @@ int main() {
   std::printf("%-42s %12.2f ms/suite\n",
               "engine with full multilingual apparatus", loaded_ms);
   const double overhead = (loaded_ms - plain_ms) / plain_ms * 100.0;
+  json.Record("baseline", "suite_ms", plain_ms);
+  json.Record("multilingual", "suite_ms", loaded_ms);
+  json.Record("summary", "overhead_pct", overhead);
   std::printf("\noverhead: %+.1f%% (paper: 'no statistically significant "
               "degradation')\n", overhead);
   std::printf("%s\n", std::abs(overhead) < 10.0

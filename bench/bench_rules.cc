@@ -31,6 +31,7 @@ std::multiset<std::string> Canon(const std::vector<Row>& rows) {
 }  // namespace
 
 int main() {
+  JsonReporter json("rules");
   std::printf("=== Table 1: operator composition rules ===\n\n%s\n",
               algebra::CompositionTable().c_str());
 
@@ -57,6 +58,10 @@ int main() {
               Canon(original->rows) == Canon(commuted->rows) ? "EQUAL"
                                                              : "DIFFER",
               original->predicted_cost.total(),
+              commuted->predicted_cost.total());
+  json.Record("psi_commute", "cost_original",
+              original->predicted_cost.total());
+  json.Record("psi_commute", "cost_rewritten",
               commuted->predicted_cost.total());
 
   // ---- Omega commutativity is refused ------------------------------------
@@ -97,6 +102,9 @@ int main() {
   std::printf("Psi over U:    results %s  | cost %0.f vs %0.f\n",
               Canon(u1->rows) == Canon(u2->rows) ? "EQUAL" : "DIFFER",
               u1->predicted_cost.total(), u2->predicted_cost.total());
+  json.Record("psi_over_union", "cost_original", u1->predicted_cost.total());
+  json.Record("psi_over_union", "cost_rewritten",
+              u2->predicted_cost.total());
 
   // ---- filter pushdown ----------------------------------------------------
   auto filtered = LFilter(
@@ -112,5 +120,8 @@ int main() {
               "(pushdown cheaper)\n",
               Canon(f1->rows) == Canon(f2->rows) ? "EQUAL" : "DIFFER",
               f1->predicted_cost.total(), f2->predicted_cost.total());
+  json.Record("sigma_pushdown", "cost_original", f1->predicted_cost.total());
+  json.Record("sigma_pushdown", "cost_rewritten",
+              f2->predicted_cost.total());
   return 0;
 }

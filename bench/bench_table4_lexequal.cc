@@ -43,6 +43,7 @@ struct Cell {
 }  // namespace
 
 int main() {
+  JsonReporter json("table4_lexequal");
   std::printf("=== Table 4: Performance of Psi implementation "
               "(threshold=%d) ===\n", kThreshold);
   std::printf("(seed 42; scans summed over 3 probes of 30k names; join 1.2k x 400 names)\n\n");
@@ -195,6 +196,16 @@ int main() {
     out_idx.join_ms = join->second.millis;
   }
 
+  const std::pair<const char*, const Cell*> cells[] = {
+      {"core_noidx", &core_noidx},
+      {"core_mtree", &core_mtree},
+      {"outside_noidx", &out_noidx},
+      {"outside_mdi", &out_idx}};
+  for (const auto& [label, cell] : cells) {
+    json.Record(label, "scan_ms", cell->scan_ms);
+    json.Record(label, "join_ms", cell->join_ms);
+  }
+
   std::printf("%-18s %-14s %12s %12s\n", "Implementation", "Query Type",
               "Scan (ms)", "Join (ms)");
   std::printf("%-18s %-14s %12.2f %12.2f\n", "Core", "No Index",
@@ -272,6 +283,7 @@ int main() {
       }
       std::printf("%6d %14.2f %10zu %12.2fx\n", dop, ms, rows,
                   serial_ms / ms);
+      json.Record("dop_scan_" + std::to_string(dop), "runtime_ms", ms);
     }
 
     // Same sweep for the core join workload.
@@ -305,6 +317,7 @@ int main() {
       }
       std::printf("%6d %14.2f %10zu %12.2fx\n", dop, ms, pairs,
                   join_serial_ms / ms);
+      json.Record("dop_join_" + std::to_string(dop), "runtime_ms", ms);
     }
   }
   return 0;

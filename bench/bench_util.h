@@ -1,9 +1,13 @@
-// Shared helpers for the experiment harnesses: dataset loading and timing.
+// Shared helpers for the experiment harnesses: dataset loading, timing,
+// and machine-readable result emission (BENCH_<name>.json, uploaded as a
+// CI artifact so runs can be compared across commits).
 
 #pragma once
 
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/timer.h"
 #include "datagen/catalog_generator.h"
@@ -13,6 +17,79 @@
 
 namespace mural {
 namespace bench {
+
+/// Accumulates (label, metric, value) result rows and writes them as
+/// BENCH_<name>.json in the working directory when flushed or destroyed.
+/// The human-readable printf tables stay the primary console output; this
+/// is the machine-readable shadow so CI can diff runs across commits.
+///
+///   JsonReporter json("table4_lexequal");
+///   json.Record("core_noidx", "scan_ms", 12.5);
+///
+/// Labels and metrics are ASCII identifiers chosen by the bench; quotes
+/// and backslashes are escaped anyway so a stray label cannot corrupt the
+/// document.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  ~JsonReporter() { Flush(); }
+
+  void Record(std::string label, std::string metric, double value) {
+    rows_.push_back(Row{std::move(label), std::move(metric), value});
+  }
+
+  /// Writes BENCH_<name>.json; safe to call repeatedly (rewrites whole
+  /// file).  Returns false if the file cannot be opened.
+  bool Flush() {
+    const std::string path = "BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [",
+                 Escape(bench_name_).c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f,
+                   "%s\n    {\"label\": \"%s\", \"metric\": \"%s\", "
+                   "\"value\": %.6g}",
+                   i == 0 ? "" : ",", Escape(rows_[i].label).c_str(),
+                   Escape(rows_[i].metric).c_str(), rows_[i].value);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    std::string metric;
+    double value;
+  };
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';  // control chars have no business in a label
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  std::vector<Row> rows_;
+};
 
 /// Creates a database holding the multilingual `names(id, name)` table
 /// with materialized phonemes, analyzed.  Size = bases * variants.

@@ -70,14 +70,14 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot.reset(new Counter());
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot.reset(new Gauge());
   return slot.get();
@@ -85,14 +85,14 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot.reset(new Histogram(std::move(bounds)));
   return slot.get();
 }
 
 std::string MetricsRegistry::TextExposition() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [name, counter] : counters_) {
     const std::string prom = PromName(name);
@@ -122,7 +122,7 @@ std::string MetricsRegistry::TextExposition() const {
 }
 
 void MetricsRegistry::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->ResetForTest();
   for (auto& [name, gauge] : gauges_) gauge->ResetForTest();
   for (auto& [name, hist] : histograms_) hist->ResetForTest();

@@ -1,0 +1,145 @@
+// The engine's annotated lock vocabulary: mural::Mutex, mural::SharedMutex,
+// their RAII guards, and a CondVar that interoperates with Mutex.
+//
+// Raw std::mutex / std::lock_guard outside common/ is rejected by
+// mural_lint's no-raw-mutex rule: all engine locking goes through these
+// wrappers so Clang's thread-safety analysis (common/thread_annotations.h,
+// the `tsa` CMake preset) can prove the lock discipline at compile time —
+// a field declared GUARDED_BY(mu_) cannot be touched without holding mu_.
+//
+// Conventions:
+//   * Prefer the scoped guards (MutexLock / ReaderMutexLock /
+//     WriterMutexLock) over manual Lock/Unlock pairs.
+//   * Never call into G2P transforms or disk I/O while holding a lock
+//     (mural_lint's no-lock-across-g2p-io rule); compute outside, re-lock
+//     to publish.
+//   * Condition waits loop on the predicate with the lock held:
+//       MutexLock lock(mu_);
+//       while (!ready_) cv_.Wait(mu_);
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace mural {
+
+class CondVar;
+
+/// An exclusive mutex carrying Clang capability annotations.  Wraps
+/// std::mutex; zero overhead beyond it.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Documents (to the analysis) that the mutex is held on this path.
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;  // CondVar::Wait adopts the underlying handle
+  std::mutex mu_;
+};
+
+/// A reader/writer mutex with shared-capability annotations.  Intended for
+/// read-mostly structures (the coming shared buffer pool's page table);
+/// nothing in the engine requires it yet, but annotating it now means the
+/// first user inherits compiler-checked discipline.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void ReaderLock() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool ReaderTryLock() TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive guard over Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive guard over SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) guard over SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.ReaderLock();
+  }
+  ~ReaderMutexLock() RELEASE_GENERIC() { mu_.ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable paired with mural::Mutex.  Wait atomically releases
+/// and reacquires the mutex (the LevelDB adopt-lock construction), so from
+/// the caller's — and the analysis's — point of view the mutex is held
+/// continuously across the call.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified; may wake spuriously, so callers loop on their
+  /// predicate.  `mu` must be the mutex every waiter and notifier of this
+  /// CondVar uses.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's guard
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mural

@@ -1,0 +1,89 @@
+// Clang thread-safety-analysis annotations (a.k.a. "capability" attributes).
+//
+// These macros let the compiler verify the repo's lock discipline at build
+// time: fields carry GUARDED_BY(mu), functions carry REQUIRES(mu) /
+// ACQUIRE(mu) / RELEASE(mu), and the `tsa` CMake preset turns on
+// `-Wthread-safety -Werror=thread-safety` (Clang only) so an unguarded
+// access to a protected field is a compile error, not a lucky TSan find.
+//
+// Under GCC (or any compiler without the capability attributes) every macro
+// expands to nothing, so the annotations are free for non-Clang builds.
+//
+// The macro set mirrors the Abseil / LevelDB `thread_annotations.h`
+// lineage; see https://clang.llvm.org/docs/ThreadSafetyAnalysis.html for
+// the analysis semantics.  The annotated lock types themselves live in
+// common/mutex.h (mural::Mutex / SharedMutex / MutexLock).
+
+#pragma once
+
+#if defined(__clang__)
+#define MURAL_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MURAL_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "shared_mutex").
+#define CAPABILITY(x) MURAL_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define SCOPED_CAPABILITY MURAL_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read/written while holding `x`.
+#define GUARDED_BY(x) MURAL_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by `x` (the pointer itself
+/// may be read freely).
+#define PT_GUARDED_BY(x) MURAL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the listed capabilities exclusively (not acquired or
+/// released by the function).
+#define REQUIRES(...) MURAL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the listed capabilities at least shared.
+#define REQUIRES_SHARED(...) \
+  MURAL_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability exclusively and does not release it.
+#define ACQUIRE(...) MURAL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability shared.
+#define ACQUIRE_SHARED(...) \
+  MURAL_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases an exclusively held capability.
+#define RELEASE(...) MURAL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function releases a shared-held capability.
+#define RELEASE_SHARED(...) \
+  MURAL_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability whether it was held shared or exclusive
+/// (use on destructors of reader/writer scoped locks).
+#define RELEASE_GENERIC(...) \
+  MURAL_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts acquisition; first argument is the success value.
+#define TRY_ACQUIRE(...) \
+  MURAL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  MURAL_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock prevention for
+/// non-reentrant locks).
+#define EXCLUDES(...) MURAL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (informs the analysis
+/// without acquiring anything).
+#define ASSERT_CAPABILITY(x) MURAL_THREAD_ANNOTATION(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  MURAL_THREAD_ANNOTATION(assert_shared_capability(x))
+
+/// Function returns a reference to the capability that guards something.
+#define RETURN_CAPABILITY(x) MURAL_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function.  Every use must
+/// carry a comment explaining why the discipline cannot be expressed.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  MURAL_THREAD_ANNOTATION(no_thread_safety_analysis)

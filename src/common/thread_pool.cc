@@ -1,7 +1,6 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <exception>
 #include <utility>
 
@@ -55,7 +54,7 @@ std::future<Status> ThreadPool::Submit(Task task) {
   });
   std::future<Status> future = wrapped.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) {
       std::promise<Status> aborted;
       aborted.set_value(Status::Aborted("thread pool is shut down"));
@@ -64,17 +63,17 @@ std::future<Status> ThreadPool::Submit(Task task) {
     queue_.push_back(std::move(wrapped));
     QueueDepthGauge()->Add(1);
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future;
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return;
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -84,8 +83,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::packaged_task<Status()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Explicit predicate loop (not the cv.wait(lock, pred) overload): the
+      // thread-safety analysis cannot see that a predicate lambda runs with
+      // the lock held, whereas this loop body visibly does.
+      while (!shutdown_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // shutdown_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -17,11 +17,12 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace mural {
 
@@ -58,11 +59,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::packaged_task<Status()>> queue_;
-  std::vector<std::thread> workers_;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::packaged_task<Status()>> queue_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  // Filled once in the constructor and joined in Shutdown; never resized
+  // while workers run, so num_threads() may read it without the lock.
+  std::vector<std::thread> workers_;  // lint: unguarded(immutable set after construction; Shutdown joins before destruction)
 };
 
 /// Morsel-driven parallel loop: partitions [0, count) into fixed-size

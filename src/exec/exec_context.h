@@ -120,14 +120,15 @@ struct ExecContext {
   ExecStats stats;
 
   /// A context for one morsel worker: same session state, fresh stats,
-  /// and no nested parallelism or non-thread-safe caches.  Workers merge
-  /// their stats back after the gather (ExecStats::Merge).
+  /// and no nested parallelism.  Workers merge their stats back after the
+  /// gather (ExecStats::Merge).  The closure and phoneme caches are both
+  /// internally synchronized (GUARDED_BY-annotated mutexes, see
+  /// common/mutex.h), so workers share the session instances.
   ExecContext WorkerClone() const {
     ExecContext clone = *this;
     clone.stats.Reset();
     clone.thread_pool = nullptr;
     clone.degree_of_parallelism = 1;
-    clone.closure_cache = nullptr;  // ClosureCache is not thread-safe
     return clone;
   }
 };

@@ -59,7 +59,7 @@ PhonemeString PhonemeCache::GetOrCompute(std::string_view text, LangId lang,
   std::string key = MakeKey(text, lang);
   Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -75,7 +75,7 @@ PhonemeString PhonemeCache::GetOrCompute(std::string_view text, LangId lang,
   if (was_hit != nullptr) *was_hit = false;
   PhonemeString phonemes = transformer.Transform(text, lang);
 
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // Lost a race with another thread computing the same key; its entry is
@@ -95,7 +95,7 @@ PhonemeString PhonemeCache::GetOrCompute(std::string_view text, LangId lang,
 size_t PhonemeCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.lru.size();
   }
   return total;
@@ -103,7 +103,7 @@ size_t PhonemeCache::size() const {
 
 void PhonemeCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.index.clear();
     shard.lru.clear();
   }

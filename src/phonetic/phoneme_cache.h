@@ -20,12 +20,13 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "phonetic/transformer.h"
 #include "text/language.h"
 
@@ -65,13 +66,13 @@ class PhonemeCache {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu;
     // Front = most recently used.  The map points into the list.
-    std::list<std::pair<std::string, PhonemeString>> lru;
+    std::list<std::pair<std::string, PhonemeString>> lru GUARDED_BY(mu);
     std::unordered_map<
         std::string,
         std::list<std::pair<std::string, PhonemeString>>::iterator>
-        index;
+        index GUARDED_BY(mu);
   };
 
   static std::string MakeKey(std::string_view text, LangId lang);

@@ -169,21 +169,45 @@ const Closure& ClosureCache::Get(SynsetId root, bool follow_equivalence) {
       MetricsRegistry::Global().GetCounter("taxonomy.closure_cache.misses");
   const uint64_t key =
       (static_cast<uint64_t>(root) << 1) | (follow_equivalence ? 1u : 0u);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++hits_;
-    hits_counter->Increment();
-    return it->second;
+  {
+    MutexLock lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      hits_counter->Increment();
+      return it->second;
+    }
+    ++misses_;
   }
-  ++misses_;
   misses_counter->Increment();
+  // Traverse outside the lock: closures can span thousands of synsets and
+  // holding mu_ here would serialize every concurrent probe on one root.
   Closure closure = taxonomy_->TransitiveClosure(root, follow_equivalence);
+  MutexLock lock(mu_);
+  // emplace is a no-op if a racing thread published the same key first;
+  // both computed the identical closure.
   return cache_.emplace(key, std::move(closure)).first->second;
 }
 
 void ClosureCache::Clear() {
+  MutexLock lock(mu_);
   cache_.clear();
   hits_ = misses_ = 0;
+}
+
+uint64_t ClosureCache::hits() const {
+  MutexLock lock(mu_);
+  return hits_;
+}
+
+uint64_t ClosureCache::misses() const {
+  MutexLock lock(mu_);
+  return misses_;
+}
+
+size_t ClosureCache::size() const {
+  MutexLock lock(mu_);
+  return cache_.size();
 }
 
 }  // namespace mural

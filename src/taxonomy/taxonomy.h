@@ -22,7 +22,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "text/language.h"
 #include "text/unitext.h"
 
@@ -127,26 +129,36 @@ class Taxonomy {
 /// Memoizing cache of materialized closures (paper §4.3): closures are
 /// stored as hash tables keyed by root synset and reused both across LHS
 /// probe values and across duplicate RHS values.
+///
+/// Thread-safe: morsel workers may share one instance.  Closure
+/// computation (a taxonomy traversal) runs *outside* the lock — the same
+/// compute-then-publish discipline as PhonemeCache — so a slow closure
+/// never serializes unrelated probes; a duplicate compute under contention
+/// is benign because TransitiveClosure is deterministic.
 class ClosureCache {
  public:
   explicit ClosureCache(const Taxonomy* taxonomy) : taxonomy_(taxonomy) {}
 
-  /// The closure of `root`; computed on first use, shared thereafter.
+  /// The closure of `root`; computed on first use, shared thereafter.  The
+  /// returned reference stays valid until Clear() (entries are never
+  /// evicted; unordered_map nodes are reference-stable under insertion).
   const Closure& Get(SynsetId root, bool follow_equivalence = true);
 
-  /// Drops all materialized closures.
+  /// Drops all materialized closures.  Must not run concurrently with
+  /// readers still holding references from Get().
   void Clear();
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  size_t size() const { return cache_.size(); }
+  uint64_t hits() const;
+  uint64_t misses() const;
+  size_t size() const;
 
  private:
   const Taxonomy* taxonomy_;
+  mutable Mutex mu_;
   // key encodes (root, follow_equivalence)
-  std::unordered_map<uint64_t, Closure> cache_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  std::unordered_map<uint64_t, Closure> cache_ GUARDED_BY(mu_);
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mural

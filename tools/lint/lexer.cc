@@ -1,0 +1,204 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace mural::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Multi-character operators, longest first within each leading character
+/// (maximal munch).  Everything else lexes as a single-char punct.
+constexpr std::string_view kPuncts3[] = {"<<=", ">>=", "->*", "...", "<=>"};
+constexpr std::string_view kPuncts2[] = {
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&",
+    "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "##", ".*"};
+
+}  // namespace
+
+LexResult Lex(std::string_view src) {
+  LexResult out;
+  out.tokens.reserve(src.size() / 6);
+  int line = 1;
+  size_t i = 0;
+
+  auto push = [&](TokKind kind, size_t begin, size_t end, int tok_line) {
+    out.tokens.push_back(
+        {kind, src.substr(begin, end - begin), tok_line, begin});
+  };
+
+  // Consumes a "..."-style literal whose opening quote is at `i` (the
+  // prefix, if any, starts at `begin`).  Leaves `i` past the close quote.
+  auto lex_quoted = [&](size_t begin, char quote, TokKind kind) {
+    const int tok_line = line;
+    ++i;  // opening quote
+    while (i < src.size()) {
+      const char c = src[i];
+      if (c == '\\' && i + 1 < src.size()) {
+        i += 2;
+        continue;
+      }
+      if (c == quote) {
+        ++i;
+        break;
+      }
+      if (c == '\n') break;  // unterminated: stop at end of line
+      ++i;
+    }
+    push(kind, begin, i, tok_line);
+  };
+
+  // Consumes R"delim( ... )delim" whose 'R' sits at `begin` and whose
+  // opening quote is at `i`.  Tracks newlines inside the literal.
+  auto lex_raw_string = [&](size_t begin) {
+    const int tok_line = line;
+    ++i;  // the quote after R
+    std::string delim;
+    while (i < src.size() && src[i] != '(' && src[i] != '\n' &&
+           delim.size() < 16) {
+      delim += src[i++];
+    }
+    const std::string closer = ")" + delim + "\"";
+    while (i < src.size()) {
+      if (src.compare(i, closer.size(), closer) == 0) {
+        i += closer.size();
+        break;
+      }
+      if (src[i] == '\n') ++line;
+      ++i;
+    }
+    push(TokKind::kString, begin, i, tok_line);
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+
+    // ---- comments (recorded, not tokenized) ---------------------------
+    if (c == '/' && next == '/') {
+      const size_t begin = i + 2;
+      while (i < src.size() && src[i] != '\n') ++i;
+      out.comments.push_back(
+          {line, line, std::string(src.substr(begin, i - begin))});
+      continue;  // newline handled next iteration
+    }
+    if (c == '/' && next == '*') {
+      const int first_line = line;
+      const size_t begin = i + 2;
+      i += 2;
+      while (i < src.size() &&
+             !(src[i] == '*' && i + 1 < src.size() && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      const size_t end = i;
+      i = i + 2 <= src.size() ? i + 2 : src.size();
+      out.comments.push_back(
+          {first_line, line, std::string(src.substr(begin, end - begin))});
+      continue;
+    }
+
+    // ---- identifiers, keywords, and literal prefixes ------------------
+    if (IsIdentStart(c)) {
+      const size_t begin = i;
+      while (i < src.size() && IsIdentChar(src[i])) ++i;
+      const std::string_view ident = src.substr(begin, i - begin);
+      const char after = i < src.size() ? src[i] : '\0';
+      const bool raw_prefix = ident == "R" || ident == "u8R" ||
+                              ident == "uR" || ident == "UR" || ident == "LR";
+      const bool enc_prefix = ident == "u8" || ident == "u" || ident == "U" ||
+                              ident == "L";
+      if (after == '"' && raw_prefix) {
+        lex_raw_string(begin);
+        continue;
+      }
+      if (after == '"' && enc_prefix) {
+        lex_quoted(begin, '"', TokKind::kString);
+        continue;
+      }
+      if (after == '\'' && enc_prefix) {
+        lex_quoted(begin, '\'', TokKind::kChar);
+        continue;
+      }
+      push(TokKind::kIdent, begin, i, line);
+      continue;
+    }
+
+    if (c == '"') {
+      lex_quoted(i, '"', TokKind::kString);
+      continue;
+    }
+    if (c == '\'') {
+      lex_quoted(i, '\'', TokKind::kChar);
+      continue;
+    }
+
+    // ---- pp-numbers (digit separators, exponents, hex floats) ---------
+    if (IsDigit(c) || (c == '.' && IsDigit(next))) {
+      const size_t begin = i;
+      ++i;
+      while (i < src.size()) {
+        const char d = src[i];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          ++i;
+          continue;
+        }
+        if ((d == '+' || d == '-') && i > begin) {
+          const char e = src[i - 1];
+          if (e == 'e' || e == 'E' || e == 'p' || e == 'P') {
+            ++i;
+            continue;
+          }
+        }
+        break;
+      }
+      push(TokKind::kNumber, begin, i, line);
+      continue;
+    }
+
+    // ---- punctuation, maximal munch -----------------------------------
+    {
+      size_t len = 1;
+      for (std::string_view p : kPuncts3) {
+        if (src.compare(i, p.size(), p) == 0) {
+          len = 3;
+          break;
+        }
+      }
+      if (len == 1) {
+        for (std::string_view p : kPuncts2) {
+          if (src.compare(i, p.size(), p) == 0) {
+            len = 2;
+            break;
+          }
+        }
+      }
+      push(TokKind::kPunct, i, i + len, line);
+      i += len;
+    }
+  }
+  return out;
+}
+
+}  // namespace mural::lint

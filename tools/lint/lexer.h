@@ -1,0 +1,72 @@
+// The shared C++ tokenizer behind every mural_lint rule.
+//
+// v1 rules each re-scanned a comment/string-stripped copy of the source
+// with ad-hoc substring searches; v2 tokenizes once and lets every rule
+// walk the same token stream.  Comments and the *contents* of string/char
+// literals never appear as code tokens, which kills the whole class of
+// false positives "keyword inside a literal or comment" at the lexer
+// instead of per rule.
+//
+// The lexer understands:
+//   - // line and /* block */ comments (recorded separately so rules can
+//     honor `// lint: ...` suppression markers);
+//   - "..." and '...' literals with escapes, encoding prefixes (u8, u, U,
+//     L), and raw strings R"delim(...)delim";
+//   - pp-numbers including C++14 digit separators (1'000'000);
+//   - maximal-munch punctuation (:: -> ++ <= << >>= ...), so a rule can
+//     ask "is this token exactly `=`" without worrying about `==`.
+//
+// Tokens carry their line and byte offset; string/char tokens keep their
+// full spelling (rules that need an #include path can read it, rules that
+// scan for keywords skip non-ident tokens naturally).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mural::lint {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // pp-number, including digit separators and float exponents
+  kString,  // "..." / R"(...)" with any encoding prefix; text keeps quotes
+  kChar,    // '...' with any encoding prefix
+  kPunct,   // operators and punctuation, maximal munch
+};
+
+struct Tok {
+  TokKind kind = TokKind::kPunct;
+  std::string_view text;  // spelling, viewing into the lexed source
+  int line = 1;           // 1-based line of the first character
+  size_t offset = 0;      // byte offset of the first character
+
+  bool Is(std::string_view s) const { return text == s; }
+  bool IsIdent(std::string_view s) const {
+    return kind == TokKind::kIdent && text == s;
+  }
+  bool IsPunct(std::string_view s) const {
+    return kind == TokKind::kPunct && text == s;
+  }
+};
+
+/// One comment, with the delimiters removed.  Rules use these for
+/// suppression markers (e.g. `// lint: unguarded(reason)`).
+struct CommentSpan {
+  int first_line = 1;
+  int last_line = 1;
+  std::string text;
+};
+
+struct LexResult {
+  std::vector<Tok> tokens;
+  std::vector<CommentSpan> comments;
+};
+
+/// Tokenizes `src`.  Never fails: unterminated literals and stray bytes
+/// degrade gracefully (a lint scanner must survive any input).  The
+/// returned tokens view into `src`, which must outlive the result.
+LexResult Lex(std::string_view src);
+
+}  // namespace mural::lint

@@ -1,118 +1,19 @@
 #include "lint.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstddef>
+
+#include "lexer.h"
 
 namespace mural::lint {
 
 namespace {
 
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// True when src[pos..] starts the keyword `word` with identifier
-/// boundaries on both sides.
-bool IsKeywordAt(std::string_view src, size_t pos, std::string_view word) {
-  if (src.compare(pos, word.size(), word) != 0) return false;
-  if (pos > 0 && IsIdentChar(src[pos - 1])) return false;
-  const size_t end = pos + word.size();
-  if (end < src.size() && IsIdentChar(src[end])) return false;
-  return true;
-}
-
-int LineOf(std::string_view src, size_t pos) {
-  int line = 1;
-  for (size_t i = 0; i < pos && i < src.size(); ++i) {
-    if (src[i] == '\n') ++line;
-  }
-  return line;
-}
-
-bool StartsWith(std::string_view s, std::string_view prefix) {
-  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
-}
+using Toks = std::vector<Tok>;
 
 bool PathContains(const std::string& path, std::string_view dir) {
   return path.find(dir) != std::string::npos;
-}
-
-std::string_view TrimView(std::string_view s) {
-  size_t b = 0;
-  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-  size_t e = s.size();
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
-  return s.substr(b, e - b);
-}
-
-/// The statement text preceding `pos`: everything after the last ';', '{',
-/// or '}' before pos.  Used to decide whether a `new` is smart-pointer
-/// owned at its use site.
-std::string_view StatementPrefix(std::string_view src, size_t pos) {
-  size_t start = 0;
-  for (size_t i = pos; i > 0; --i) {
-    const char c = src[i - 1];
-    if (c == ';' || c == '{' || c == '}') {
-      start = i;
-      break;
-    }
-  }
-  return src.substr(start, pos - start);
-}
-
-/// True when the `=` at `i` is part of a comparison (==, !=, <=, >=) or a
-/// compound token that is not a plain assignment of interest here.
-bool IsComparisonEquals(std::string_view s, size_t i) {
-  if (i + 1 < s.size() && s[i + 1] == '=') return true;  // == (first char)
-  if (i > 0) {
-    const char p = s[i - 1];
-    if (p == '=' || p == '!' || p == '<' || p == '>') return true;
-  }
-  return false;
-}
-
-/// Heuristic: an assert argument has a side effect if it contains ++/-- or
-/// a bare assignment.  Compound assignments (+=, -=, |=, ...) read as
-/// `X op =`, which the bare-assignment scan also catches because the char
-/// before `=` is an operator, not one of the comparison leads — special
-/// cased below.
-bool HasSideEffect(std::string_view arg) {
-  for (size_t i = 0; i + 1 < arg.size(); ++i) {
-    if ((arg[i] == '+' && arg[i + 1] == '+') ||
-        (arg[i] == '-' && arg[i + 1] == '-')) {
-      return true;
-    }
-  }
-  for (size_t i = 0; i < arg.size(); ++i) {
-    if (arg[i] != '=') continue;
-    if (IsComparisonEquals(arg, i)) {
-      if (i + 1 < arg.size() && arg[i + 1] == '=') ++i;  // skip 2nd = of ==
-      continue;
-    }
-    // Lambda captures like [=] are not assignments.
-    if (i > 0 && arg[i - 1] == '[') continue;
-    return true;
-  }
-  return false;
-}
-
-/// Extracts the balanced-paren argument of a call whose '(' is at `open`.
-/// Returns npos-based empty view if unbalanced.
-std::string_view BalancedArgs(std::string_view src, size_t open,
-                              size_t* close_out) {
-  int depth = 0;
-  for (size_t i = open; i < src.size(); ++i) {
-    if (src[i] == '(') ++depth;
-    if (src[i] == ')') {
-      --depth;
-      if (depth == 0) {
-        *close_out = i;
-        return src.substr(open + 1, i - open - 1);
-      }
-    }
-  }
-  *close_out = std::string_view::npos;
-  return {};
 }
 
 bool IsHeaderPath(const std::string& path) {
@@ -129,69 +30,124 @@ std::string Basename(std::string_view path) {
                                                      : path.substr(slash + 1));
 }
 
-void CheckThrow(const std::string& path, std::string_view stripped,
+bool AnyOf(const Tok& t, std::initializer_list<std::string_view> names) {
+  if (t.kind != TokKind::kIdent) return false;
+  for (std::string_view n : names) {
+    if (t.text == n) return true;
+  }
+  return false;
+}
+
+/// Index of the ')' matching the '(' at `open`, or npos.
+size_t MatchingParen(const Toks& t, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < t.size(); ++i) {
+    if (t[i].IsPunct("(")) ++depth;
+    if (t[i].IsPunct(")")) {
+      if (--depth == 0) return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
+// ---------------------------------------------------------------------------
+// no-throw
+// ---------------------------------------------------------------------------
+
+void CheckThrow(const std::string& path, const Toks& t,
                 std::vector<Violation>* out) {
   if (PathContains(path, "tools/")) return;
-  for (size_t i = 0; i < stripped.size(); ++i) {
-    if (IsKeywordAt(stripped, i, "throw")) {
-      out->push_back({path, LineOf(stripped, i), "no-throw",
+  for (const Tok& tk : t) {
+    if (tk.IsIdent("throw")) {
+      out->push_back({path, tk.line, "no-throw",
                       "exceptions are forbidden outside tools/; return a "
                       "Status instead"});
     }
   }
 }
 
-void CheckNewDelete(const std::string& path, std::string_view stripped,
+// ---------------------------------------------------------------------------
+// no-raw-new-delete
+// ---------------------------------------------------------------------------
+
+void CheckNewDelete(const std::string& path, const Toks& t,
                     std::vector<Violation>* out) {
   if (PathContains(path, "storage/")) return;
-  for (size_t i = 0; i < stripped.size(); ++i) {
-    if (IsKeywordAt(stripped, i, "new")) {
-      const std::string_view stmt = StatementPrefix(stripped, i);
-      const bool owned = stmt.find("unique_ptr") != std::string_view::npos ||
-                         stmt.find("shared_ptr") != std::string_view::npos ||
-                         stmt.find(".reset(") != std::string_view::npos ||
-                         stmt.find("->reset(") != std::string_view::npos;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].IsIdent("new")) {
+      // Walk back over this statement: a `new` is acceptable only when the
+      // result lands in a smart pointer at the use site.
+      size_t start = i;
+      while (start > 0 && !t[start - 1].IsPunct(";") &&
+             !t[start - 1].IsPunct("{") && !t[start - 1].IsPunct("}")) {
+        --start;
+      }
+      bool owned = false;
+      for (size_t k = start; k < i; ++k) {
+        if (AnyOf(t[k], {"unique_ptr", "shared_ptr"})) owned = true;
+        if (t[k].IsIdent("reset") && k + 1 < t.size() &&
+            t[k + 1].IsPunct("(")) {
+          owned = true;
+        }
+      }
       if (!owned) {
-        out->push_back({path, LineOf(stripped, i), "no-raw-new-delete",
+        out->push_back({path, t[i].line, "no-raw-new-delete",
                         "raw `new` outside storage/; use std::make_unique or "
                         "wrap in a smart pointer immediately"});
       }
-    } else if (IsKeywordAt(stripped, i, "delete")) {
-      // `= delete` (deleted special members) is declaration syntax, not a
-      // deallocation.
-      std::string_view before = TrimView(stripped.substr(0, i));
-      if (!before.empty() && before.back() == '=') continue;
-      out->push_back({path, LineOf(stripped, i), "no-raw-new-delete",
+    } else if (t[i].IsIdent("delete")) {
+      // `= delete` (deleted special members) is declaration syntax.
+      if (i > 0 && t[i - 1].IsPunct("=")) continue;
+      out->push_back({path, t[i].line, "no-raw-new-delete",
                       "raw `delete` outside storage/; ownership must live in "
                       "a smart pointer"});
     }
   }
 }
 
-void CheckPragmaOnce(const std::string& path, std::string_view original,
+// ---------------------------------------------------------------------------
+// pragma-once
+// ---------------------------------------------------------------------------
+
+void CheckPragmaOnce(const std::string& path, const Toks& t,
                      std::vector<Violation>* out) {
   if (!IsHeaderPath(path)) return;
-  if (original.find("#pragma once") == std::string_view::npos) {
-    out->push_back(
-        {path, 1, "pragma-once", "header is missing `#pragma once`"});
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].IsPunct("#") && t[i + 1].IsIdent("pragma") &&
+        t[i + 2].IsIdent("once")) {
+      return;
+    }
   }
+  out->push_back({path, 1, "pragma-once", "header is missing `#pragma once`"});
 }
 
-void CheckAssertSideEffect(const std::string& path, std::string_view stripped,
+// ---------------------------------------------------------------------------
+// assert-side-effect
+// ---------------------------------------------------------------------------
+
+void CheckAssertSideEffect(const std::string& path, const Toks& t,
                            std::vector<Violation>* out) {
-  for (size_t i = 0; i < stripped.size(); ++i) {
-    if (!IsKeywordAt(stripped, i, "assert")) continue;
-    size_t open = i + 6;
-    while (open < stripped.size() &&
-           std::isspace(static_cast<unsigned char>(stripped[open]))) {
-      ++open;
-    }
-    if (open >= stripped.size() || stripped[open] != '(') continue;
-    size_t close = 0;
-    const std::string_view arg = BalancedArgs(stripped, open, &close);
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!t[i].IsIdent("assert") || !t[i + 1].IsPunct("(")) continue;
+    const size_t close = MatchingParen(t, i + 1);
     if (close == std::string_view::npos) continue;
-    if (HasSideEffect(arg)) {
-      out->push_back({path, LineOf(stripped, i), "assert-side-effect",
+    bool mutates = false;
+    for (size_t k = i + 2; k < close && !mutates; ++k) {
+      const Tok& a = t[k];
+      if (a.kind != TokKind::kPunct) continue;
+      if (a.Is("++") || a.Is("--")) mutates = true;
+      // Thanks to maximal munch, `==`, `<=`, `!=`, `>=` are single tokens,
+      // so a bare `=` token really is an assignment — except in a lambda
+      // capture [=].
+      if (a.Is("=") && !(k > 0 && t[k - 1].IsPunct("["))) mutates = true;
+      if (a.Is("+=") || a.Is("-=") || a.Is("*=") || a.Is("/=") ||
+          a.Is("%=") || a.Is("&=") || a.Is("|=") || a.Is("^=") ||
+          a.Is("<<=") || a.Is(">>=")) {
+        mutates = true;
+      }
+    }
+    if (mutates) {
+      out->push_back({path, t[i].line, "assert-side-effect",
                       "assert argument appears to mutate state; it vanishes "
                       "under NDEBUG"});
     }
@@ -199,7 +155,11 @@ void CheckAssertSideEffect(const std::string& path, std::string_view stripped,
   }
 }
 
-void CheckOwnHeaderFirst(const std::string& path, std::string_view original,
+// ---------------------------------------------------------------------------
+// own-header-first
+// ---------------------------------------------------------------------------
+
+void CheckOwnHeaderFirst(const std::string& path, const Toks& t,
                          std::vector<Violation>* out) {
   if (!IsSourcePath(path)) return;
   const std::string base = Basename(path);
@@ -215,33 +175,25 @@ void CheckOwnHeaderFirst(const std::string& path, std::string_view original,
     dir = path.substr(prev == std::string::npos ? 0 : prev + 1,
                       slash - (prev == std::string::npos ? 0 : prev + 1));
   }
-  const std::string own_header =
-      dir.empty() ? ("\"" + stem + ".h\"") : (dir + "/" + stem + ".h\"");
-  const std::string own_header_bare = "\"" + stem + ".h\"";
+  const std::string own = dir.empty() ? "" : dir + "/" + stem + ".h\"";
+  const std::string own_bare = "\"" + stem + ".h\"";
 
   int first_include_line = 0;
   bool first_is_own = false;
   bool includes_own = false;
-  int line = 0;
-  size_t pos = 0;
-  while (pos <= original.size()) {
-    const size_t eol = original.find('\n', pos);
-    const std::string_view raw =
-        original.substr(pos, eol == std::string_view::npos ? std::string_view::npos
-                                                           : eol - pos);
-    ++line;
-    const std::string_view l = TrimView(raw);
-    if (StartsWith(l, "#include")) {
-      const bool is_own = l.find(own_header) != std::string_view::npos ||
-                          l.find(own_header_bare) != std::string_view::npos;
-      if (first_include_line == 0) {
-        first_include_line = line;
-        first_is_own = is_own;
-      }
-      if (is_own) includes_own = true;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!t[i].IsPunct("#") || !t[i + 1].IsIdent("include")) continue;
+    bool is_own = false;
+    if (i + 2 < t.size() && t[i + 2].kind == TokKind::kString) {
+      const std::string_view text = t[i + 2].text;
+      is_own = text.find(own_bare) != std::string_view::npos ||
+               (!own.empty() && text.find(own) != std::string_view::npos);
     }
-    if (eol == std::string_view::npos) break;
-    pos = eol + 1;
+    if (first_include_line == 0) {
+      first_include_line = t[i].line;
+      first_is_own = is_own;
+    }
+    if (is_own) includes_own = true;
   }
   if (includes_own && !first_is_own) {
     out->push_back({path, first_include_line, "own-header-first",
@@ -250,241 +202,411 @@ void CheckOwnHeaderFirst(const std::string& path, std::string_view original,
   }
 }
 
-/// True when a paren-argument text reads like a constructor *declaration's*
-/// parameter list rather than constructor-call arguments: some top-level
-/// piece is "Type name" (identifier, separator, identifier) or ends with a
-/// bare `&`/`*`/`&&` (unnamed reference/pointer parameter).  Empty parens
-/// are also treated as a declaration (`Status();` inside a class body is
-/// the default-ctor declaration).
-bool LooksLikeParamList(std::string_view args) {
-  if (TrimView(args).empty()) return true;
+// ---------------------------------------------------------------------------
+// discarded-status
+// ---------------------------------------------------------------------------
+
+/// True when the token span (b, e) between a `Status(`...`)` pair reads like
+/// a constructor *declaration's* parameter list rather than call arguments:
+/// some top-level comma piece is "Type name" or ends in a bare &/*/&&
+/// (unnamed reference/pointer parameter).  Empty parens are a declaration
+/// too (`Status();` inside the class body is the default ctor).
+bool LooksLikeParamList(const Toks& t, size_t b, size_t e) {
+  if (b >= e) return true;
   int depth = 0;
-  size_t piece_start = 0;
-  for (size_t i = 0; i <= args.size(); ++i) {
-    const char c = i < args.size() ? args[i] : ',';
-    if (c == '(' || c == '<' || c == '[' || c == '{') ++depth;
-    if (c == ')' || c == '>' || c == ']' || c == '}') --depth;
-    if (c == ',' && depth > 0) continue;
-    if (c != ',') continue;
-    const std::string_view piece = TrimView(args.substr(piece_start, i - piece_start));
-    piece_start = i + 1;
-    if (piece.empty()) continue;
-    if (piece.back() == '&' || piece.back() == '*') return true;
-    // "Type name": trailing identifier preceded by space/&/* preceded by
-    // more of the piece (the type).
-    size_t e = piece.size();
-    while (e > 0 && IsIdentChar(piece[e - 1])) --e;
-    if (e == 0 || e == piece.size()) continue;  // not ident-terminated
-    const char sep = piece[e - 1];
-    if ((sep == ' ' || sep == '&' || sep == '*') &&
-        IsIdentChar(piece[0])) {
-      // Exclude value expressions like "a + b": the head must be a plain
-      // qualified-id token run (identifiers, ::, <...>) up to the separator.
-      bool type_like = true;
-      for (size_t k = 0; k + 1 < e; ++k) {
-        const char t = piece[k];
-        if (!IsIdentChar(t) && t != ':' && t != '<' && t != '>' &&
-            t != ' ' && t != '&' && t != '*' && t != ',') {
-          type_like = false;
-          break;
-        }
+  size_t ps = b;
+  for (size_t i = b; i <= e; ++i) {
+    if (i < e) {
+      const Tok& tk = t[i];
+      if (tk.IsPunct("(") || tk.IsPunct("<") || tk.IsPunct("[") ||
+          tk.IsPunct("{")) {
+        ++depth;
+      } else if (tk.IsPunct(")") || tk.IsPunct(">") || tk.IsPunct("]") ||
+                 tk.IsPunct("}")) {
+        --depth;
+      } else if (tk.IsPunct(">>")) {
+        depth -= 2;
       }
-      if (type_like) return true;
+      if (!(tk.IsPunct(",") && depth == 0)) continue;
     }
+    // Piece [ps, i).
+    if (i > ps) {
+      const Tok& last = t[i - 1];
+      if (last.IsPunct("&") || last.IsPunct("*") || last.IsPunct("&&")) {
+        return true;
+      }
+      if (last.kind == TokKind::kIdent && i - 1 > ps) {
+        const Tok& prev = t[i - 2];
+        const bool sep_ok = prev.kind == TokKind::kIdent ||
+                            prev.IsPunct("&") || prev.IsPunct("*") ||
+                            prev.IsPunct("&&") || prev.IsPunct(">");
+        // The head must be a qualified-id token run (so value expressions
+        // like `a + b` do not read as "Type name").
+        bool type_like = true;
+        for (size_t k = ps; k + 1 < i && type_like; ++k) {
+          const Tok& h = t[k];
+          if (h.kind == TokKind::kIdent) continue;
+          if (h.IsPunct("::") || h.IsPunct("<") || h.IsPunct(">") ||
+              h.IsPunct(">>") || h.IsPunct("&") || h.IsPunct("*") ||
+              h.IsPunct("&&") || h.IsPunct(",")) {
+            continue;
+          }
+          type_like = false;
+        }
+        if (sep_ok && type_like) return true;
+      }
+    }
+    ps = i + 1;
   }
   return false;
 }
 
-void CheckDiscardedStatus(const std::string& path, std::string_view stripped,
+void CheckDiscardedStatus(const std::string& path, const Toks& t,
                           std::vector<Violation>* out) {
-  int line = 0;
-  size_t pos = 0;
-  while (pos <= stripped.size()) {
-    const size_t eol = stripped.find('\n', pos);
-    const std::string_view raw = stripped.substr(
-        pos, eol == std::string_view::npos ? std::string_view::npos
-                                           : eol - pos);
-    ++line;
-    std::string_view l = TrimView(raw);
-    // Match `Status(...);` or `Status::Factory(...);` as a whole statement
-    // line with nothing binding the result.  Constructor *declarations*
-    // (`Status(StatusCode code, std::string msg);`) are excluded by
-    // requiring the arguments to read like values, not parameters.
-    if (StartsWith(l, "::mural::")) l.remove_prefix(9);
-    if (StartsWith(l, "mural::")) l.remove_prefix(7);
-    if (StartsWith(l, "Status") && !l.empty() && l.back() == ';') {
-      std::string_view rest = l.substr(6);
-      const bool is_factory = StartsWith(rest, "::");
-      if (is_factory) {
-        rest.remove_prefix(2);
-        while (!rest.empty() && IsIdentChar(rest.front())) {
-          rest.remove_prefix(1);
-        }
-      }
-      if (StartsWith(rest, "(")) {
-        size_t close = 0;
-        const std::string_view args = BalancedArgs(rest, 0, &close);
-        const bool bare_stmt =
-            close != std::string_view::npos &&
-            TrimView(rest.substr(close + 1)) == ";";
-        if (bare_stmt && (is_factory || !LooksLikeParamList(args))) {
-          out->push_back({path, line, "discarded-status",
-                          "Status constructed and discarded on its own line; "
-                          "return it, check it, or drop the statement"});
-        }
-      }
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].IsIdent("Status")) continue;
+    // Allow a `mural::` / `::mural::` qualifier, then require a statement
+    // boundary before: nothing may bind the constructed value.
+    size_t j = i;
+    if (j >= 2 && t[j - 1].IsPunct("::") && t[j - 2].IsIdent("mural")) j -= 2;
+    if (j >= 1 && t[j - 1].IsPunct("::")) --j;
+    if (j > 0 && !t[j - 1].IsPunct(";") && !t[j - 1].IsPunct("{") &&
+        !t[j - 1].IsPunct("}")) {
+      continue;
     }
-    if (eol == std::string_view::npos) break;
-    pos = eol + 1;
+    size_t open = std::string_view::npos;
+    bool is_factory = false;
+    if (i + 1 < t.size() && t[i + 1].IsPunct("(")) {
+      open = i + 1;
+    } else if (i + 3 < t.size() && t[i + 1].IsPunct("::") &&
+               t[i + 2].kind == TokKind::kIdent && t[i + 3].IsPunct("(")) {
+      open = i + 3;
+      is_factory = true;
+    }
+    if (open == std::string_view::npos) continue;
+    const size_t close = MatchingParen(t, open);
+    if (close == std::string_view::npos || close + 1 >= t.size() ||
+        !t[close + 1].IsPunct(";")) {
+      continue;
+    }
+    if (is_factory || !LooksLikeParamList(t, open + 1, close)) {
+      out->push_back({path, t[i].line, "discarded-status",
+                      "Status constructed and discarded on its own line; "
+                      "return it, check it, or drop the statement"});
+    }
+    i = close;
   }
 }
 
-void CheckBareThread(const std::string& path, std::string_view stripped,
+// ---------------------------------------------------------------------------
+// no-bare-thread
+// ---------------------------------------------------------------------------
+
+void CheckBareThread(const std::string& path, const Toks& t,
                      std::vector<Violation>* out) {
   // common/ owns the one sanctioned ThreadPool implementation; tools/ are
   // standalone binaries outside the engine's concurrency model.
   if (PathContains(path, "common/") || PathContains(path, "tools/")) return;
-  for (const std::string_view spawn :
-       {std::string_view("std::thread"), std::string_view("std::jthread"),
-        std::string_view("std::async")}) {
-    for (size_t pos = stripped.find(spawn); pos != std::string_view::npos;
-         pos = stripped.find(spawn, pos + spawn.size())) {
-      if (pos > 0 && IsIdentChar(stripped[pos - 1])) continue;
-      const size_t end = pos + spawn.size();
-      if (end < stripped.size() && IsIdentChar(stripped[end])) continue;
-      out->push_back({path, LineOf(stripped, pos), "no-bare-thread",
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].IsIdent("std") && t[i + 1].IsPunct("::") &&
+        AnyOf(t[i + 2], {"thread", "jthread", "async"})) {
+      out->push_back({path, t[i].line, "no-bare-thread",
                       "spawn threads via common/thread_pool.h (ThreadPool), "
-                      "not bare " + std::string(spawn)});
+                      "not bare std::" + std::string(t[i + 2].text)});
     }
   }
 }
 
-void CheckDirectClock(const std::string& path, std::string_view stripped,
+// ---------------------------------------------------------------------------
+// no-direct-clock
+// ---------------------------------------------------------------------------
+
+void CheckDirectClock(const std::string& path, const Toks& t,
                       std::vector<Violation>* out) {
   // common/timer.cc is the single sanctioned steady_clock call site; all
   // timing flows through SpanClock::NowNanos() so tests can substitute a
   // fake clock (common/timer.h).  tools/ are standalone binaries.
   if (PathContains(path, "common/") || PathContains(path, "tools/")) return;
-  const std::string_view needle = "steady_clock::now";
-  for (size_t pos = stripped.find(needle); pos != std::string_view::npos;
-       pos = stripped.find(needle, pos + needle.size())) {
-    out->push_back({path, LineOf(stripped, pos), "no-direct-clock",
-                    "read time via SpanClock::NowNanos() or Timer "
-                    "(common/timer.h), not steady_clock::now(); direct clock "
-                    "reads cannot be faked in tests"});
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].IsIdent("steady_clock") && t[i + 1].IsPunct("::") &&
+        t[i + 2].IsIdent("now")) {
+      out->push_back({path, t[i].line, "no-direct-clock",
+                      "read time via SpanClock::NowNanos() or Timer "
+                      "(common/timer.h), not steady_clock::now(); direct "
+                      "clock reads cannot be faked in tests"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// no-raw-mutex
+// ---------------------------------------------------------------------------
+
+void CheckRawMutex(const std::string& path, const Toks& t,
+                   std::vector<Violation>* out) {
+  // common/mutex.h wraps the std primitives once; tools/ are standalone.
+  if (PathContains(path, "common/") || PathContains(path, "tools/")) return;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (AnyOf(t[i],
+              {"lock_guard", "unique_lock", "scoped_lock", "shared_lock"})) {
+      out->push_back(
+          {path, t[i].line, "no-raw-mutex",
+           "use MutexLock / ReaderMutexLock / WriterMutexLock "
+           "(common/mutex.h) instead of std::" + std::string(t[i].text) +
+               "; the wrappers carry thread-safety annotations"});
+      continue;
+    }
+    if (i + 2 < t.size() && t[i].IsIdent("std") && t[i + 1].IsPunct("::") &&
+        AnyOf(t[i + 2],
+              {"mutex", "shared_mutex", "recursive_mutex", "timed_mutex",
+               "recursive_timed_mutex", "condition_variable",
+               "condition_variable_any"})) {
+      out->push_back(
+          {path, t[i].line, "no-raw-mutex",
+           "use mural::Mutex / SharedMutex / CondVar (common/mutex.h) "
+           "instead of std::" + std::string(t[i + 2].text) +
+               "; raw primitives are invisible to -Wthread-safety"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// no-lock-across-g2p-io
+// ---------------------------------------------------------------------------
+
+void CheckLockAcrossIo(const std::string& path, const Toks& t,
+                       std::vector<Violation>* out) {
+  if (PathContains(path, "common/") || PathContains(path, "tools/")) return;
+  int depth = 0;
+  std::vector<int> lock_depths;  // brace depth at each live MutexLock decl
+  for (size_t i = 0; i < t.size(); ++i) {
+    const Tok& tk = t[i];
+    if (tk.IsPunct("{")) {
+      ++depth;
+      continue;
+    }
+    if (tk.IsPunct("}")) {
+      --depth;
+      while (!lock_depths.empty() && lock_depths.back() > depth) {
+        lock_depths.pop_back();
+      }
+      continue;
+    }
+    // `MutexLock lock(mu_);` — the following ident distinguishes a guard
+    // declaration from mentions of the type itself.
+    if (AnyOf(tk, {"MutexLock", "ReaderMutexLock", "WriterMutexLock"}) &&
+        i + 1 < t.size() && t[i + 1].kind == TokKind::kIdent) {
+      lock_depths.push_back(depth);
+      continue;
+    }
+    if (!lock_depths.empty() && i + 1 < t.size() && t[i + 1].IsPunct("(") &&
+        AnyOf(tk, {"Transform", "pread", "pwrite", "fsync", "fdatasync",
+                   "ReadPage", "WritePage"})) {
+      out->push_back(
+          {path, tk.line, "no-lock-across-g2p-io",
+           "`" + std::string(tk.text) +
+               "` called while a MutexLock is held; G2P transforms and "
+               "page IO must run outside the lock (compute, then relock "
+               "and publish — see common/mutex.h)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// guarded-field
+// ---------------------------------------------------------------------------
+
+/// True when the member statement reads like a function declaration or
+/// definition header: a top-level '(' (outside template angles) before any
+/// top-level '='.
+bool StmtLooksLikeFunction(const std::vector<const Tok*>& stmt) {
+  int angle = 0;
+  for (const Tok* tk : stmt) {
+    if (tk->IsPunct("<")) {
+      ++angle;
+    } else if (tk->IsPunct(">")) {
+      angle = std::max(0, angle - 1);
+    } else if (tk->IsPunct(">>")) {
+      angle = std::max(0, angle - 2);
+    } else if (tk->IsPunct("=") && angle == 0) {
+      return false;
+    } else if (tk->IsPunct("(") && angle == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct ClassCtx {
+  std::string name;
+  int body_depth = 0;  // brace depth of tokens directly inside the body
+  bool has_mutex = false;
+  std::vector<Violation> candidates;  // emitted only if has_mutex at close
+};
+
+/// Classifies one member statement of the innermost class.
+void ClassifyMember(const std::string& path,
+                    const std::vector<const Tok*>& stmt,
+                    const std::vector<CommentSpan>& comments, ClassCtx* ctx) {
+  if (stmt.empty()) return;
+  if (AnyOf(*stmt.front(),
+            {"public", "private", "protected", "using", "typedef", "friend",
+             "static", "inline", "template", "class", "struct", "enum",
+             "operator", "virtual", "explicit"})) {
+    return;
+  }
+  // Rule out non-member statements first: method declarations (including
+  // deleted ctors like `Mutex(const Mutex&) = delete;`, which must not set
+  // has_mutex) and operator members (`T& operator=(...) = delete;`, whose
+  // `=` precedes the `(` and defeats the signature heuristic).
+  for (const Tok* tk : stmt) {
+    if (tk->IsIdent("operator")) return;
+  }
+  if (StmtLooksLikeFunction(stmt)) return;
+  bool is_mutex = false, annotated = false, internally_sync = false;
+  for (const Tok* tk : stmt) {
+    if (AnyOf(*tk, {"Mutex", "SharedMutex"})) is_mutex = true;
+    if (AnyOf(*tk, {"GUARDED_BY", "PT_GUARDED_BY"})) annotated = true;
+    if (AnyOf(*tk, {"atomic", "CondVar"})) internally_sync = true;
+  }
+  if (is_mutex) {
+    ctx->has_mutex = true;
+    return;
+  }
+  if (annotated || internally_sync) return;
+  if (AnyOf(*stmt.front(), {"const", "constexpr"})) return;  // immutable
+  // Member name: last identifier before a top-level initializer.
+  std::string name;
+  int angle = 0;
+  for (const Tok* tk : stmt) {
+    if (tk->IsPunct("<")) ++angle;
+    if (tk->IsPunct(">")) angle = std::max(0, angle - 1);
+    if (tk->IsPunct(">>")) angle = std::max(0, angle - 2);
+    if (tk->IsPunct("=") && angle == 0) break;
+    if (tk->kind == TokKind::kIdent) name = std::string(tk->text);
+  }
+  if (name.empty()) return;
+  // `// lint: unguarded(reason)` on the member's line (or the line above)
+  // is the documented escape hatch.
+  const int first_line = stmt.front()->line;
+  const int last_line = stmt.back()->line;
+  for (const CommentSpan& c : comments) {
+    if (c.last_line >= first_line - 1 && c.first_line <= last_line &&
+        c.text.find("lint: unguarded") != std::string::npos) {
+      return;
+    }
+  }
+  ctx->candidates.push_back(
+      {path, first_line, "guarded-field",
+       "field `" + name + "` of mutex-holding class `" + ctx->name +
+           "` has no GUARDED_BY/PT_GUARDED_BY annotation; annotate it or "
+           "mark it `// lint: unguarded(reason)`"});
+}
+
+void CheckGuardedField(const std::string& path, const LexResult& lexed,
+                       std::vector<Violation>* out) {
+  if (PathContains(path, "tools/")) return;
+  const Toks& t = lexed.tokens;
+  int depth = 0;
+  std::vector<ClassCtx> stack;
+  std::vector<const Tok*> stmt;
+  bool pending_class = false;
+  std::string pending_name;
+  bool pending_name_locked = false;
+
+  auto in_body = [&]() {
+    return !stack.empty() && depth == stack.back().body_depth;
+  };
+
+  for (size_t i = 0; i < t.size(); ++i) {
+    const Tok& tk = t[i];
+
+    if (pending_class) {
+      if (tk.IsPunct("(")) {
+        // Attribute-macro arguments, e.g. `class CAPABILITY("mutex") Mutex`.
+        const size_t close = MatchingParen(t, i);
+        if (close == std::string_view::npos) {
+          pending_class = false;
+        } else {
+          i = close;
+          continue;
+        }
+      } else if (tk.IsPunct(";") || tk.IsPunct("=")) {
+        pending_class = false;  // forward declaration / non-type use
+      } else if (tk.IsPunct("{")) {
+        stack.push_back(ClassCtx{pending_name, depth + 1, false, {}});
+        pending_class = false;
+        stmt.clear();
+        ++depth;
+        continue;
+      } else if (tk.IsPunct(":")) {
+        pending_name_locked = true;  // base-clause: name already seen
+      } else if (tk.kind == TokKind::kIdent && !pending_name_locked &&
+                 !AnyOf(tk, {"final", "alignas"})) {
+        pending_name = std::string(tk.text);
+      }
+      if (pending_class) continue;
+    }
+
+    if (tk.IsPunct("{")) {
+      if (in_body() && !stmt.empty()) {
+        // A '{' at member level opens either a method body (discard the
+        // signature) or a brace initializer (keep collecting to the ';').
+        if (StmtLooksLikeFunction(stmt)) stmt.clear();
+      }
+      ++depth;
+      continue;
+    }
+    if (tk.IsPunct("}")) {
+      --depth;
+      if (!stack.empty() && depth == stack.back().body_depth - 1) {
+        ClassCtx ctx = std::move(stack.back());
+        stack.pop_back();
+        if (ctx.has_mutex) {
+          for (Violation& v : ctx.candidates) out->push_back(std::move(v));
+        }
+        stmt.clear();
+      }
+      continue;
+    }
+
+    if ((tk.IsIdent("class") || tk.IsIdent("struct")) &&
+        !(i > 0 && (t[i - 1].IsIdent("enum") || t[i - 1].IsPunct("<") ||
+                    t[i - 1].IsPunct(",")))) {
+      pending_class = true;
+      pending_name.clear();
+      pending_name_locked = false;
+      stmt.clear();
+      continue;
+    }
+
+    if (!in_body()) continue;
+
+    if (tk.IsPunct(";")) {
+      ClassifyMember(path, stmt, lexed.comments, &stack.back());
+      stmt.clear();
+      continue;
+    }
+    if (tk.IsPunct(":") && stmt.size() == 1 &&
+        AnyOf(*stmt.front(), {"public", "private", "protected"})) {
+      stmt.clear();  // access specifier
+      continue;
+    }
+    stmt.push_back(&tk);
   }
 }
 
 }  // namespace
 
 std::string StripCommentsAndStrings(std::string_view src) {
-  std::string out;
-  out.reserve(src.size());
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString,
-  };
-  State state = State::kCode;
-  std::string raw_delim;  // for R"delim( ... )delim"
+  const LexResult lexed = Lex(src);
+  std::string out(src.size(), ' ');
   for (size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out += "  ";
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || !IsIdentChar(src[i - 1]))) {
-          // Raw string literal: R"delim( ... )delim"
-          size_t j = i + 2;
-          raw_delim.clear();
-          while (j < src.size() && src[j] != '(') raw_delim += src[j++];
-          out.append(j + 1 - i, ' ');
-          i = j;  // now at '(' (or end)
-          state = State::kRawString;
-        } else if (c == '"') {
-          state = State::kString;
-          out += ' ';
-        } else if (c == '\'') {
-          // Distinguish a char literal from a C++14 digit separator
-          // (1'000'000, 0xFF'FF): a separator sits inside a numeric
-          // literal, i.e. the preceding identifier-run starts with a
-          // digit.
-          size_t run = i;
-          while (run > 0 && (IsIdentChar(src[run - 1]) || src[run - 1] == '\'')) {
-            --run;
-          }
-          if (run < i && std::isdigit(static_cast<unsigned char>(src[run]))) {
-            out += ' ';  // digit separator: stay in code state
-          } else {
-            state = State::kChar;
-            out += ' ';
-          }
-        } else {
-          out += c;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-          out += '\n';
-        } else {
-          out += ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          out += "  ";
-          ++i;
-        } else {
-          out += (c == '\n') ? '\n' : ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && next != '\0') {
-          out += "  ";
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-          out += ' ';
-        } else {
-          out += (c == '\n') ? '\n' : ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\0') {
-          out += "  ";
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-          out += ' ';
-        } else {
-          out += ' ';
-        }
-        break;
-      case State::kRawString: {
-        const std::string closer = ")" + raw_delim + "\"";
-        if (src.compare(i, closer.size(), closer) == 0) {
-          out.append(closer.size(), ' ');
-          i += closer.size() - 1;
-          state = State::kCode;
-        } else {
-          out += (c == '\n') ? '\n' : ' ';
-        }
-        break;
-      }
-    }
+    if (src[i] == '\n') out[i] = '\n';
+  }
+  for (const Tok& t : lexed.tokens) {
+    if (t.kind == TokKind::kString || t.kind == TokKind::kChar) continue;
+    std::copy(t.text.begin(), t.text.end(), out.begin() + t.offset);
   }
   return out;
 }
@@ -492,15 +614,19 @@ std::string StripCommentsAndStrings(std::string_view src) {
 std::vector<Violation> LintFile(const std::string& rel_path,
                                 std::string_view content) {
   std::vector<Violation> out;
-  const std::string stripped = StripCommentsAndStrings(content);
-  CheckThrow(rel_path, stripped, &out);
-  CheckNewDelete(rel_path, stripped, &out);
-  CheckPragmaOnce(rel_path, content, &out);
-  CheckAssertSideEffect(rel_path, stripped, &out);
-  CheckOwnHeaderFirst(rel_path, content, &out);
-  CheckDiscardedStatus(rel_path, stripped, &out);
-  CheckBareThread(rel_path, stripped, &out);
-  CheckDirectClock(rel_path, stripped, &out);
+  const LexResult lexed = Lex(content);
+  const Toks& t = lexed.tokens;
+  CheckThrow(rel_path, t, &out);
+  CheckNewDelete(rel_path, t, &out);
+  CheckPragmaOnce(rel_path, t, &out);
+  CheckAssertSideEffect(rel_path, t, &out);
+  CheckOwnHeaderFirst(rel_path, t, &out);
+  CheckDiscardedStatus(rel_path, t, &out);
+  CheckBareThread(rel_path, t, &out);
+  CheckDirectClock(rel_path, t, &out);
+  CheckRawMutex(rel_path, t, &out);
+  CheckLockAcrossIo(rel_path, t, &out);
+  CheckGuardedField(rel_path, lexed, &out);
   return out;
 }
 

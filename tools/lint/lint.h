@@ -1,7 +1,11 @@
 // mural_lint: repo-invariant checks that clang-tidy cannot express.
 //
 // The core is a pure function over (path label, file content) so the unit
-// test can feed synthetic sources with seeded violations.  Rules:
+// test can feed synthetic sources with seeded violations.  v2 runs every
+// rule over one shared token stream (lexer.h) instead of per-rule regex
+// scans: the file is tokenized once, comments and literal contents never
+// reach the rules, and each rule walks tokens with real identifier
+// boundaries and maximal-munch operators.  Rules:
 //
 //   no-throw            `throw` is forbidden outside tools/ (the engine's
 //                       error model is Status/StatusOr, never exceptions).
@@ -22,6 +26,19 @@
 //                       (and tools/): all timing goes through
 //                       SpanClock::NowNanos() / Timer (common/timer.h) so
 //                       tests can install a deterministic fake clock.
+//   no-raw-mutex        std::mutex / std::shared_mutex / lock_guard /
+//                       unique_lock / condition_variable outside common/
+//                       (and tools/): locking goes through the annotated
+//                       mural::Mutex wrappers (common/mutex.h) so
+//                       -Wthread-safety sees every acquisition.
+//   no-lock-across-g2p-io  no G2P Transform or page-IO call (pread, fsync,
+//                       ReadPage, ...) textually inside a MutexLock scope:
+//                       slow work runs outside the lock, then relocks to
+//                       publish (the phoneme-cache discipline).
+//   guarded-field       a class that declares a mural::Mutex must annotate
+//                       every mutable data member with GUARDED_BY /
+//                       PT_GUARDED_BY, or carry an explicit
+//                       `// lint: unguarded(reason)` marker.
 
 #pragma once
 

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "lexer.h"
+
 namespace mural::lint {
 namespace {
 
@@ -20,6 +22,67 @@ int CountRule(const std::vector<Violation>& vs, const std::string& rule) {
   return static_cast<int>(
       std::count_if(vs.begin(), vs.end(),
                     [&](const Violation& v) { return v.rule == rule; }));
+}
+
+TEST(LexerTest, TokenKindsAndLines) {
+  const LexResult r = Lex("int x = 42;\nfoo(\"s\", 'c');\n");
+  ASSERT_EQ(r.tokens.size(), 12u);
+  EXPECT_TRUE(r.tokens[0].IsIdent("int"));
+  EXPECT_EQ(r.tokens[2].kind, TokKind::kPunct);
+  EXPECT_TRUE(r.tokens[2].Is("="));
+  EXPECT_EQ(r.tokens[3].kind, TokKind::kNumber);
+  EXPECT_EQ(r.tokens[0].line, 1);
+  EXPECT_TRUE(r.tokens[5].IsIdent("foo"));
+  EXPECT_EQ(r.tokens[5].line, 2);
+  EXPECT_EQ(r.tokens[7].kind, TokKind::kString);
+  EXPECT_EQ(r.tokens[7].text, "\"s\"");
+  EXPECT_EQ(r.tokens[9].kind, TokKind::kChar);
+}
+
+TEST(LexerTest, MaximalMunchPunctuation) {
+  const LexResult r = Lex("a==b; c<=d; e<<=f; x::y->z;");
+  auto has = [&](std::string_view p) {
+    return std::any_of(r.tokens.begin(), r.tokens.end(),
+                       [&](const Tok& t) { return t.IsPunct(p); });
+  };
+  EXPECT_TRUE(has("=="));
+  EXPECT_TRUE(has("<="));
+  EXPECT_TRUE(has("<<="));
+  EXPECT_TRUE(has("::"));
+  EXPECT_TRUE(has("->"));
+  EXPECT_FALSE(has("="));  // no bare assignment anywhere in this input
+}
+
+TEST(LexerTest, CommentsAreRecordedNotTokenized) {
+  const LexResult r = Lex(
+      "int a; // lint: unguarded(set once at startup)\n"
+      "/* block\n   spans lines */ int b;\n");
+  ASSERT_EQ(r.comments.size(), 2u);
+  EXPECT_EQ(r.comments[0].first_line, 1);
+  EXPECT_NE(r.comments[0].text.find("lint: unguarded"), std::string::npos);
+  EXPECT_EQ(r.comments[1].first_line, 2);
+  EXPECT_EQ(r.comments[1].last_line, 3);
+  for (const Tok& t : r.tokens) {
+    EXPECT_NE(t.text, "block");
+    EXPECT_NE(t.text, "spans");
+  }
+}
+
+TEST(LexerTest, RawStringsAndDigitSeparators) {
+  const LexResult r = Lex(
+      "auto s = R\"x(throw \"mid\" )\" )x\"; int n = 1'000'000;\n");
+  bool saw_raw = false;
+  for (const Tok& t : r.tokens) {
+    if (t.kind == TokKind::kString) saw_raw = true;
+    EXPECT_NE(t.text, "throw");
+    EXPECT_NE(t.text, "mid");
+  }
+  EXPECT_TRUE(saw_raw);
+  const auto num = std::find_if(
+      r.tokens.begin(), r.tokens.end(),
+      [](const Tok& t) { return t.kind == TokKind::kNumber; });
+  ASSERT_NE(num, r.tokens.end());
+  EXPECT_EQ(num->text, "1'000'000");
 }
 
 TEST(StripTest, RemovesCommentsAndStringsPreservingLines) {
@@ -258,6 +321,151 @@ TEST(DirectClockRule, IgnoresCommentsAndStrings) {
       "const char* s = \"steady_clock::now\";\n"
       "uint64_t t = SpanClock::NowNanos();\n");
   EXPECT_FALSE(HasRule(vs, "no-direct-clock"));
+}
+
+TEST(RawMutexRule, FiresOnStdPrimitivesOutsideCommon) {
+  const auto vs = LintFile(
+      "src/exec/foo.cc",
+      "std::mutex mu;\n"
+      "std::shared_mutex smu;\n"
+      "std::condition_variable cv;\n"
+      "void F() { std::lock_guard<std::mutex> l(mu); }\n"
+      "void G() { std::unique_lock<std::mutex> l(mu); }\n");
+  // line 4 and 5 each count twice: the guard template AND its std::mutex arg.
+  EXPECT_EQ(CountRule(vs, "no-raw-mutex"), 7);
+}
+
+TEST(RawMutexRule, AllowsPrimitivesInCommonAndWrappersEverywhere) {
+  EXPECT_FALSE(HasRule(
+      LintFile("src/common/mutex.h",
+               "#pragma once\nclass Mutex { std::mutex mu_; };\n"),
+      "no-raw-mutex"));
+  EXPECT_FALSE(HasRule(
+      LintFile("src/exec/foo.cc",
+               "void F() { MutexLock lock(mu_); }\n"
+               "// std::mutex in a comment\n"
+               "const char* s = \"std::lock_guard\";\n"),
+      "no-raw-mutex"));
+}
+
+TEST(LockAcrossIoRule, FiresOnTransformUnderLock) {
+  const auto vs = LintFile(
+      "src/phonetic/foo.cc",
+      "void F() {\n"
+      "  MutexLock lock(mu_);\n"
+      "  auto p = transformer->Transform(text);\n"
+      "}\n");
+  EXPECT_TRUE(HasRule(vs, "no-lock-across-g2p-io"));
+}
+
+TEST(LockAcrossIoRule, SilentWhenLockScopeClosesFirst) {
+  const auto vs = LintFile(
+      "src/phonetic/foo.cc",
+      "void F() {\n"
+      "  { MutexLock lock(mu_); if (Probe()) return; }\n"
+      "  auto p = transformer->Transform(text);\n"
+      "  { MutexLock lock(mu_); Publish(p); }\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(vs, "no-lock-across-g2p-io"));
+}
+
+TEST(LockAcrossIoRule, FiresOnPageIoUnderLock) {
+  const auto vs = LintFile(
+      "src/storage/foo.cc",
+      "void F() { MutexLock lock(mu_); pread(fd, buf, n, off); }\n"
+      "void G() { WriterMutexLock lock(mu_); pager->ReadPage(42); }\n");
+  EXPECT_EQ(CountRule(vs, "no-lock-across-g2p-io"), 2);
+}
+
+TEST(GuardedFieldRule, FiresOnUnannotatedFieldInMutexClass) {
+  const auto vs = LintFile(
+      "src/exec/cache.h",
+      "#pragma once\n"
+      "class Cache {\n"
+      " public:\n"
+      "  void Put(int k);\n"
+      " private:\n"
+      "  mutable Mutex mu_;\n"
+      "  std::map<int, int> entries_ GUARDED_BY(mu_);\n"
+      "  uint64_t hits_;\n"
+      "};\n");
+  ASSERT_EQ(CountRule(vs, "guarded-field"), 1);
+  const auto it = std::find_if(
+      vs.begin(), vs.end(),
+      [](const Violation& v) { return v.rule == "guarded-field"; });
+  EXPECT_EQ(it->line, 8);
+  EXPECT_NE(it->message.find("hits_"), std::string::npos);
+}
+
+TEST(GuardedFieldRule, SilentWhenAllFieldsAnnotatedOrExempt) {
+  const auto vs = LintFile(
+      "src/exec/cache.h",
+      "#pragma once\n"
+      "class Cache {\n"
+      " private:\n"
+      "  const Engine* engine_;\n"
+      "  mutable Mutex mu_;\n"
+      "  std::map<int, int> entries_ GUARDED_BY(mu_);\n"
+      "  int* shared_ PT_GUARDED_BY(mu_);\n"
+      "  std::atomic<uint64_t> fast_hits_;\n"
+      "  static constexpr int kMax = 8;\n"
+      "  std::vector<std::thread> workers_;  // lint: unguarded(joined in "
+      "Shutdown before destruction)\n"
+      "};\n");
+  EXPECT_FALSE(HasRule(vs, "guarded-field"));
+}
+
+TEST(GuardedFieldRule, SilentOnClassesWithoutMutexes) {
+  const auto vs = LintFile(
+      "src/exec/plain.h",
+      "#pragma once\n"
+      "class Plain {\n"
+      "  uint64_t hits_ = 0;\n"
+      "  std::string name_;\n"
+      "};\n");
+  EXPECT_FALSE(HasRule(vs, "guarded-field"));
+}
+
+TEST(GuardedFieldRule, MutexAfterFieldStillGuardsWholeClass) {
+  // The Mutex member is declared AFTER the unannotated field; the rule
+  // must still fire (candidates are buffered until the class closes).
+  const auto vs = LintFile(
+      "src/exec/cache.h",
+      "#pragma once\n"
+      "class Cache {\n"
+      "  uint64_t hits_;\n"
+      "  Mutex mu_;\n"
+      "};\n");
+  EXPECT_EQ(CountRule(vs, "guarded-field"), 1);
+}
+
+TEST(GuardedFieldRule, NestedAndAttributedClasses) {
+  // Inner has a mutex and an unguarded field; Outer has neither violation.
+  // The attribute-macro form `class CAPABILITY("mutex") X` must parse.
+  const auto vs = LintFile(
+      "src/exec/nested.h",
+      "#pragma once\n"
+      "class CAPABILITY(\"mutex\") Outer {\n"
+      " public:\n"
+      "  struct Inner {\n"
+      "    mutable Mutex mu;\n"
+      "    int dirty;\n"
+      "  };\n"
+      "  void Lock() ACQUIRE();\n"
+      "  std::vector<Inner> shards_;\n"
+      "};\n");
+  EXPECT_EQ(CountRule(vs, "guarded-field"), 1);
+}
+
+TEST(NewRules, IgnoreRawStringsAndBlockComments) {
+  // Satellite regression: R"(...)" bodies and /* */ comments must not trip
+  // the token-stream rules.
+  const auto vs = LintFile(
+      "src/exec/gen.cc",
+      "const char* kDoc = R\"(std::mutex MutexLock Transform( throw)\";\n"
+      "/* std::lock_guard<std::mutex> l(mu); Transform(x); throw; */\n"
+      "int ok = 1;\n");
+  EXPECT_TRUE(vs.empty());
 }
 
 TEST(LintFileTest, CleanFileHasNoViolations) {
