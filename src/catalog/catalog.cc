@@ -27,8 +27,17 @@ std::string Catalog::Key(const std::string& name) {
   return k;
 }
 
+StatusOr<TableInfo*> Catalog::LookupTableLocked(const std::string& name) const {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return it->second.get();
+}
+
 StatusOr<TableInfo*> Catalog::CreateTable(const std::string& name,
                                           Schema schema) {
+  WriterMutexLock lock(mu_);
   const std::string key = Key(name);
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table exists: " + name);
@@ -36,6 +45,8 @@ StatusOr<TableInfo*> Catalog::CreateTable(const std::string& name,
   if (schema.NumColumns() == 0) {
     return Status::InvalidArgument("table needs at least one column");
   }
+  // Heap creation reaches into the buffer pool while mu_ is held — this
+  // is the declared catalog-before-buffer-table lock order.
   MURAL_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Create(pool_));
   auto info = std::make_unique<TableInfo>();
   info->oid = next_oid_++;
@@ -48,14 +59,12 @@ StatusOr<TableInfo*> Catalog::CreateTable(const std::string& name,
 }
 
 StatusOr<TableInfo*> Catalog::GetTable(const std::string& name) const {
-  auto it = tables_.find(Key(name));
-  if (it == tables_.end()) {
-    return Status::NotFound("no such table: " + name);
-  }
-  return it->second.get();
+  ReaderMutexLock lock(mu_);
+  return LookupTableLocked(name);
 }
 
 Status Catalog::DropTable(const std::string& name) {
+  WriterMutexLock lock(mu_);
   auto it = tables_.find(Key(name));
   if (it == tables_.end()) {
     return Status::NotFound("no such table: " + name);
@@ -74,11 +83,12 @@ StatusOr<IndexInfo*> Catalog::CreateIndex(
     const std::string& index_name, const std::string& table,
     const std::string& column, bool on_phonemes, IndexKind kind,
     std::unique_ptr<AccessMethod> index) {
+  WriterMutexLock lock(mu_);
   const std::string key = Key(index_name);
   if (indexes_.count(key) > 0) {
     return Status::AlreadyExists("index exists: " + index_name);
   }
-  MURAL_ASSIGN_OR_RETURN(TableInfo * tinfo, GetTable(table));
+  MURAL_ASSIGN_OR_RETURN(TableInfo * tinfo, LookupTableLocked(table));
   if (tinfo->schema.IndexOf(column) < 0) {
     return Status::NotFound("no such column: " + table + "." + column);
   }
@@ -100,6 +110,7 @@ StatusOr<IndexInfo*> Catalog::CreateIndex(
 }
 
 StatusOr<IndexInfo*> Catalog::GetIndex(const std::string& name) const {
+  ReaderMutexLock lock(mu_);
   auto it = indexes_.find(Key(name));
   if (it == indexes_.end()) {
     return Status::NotFound("no such index: " + name);
@@ -109,6 +120,7 @@ StatusOr<IndexInfo*> Catalog::GetIndex(const std::string& name) const {
 
 std::vector<IndexInfo*> Catalog::FindIndexes(const std::string& table,
                                              const std::string& column) const {
+  ReaderMutexLock lock(mu_);
   std::vector<IndexInfo*> out;
   for (const auto& [name, info] : indexes_) {
     if (Key(info->table) == Key(table) &&
@@ -120,11 +132,12 @@ std::vector<IndexInfo*> Catalog::FindIndexes(const std::string& table,
 }
 
 Status Catalog::DropIndex(const std::string& name) {
+  WriterMutexLock lock(mu_);
   auto it = indexes_.find(Key(name));
   if (it == indexes_.end()) {
     return Status::NotFound("no such index: " + name);
   }
-  StatusOr<TableInfo*> tinfo = GetTable(it->second->table);
+  StatusOr<TableInfo*> tinfo = LookupTableLocked(it->second->table);
   if (tinfo.ok()) {
     auto& vec = (*tinfo)->indexes;
     vec.erase(std::remove(vec.begin(), vec.end(), it->second.get()),
@@ -135,6 +148,7 @@ Status Catalog::DropIndex(const std::string& name) {
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  ReaderMutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(tables_.size());
   for (const auto& [key, info] : tables_) out.push_back(info->name);

@@ -9,7 +9,10 @@
 
 #include "catalog/access_method.h"
 #include "catalog/schema.h"
+#include "common/lock_order.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/buffer_pool.h"
 #include "storage/heap_file.h"
 
@@ -37,8 +40,17 @@ struct TableInfo {
   std::vector<IndexInfo*> indexes;  // owned by the catalog's index map
 };
 
-/// The system catalog.  Single-threaded by design (one session), like the
-/// rest of the engine; names are case-insensitive.
+/// The system catalog.  Names are case-insensitive.
+///
+/// Thread safety: the maps are guarded by a SharedMutex — lookups take it
+/// shared, DDL takes it exclusive, so worker threads may resolve tables
+/// while other sessions run.  Returned TableInfo*/IndexInfo* stay valid
+/// until the object is dropped (entries are heap-allocated and never
+/// moved).  DML against a resolved TableInfo follows the storage layer's
+/// discipline: concurrent readers, or one writer (TableWriter) — and DDL
+/// must not drop an object that queries are still using.  Lock order:
+/// Catalog::mu_ before the buffer pool's table lock (CreateTable builds
+/// the heap while holding mu_); declared in common/lock_order.h.
 class Catalog {
  public:
   explicit Catalog(BufferPool* pool) : pool_(pool) {}
@@ -79,14 +91,21 @@ class Catalog {
  private:
   static std::string Key(const std::string& name);
 
-  BufferPool* pool_;
-  uint32_t next_oid_ = 1;
-  std::map<std::string, std::unique_ptr<TableInfo>> tables_;
-  std::map<std::string, std::unique_ptr<IndexInfo>> indexes_;
+  /// Map lookup without taking mu_ — for callers that already hold it
+  /// (the SharedMutex is not reentrant).
+  [[nodiscard]] StatusOr<TableInfo*> LookupTableLocked(
+      const std::string& name) const REQUIRES_SHARED(mu_);
+
+  BufferPool* const pool_;  // lint: unguarded(immutable after construction; the pool synchronizes itself)
+  mutable SharedMutex mu_ ACQUIRED_BEFORE(lock_rank::kBufferTable);
+  uint32_t next_oid_ GUARDED_BY(mu_) = 1;
+  std::map<std::string, std::unique_ptr<TableInfo>> tables_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<IndexInfo>> indexes_ GUARDED_BY(mu_);
 };
 
 /// TableHeap-level convenience: typed insert/scan over a TableInfo.
-/// Maintains all registered indexes on insert.
+/// Maintains all registered indexes on insert.  Single-writer, like the
+/// heap it wraps.
 class TableWriter {
  public:
   TableWriter(TableInfo* table) : table_(table) {}  // NOLINT

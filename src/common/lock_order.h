@@ -1,0 +1,37 @@
+// Engine-wide lock ranks for ACQUIRED_BEFORE / ACQUIRED_AFTER edges.
+//
+// Clang's thread-safety attributes can only name a lock the expression
+// grammar can reach: a member of the same class, or a namespace-scope
+// variable.  Two of the engine's lock-order edges cross those boundaries
+// (Catalog::mu_ is acquired before BufferPool::table_mu_, and the buffer
+// pool's table lock before any per-frame latch — the latches are dynamic,
+// one per frame, so no single declaration can stand for them).  The rank
+// objects below are never-locked SharedMutexes that exist purely as
+// namespace-scope names for those levels, so every real lock can declare
+// its position in the global order:
+//
+//   kCatalog  >  kBufferTable  >  kFrameLatch
+//
+// mural_lint's lock-order rule (tools/lint) collects every
+// ACQUIRED_BEFORE/ACQUIRED_AFTER edge across the tree and fails the build
+// on a contradictory (cyclic) declaration, so the order is machine-checked
+// even under GCC, where the attributes expand to nothing.
+
+#pragma once
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace mural::lock_rank {
+
+/// Rank of every per-frame page latch (BufferPool::Frame::latch).
+inline SharedMutex kFrameLatch;
+
+/// Rank of BufferPool::table_mu_ (frame table, LRU, pin counts).
+inline SharedMutex kBufferTable ACQUIRED_BEFORE(kFrameLatch);
+
+/// Rank of Catalog::mu_ (table/index maps).  DDL holds it while creating
+/// heaps through the buffer pool, hence catalog-before-buffer-table.
+inline SharedMutex kCatalog ACQUIRED_BEFORE(kBufferTable);
+
+}  // namespace mural::lock_rank

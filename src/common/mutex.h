@@ -49,10 +49,10 @@ class CAPABILITY("mutex") Mutex {
   std::mutex mu_;
 };
 
-/// A reader/writer mutex with shared-capability annotations.  Intended for
-/// read-mostly structures (the coming shared buffer pool's page table);
-/// nothing in the engine requires it yet, but annotating it now means the
-/// first user inherits compiler-checked discipline.
+/// A reader/writer mutex with shared-capability annotations.  The
+/// storage layer is built on it: BufferPool's frame table and per-frame
+/// page latches, and Catalog's metadata maps, all take it shared on the
+/// read paths (see DESIGN.md "Storage concurrency").  Not reentrant.
 class CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;

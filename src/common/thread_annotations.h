@@ -73,6 +73,18 @@
 /// non-reentrant locks).
 #define EXCLUDES(...) MURAL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
 
+/// Declares a static lock order: this mutex must be acquired before the
+/// listed ones.  Clang only enforces these under -Wthread-safety-beta, but
+/// mural_lint's guarded-field rule reads the declared order and rejects a
+/// subsystem that declares the inverse edge (see tools/lint/lint.h).
+#define ACQUIRED_BEFORE(...) \
+  MURAL_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// Inverse of ACQUIRED_BEFORE: this mutex must be acquired after the
+/// listed ones.
+#define ACQUIRED_AFTER(...) \
+  MURAL_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
 /// Runtime assertion that the capability is held (informs the analysis
 /// without acquiring anything).
 #define ASSERT_CAPABILITY(x) MURAL_THREAD_ANNOTATION(assert_capability(x))

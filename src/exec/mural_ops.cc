@@ -30,7 +30,6 @@ LexJoinOp::LexJoinOp(ExecContext* ctx, OpPtr outer, OpPtr inner,
 
 Status LexJoinOp::OpenImpl() {
   MURAL_RETURN_IF_ERROR(outer_->Open());
-  MURAL_RETURN_IF_ERROR(inner_->Open());
   inner_rows_.clear();
   inner_phonemes_.clear();
   inner_valid_.clear();
@@ -38,6 +37,15 @@ Status LexJoinOp::OpenImpl() {
   result_pos_ = 0;
   const int dop = options_.dop;
   parallel_mode_ = dop > 1 && ctx_->thread_pool != nullptr;
+  if (parallel_mode_ && options_.inner_table != nullptr) {
+    // The build side is a bare table: skip the inner child entirely and
+    // let build workers drain the heap through page-range morsels.
+    MURAL_RETURN_IF_ERROR(ParallelHeapBuild(dop));
+    outer_valid_ = false;
+    inner_pos_ = 0;
+    return OpenParallel(dop, /*build_done=*/true);
+  }
+  MURAL_RETURN_IF_ERROR(inner_->Open());
   Row row;
   while (true) {
     MURAL_ASSIGN_OR_RETURN(const bool more, inner_->Next(&row));
@@ -60,11 +68,78 @@ Status LexJoinOp::OpenImpl() {
   MURAL_RETURN_IF_ERROR(inner_->Close());
   outer_valid_ = false;
   inner_pos_ = 0;
-  if (parallel_mode_) return OpenParallel(dop);
+  if (parallel_mode_) return OpenParallel(dop, /*build_done=*/false);
   return Status::OK();
 }
 
-Status LexJoinOp::OpenParallel(int dop) {
+Status LexJoinOp::ParallelHeapBuild(int dop) {
+  // Page-range morsels over the inner table's heap: each worker fetches
+  // its pages through read guards, deserializes, and converts phonemes
+  // into a private slot; the gather concatenates slots in morsel order
+  // (= page chain order), which is exactly the serial drain order.
+  struct BuildSlot {
+    std::vector<Row> rows;
+    std::vector<PhonemeString> phonemes;
+    std::vector<bool> valid;
+  };
+  const TableInfo* table = options_.inner_table;
+  const HeapFile* heap = table->heap.get();
+  BufferPool* pool = heap->pool();
+  const std::vector<PageId>& pages = heap->pages();
+  const size_t n = pages.size();
+  const size_t morsel = std::max<size_t>(1, options_.build_morsel_pages);
+  const size_t num_morsels = n == 0 ? 0 : (n + morsel - 1) / morsel;
+  std::vector<BuildSlot> slots(num_morsels);
+  std::vector<ExecContext> build_ctxs(num_morsels, ctx_->WorkerClone());
+  MURAL_RETURN_IF_ERROR(ParallelMorsels(
+      ctx_->thread_pool, n, morsel, dop,
+      [this, table, pool, &pages, &slots, &build_ctxs](
+          size_t m, size_t begin, size_t end) {
+        ExecContext* wctx = &build_ctxs[m];
+        BuildSlot* slot = &slots[m];
+        Row row;
+        for (size_t p = begin; p < end; ++p) {
+          MURAL_ASSIGN_OR_RETURN(const ReadPageGuard guard,
+                                 pool->Fetch(pages[p]));
+          const Page* page = guard.get();
+          for (SlotId s = 0; s < page->NumSlots(); ++s) {
+            StatusOr<Slice> record = page->Get(s);
+            if (!record.ok()) continue;  // tombstone
+            MURAL_RETURN_IF_ERROR(TupleCodec::Deserialize(
+                table->schema, record->ToStringView(), &row));
+            const Value& v = row[inner_col_];
+            if (v.is_null()) {
+              slot->phonemes.emplace_back();
+              slot->valid.push_back(false);
+            } else {
+              MURAL_ASSIGN_OR_RETURN(PhonemeString ph, PhonemesOf(v, wctx));
+              slot->phonemes.push_back(std::move(ph));
+              slot->valid.push_back(true);
+            }
+            slot->rows.push_back(row);
+          }
+        }
+        return Status::OK();
+      }));
+  size_t total = 0;
+  for (const BuildSlot& slot : slots) total += slot.rows.size();
+  inner_rows_.reserve(total);
+  inner_phonemes_.reserve(total);
+  inner_valid_.reserve(total);
+  for (size_t m = 0; m < num_morsels; ++m) {
+    ctx_->stats.Merge(build_ctxs[m].stats);
+    cache_hits_ += build_ctxs[m].stats.phoneme_cache_hits;
+    cache_misses_ += build_ctxs[m].stats.phoneme_cache_misses;
+    for (Row& r : slots[m].rows) inner_rows_.push_back(std::move(r));
+    for (PhonemeString& ph : slots[m].phonemes) {
+      inner_phonemes_.push_back(std::move(ph));
+    }
+    for (const bool v : slots[m].valid) inner_valid_.push_back(v);
+  }
+  return Status::OK();
+}
+
+Status LexJoinOp::OpenParallel(int dop, bool build_done) {
   const int k = options_.threshold >= 0 ? options_.threshold
                                         : ctx_->lexequal_threshold;
   const size_t morsel = std::max<size_t>(1, options_.morsel_size);
@@ -73,12 +148,13 @@ Status LexJoinOp::OpenParallel(int dop) {
   // parallel.  Morsels own disjoint index ranges, so the writes to
   // inner_phonemes_ slots never alias; each morsel gets its own context
   // clone so stats accumulation is race-free (merged below, in order).
+  // Skipped when the heap build already converted during its drain.
   const size_t n_inner = inner_rows_.size();
   const size_t build_morsels =
-      n_inner == 0 ? 0 : (n_inner + morsel - 1) / morsel;
+      build_done || n_inner == 0 ? 0 : (n_inner + morsel - 1) / morsel;
   std::vector<ExecContext> build_ctxs(build_morsels, ctx_->WorkerClone());
   MURAL_RETURN_IF_ERROR(ParallelMorsels(
-      ctx_->thread_pool, n_inner, morsel, dop,
+      ctx_->thread_pool, build_done ? 0 : n_inner, morsel, dop,
       [this, &build_ctxs](size_t m, size_t begin, size_t end) {
         ExecContext* wctx = &build_ctxs[m];
         for (size_t i = begin; i < end; ++i) {

@@ -33,13 +33,22 @@ struct LexJoinOptions {
   bool tag_distance = false;
   /// Degree of parallelism for the build/probe phases.  > 1 (with a
   /// thread pool in the context) switches to the morsel-parallel path:
-  /// both inputs are drained serially, then inner phoneme construction
-  /// and outer probing run as morsels on the pool, gathered in morsel
-  /// order so output order is identical to the serial path.
+  /// inner phoneme construction and outer probing run as morsels on the
+  /// pool, gathered in morsel order so output order is identical to the
+  /// serial path.
   int dop = 1;
   /// Rows per morsel in the parallel phases (tests shrink this to force
   /// multi-morsel execution on small inputs).
   size_t morsel_size = 2048;
+  /// When the inner input is a bare table scan, the planner passes the
+  /// table here and the parallel path skips the inner child entirely:
+  /// build workers claim page-range morsels over the heap and drain it
+  /// through read guards (deserialize + G2P per morsel), gathered in
+  /// chain order so the build side is bit-identical to a serial drain.
+  /// nullptr (or dop <= 1) falls back to draining the inner child.
+  const TableInfo* inner_table = nullptr;
+  /// Heap pages per build morsel when `inner_table` drives the build.
+  size_t build_morsel_pages = 4;
 };
 
 class LexJoinOp : public PhysicalOp {
@@ -59,7 +68,10 @@ class LexJoinOp : public PhysicalOp {
   }
 
  private:
-  [[nodiscard]] Status OpenParallel(int dop);
+  /// `build_done` skips the phoneme build phase (ParallelHeapBuild
+  /// already produced inner_phonemes_ during its heap drain).
+  [[nodiscard]] Status OpenParallel(int dop, bool build_done);
+  [[nodiscard]] Status ParallelHeapBuild(int dop);
 
   OpPtr outer_, inner_;
   size_t outer_col_, inner_col_;

@@ -2,57 +2,65 @@
 
 #include <utility>
 
+#include "catalog/tuple_codec.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 
 namespace mural {
 
-ParallelLexScanOp::ParallelLexScanOp(ExecContext* ctx, OpPtr child,
+ParallelLexScanOp::ParallelLexScanOp(ExecContext* ctx, const TableInfo* table,
                                      ExprPtr predicate, int dop,
-                                     size_t morsel_size)
+                                     size_t morsel_pages)
     : PhysicalOp(ctx),
-      child_(std::move(child)),
+      table_(table),
       predicate_(std::move(predicate)),
       dop_(dop < 1 ? 1 : dop),
-      morsel_size_(morsel_size == 0 ? kDefaultMorselSize : morsel_size) {}
+      morsel_pages_(morsel_pages == 0 ? kDefaultMorselPages : morsel_pages) {}
 
 Status ParallelLexScanOp::OpenImpl() {
   results_.clear();
   result_pos_ = 0;
 
-  // Serial drain: the storage layer under the child is not thread-safe.
-  MURAL_RETURN_IF_ERROR(child_->Open());
-  std::vector<Row> input;
-  Row row;
-  while (true) {
-    MURAL_ASSIGN_OR_RETURN(const bool more, child_->Next(&row));
-    if (!more) break;
-    input.push_back(row);
-  }
-  MURAL_RETURN_IF_ERROR(child_->Close());
-
-  // Parallel predicate evaluation, one result slot per morsel.  Per-morsel
-  // context clones keep the stats counters race-free; they merge below in
-  // morsel order, so counters are deterministic too.
-  const size_t n = input.size();
+  // Workers claim page-range morsels over the heap's page directory and
+  // scan through read guards: the buffer pool's shared latches make the
+  // concurrent page accesses safe, so the storage walk parallelizes along
+  // with the CPU work.  Per-morsel context clones keep the stats counters
+  // race-free; they merge below in morsel order, so counters are
+  // deterministic too.
+  const HeapFile* heap = table_->heap.get();
+  BufferPool* pool = heap->pool();
+  const std::vector<PageId>& pages = heap->pages();
+  const size_t n = pages.size();
   const size_t num_morsels =
-      n == 0 ? 0 : (n + morsel_size_ - 1) / morsel_size_;
+      n == 0 ? 0 : (n + morsel_pages_ - 1) / morsel_pages_;
   std::vector<std::vector<Row>> slots(num_morsels);
   std::vector<ExecContext> worker_ctxs(num_morsels, ctx_->WorkerClone());
   MURAL_RETURN_IF_ERROR(ParallelMorsels(
-      ctx_->thread_pool, n, morsel_size_, dop_,
-      [this, &input, &slots, &worker_ctxs](size_t m, size_t begin,
-                                           size_t end) {
+      ctx_->thread_pool, n, morsel_pages_, dop_,
+      [this, pool, &pages, &slots, &worker_ctxs](size_t m, size_t begin,
+                                                 size_t end) {
         ExecContext* wctx = &worker_ctxs[m];
         std::vector<Row>* slot = &slots[m];
-        for (size_t i = begin; i < end; ++i) {
-          MURAL_ASSIGN_OR_RETURN(const bool pass,
-                                 EvalPredicate(*predicate_, input[i], wctx));
-          if (pass) slot->push_back(input[i]);
+        Row row;
+        for (size_t p = begin; p < end; ++p) {
+          MURAL_ASSIGN_OR_RETURN(const ReadPageGuard guard,
+                                 pool->Fetch(pages[p]));
+          const Page* page = guard.get();
+          for (SlotId s = 0; s < page->NumSlots(); ++s) {
+            StatusOr<Slice> record = page->Get(s);
+            if (!record.ok()) continue;  // tombstone
+            MURAL_RETURN_IF_ERROR(TupleCodec::Deserialize(
+                table_->schema, record->ToStringView(), &row));
+            MURAL_ASSIGN_OR_RETURN(const bool pass,
+                                   EvalPredicate(*predicate_, row, wctx));
+            if (pass) slot->push_back(row);
+          }
         }
         return Status::OK();
       }));
 
+  // Gather: flatten slots in morsel-index order (= page chain order = the
+  // serial SeqScan emission order) and merge stats the same way.
   size_t total = 0;
   for (const std::vector<Row>& slot : slots) total += slot.size();
   results_.reserve(total);
@@ -75,15 +83,15 @@ StatusOr<bool> ParallelLexScanOp::NextImpl(Row* out) {
 Status ParallelLexScanOp::CloseImpl() {
   results_.clear();
   result_pos_ = 0;
-  return child_->Close();  // no-op unless Open failed mid-drain
+  return Status::OK();
 }
 
 std::string ParallelLexScanOp::DisplayName() const {
   // Cache counters go live after Open; EXPLAIN ANALYZE re-renders this
   // name, so hit/miss totals appear alongside the actual row counts.
-  return StringFormat("ParallelLexScan(%s, dop=%d, cache h=%llu m=%llu)",
-                      predicate_->ToString().c_str(), dop_,
-                      static_cast<unsigned long long>(cache_hits_),
+  return StringFormat("ParallelLexScan(%s, %s, dop=%d, cache h=%llu m=%llu)",
+                      table_->name.c_str(), predicate_->ToString().c_str(),
+                      dop_, static_cast<unsigned long long>(cache_hits_),
                       static_cast<unsigned long long>(cache_misses_));
 }
 

@@ -1,16 +1,18 @@
 // ParallelLexScanOp: morsel-driven parallel evaluation of a Psi (LexEQUAL)
-// selection predicate.
+// selection predicate directly over a table's heap pages.
 //
 // Table 3 makes the no-index Psi scan CPU-bound (G2P conversion + banded
-// edit distance per row), so the operator splits its materialized input
-// into fixed-size morsels and evaluates the predicate on the session's
-// worker pool.  The child is drained serially first — storage (BufferPool,
-// HeapFile) is not thread-safe — so only the pure CPU work parallelizes.
+// edit distance per row), but the scan itself need not be serial either:
+// the storage layer's latched page guards (ReadPageGuard) make concurrent
+// page reads safe, so workers claim page-range morsels over the heap's
+// page directory and drive deserialization + predicate evaluation end to
+// end.  There is no serial child-drain phase — this operator is a leaf.
 //
-// Determinism: each morsel filters into its own result slot and the gather
-// concatenates slots in morsel-index order, so the output sequence is
-// bit-identical to a serial Filter(child) regardless of thread scheduling.
-// The differential harness (tests/parallel_differential_test.cc) pins this
+// Determinism: morsels own disjoint page ranges in chain order, each
+// filters into its own result slot, and the gather concatenates slots in
+// morsel-index order — so the output sequence is bit-identical to a
+// serial Filter(SeqScan) regardless of thread scheduling.  The
+// differential harness (tests/parallel_differential_test.cc) pins this
 // down for DOP in {1, 2, 4, 8}.
 
 #pragma once
@@ -18,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "catalog/catalog.h"
 #include "exec/expression.h"
 #include "exec/operator.h"
 
@@ -25,30 +28,30 @@ namespace mural {
 
 class ParallelLexScanOp : public PhysicalOp {
  public:
-  static constexpr size_t kDefaultMorselSize = 2048;
+  /// Pages per morsel.  A page holds on the order of 10²–10³ name rows,
+  /// so even a handful of pages amortizes the worker hand-off.
+  static constexpr size_t kDefaultMorselPages = 4;
 
-  /// `dop` > 1 with a thread pool in the context runs morsels on the
-  /// pool; otherwise the operator degrades to an inline serial filter
-  /// (same code path, one strip).
-  ParallelLexScanOp(ExecContext* ctx, OpPtr child, ExprPtr predicate,
-                    int dop, size_t morsel_size = kDefaultMorselSize);
+  /// Scans `table`'s heap.  `dop` > 1 with a thread pool in the context
+  /// runs page-range morsels on the pool; otherwise the operator degrades
+  /// to an inline serial scan (same code path, one strip at a time).
+  /// `morsel_pages` is the morsel granularity in heap pages.
+  ParallelLexScanOp(ExecContext* ctx, const TableInfo* table,
+                    ExprPtr predicate, int dop,
+                    size_t morsel_pages = kDefaultMorselPages);
 
   [[nodiscard]] Status OpenImpl() override;
   [[nodiscard]] StatusOr<bool> NextImpl(Row* out) override;
   [[nodiscard]] Status CloseImpl() override;
-  const Schema& output_schema() const override {
-    return child_->output_schema();
-  }
+  const Schema& output_schema() const override { return table_->schema; }
   std::string DisplayName() const override;
-  std::vector<const PhysicalOp*> Children() const override {
-    return {child_.get()};
-  }
+  std::vector<const PhysicalOp*> Children() const override { return {}; }
 
  private:
-  OpPtr child_;
+  const TableInfo* table_;
   ExprPtr predicate_;
   int dop_;
-  size_t morsel_size_;
+  size_t morsel_pages_;
 
   std::vector<Row> results_;
   size_t result_pos_ = 0;

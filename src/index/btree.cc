@@ -131,7 +131,7 @@ constexpr size_t kMaxEntryBytes = kPageSize / 4;
 }  // namespace
 
 StatusOr<BTree> BTree::Create(BufferPool* pool) {
-  MURAL_ASSIGN_OR_RETURN(PageGuard root, pool->NewPage());
+  MURAL_ASSIGN_OR_RETURN(WritePageGuard root, pool->NewPage());
   root->Init();
   root->set_level(0);
   root.MarkDirty();
@@ -146,10 +146,10 @@ Status BTree::Insert(std::string_view key, Rid rid) {
   MURAL_RETURN_IF_ERROR(InsertRec(root_, key, rid, &split));
   if (split.split) {
     // Grow a new root above the old one.
-    MURAL_ASSIGN_OR_RETURN(PageGuard old_root, pool_->Fetch(root_));
+    MURAL_ASSIGN_OR_RETURN(ReadPageGuard old_root, pool_->Fetch(root_));
     const uint16_t old_level = old_root->level();
     old_root.Release();
-    MURAL_ASSIGN_OR_RETURN(PageGuard new_root, pool_->NewPage());
+    MURAL_ASSIGN_OR_RETURN(WritePageGuard new_root, pool_->NewPage());
     new_root->Init();
     new_root->set_level(static_cast<uint16_t>(old_level + 1));
     std::vector<InternalEntry> entries;
@@ -168,7 +168,10 @@ Status BTree::Insert(std::string_view key, Rid rid) {
 Status BTree::InsertRec(PageId node, std::string_view key, Rid rid,
                         SplitResult* out) {
   out->split = false;
-  MURAL_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(node));
+  // Both outcomes of this function rewrite `node` (leaf insert, or the
+  // post-recursion separator insert), so take the exclusive latch up
+  // front rather than upgrading mid-flight.
+  MURAL_ASSIGN_OR_RETURN(WritePageGuard guard, pool_->FetchForWrite(node));
   if (guard->level() == 0) {
     // Leaf: insert in sorted position; rewrite the node.
     std::vector<LeafEntry> entries;
@@ -191,7 +194,7 @@ Status BTree::InsertRec(PageId node, std::string_view key, Rid rid,
     const size_t mid = entries.size() / 2;
     std::vector<LeafEntry> left(entries.begin(), entries.begin() + mid);
     std::vector<LeafEntry> right(entries.begin() + mid, entries.end());
-    MURAL_ASSIGN_OR_RETURN(PageGuard sibling, pool_->NewPage());
+    MURAL_ASSIGN_OR_RETURN(WritePageGuard sibling, pool_->NewPage());
     sibling->Init();
     sibling->set_level(0);
     sibling->set_next_page(guard->next_page());
@@ -221,7 +224,7 @@ Status BTree::InsertRec(PageId node, std::string_view key, Rid rid,
   if (!child_split.split) return Status::OK();
 
   // Re-fetch and add the new separator.
-  MURAL_ASSIGN_OR_RETURN(guard, pool_->Fetch(node));
+  MURAL_ASSIGN_OR_RETURN(guard, pool_->FetchForWrite(node));
   MURAL_CHECK(guard->level() == level);
   MURAL_RETURN_IF_ERROR(ReadInternalEntries(guard.get(), &entries));
   InternalEntry fresh{child_split.separator, child_split.right};
@@ -245,7 +248,7 @@ Status BTree::InsertRec(PageId node, std::string_view key, Rid rid,
   out->split = true;
   out->separator = right.front().key;
   right.front().key = "";  // becomes the -infinity entry of the new node
-  MURAL_ASSIGN_OR_RETURN(PageGuard sibling, pool_->NewPage());
+  MURAL_ASSIGN_OR_RETURN(WritePageGuard sibling, pool_->NewPage());
   sibling->Init();
   sibling->set_level(guard->level());
   MURAL_RETURN_IF_ERROR(WriteInternalEntries(sibling.get(), right));
@@ -263,7 +266,7 @@ Status BTree::Scan(
   // Descend to the leaf that may contain `lo`.
   PageId node = root_;
   while (true) {
-    MURAL_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(node));
+    MURAL_ASSIGN_OR_RETURN(const ReadPageGuard guard, pool_->Fetch(node));
     if (guard->level() == 0) break;
     std::vector<InternalEntry> entries;
     MURAL_RETURN_IF_ERROR(ReadInternalEntries(guard.get(), &entries));
@@ -272,7 +275,7 @@ Status BTree::Scan(
   }
   // Walk the leaf chain.
   while (node != kInvalidPage) {
-    MURAL_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(node));
+    MURAL_ASSIGN_OR_RETURN(const ReadPageGuard guard, pool_->Fetch(node));
     std::vector<LeafEntry> entries;
     MURAL_RETURN_IF_ERROR(ReadLeafEntries(guard.get(), &entries));
     for (const LeafEntry& e : entries) {
@@ -297,7 +300,7 @@ Status BTree::BulkLoad(std::vector<std::pair<std::string, Rid>> entries) {
   };
   std::vector<Built> level_nodes;
 
-  MURAL_ASSIGN_OR_RETURN(PageGuard leaf, pool_->NewPage());
+  MURAL_ASSIGN_OR_RETURN(WritePageGuard leaf, pool_->NewPage());
   leaf->Init();
   leaf->set_level(0);
   num_pages_ = 1;
@@ -313,7 +316,7 @@ Status BTree::BulkLoad(std::vector<std::pair<std::string, Rid>> entries) {
     const std::string rec = EncodeLeaf(key, rid);
     if (!first_in_leaf && used + rec.size() + 4 > kFillLimit) {
       level_nodes.push_back({leaf.id(), first_key});
-      MURAL_ASSIGN_OR_RETURN(PageGuard next, pool_->NewPage());
+      MURAL_ASSIGN_OR_RETURN(WritePageGuard next, pool_->NewPage());
       next->Init();
       next->set_level(0);
       leaf->set_next_page(next.id());
@@ -341,7 +344,7 @@ Status BTree::BulkLoad(std::vector<std::pair<std::string, Rid>> entries) {
     std::vector<Built> next_level;
     size_t i = 0;
     while (i < level_nodes.size()) {
-      MURAL_ASSIGN_OR_RETURN(PageGuard node, pool_->NewPage());
+      MURAL_ASSIGN_OR_RETURN(WritePageGuard node, pool_->NewPage());
       node->Init();
       node->set_level(level);
       ++num_pages_;

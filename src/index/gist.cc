@@ -60,7 +60,7 @@ constexpr size_t kNodeCapacityBytes = kPageSize - 64;
 }  // namespace
 
 StatusOr<GistTree> GistTree::Create(BufferPool* pool, const GistOps* ops) {
-  MURAL_ASSIGN_OR_RETURN(PageGuard root, pool->NewPage());
+  MURAL_ASSIGN_OR_RETURN(WritePageGuard root, pool->NewPage());
   root->Init();
   root->set_level(0);
   root.MarkDirty();
@@ -80,10 +80,10 @@ Status GistTree::Insert(std::string key, Rid rid) {
       InsertRec(root_, std::move(entry), /*target_level=*/0, &split,
                 &new_union));
   if (split.split) {
-    MURAL_ASSIGN_OR_RETURN(PageGuard old_root, pool_->Fetch(root_));
+    MURAL_ASSIGN_OR_RETURN(ReadPageGuard old_root, pool_->Fetch(root_));
     const uint16_t old_level = old_root->level();
     old_root.Release();
-    MURAL_ASSIGN_OR_RETURN(PageGuard new_root, pool_->NewPage());
+    MURAL_ASSIGN_OR_RETURN(WritePageGuard new_root, pool_->NewPage());
     new_root->Init();
     new_root->set_level(static_cast<uint16_t>(old_level + 1));
     GistEntry left_entry;
@@ -104,12 +104,12 @@ Status GistTree::Insert(std::string key, Rid rid) {
   return Status::OK();
 }
 
-Status GistTree::SplitNode(PageGuard* guard, std::vector<GistEntry> entries,
-                           SplitResult* out) {
+Status GistTree::SplitNode(WritePageGuard* guard,
+                           std::vector<GistEntry> entries, SplitResult* out) {
   std::vector<GistEntry> left, right;
   ops_->PickSplit(std::move(entries), &left, &right);
   MURAL_CHECK(!left.empty() && !right.empty()) << "PickSplit emptied a side";
-  MURAL_ASSIGN_OR_RETURN(PageGuard sibling, pool_->NewPage());
+  MURAL_ASSIGN_OR_RETURN(WritePageGuard sibling, pool_->NewPage());
   sibling->Init();
   sibling->set_level((*guard)->level());
   MURAL_RETURN_IF_ERROR(WriteEntries(sibling.get(), right));
@@ -129,7 +129,10 @@ Status GistTree::InsertRec(PageId node, GistEntry entry,
                            uint16_t target_level, SplitResult* out,
                            std::string* new_union) {
   out->split = false;
-  MURAL_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(node));
+  // Every outcome of this function rewrites `node` (leaf insert,
+  // adjust-keys, or separator insert), so take the exclusive latch up
+  // front.
+  MURAL_ASSIGN_OR_RETURN(WritePageGuard guard, pool_->FetchForWrite(node));
   std::vector<GistEntry> entries;
   MURAL_RETURN_IF_ERROR(ReadEntries(guard.get(), &entries));
 
@@ -164,7 +167,7 @@ Status GistTree::InsertRec(PageId node, GistEntry entry,
   MURAL_RETURN_IF_ERROR(InsertRec(child, std::move(entry), target_level,
                                   &child_split, &child_union));
 
-  MURAL_ASSIGN_OR_RETURN(guard, pool_->Fetch(node));
+  MURAL_ASSIGN_OR_RETURN(guard, pool_->FetchForWrite(node));
   MURAL_RETURN_IF_ERROR(ReadEntries(guard.get(), &entries));
   // `best` still addresses the same entry: splits only rewrite the child
   // node and this node is only modified below.
@@ -200,7 +203,7 @@ Status GistTree::Search(
   while (!stack.empty()) {
     const PageId node = stack.back();
     stack.pop_back();
-    MURAL_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(node));
+    MURAL_ASSIGN_OR_RETURN(const ReadPageGuard guard, pool_->Fetch(node));
     ++stats_.nodes_visited;
     std::vector<GistEntry> entries;
     MURAL_RETURN_IF_ERROR(ReadEntries(guard.get(), &entries));

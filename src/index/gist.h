@@ -108,7 +108,7 @@ class GistTree {
   Status InsertRec(PageId node, GistEntry entry, uint16_t target_level,
                    SplitResult* out, std::string* new_union);
   [[nodiscard]]
-  Status SplitNode(PageGuard* guard, std::vector<GistEntry> entries,
+  Status SplitNode(WritePageGuard* guard, std::vector<GistEntry> entries,
                    SplitResult* out);
 
   BufferPool* pool_;

@@ -338,9 +338,8 @@ StatusOr<Planner::Planned> Planner::PlanScan(const LogicalNode& node,
     const Cost par_cost = cost_model_.Parallelize(best.cost, dop);
     if (par_cost.total() < best.cost.total()) {
       best.cost = par_cost;
-      best.op = std::make_unique<ParallelLexScanOp>(
-          ctx_, std::make_unique<SeqScanOp>(ctx_, table), node.predicate,
-          dop);
+      best.op = std::make_unique<ParallelLexScanOp>(ctx_, table,
+                                                    node.predicate, dop);
     }
   }
 
@@ -534,7 +533,16 @@ StatusOr<Planner::Planned> Planner::PlanPsiJoin(const LogicalNode& node,
   LexJoinOp::Options options;
   options.threshold = node.psi_threshold;
   options.tag_distance = node.psi_tag_distance;
-  if (parallel_wins) options.dop = dop;
+  if (parallel_wins) {
+    options.dop = dop;
+    // Bare table scan on the build side: let the join's build workers
+    // drain the heap directly through page-range morsels instead of
+    // serializing behind the child operator.
+    if (r.base_table != nullptr &&
+        dynamic_cast<const SeqScanOp*>(r.op.get()) != nullptr) {
+      options.inner_table = r.base_table;
+    }
+  }
   out.op = std::make_unique<LexJoinOp>(ctx_, std::move(l.op),
                                        std::move(r.op), node.left_col,
                                        node.right_col, options);

@@ -29,11 +29,12 @@ class PhoneticTransformer {
   /// languages with no registered G2P family fall back to the English
   /// rules (a defined, deterministic default — matching the paper's use of
   /// a single canonical alphabet across languages).
-  PhonemeString Transform(std::string_view text, LangId lang) const;
+  PhonemeString Transform(std::string_view text,  // lint: blocking
+                          LangId lang) const;
 
   /// Phoneme string for a UniText value.  If the value already carries a
   /// materialized phoneme string, that is returned without recomputation.
-  PhonemeString Transform(const UniText& value) const;
+  PhonemeString Transform(const UniText& value) const;  // lint: blocking
 
   /// Materializes the phoneme string into `value` (insert-time path).
   void Materialize(UniText* value) const;

@@ -11,29 +11,47 @@ namespace mural {
 StatusOr<PageId> MemoryDiskManager::AllocatePage() {
   auto frame = std::make_unique<char[]>(kPageSize);
   std::memset(frame.get(), 0, kPageSize);
+  MutexLock lock(mu_);
   frames_.push_back(std::move(frame));
   ++stats_.page_allocs;
   return static_cast<PageId>(frames_.size() - 1);
 }
 
 Status MemoryDiskManager::ReadPage(PageId id, char* out) {
-  if (id >= frames_.size()) {
-    return Status::OutOfRange("read of unallocated page " +
-                              std::to_string(id));
+  const char* src = nullptr;
+  {
+    MutexLock lock(mu_);
+    if (id >= frames_.size()) {
+      return Status::OutOfRange("read of unallocated page " +
+                                std::to_string(id));
+    }
+    src = frames_[id].get();
+    ++stats_.page_reads;
   }
-  std::memcpy(out, frames_[id].get(), kPageSize);
-  ++stats_.page_reads;
+  // The 8 KiB copy runs unlocked: the block address is stable, and the
+  // buffer pool's frame latches keep same-page reads and writes apart.
+  std::memcpy(out, src, kPageSize);
   return Status::OK();
 }
 
 Status MemoryDiskManager::WritePage(PageId id, const char* data) {
-  if (id >= frames_.size()) {
-    return Status::OutOfRange("write of unallocated page " +
-                              std::to_string(id));
+  char* dst = nullptr;
+  {
+    MutexLock lock(mu_);
+    if (id >= frames_.size()) {
+      return Status::OutOfRange("write of unallocated page " +
+                                std::to_string(id));
+    }
+    dst = frames_[id].get();
+    ++stats_.page_writes;
   }
-  std::memcpy(frames_[id].get(), data, kPageSize);
-  ++stats_.page_writes;
+  std::memcpy(dst, data, kPageSize);
   return Status::OK();
+}
+
+uint32_t MemoryDiskManager::NumPages() const {
+  MutexLock lock(mu_);
+  return static_cast<uint32_t>(frames_.size());
 }
 
 StatusOr<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
@@ -59,43 +77,65 @@ FileDiskManager::~FileDiskManager() {
 StatusOr<PageId> FileDiskManager::AllocatePage() {
   char zeros[kPageSize];
   std::memset(zeros, 0, sizeof(zeros));
-  const PageId id = num_pages_;
+  PageId id = kInvalidPage;
+  {
+    MutexLock lock(mu_);
+    id = num_pages_;
+    ++num_pages_;  // reserve the id before the unlocked write below
+  }
   const off_t offset = static_cast<off_t>(id) * kPageSize;
   const ssize_t n = ::pwrite(fd_, zeros, kPageSize, offset);
   if (n != static_cast<ssize_t>(kPageSize)) {
+    MutexLock lock(mu_);
+    // Roll the reservation back if no later alloc built on top of it;
+    // otherwise the id stays a hole that reads back as OutOfRange.
+    if (num_pages_ == id + 1) --num_pages_;
     return Status::IOError("pwrite(" + path_ + "): " + std::strerror(errno));
   }
-  ++num_pages_;
+  MutexLock lock(mu_);
   ++stats_.page_allocs;
   return id;
 }
 
 Status FileDiskManager::ReadPage(PageId id, char* out) {
-  if (id >= num_pages_) {
-    return Status::OutOfRange("read of unallocated page " +
-                              std::to_string(id));
+  {
+    MutexLock lock(mu_);
+    if (id >= num_pages_) {
+      return Status::OutOfRange("read of unallocated page " +
+                                std::to_string(id));
+    }
   }
   const off_t offset = static_cast<off_t>(id) * kPageSize;
   const ssize_t n = ::pread(fd_, out, kPageSize, offset);
   if (n != static_cast<ssize_t>(kPageSize)) {
     return Status::IOError("pread(" + path_ + "): " + std::strerror(errno));
   }
+  MutexLock lock(mu_);
   ++stats_.page_reads;
   return Status::OK();
 }
 
 Status FileDiskManager::WritePage(PageId id, const char* data) {
-  if (id >= num_pages_) {
-    return Status::OutOfRange("write of unallocated page " +
-                              std::to_string(id));
+  {
+    MutexLock lock(mu_);
+    if (id >= num_pages_) {
+      return Status::OutOfRange("write of unallocated page " +
+                                std::to_string(id));
+    }
   }
   const off_t offset = static_cast<off_t>(id) * kPageSize;
   const ssize_t n = ::pwrite(fd_, data, kPageSize, offset);
   if (n != static_cast<ssize_t>(kPageSize)) {
     return Status::IOError("pwrite(" + path_ + "): " + std::strerror(errno));
   }
+  MutexLock lock(mu_);
   ++stats_.page_writes;
   return Status::OK();
+}
+
+uint32_t FileDiskManager::NumPages() const {
+  MutexLock lock(mu_);
+  return num_pages_;
 }
 
 }  // namespace mural

@@ -8,6 +8,13 @@
 // expressed in page I/Os (Table 3 of the paper), and the experiments verify
 // predictions against these counters rather than against wall-clock disk
 // latency, which on a modern NVMe/page-cached box would be pure noise.
+//
+// Thread safety: backends synchronize their own metadata (frame vector,
+// page count, stats) with an internal mutex, so a concurrent BufferPool
+// may issue reads/writes/allocs from many worker threads.  The page
+// *payload* transfer itself runs outside that mutex; the buffer pool's
+// per-frame latches guarantee the same page is never read and written
+// concurrently.  Read stats() only from quiesced code (tests, benches).
 
 #pragma once
 
@@ -15,12 +22,15 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/page.h"
 
 namespace mural {
 
-/// Counters shared by all backends.
+/// Counters shared by all backends (updated under each backend's internal
+/// mutex; read them while no worker threads are running).
 struct IoStats {
   uint64_t page_reads = 0;
   uint64_t page_writes = 0;
@@ -29,7 +39,9 @@ struct IoStats {
   void Reset() { *this = IoStats(); }
 };
 
-/// Abstract page store.
+/// Abstract page store.  The fsync family of libc calls has no in-repo
+/// declaration to mark, so it rides on the explicit-list form here:
+// lint: blocking(pread, pwrite, fsync, fdatasync)
 class DiskManager {
  public:
   virtual ~DiskManager() = default;
@@ -38,10 +50,10 @@ class DiskManager {
   [[nodiscard]] virtual StatusOr<PageId> AllocatePage() = 0;
 
   /// Reads page `id` into `out` (exactly kPageSize bytes).
-  [[nodiscard]] virtual Status ReadPage(PageId id, char* out) = 0;
+  [[nodiscard]] virtual Status ReadPage(PageId id, char* out) = 0;  // lint: blocking
 
   /// Writes page `id` from `data` (exactly kPageSize bytes).
-  [[nodiscard]] virtual Status WritePage(PageId id, const char* data) = 0;
+  [[nodiscard]] virtual Status WritePage(PageId id, const char* data) = 0;  // lint: blocking
 
   /// Number of allocated pages.
   virtual uint32_t NumPages() const = 0;
@@ -60,12 +72,14 @@ class MemoryDiskManager : public DiskManager {
   [[nodiscard]] StatusOr<PageId> AllocatePage() override;
   [[nodiscard]] Status ReadPage(PageId id, char* out) override;
   [[nodiscard]] Status WritePage(PageId id, const char* data) override;
-  uint32_t NumPages() const override {
-    return static_cast<uint32_t>(frames_.size());
-  }
+  uint32_t NumPages() const override;
 
  private:
-  std::vector<std::unique_ptr<char[]>> frames_;
+  mutable Mutex mu_;
+  // The vector may reallocate under mu_, but each 8 KiB block is a stable
+  // heap allocation, so a pointer looked up under the lock stays valid
+  // for the copy that runs outside it.
+  std::vector<std::unique_ptr<char[]>> frames_ GUARDED_BY(mu_);
 };
 
 /// Pages in a real file, one pread/pwrite per page access.
@@ -80,15 +94,16 @@ class FileDiskManager : public DiskManager {
   [[nodiscard]] StatusOr<PageId> AllocatePage() override;
   [[nodiscard]] Status ReadPage(PageId id, char* out) override;
   [[nodiscard]] Status WritePage(PageId id, const char* data) override;
-  uint32_t NumPages() const override { return num_pages_; }
+  uint32_t NumPages() const override;
 
  private:
   FileDiskManager(int fd, uint32_t num_pages, std::string path)
       : fd_(fd), num_pages_(num_pages), path_(std::move(path)) {}
 
-  int fd_;
-  uint32_t num_pages_;
-  std::string path_;
+  mutable Mutex mu_;
+  const int fd_;  // lint: unguarded(immutable after construction; pread/pwrite are per-call atomic)
+  uint32_t num_pages_ GUARDED_BY(mu_);
+  const std::string path_;  // lint: unguarded(immutable after construction)
 };
 
 }  // namespace mural

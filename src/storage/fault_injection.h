@@ -3,11 +3,17 @@
 // tests to verify that I/O errors propagate as Status through every layer
 // (heap scans, B+Tree splits, GiST inserts, query execution) instead of
 // crashing or corrupting in-memory state.
+//
+// The countdown and counters are mutex-guarded so the decorator can sit
+// under a shared, concurrently-accessed BufferPool (the storage stress
+// tests arm it while worker threads fetch and evict).
 
 #pragma once
 
 #include <memory>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "storage/disk_manager.h"
 
 namespace mural {
@@ -20,30 +26,40 @@ class FaultInjectionDiskManager : public DiskManager {
   /// After `ops_until_failure` further operations (reads+writes+allocs),
   /// every subsequent operation fails with IOError.
   void Arm(uint64_t ops_until_failure) {
+    MutexLock lock(mu_);
     armed_ = true;
     remaining_ = ops_until_failure;
   }
 
   /// Stops injecting; subsequent operations succeed again.
-  void Disarm() { armed_ = false; }
+  void Disarm() {
+    MutexLock lock(mu_);
+    armed_ = false;
+  }
 
-  uint64_t injected_failures() const { return injected_; }
+  uint64_t injected_failures() const {
+    MutexLock lock(mu_);
+    return injected_;
+  }
 
   [[nodiscard]] StatusOr<PageId> AllocatePage() override {
     MURAL_RETURN_IF_ERROR(MaybeFail("alloc"));
     MURAL_ASSIGN_OR_RETURN(const PageId id, inner_->AllocatePage());
+    MutexLock lock(mu_);
     ++stats_.page_allocs;
     return id;
   }
   [[nodiscard]] Status ReadPage(PageId id, char* out) override {
     MURAL_RETURN_IF_ERROR(MaybeFail("read"));
     MURAL_RETURN_IF_ERROR(inner_->ReadPage(id, out));
+    MutexLock lock(mu_);
     ++stats_.page_reads;
     return Status::OK();
   }
   [[nodiscard]] Status WritePage(PageId id, const char* data) override {
     MURAL_RETURN_IF_ERROR(MaybeFail("write"));
     MURAL_RETURN_IF_ERROR(inner_->WritePage(id, data));
+    MutexLock lock(mu_);
     ++stats_.page_writes;
     return Status::OK();
   }
@@ -51,6 +67,7 @@ class FaultInjectionDiskManager : public DiskManager {
 
  private:
   [[nodiscard]] Status MaybeFail(const char* op) {
+    MutexLock lock(mu_);
     if (!armed_) return Status::OK();
     if (remaining_ > 0) {
       --remaining_;
@@ -60,10 +77,11 @@ class FaultInjectionDiskManager : public DiskManager {
     return Status::IOError(std::string("injected fault on ") + op);
   }
 
-  DiskManager* inner_;
-  bool armed_ = false;
-  uint64_t remaining_ = 0;
-  uint64_t injected_ = 0;
+  mutable Mutex mu_;
+  DiskManager* const inner_;  // lint: unguarded(immutable after construction; inner manager synchronizes itself)
+  bool armed_ GUARDED_BY(mu_) = false;
+  uint64_t remaining_ GUARDED_BY(mu_) = 0;
+  uint64_t injected_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mural

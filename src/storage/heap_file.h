@@ -4,6 +4,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "storage/buffer_pool.h"
@@ -17,12 +18,20 @@ namespace mural {
 /// the catalog persists per table.  Inserts go to the last page, spilling
 /// to a newly allocated page when full (no free-space map: the workloads
 /// here are append-dominated, like the paper's bulk-loaded datasets).
+///
+/// Thread safety: reads (Get, Iterator, pages()) are safe from any number
+/// of threads concurrently — each page access goes through a buffer-pool
+/// ReadPageGuard.  Mutations (Insert, Delete) follow the engine's
+/// single-writer discipline: one thread at a time, not concurrent with
+/// readers of the same heap.  The parallel scan operators rely on exactly
+/// this split: they only run against heaps in a read-only phase.
 class HeapFile {
  public:
   /// Creates a new empty heap (allocates its first page).
   [[nodiscard]] static StatusOr<HeapFile> Create(BufferPool* pool);
 
-  /// Opens an existing heap rooted at `first_page`.
+  /// Opens an existing heap rooted at `first_page`, walking the page
+  /// chain once to rebuild the page directory.
   [[nodiscard]]
   static StatusOr<HeapFile> Open(BufferPool* pool, PageId first_page,
                                  PageId last_page, uint64_t num_records);
@@ -68,17 +77,27 @@ class HeapFile {
   PageId first_page() const { return first_page_; }
   PageId last_page() const { return last_page_; }
   uint64_t num_records() const { return num_records_; }
-  uint32_t num_pages() const { return num_pages_; }
+  uint32_t num_pages() const { return static_cast<uint32_t>(pages_.size()); }
+
+  /// The page directory, in chain order (pages_[0] == first_page).
+  /// Parallel scans claim page-range morsels over this vector so workers
+  /// need no serial chain discovery; like the rest of the heap it is
+  /// stable while no Insert runs.
+  const std::vector<PageId>& pages() const { return pages_; }
+
+  BufferPool* pool() const { return pool_; }
 
  private:
   HeapFile(BufferPool* pool, PageId first, PageId last, uint64_t n)
-      : pool_(pool), first_page_(first), last_page_(last), num_records_(n) {}
+      : pool_(pool), first_page_(first), last_page_(last), num_records_(n) {
+    pages_.push_back(first);
+  }
 
   BufferPool* pool_;
   PageId first_page_;
   PageId last_page_;
   uint64_t num_records_;
-  uint32_t num_pages_ = 1;
+  std::vector<PageId> pages_;  // chain order; maintained by Create/Insert/Open
 };
 
 }  // namespace mural

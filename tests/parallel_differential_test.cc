@@ -6,9 +6,10 @@
 // slots in morsel-index order.
 //
 // Two layers:
-//   1. Operator-level: ParallelLexScanOp / LexJoinOp constructed directly
-//      over seeded ValuesOp inputs (guaranteed to exercise the parallel
-//      code path, with small morsels so inputs span many morsels).
+//   1. Operator-level: ParallelLexScanOp over a real table heap (workers
+//      claim page-range morsels and scan through read guards — there is
+//      no serial drain phase to hide behind) and LexJoinOp over seeded
+//      ValuesOp inputs, with small morsels so inputs span many morsels.
 //   2. Planner-level: full Database queries under a degree_of_parallelism
 //      hint sweep, with datasets sized so the cost model actually picks
 //      the parallel plan at dop > 1.
@@ -27,6 +28,7 @@
 #include "exec/basic_ops.h"
 #include "exec/mural_ops.h"
 #include "exec/parallel_ops.h"
+#include "exec/scan_ops.h"
 #include "mural/algebra.h"
 #include "phonetic/phoneme_cache.h"
 
@@ -80,6 +82,30 @@ Schema NamesSchema() {
   return Schema({{"id", TypeId::kInt32}, {"name", TypeId::kUniText}});
 }
 
+// Seeded names loaded into a fresh single-table database ("names"); the
+// operator-level scan tests run against the table's heap pages directly.
+// `materialize` maps to the column's MATERIALIZE PHONEMES flag.
+StatusOr<std::unique_ptr<Database>> MakeNamesDatabase(size_t bases,
+                                                      size_t variants,
+                                                      uint64_t seed,
+                                                      bool materialize) {
+  MURAL_ASSIGN_OR_RETURN(std::unique_ptr<Database> db, Database::Open());
+  Schema schema({{"id", TypeId::kInt32},
+                 {"name", TypeId::kUniText, materialize}});
+  MURAL_RETURN_IF_ERROR(db->CreateTable("names", schema));
+  NameGenOptions options;
+  options.seed = seed;
+  options.num_bases = bases;
+  options.variants_per_base = variants;
+  for (const NameRecord& rec : GenerateNames(options)) {
+    MURAL_RETURN_IF_ERROR(
+        db->Insert("names", {Value::Int32(static_cast<int32_t>(rec.id)),
+                             Value::Uni(rec.name)}));
+  }
+  MURAL_RETURN_IF_ERROR(db->Analyze("names"));
+  return db;
+}
+
 // ------------------------------------------------------------------
 // Layer 1: operator-level equivalence.
 
@@ -105,19 +131,29 @@ class OperatorDifferentialTest : public ::testing::Test {
 TEST_F(OperatorDifferentialTest, ParallelLexScanMatchesSerialFilter) {
   for (const uint64_t seed : kSeeds) {
     for (const bool materialize : {true, false}) {
-      std::vector<Row> data =
-          SeededNameRows(seed, /*bases=*/300, /*variants=*/4, materialize);
+      auto db_or = MakeNamesDatabase(/*bases=*/300, /*variants=*/4, seed,
+                                     materialize);
+      ASSERT_TRUE(db_or.ok());
+      std::unique_ptr<Database> db = std::move(*db_or);
+      auto table_or = db->catalog()->GetTable("names");
+      ASSERT_TRUE(table_or.ok());
+      const TableInfo* table = *table_or;
+      ASSERT_GT(table->heap->num_pages(), 1u);
+
       // Probe with the first generated name: guarantees non-empty output.
-      const UniText probe = data.front()[1].unitext();
+      NameGenOptions gen;
+      gen.seed = seed;
+      gen.num_bases = 300;
+      gen.variants_per_base = 4;
+      const UniText probe = GenerateNames(gen).front().name;
       auto predicate = [&] {
         return LexEq(Col(1, "name"), Lit(Value::Uni(probe)), 2);
       };
 
-      // Serial reference: FilterOp over the same rows.
+      // Serial reference: FilterOp over a serial SeqScan of the same heap.
       ExecContext serial_ctx = MakeCtx(1);
       FilterOp serial(&serial_ctx,
-                      std::make_unique<ValuesOp>(&serial_ctx, NamesSchema(),
-                                                 data),
+                      std::make_unique<SeqScanOp>(&serial_ctx, table),
                       predicate());
       StatusOr<std::vector<Row>> expected = CollectAll(&serial);
       ASSERT_TRUE(expected.ok());
@@ -125,12 +161,14 @@ TEST_F(OperatorDifferentialTest, ParallelLexScanMatchesSerialFilter) {
 
       for (const int dop : kDops) {
         ExecContext ctx = MakeCtx(dop);
-        ParallelLexScanOp scan(
-            &ctx, std::make_unique<ValuesOp>(&ctx, NamesSchema(), data),
-            predicate(), dop, /*morsel_size=*/64);
+        // One page per morsel: the heap spans several pages, so every
+        // dop > 1 run splits the scan across many page-range morsels.
+        ParallelLexScanOp scan(&ctx, table, predicate(), dop,
+                               /*morsel_pages=*/1);
         StatusOr<std::vector<Row>> actual = CollectAll(&scan);
         ASSERT_TRUE(actual.ok()) << "seed=" << seed << " dop=" << dop;
-        // Bit-identical including order (morsel-order gather).
+        // Bit-identical including order (morsel-order gather follows the
+        // page chain order, which is the serial scan order).
         EXPECT_EQ(RenderAll(*actual), RenderAll(*expected))
             << "seed=" << seed << " dop=" << dop
             << " materialize=" << materialize;
@@ -175,6 +213,56 @@ TEST_F(OperatorDifferentialTest, ParallelLexJoinMatchesSerial) {
               << " materialize=" << materialize;
         }
       }
+    }
+  }
+}
+
+TEST_F(OperatorDifferentialTest, LexJoinHeapBuildMatchesSerial) {
+  // The table-backed build side: with Options::inner_table set, the
+  // parallel join never opens its inner child — build workers drain the
+  // heap through page-range read guards.  Results (rows AND order) must
+  // be bit-identical to the serial join that scans the same heap.
+  for (const uint64_t seed : kSeeds) {
+    // Sized so the heap reliably spans several pages (240 short rows can
+    // fit in a single 8 KiB page, which would make the page-range build
+    // morsels vacuous).
+    auto db_or = MakeNamesDatabase(/*bases=*/250, /*variants=*/3, seed,
+                                   /*materialize=*/false);
+    ASSERT_TRUE(db_or.ok());
+    std::unique_ptr<Database> db = std::move(*db_or);
+    auto table_or = db->catalog()->GetTable("names");
+    ASSERT_TRUE(table_or.ok());
+    const TableInfo* table = *table_or;
+    ASSERT_GT(table->heap->num_pages(), 1u);
+
+    std::vector<Row> outer =
+        SeededNameRows(seed, /*bases=*/60, /*variants=*/2, true);
+
+    auto run = [&](int dop, bool heap_build) -> std::vector<std::string> {
+      ExecContext ctx = MakeCtx(dop);
+      LexJoinOp::Options options;
+      options.threshold = 2;
+      options.dop = dop;
+      options.morsel_size = 32;
+      if (heap_build) {
+        options.inner_table = table;
+        options.build_morsel_pages = 1;  // many build morsels
+      }
+      LexJoinOp join(&ctx,
+                     std::make_unique<ValuesOp>(&ctx, NamesSchema(), outer),
+                     std::make_unique<SeqScanOp>(&ctx, table),
+                     1, 1, options);
+      StatusOr<std::vector<Row>> rows = CollectAll(&join);
+      EXPECT_TRUE(rows.ok()) << "seed=" << seed << " dop=" << dop;
+      return RenderAll(*rows);
+    };
+
+    const std::vector<std::string> expected = run(1, false);
+    ASSERT_FALSE(expected.empty());
+    for (const int dop : kDops) {
+      if (dop == 1) continue;  // inner_table requires the parallel path
+      EXPECT_EQ(run(dop, true), expected) << "seed=" << seed
+                                          << " dop=" << dop;
     }
   }
 }
@@ -243,9 +331,19 @@ TEST_F(OperatorDifferentialTest, TraceTreeAndMergedMetricsAreDopInvariant) {
   // hit/miss *split* are excluded: times vary by machine, and two workers
   // can duplicate-compute the same key (each counting a miss) — only the
   // hits+misses sum equals the deterministic lookup count.
-  std::vector<Row> data =
-      SeededNameRows(42, /*bases=*/300, /*variants=*/4, /*materialize=*/false);
-  const UniText probe = data.front()[1].unitext();
+  auto db_or = MakeNamesDatabase(/*bases=*/300, /*variants=*/4, /*seed=*/42,
+                                 /*materialize=*/false);
+  ASSERT_TRUE(db_or.ok());
+  std::unique_ptr<Database> db = std::move(*db_or);
+  auto table_or = db->catalog()->GetTable("names");
+  ASSERT_TRUE(table_or.ok());
+  const TableInfo* table = *table_or;
+
+  NameGenOptions gen;
+  gen.seed = 42;
+  gen.num_bases = 300;
+  gen.variants_per_base = 4;
+  const UniText probe = GenerateNames(gen).front().name;
   auto predicate = [&] {
     return LexEq(Col(1, "name"), Lit(Value::Uni(probe)), 2);
   };
@@ -286,9 +384,8 @@ TEST_F(OperatorDifferentialTest, TraceTreeAndMergedMetricsAreDopInvariant) {
     const uint64_t lookups0 = hits->value() + misses->value();
     const uint64_t morsels0 = morsels->value();
     ExecContext ctx = MakeCtx(dop);
-    ParallelLexScanOp scan(
-        &ctx, std::make_unique<ValuesOp>(&ctx, NamesSchema(), data),
-        predicate(), dop, /*morsel_size=*/64);
+    ParallelLexScanOp scan(&ctx, table, predicate(), dop,
+                           /*morsel_pages=*/1);
     StatusOr<std::vector<Row>> rows = CollectAll(&scan);
     ASSERT_TRUE(rows.ok()) << "dop=" << dop;
     TraceOptions opts;
@@ -302,8 +399,9 @@ TEST_F(OperatorDifferentialTest, TraceTreeAndMergedMetricsAreDopInvariant) {
       reference_morsels = morsels_run;
       ASSERT_FALSE(reference_tree.empty());
       ASSERT_GT(reference_lookups, 0u);
-      // ceil(n / morsel_size), by construction DOP-independent.
-      EXPECT_EQ(reference_morsels, (data.size() + 63) / 64);
+      // One page per morsel: exactly the heap's page count, by
+      // construction DOP-independent.
+      EXPECT_EQ(reference_morsels, table->heap->num_pages());
     } else {
       EXPECT_EQ(tree, reference_tree) << "dop=" << dop;
       EXPECT_EQ(lookups, reference_lookups) << "dop=" << dop;
@@ -317,29 +415,10 @@ TEST_F(OperatorDifferentialTest, TraceTreeAndMergedMetricsAreDopInvariant) {
 // the parallel plan, and the full query results must match the serial
 // reference).
 
-StatusOr<std::unique_ptr<Database>> MakeNamesDatabase(size_t bases,
-                                                      size_t variants,
-                                                      uint64_t seed) {
-  MURAL_ASSIGN_OR_RETURN(std::unique_ptr<Database> db, Database::Open());
-  Schema schema({{"id", TypeId::kInt32},
-                 {"name", TypeId::kUniText, /*mat=*/true}});
-  MURAL_RETURN_IF_ERROR(db->CreateTable("names", schema));
-  NameGenOptions options;
-  options.seed = seed;
-  options.num_bases = bases;
-  options.variants_per_base = variants;
-  for (const NameRecord& rec : GenerateNames(options)) {
-    MURAL_RETURN_IF_ERROR(
-        db->Insert("names", {Value::Int32(static_cast<int32_t>(rec.id)),
-                             Value::Uni(rec.name)}));
-  }
-  MURAL_RETURN_IF_ERROR(db->Analyze("names"));
-  return db;
-}
-
 TEST(PlannerDifferentialTest, ScanSweepProducesIdenticalResults) {
   for (const uint64_t seed : kSeeds) {
-    auto db_or = MakeNamesDatabase(/*bases=*/1600, /*variants=*/3, seed);
+    auto db_or = MakeNamesDatabase(/*bases=*/1600, /*variants=*/3, seed,
+                                   /*materialize=*/true);
     ASSERT_TRUE(db_or.ok());
     std::unique_ptr<Database> db = std::move(*db_or);
     // Provision the worker pool regardless of this machine's core count;
@@ -386,7 +465,8 @@ TEST(PlannerDifferentialTest, ScanSweepProducesIdenticalResults) {
 
 TEST(PlannerDifferentialTest, JoinSweepProducesIdenticalResults) {
   for (const uint64_t seed : kSeeds) {
-    auto db_or = MakeNamesDatabase(/*bases=*/120, /*variants=*/3, seed);
+    auto db_or = MakeNamesDatabase(/*bases=*/120, /*variants=*/3, seed,
+                                   /*materialize=*/true);
     ASSERT_TRUE(db_or.ok());
     std::unique_ptr<Database> db = std::move(*db_or);
     db->SetDegreeOfParallelism(8);
@@ -440,7 +520,8 @@ TEST(PlannerDifferentialTest, JoinSweepProducesIdenticalResults) {
 }
 
 TEST(PlannerDifferentialTest, SessionDopViaSqlSetIsHonored) {
-  auto db_or = MakeNamesDatabase(/*bases=*/1600, /*variants=*/3, 42);
+  auto db_or = MakeNamesDatabase(/*bases=*/1600, /*variants=*/3, 42,
+                                 /*materialize=*/true);
   ASSERT_TRUE(db_or.ok());
   std::unique_ptr<Database> db = std::move(*db_or);
 

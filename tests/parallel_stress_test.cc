@@ -4,11 +4,12 @@
 // (MURAL_SANITIZE=thread); asserts here are about Status propagation and
 // result stability, the data-race checking is the sanitizer's job.
 //
-// Thread-safety contract under test: PhonemeCache is the ONLY shared
-// mutable engine structure — BufferPool/Catalog are not thread-safe, so
-// every concurrent query owns a full private engine stack (disk ->
-// fault-injection wrapper -> buffer pool -> catalog) and only the cache
-// crosses threads.
+// Thread-safety contract under test: the session PhonemeCache is shared
+// across ALL tasks, and each task's engine stack (disk -> fault-injection
+// wrapper -> buffer pool -> catalog) is itself shared between that task's
+// nested morsel workers — BufferPool and Catalog are thread-safe since
+// the latched page-guard redesign, and the nested-parallel joins drain
+// their build side's heap through concurrent read guards.
 
 #include <gtest/gtest.h>
 
@@ -107,6 +108,11 @@ StatusOr<std::vector<Row>> RunJoin(PrivateEngine* engine, PhonemeCache* cache,
     ctx.degree_of_parallelism = 2;
     options.dop = 2;
     options.morsel_size = 16;
+    // Build workers drain the inner heap concurrently through read
+    // guards — with 4 frames against ~16 heap pages, that contends on
+    // the pool's table lock and eviction path too.
+    options.inner_table = engine->right;
+    options.build_morsel_pages = 2;
   }
   LexJoinOp join(&ctx, std::make_unique<SeqScanOp>(&ctx, engine->left),
                  std::make_unique<SeqScanOp>(&ctx, engine->right), 1, 1,

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Cross-commit comparison of BENCH_*.json artifacts (warn-only).
+
+Reads every BENCH_*.json present in --old and --new directories and
+reports, per benchmark:
+
+  * shape changes: (label, metric) keys added or removed — a renamed
+    series silently breaks cross-commit history, so it must be visible;
+  * regressions: time-like metrics (…_ms, …_ns, …_us, …time…) whose new
+    value exceeds the old by more than --threshold (default 10%).
+
+Two input shapes are understood: the in-repo JsonReporter document
+({"bench": ..., "results": [{"label", "metric", "value"}, ...]}) and
+google-benchmark's native JSON ({"benchmarks": [{"name", "cpu_time",
+...}, ...]}, used by bench_distance_ablation).
+
+CI-shared runners make absolute numbers noisy, so this gate is advisory:
+findings are printed as GitHub warning annotations and the exit code is
+always 0.  Uses only the Python standard library by design.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TIME_HINTS = ("_ms", "_ns", "_us", "time", "seconds")
+
+
+def load_series(path):
+    """Returns {(label, metric): value} for either supported shape."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    series = {}
+    if "results" in doc:  # JsonReporter
+        for row in doc["results"]:
+            series[(row["label"], row["metric"])] = float(row["value"])
+    elif "benchmarks" in doc:  # google-benchmark native
+        for row in doc["benchmarks"]:
+            name = row.get("name", "?")
+            for metric in ("real_time", "cpu_time"):
+                if metric in row:
+                    series[(name, metric)] = float(row[metric])
+    return series
+
+
+def is_time_like(metric):
+    m = metric.lower()
+    return any(h in m for h in TIME_HINTS)
+
+
+def warn(msg):
+    # GitHub annotation when running in Actions, plain line otherwise.
+    prefix = "::warning ::" if os.environ.get("GITHUB_ACTIONS") else "WARNING: "
+    print(prefix + msg)
+
+
+def compare(name, old, new, threshold):
+    findings = 0
+    for key in sorted(set(old) - set(new)):
+        warn(f"{name}: series {key} disappeared (shape change)")
+        findings += 1
+    for key in sorted(set(new) - set(old)):
+        print(f"{name}: new series {key} = {new[key]:.6g}")
+    for key in sorted(set(old) & set(new)):
+        label, metric = key
+        if not is_time_like(metric):
+            continue
+        if old[key] <= 0:
+            continue
+        ratio = new[key] / old[key]
+        if ratio > 1.0 + threshold:
+            warn(
+                f"{name}: {label}/{metric} regressed "
+                f"{old[key]:.6g} -> {new[key]:.6g} ({(ratio - 1) * 100:.1f}%)"
+            )
+            findings += 1
+    return findings
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--old", required=True, help="dir with previous BENCH_*.json")
+    ap.add_argument("--new", required=True, help="dir with current BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative regression threshold (default 0.10)")
+    args = ap.parse_args()
+
+    old_files = {f for f in os.listdir(args.old)
+                 if f.startswith("BENCH_") and f.endswith(".json")}
+    new_files = {f for f in os.listdir(args.new)
+                 if f.startswith("BENCH_") and f.endswith(".json")}
+
+    findings = 0
+    for f in sorted(old_files - new_files):
+        warn(f"{f} was produced by the previous commit but not this one")
+        findings += 1
+    for f in sorted(new_files - old_files):
+        print(f"{f}: new benchmark artifact (no baseline)")
+
+    compared = 0
+    for f in sorted(old_files & new_files):
+        try:
+            old = load_series(os.path.join(args.old, f))
+            new = load_series(os.path.join(args.new, f))
+        except (json.JSONDecodeError, KeyError, ValueError) as e:
+            warn(f"{f}: cannot parse ({e}); skipping")
+            findings += 1
+            continue
+        findings += compare(f, old, new, args.threshold)
+        compared += 1
+
+    print(f"bench_diff: {compared} artifact(s) compared, "
+          f"{findings} finding(s), threshold {args.threshold:.0%}")
+    return 0  # advisory only: never fail the job on noisy shared runners
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 #include <cstddef>
+#include <functional>
+#include <map>
 
 #include "lexer.h"
 
@@ -374,9 +376,66 @@ void CheckRawMutex(const std::string& path, const Toks& t,
 // no-lock-across-g2p-io
 // ---------------------------------------------------------------------------
 
+/// The identifier immediately before the first '(' among the tokens of
+/// `line`, or "" — the declared name a trailing / line-above
+/// `// lint: blocking` marker bans.
+std::string NameBeforeParenOnLine(const Toks& t, int line) {
+  for (size_t i = 1; i < t.size(); ++i) {
+    if (t[i].line != line) continue;
+    if (t[i].IsPunct("(") && t[i - 1].kind == TokKind::kIdent &&
+        t[i - 1].line == line) {
+      return std::string(t[i - 1].text);
+    }
+    if (t[i].IsPunct("(")) return "";
+  }
+  return "";
+}
+
+void CollectBlockingFromLex(const LexResult& lexed,
+                            std::vector<std::string>* names) {
+  constexpr std::string_view kMarker = "lint: blocking";
+  auto add = [names](std::string n) {
+    if (n.empty()) return;
+    if (std::find(names->begin(), names->end(), n) != names->end()) return;
+    names->push_back(std::move(n));
+  };
+  for (const CommentSpan& c : lexed.comments) {
+    const size_t pos = c.text.find(kMarker);
+    if (pos == std::string::npos) continue;
+    size_t i = pos + kMarker.size();
+    if (i < c.text.size() && c.text[i] == '(') {
+      // Explicit list: `// lint: blocking(pread, pwrite, ...)`.  The '('
+      // must touch the marker — prose like "blocking (slow)" is not a list.
+      ++i;
+      std::string cur;
+      for (; i < c.text.size() && c.text[i] != ')'; ++i) {
+        const char ch = c.text[i];
+        if (std::isalnum(ch & 0xff) || ch == '_') {
+          cur += ch;
+        } else {
+          add(std::move(cur));
+          cur.clear();
+        }
+      }
+      add(std::move(cur));
+      continue;
+    }
+    // Trailing form: the marked declaration shares the comment's line.
+    // Line-above form: it is the line after the comment ends.
+    std::string n = NameBeforeParenOnLine(lexed.tokens, c.first_line);
+    if (n.empty()) n = NameBeforeParenOnLine(lexed.tokens, c.last_line + 1);
+    add(std::move(n));
+  }
+}
+
 void CheckLockAcrossIo(const std::string& path, const Toks& t,
+                       const std::vector<std::string>& banned,
                        std::vector<Violation>* out) {
   if (PathContains(path, "common/") || PathContains(path, "tools/")) return;
+  auto is_banned = [&banned](const Tok& tk) {
+    return tk.kind == TokKind::kIdent &&
+           std::find(banned.begin(), banned.end(), tk.text) != banned.end();
+  };
   int depth = 0;
   std::vector<int> lock_depths;  // brace depth at each live MutexLock decl
   for (size_t i = 0; i < t.size(); ++i) {
@@ -400,14 +459,14 @@ void CheckLockAcrossIo(const std::string& path, const Toks& t,
       continue;
     }
     if (!lock_depths.empty() && i + 1 < t.size() && t[i + 1].IsPunct("(") &&
-        AnyOf(tk, {"Transform", "pread", "pwrite", "fsync", "fdatasync",
-                   "ReadPage", "WritePage"})) {
+        is_banned(tk)) {
       out->push_back(
           {path, tk.line, "no-lock-across-g2p-io",
            "`" + std::string(tk.text) +
-               "` called while a MutexLock is held; G2P transforms and "
-               "page IO must run outside the lock (compute, then relock "
-               "and publish — see common/mutex.h)"});
+               "` (declared `// lint: blocking`) called while a MutexLock "
+               "is held; G2P transforms and page IO must run outside the "
+               "lock (compute, then relock and publish — see "
+               "common/mutex.h)"});
     }
   }
 }
@@ -462,11 +521,33 @@ void ClassifyMember(const std::string& path,
   for (const Tok* tk : stmt) {
     if (tk->IsIdent("operator")) return;
   }
-  if (StmtLooksLikeFunction(stmt)) return;
-  bool is_mutex = false, annotated = false, internally_sync = false;
-  for (const Tok* tk : stmt) {
+  // Strip thread-safety attribute groups before the function-signature
+  // heuristic: `SharedMutex mu_ ACQUIRED_BEFORE(lock_rank::kX);` carries a
+  // top-level '(' but is a data member, and its class absolutely must
+  // count as mutex-holding.
+  bool annotated = false;
+  std::vector<const Tok*> core;
+  core.reserve(stmt.size());
+  for (size_t i = 0; i < stmt.size(); ++i) {
+    if (AnyOf(*stmt[i], {"GUARDED_BY", "PT_GUARDED_BY", "ACQUIRED_BEFORE",
+                         "ACQUIRED_AFTER"}) &&
+        i + 1 < stmt.size() && stmt[i + 1]->IsPunct("(")) {
+      if (AnyOf(*stmt[i], {"GUARDED_BY", "PT_GUARDED_BY"})) annotated = true;
+      int pdepth = 0;
+      size_t k = i + 1;
+      for (; k < stmt.size(); ++k) {
+        if (stmt[k]->IsPunct("(")) ++pdepth;
+        if (stmt[k]->IsPunct(")") && --pdepth == 0) break;
+      }
+      i = k;
+      continue;
+    }
+    core.push_back(stmt[i]);
+  }
+  if (StmtLooksLikeFunction(core)) return;
+  bool is_mutex = false, internally_sync = false;
+  for (const Tok* tk : core) {
     if (AnyOf(*tk, {"Mutex", "SharedMutex"})) is_mutex = true;
-    if (AnyOf(*tk, {"GUARDED_BY", "PT_GUARDED_BY"})) annotated = true;
     if (AnyOf(*tk, {"atomic", "CondVar"})) internally_sync = true;
   }
   if (is_mutex) {
@@ -478,7 +559,7 @@ void ClassifyMember(const std::string& path,
   // Member name: last identifier before a top-level initializer.
   std::string name;
   int angle = 0;
-  for (const Tok* tk : stmt) {
+  for (const Tok* tk : core) {
     if (tk->IsPunct("<")) ++angle;
     if (tk->IsPunct(">")) angle = std::max(0, angle - 1);
     if (tk->IsPunct(">>")) angle = std::max(0, angle - 2);
@@ -596,7 +677,142 @@ void CheckGuardedField(const std::string& path, const LexResult& lexed,
   }
 }
 
+// ---------------------------------------------------------------------------
+// lock-order
+// ---------------------------------------------------------------------------
+
+/// The lock an ACQUIRED_BEFORE/ACQUIRED_AFTER attribute at index `attr`
+/// annotates: the nearest plain identifier scanning backward over any
+/// earlier attribute groups on the same declaration
+/// (`SharedMutex table_mu_ ACQUIRED_AFTER(a) ACQUIRED_BEFORE(b)` names
+/// `table_mu_` from both attributes).
+std::string DeclaredLockName(const Toks& t, size_t attr) {
+  size_t j = attr;
+  while (j > 0) {
+    --j;
+    if (t[j].IsPunct(")")) {
+      // Skip a preceding attribute's argument group.
+      int depth = 0;
+      size_t k = j + 1;
+      while (k > 0) {
+        --k;
+        if (t[k].IsPunct(")")) ++depth;
+        if (t[k].IsPunct("(") && --depth == 0) break;
+      }
+      if (k == 0) return "";
+      j = k;
+      continue;
+    }
+    if (t[j].kind != TokKind::kIdent) return "";
+    if (AnyOf(t[j], {"ACQUIRED_BEFORE", "ACQUIRED_AFTER", "GUARDED_BY",
+                     "PT_GUARDED_BY"})) {
+      continue;  // the name of the argument group just skipped
+    }
+    return std::string(t[j].text);
+  }
+  return "";
+}
+
+void CollectEdgesFromLex(const std::string& path, const LexResult& lexed,
+                         std::vector<LockOrderEdge>* out) {
+  const Toks& t = lexed.tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    const bool before = t[i].IsIdent("ACQUIRED_BEFORE");
+    if (!before && !t[i].IsIdent("ACQUIRED_AFTER")) continue;
+    if (!t[i + 1].IsPunct("(")) continue;
+    const size_t close = MatchingParen(t, i + 1);
+    if (close == std::string_view::npos) continue;
+    // The macro definition itself (#define ACQUIRED_BEFORE(...)) yields no
+    // identifier arguments and is skipped naturally below.
+    const std::string decl = DeclaredLockName(t, i);
+    if (decl.empty() || decl == "define") {
+      i = close;
+      continue;
+    }
+    // Each top-level comma piece contributes one edge; the piece's name is
+    // its last identifier, so `lock_rank::kFrameLatch` and a plain member
+    // `kFrameLatch` land on the same node.
+    std::string arg;
+    int depth = 0;
+    auto flush = [&] {
+      if (arg.empty()) return;
+      if (before) {
+        out->push_back({decl, arg, path, t[i].line});
+      } else {
+        out->push_back({arg, decl, path, t[i].line});
+      }
+      arg.clear();
+    };
+    for (size_t k = i + 2; k < close; ++k) {
+      if (t[k].IsPunct("(")) ++depth;
+      if (t[k].IsPunct(")")) --depth;
+      if (t[k].IsPunct(",") && depth == 0) {
+        flush();
+        continue;
+      }
+      if (t[k].kind == TokKind::kIdent) arg = std::string(t[k].text);
+    }
+    flush();
+    i = close;
+  }
+}
+
 }  // namespace
+
+std::vector<std::string> CollectBlockingMarkers(std::string_view content) {
+  std::vector<std::string> names;
+  CollectBlockingFromLex(Lex(content), &names);
+  return names;
+}
+
+std::vector<LockOrderEdge> CollectLockOrderEdges(const std::string& rel_path,
+                                                 std::string_view content) {
+  std::vector<LockOrderEdge> edges;
+  const LexResult lexed = Lex(content);
+  CollectEdgesFromLex(rel_path, lexed, &edges);
+  return edges;
+}
+
+std::vector<Violation> CheckLockOrder(const std::vector<LockOrderEdge>& edges) {
+  // std::map keeps traversal (and therefore reporting) order deterministic
+  // regardless of the order files were scanned in.
+  std::map<std::string, std::vector<const LockOrderEdge*>> adj;
+  for (const LockOrderEdge& e : edges) {
+    adj[e.before].push_back(&e);
+    adj.emplace(e.after, std::vector<const LockOrderEdge*>());
+  }
+  std::vector<Violation> out;
+  std::map<std::string, int> color;  // 0 new, 1 on the DFS stack, 2 done
+  std::vector<std::string> stack;
+  const std::function<void(const std::string&)> dfs =
+      [&](const std::string& n) {
+        color[n] = 1;
+        stack.push_back(n);
+        for (const LockOrderEdge* e : adj[n]) {
+          const int c = color[e->after];
+          if (c == 1) {
+            std::string msg = "lock-order cycle: ";
+            for (auto it = std::find(stack.begin(), stack.end(), e->after);
+                 it != stack.end(); ++it) {
+              msg += *it + " -> ";
+            }
+            msg += e->after;
+            out.push_back(
+                {e->file, e->line, "lock-order",
+                 msg + "; the ACQUIRED_BEFORE/ACQUIRED_AFTER declarations "
+                       "contradict each other (see common/lock_order.h)"});
+          } else if (c == 0) {
+            dfs(e->after);
+          }
+        }
+        stack.pop_back();
+        color[n] = 2;
+      };
+  for (const auto& [node, unused] : adj) {
+    if (color[node] == 0) dfs(node);
+  }
+  return out;
+}
 
 std::string StripCommentsAndStrings(std::string_view src) {
   const LexResult lexed = Lex(src);
@@ -613,9 +829,19 @@ std::string StripCommentsAndStrings(std::string_view src) {
 
 std::vector<Violation> LintFile(const std::string& rel_path,
                                 std::string_view content) {
+  return LintFile(rel_path, content, LintOptions());
+}
+
+std::vector<Violation> LintFile(const std::string& rel_path,
+                                std::string_view content,
+                                const LintOptions& options) {
   std::vector<Violation> out;
   const LexResult lexed = Lex(content);
   const Toks& t = lexed.tokens;
+  // The file's own `// lint: blocking` markers always apply, on top of
+  // whatever the driver's cross-file pass collected.
+  std::vector<std::string> banned = options.blocking_calls;
+  CollectBlockingFromLex(lexed, &banned);
   CheckThrow(rel_path, t, &out);
   CheckNewDelete(rel_path, t, &out);
   CheckPragmaOnce(rel_path, t, &out);
@@ -625,7 +851,7 @@ std::vector<Violation> LintFile(const std::string& rel_path,
   CheckBareThread(rel_path, t, &out);
   CheckDirectClock(rel_path, t, &out);
   CheckRawMutex(rel_path, t, &out);
-  CheckLockAcrossIo(rel_path, t, &out);
+  CheckLockAcrossIo(rel_path, t, banned, &out);
   CheckGuardedField(rel_path, lexed, &out);
   return out;
 }

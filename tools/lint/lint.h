@@ -31,14 +31,26 @@
 //                       (and tools/): locking goes through the annotated
 //                       mural::Mutex wrappers (common/mutex.h) so
 //                       -Wthread-safety sees every acquisition.
-//   no-lock-across-g2p-io  no G2P Transform or page-IO call (pread, fsync,
-//                       ReadPage, ...) textually inside a MutexLock scope:
-//                       slow work runs outside the lock, then relocks to
-//                       publish (the phoneme-cache discipline).
+//   no-lock-across-g2p-io  no blocking call textually inside a MutexLock
+//                       scope: slow work runs outside the lock, then
+//                       relocks to publish (the phoneme-cache discipline).
+//                       The banned-call list is not hand-maintained: it is
+//                       derived from `// lint: blocking` markers on the
+//                       declarations themselves (Transform, ReadPage, ...)
+//                       collected across the tree by the two-pass driver.
 //   guarded-field       a class that declares a mural::Mutex must annotate
 //                       every mutable data member with GUARDED_BY /
 //                       PT_GUARDED_BY, or carry an explicit
-//                       `// lint: unguarded(reason)` marker.
+//                       `// lint: unguarded(reason)` marker.  Lock-order
+//                       attributes (ACQUIRED_BEFORE / ACQUIRED_AFTER) on a
+//                       member are understood, not mistaken for function
+//                       parameter lists.
+//   lock-order          every ACQUIRED_BEFORE / ACQUIRED_AFTER attribute
+//                       declares an edge in the global lock order (see
+//                       common/lock_order.h); the merged cross-file graph
+//                       must stay acyclic.  GCC expands the attributes to
+//                       nothing, so this rule is what actually enforces
+//                       the declared order on every compiler.
 
 #pragma once
 
@@ -59,14 +71,61 @@ struct Violation {
   }
 };
 
+/// One declared edge of the global lock order: `before` must be acquired
+/// before `after`.  ACQUIRED_BEFORE(x) on lock L yields {L, x};
+/// ACQUIRED_AFTER(x) yields {x, L}.  Names are unqualified (the last
+/// identifier of the expression, so `lock_rank::kFrameLatch` and a member
+/// `kFrameLatch` agree).
+struct LockOrderEdge {
+  std::string before;
+  std::string after;
+  std::string file;  // where the attribute was written
+  int line = 0;
+};
+
+/// Cross-file inputs for the rules, assembled by the driver's first pass
+/// over every file and then shared by every LintFile call.
+struct LintOptions {
+  /// Names banned inside MutexLock scopes (no-lock-across-g2p-io), merged
+  /// from `// lint: blocking` markers across the whole tree.  LintFile
+  /// always adds the file's own markers, so single-file invocations (unit
+  /// tests, editor integration) still see their local declarations.
+  std::vector<std::string> blocking_calls;
+};
+
 /// Replaces comments, string literals (including raw strings), and char
 /// literals with spaces, preserving newlines so line numbers survive.
 std::string StripCommentsAndStrings(std::string_view src);
 
-/// Runs every rule against one file.  `rel_path` decides path-scoped rules
-/// (tools/ may throw, storage/ may new/delete) and the own-header check.
+/// Pass 1: names declared blocking via `// lint: blocking` markers.  Three
+/// forms are understood:
+///   ret Foo(args);               // lint: blocking   (trailing: bans Foo)
+///   // lint: blocking            (whole line above the declaration)
+///   // lint: blocking(a, b, c)   (explicit list, for out-of-repo names
+///                                 like the libc fsync family)
+/// For the first two forms the banned name is the identifier immediately
+/// before the first '(' on the marked declaration line.
+std::vector<std::string> CollectBlockingMarkers(std::string_view content);
+
+/// Pass 1: every lock-order edge declared in `content` via
+/// ACQUIRED_BEFORE / ACQUIRED_AFTER attributes.
+std::vector<LockOrderEdge> CollectLockOrderEdges(const std::string& rel_path,
+                                                 std::string_view content);
+
+/// Pass 2 companion to CollectLockOrderEdges: checks the merged edge set
+/// for contradictions (a cycle, including self-edges) and returns one
+/// "lock-order" violation per cycle found.
+std::vector<Violation> CheckLockOrder(const std::vector<LockOrderEdge>& edges);
+
+/// Runs every per-file rule against one file.  `rel_path` decides
+/// path-scoped rules (tools/ may throw, storage/ may new/delete) and the
+/// own-header check.  The two-argument form lints the file in isolation:
+/// only its own `// lint: blocking` markers feed no-lock-across-g2p-io.
 std::vector<Violation> LintFile(const std::string& rel_path,
                                 std::string_view content);
+std::vector<Violation> LintFile(const std::string& rel_path,
+                                std::string_view content,
+                                const LintOptions& options);
 
 /// Formats "file:line: [rule] message".
 std::string FormatViolation(const Violation& v);

@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -348,13 +350,23 @@ TEST(RawMutexRule, AllowsPrimitivesInCommonAndWrappersEverywhere) {
       "no-raw-mutex"));
 }
 
-TEST(LockAcrossIoRule, FiresOnTransformUnderLock) {
+// The banned-call list comes from `// lint: blocking` markers — either
+// collected across the tree by the driver (LintOptions) or written in the
+// linted file itself.
+LintOptions BlockingCalls(std::vector<std::string> names) {
+  LintOptions options;
+  options.blocking_calls = std::move(names);
+  return options;
+}
+
+TEST(LockAcrossIoRule, FiresOnMarkedCallUnderLock) {
   const auto vs = LintFile(
       "src/phonetic/foo.cc",
       "void F() {\n"
       "  MutexLock lock(mu_);\n"
       "  auto p = transformer->Transform(text);\n"
-      "}\n");
+      "}\n",
+      BlockingCalls({"Transform"}));
   EXPECT_TRUE(HasRule(vs, "no-lock-across-g2p-io"));
 }
 
@@ -365,7 +377,8 @@ TEST(LockAcrossIoRule, SilentWhenLockScopeClosesFirst) {
       "  { MutexLock lock(mu_); if (Probe()) return; }\n"
       "  auto p = transformer->Transform(text);\n"
       "  { MutexLock lock(mu_); Publish(p); }\n"
-      "}\n");
+      "}\n",
+      BlockingCalls({"Transform"}));
   EXPECT_FALSE(HasRule(vs, "no-lock-across-g2p-io"));
 }
 
@@ -373,8 +386,111 @@ TEST(LockAcrossIoRule, FiresOnPageIoUnderLock) {
   const auto vs = LintFile(
       "src/storage/foo.cc",
       "void F() { MutexLock lock(mu_); pread(fd, buf, n, off); }\n"
-      "void G() { WriterMutexLock lock(mu_); pager->ReadPage(42); }\n");
+      "void G() { WriterMutexLock lock(mu_); pager->ReadPage(42); }\n",
+      BlockingCalls({"pread", "ReadPage"}));
   EXPECT_EQ(CountRule(vs, "no-lock-across-g2p-io"), 2);
+}
+
+TEST(LockAcrossIoRule, SilentWithoutAMarkerForTheCall) {
+  // No hand-maintained table: an unmarked call is not banned, even one
+  // that used to be hard-coded.
+  const auto vs = LintFile(
+      "src/phonetic/foo.cc",
+      "void F() { MutexLock lock(mu_); auto p = t->Transform(text); }\n");
+  EXPECT_FALSE(HasRule(vs, "no-lock-across-g2p-io"));
+}
+
+TEST(LockAcrossIoRule, FileLocalMarkerAppliesWithoutDriverOptions) {
+  const auto vs = LintFile(
+      "src/phonetic/foo.cc",
+      "PhonemeString Transform(std::string_view s) const;  // lint: blocking\n"
+      "void F() { MutexLock lock(mu_); auto p = Transform(text); }\n");
+  EXPECT_TRUE(HasRule(vs, "no-lock-across-g2p-io"));
+}
+
+TEST(BlockingMarkers, CollectsAllThreeForms) {
+  const auto names = CollectBlockingMarkers(
+      "// lint: blocking(pread, pwrite, fsync)\n"
+      "class DiskManager {\n"
+      "  virtual Status ReadPage(PageId id, char* out) = 0;  // lint: blocking\n"
+      "  // lint: blocking\n"
+      "  virtual Status WritePage(PageId id, const char* d) = 0;\n"
+      "  PhonemeString Transform(std::string_view text,  // lint: blocking\n"
+      "                          LangId lang) const;\n"
+      "};\n");
+  const std::vector<std::string> expected = {"pread", "pwrite", "fsync",
+                                             "ReadPage", "WritePage",
+                                             "Transform"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(BlockingMarkers, IgnoresUnmarkedDeclarationsAndOtherComments) {
+  const auto names = CollectBlockingMarkers(
+      "// a comment about blocking behavior, not a marker\n"
+      "Status ReadPage(PageId id);\n"
+      "int x;  // lint: unguarded(why)\n");
+  EXPECT_TRUE(names.empty());
+}
+
+TEST(LockOrderRule, CollectsBeforeAndAfterEdges) {
+  // Mirrors the real declarations: rank witnesses use ACQUIRED_BEFORE,
+  // member locks tie in with qualified ACQUIRED_AFTER/BEFORE arguments and
+  // stacked attributes.
+  const auto edges = CollectLockOrderEdges(
+      "src/common/lock_order.h",
+      "inline SharedMutex kFrameLatch;\n"
+      "inline SharedMutex kBufferTable ACQUIRED_BEFORE(kFrameLatch);\n"
+      "mutable SharedMutex table_mu_ ACQUIRED_AFTER(lock_rank::kCatalog)\n"
+      "    ACQUIRED_BEFORE(lock_rank::kFrameLatch);\n");
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0].before, "kBufferTable");
+  EXPECT_EQ(edges[0].after, "kFrameLatch");
+  EXPECT_EQ(edges[1].before, "kCatalog");  // AFTER inverts the edge
+  EXPECT_EQ(edges[1].after, "table_mu_");
+  EXPECT_EQ(edges[2].before, "table_mu_");
+  EXPECT_EQ(edges[2].after, "kFrameLatch");
+  EXPECT_EQ(edges[0].file, "src/common/lock_order.h");
+  EXPECT_EQ(edges[0].line, 2);
+}
+
+TEST(LockOrderRule, MacroDefinitionYieldsNoEdges) {
+  const auto edges = CollectLockOrderEdges(
+      "src/common/thread_annotations.h",
+      "#define ACQUIRED_BEFORE(...) \\\n"
+      "  THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))\n"
+      "#define ACQUIRED_AFTER(...) \\\n"
+      "  THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))\n");
+  EXPECT_TRUE(edges.empty());
+}
+
+TEST(LockOrderRule, AcyclicGraphIsClean) {
+  std::vector<LockOrderEdge> edges = {
+      {"kCatalog", "kBufferTable", "src/common/lock_order.h", 35},
+      {"kBufferTable", "kFrameLatch", "src/common/lock_order.h", 31},
+      {"mu_", "kBufferTable", "src/catalog/catalog.h", 100},
+      {"kCatalog", "table_mu_", "src/storage/buffer_pool.h", 132},
+      {"table_mu_", "kFrameLatch", "src/storage/buffer_pool.h", 132},
+  };
+  EXPECT_TRUE(CheckLockOrder(edges).empty());
+}
+
+TEST(LockOrderRule, FiresOnContradictoryDeclarations) {
+  // a before b (declared in one file) and b before a (another file): the
+  // merged graph has a cycle and the build must fail.
+  std::vector<LockOrderEdge> edges = {
+      {"a_mu", "b_mu", "src/x/one.h", 10},
+      {"b_mu", "a_mu", "src/y/two.h", 20},
+  };
+  const auto vs = CheckLockOrder(edges);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs.front().rule, "lock-order");
+  EXPECT_NE(vs.front().message.find("a_mu"), std::string::npos);
+  EXPECT_NE(vs.front().message.find("b_mu"), std::string::npos);
+}
+
+TEST(LockOrderRule, FiresOnSelfEdge) {
+  std::vector<LockOrderEdge> edges = {{"mu_", "mu_", "src/x/one.h", 5}};
+  EXPECT_EQ(CheckLockOrder(edges).size(), 1u);
 }
 
 TEST(GuardedFieldRule, FiresOnUnannotatedFieldInMutexClass) {
@@ -437,6 +553,23 @@ TEST(GuardedFieldRule, MutexAfterFieldStillGuardsWholeClass) {
       "  Mutex mu_;\n"
       "};\n");
   EXPECT_EQ(CountRule(vs, "guarded-field"), 1);
+}
+
+TEST(GuardedFieldRule, LockOrderAttributesDoNotHideTheMutex) {
+  // `SharedMutex mu_ ACQUIRED_BEFORE(...)` carries a top-level '(' — the
+  // function-signature heuristic must not misread it as a method decl, or
+  // the class would silently stop counting as mutex-holding.
+  const auto vs = LintFile(
+      "src/storage/pool.h",
+      "#pragma once\n"
+      "class Pool {\n"
+      "  mutable SharedMutex mu_ ACQUIRED_AFTER(lock_rank::kCatalog)\n"
+      "      ACQUIRED_BEFORE(lock_rank::kFrameLatch);\n"
+      "  std::map<int, int> table_ GUARDED_BY(mu_);\n"
+      "  uint64_t hits_;\n"
+      "};\n");
+  ASSERT_EQ(CountRule(vs, "guarded-field"), 1);
+  EXPECT_NE(vs.front().message.find("hits_"), std::string::npos);
 }
 
 TEST(GuardedFieldRule, NestedAndAttributedClasses) {

@@ -1,12 +1,19 @@
-// mural_lint driver: walks the given directories, lints every .h/.cc file,
-// prints violations, and exits non-zero when any are found.  Registered as a
-// tier-1 ctest test over src/ so every PR runs it.
+// mural_lint driver: walks the given directories and lints every .h/.cc
+// file in two passes.  Pass 1 reads all files and collects the cross-file
+// inputs — `// lint: blocking` markers (the banned-call list for
+// no-lock-across-g2p-io) and ACQUIRED_BEFORE/ACQUIRED_AFTER lock-order
+// edges.  Pass 2 runs the per-file rules with the merged marker set and
+// checks the merged lock-order graph for cycles.  Prints violations and
+// exits non-zero when any are found.  Registered as a tier-1 ctest test
+// over src/ and tools/ so every PR runs it.
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lint.h"
@@ -29,6 +36,11 @@ std::string LabelFor(const fs::path& root, const fs::path& file) {
   return (ec ? file : rel).generic_string();
 }
 
+struct SourceFile {
+  std::string label;
+  std::string content;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -36,8 +48,7 @@ int main(int argc, char** argv) {
     std::cerr << "usage: mural_lint <dir-or-file>...\n";
     return 2;
   }
-  int files_checked = 0;
-  std::vector<mural::lint::Violation> all;
+  std::vector<SourceFile> sources;
   for (int i = 1; i < argc; ++i) {
     const fs::path root = fs::absolute(argv[i]).lexically_normal();
     std::error_code ec;
@@ -77,17 +88,48 @@ int main(int argc, char** argv) {
       }
       std::ostringstream buf;
       buf << in.rdbuf();
-      ++files_checked;
-      const std::string label = LabelFor(root, file);
-      for (auto& v : mural::lint::LintFile(label, buf.str())) {
-        all.push_back(std::move(v));
-      }
+      sources.push_back({LabelFor(root, file), buf.str()});
     }
   }
+
+  // Pass 1: cross-file collection.  A blocking marker on a declaration in
+  // one header bans that call in every file; lock-order edges only mean
+  // anything as one merged graph.
+  mural::lint::LintOptions options;
+  std::vector<mural::lint::LockOrderEdge> edges;
+  for (const SourceFile& src : sources) {
+    // tools/ is exempt from the lock rules, and the lint sources themselves
+    // quote marker syntax in docs and tests — don't harvest markers there.
+    if (src.label.find("tools/") != std::string::npos) continue;
+    for (std::string& name : mural::lint::CollectBlockingMarkers(src.content)) {
+      auto& calls = options.blocking_calls;
+      if (std::find(calls.begin(), calls.end(), name) == calls.end()) {
+        calls.push_back(std::move(name));
+      }
+    }
+    for (mural::lint::LockOrderEdge& e :
+         mural::lint::CollectLockOrderEdges(src.label, src.content)) {
+      edges.push_back(std::move(e));
+    }
+  }
+
+  // Pass 2: per-file rules with the merged inputs, then the global graph.
+  std::vector<mural::lint::Violation> all;
+  for (const SourceFile& src : sources) {
+    for (auto& v : mural::lint::LintFile(src.label, src.content, options)) {
+      all.push_back(std::move(v));
+    }
+  }
+  for (auto& v : mural::lint::CheckLockOrder(edges)) {
+    all.push_back(std::move(v));
+  }
+
   for (const auto& v : all) {
     std::cout << mural::lint::FormatViolation(v) << "\n";
   }
-  std::cout << "mural_lint: " << files_checked << " files, " << all.size()
+  std::cout << "mural_lint: " << sources.size() << " files, "
+            << options.blocking_calls.size() << " blocking marker(s), "
+            << edges.size() << " lock-order edge(s), " << all.size()
             << " violation(s)\n";
   return all.empty() ? 0 : 1;
 }
