@@ -27,14 +27,27 @@ using OpPtr = std::unique_ptr<PhysicalOp>;
 /// Wall-time trace span for one operator, split by iterator phase.
 /// Next time is inclusive of children (parents drive children from their
 /// NextImpl), matching the EXPLAIN ANALYZE convention.
+///
+/// `storage_ns` attributes buffer-pool time to the operator: the delta of
+/// the process-wide storage.buffer_pool.fetch_nanos counter across each
+/// Open/Next/Close call.  Like the wall times it is inclusive of
+/// children, and being a process-global counter it also absorbs fetches
+/// issued by concurrent queries — a per-query attribution would need
+/// per-context counters.  Within the bench harness and EXPLAIN ANALYZE
+/// (one query at a time) it reads as "time this subtree spent in the
+/// buffer pool".
 struct OpSpan {
   uint64_t open_ns = 0;
   uint64_t next_ns = 0;
   uint64_t close_ns = 0;
+  uint64_t storage_ns = 0;
 
   uint64_t TotalNanos() const { return open_ns + next_ns + close_ns; }
   double TotalMillis() const {
     return static_cast<double>(TotalNanos()) * 1e-6;
+  }
+  double StorageMillis() const {
+    return static_cast<double>(storage_ns) * 1e-6;
   }
 };
 

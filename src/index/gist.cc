@@ -109,6 +109,7 @@ Status GistTree::SplitNode(WritePageGuard* guard,
   std::vector<GistEntry> left, right;
   ops_->PickSplit(std::move(entries), &left, &right);
   MURAL_CHECK(!left.empty() && !right.empty()) << "PickSplit emptied a side";
+  // lint: latch-exception(GiST node split: the overflowing node stays latched while the sibling is allocated so readers never see it mid-redistribution)
   MURAL_ASSIGN_OR_RETURN(WritePageGuard sibling, pool_->NewPage());
   sibling->Init();
   sibling->set_level((*guard)->level());

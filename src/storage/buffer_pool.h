@@ -65,19 +65,23 @@ class BufferPool {
   /// + any disk read + latch wait) accumulates into the
   /// storage.buffer_pool.fetch_nanos counter, which is how the bench
   /// harness attributes storage-layer time per query.
+  // lint: blocking
   [[nodiscard]] StatusOr<ReadPageGuard> Fetch(PageId id);
 
   /// Pins page `id` for writing.  The returned guard holds the frame's
   /// latch exclusively.  Time accumulates into fetch_nanos like Fetch.
+  // lint: blocking
   [[nodiscard]] StatusOr<WritePageGuard> FetchForWrite(PageId id);
 
   /// Allocates a fresh zeroed page on disk and pins it for writing
   /// (already marked dirty).  Formatting (Page::Init or an index layout)
   /// is left to the caller.
+  // lint: blocking
   [[nodiscard]] StatusOr<WritePageGuard> NewPage();
 
   /// Writes back all dirty pages (does not evict).  Safe to run
   /// concurrently with fetches.
+  // lint: blocking
   [[nodiscard]] Status FlushAll();
 
   size_t capacity() const { return capacity_; }

@@ -171,6 +171,54 @@ TEST(SpanClockTest, FakeClockMakesSpansExact) {
   const std::string trace = TraceTree(op);
   EXPECT_NE(trace.find("actual rows=10"), std::string::npos) << trace;
   EXPECT_NE(trace.find("time=13.000ms"), std::string::npos) << trace;
+  // A plan that never touches the buffer pool reports no storage time.
+  EXPECT_EQ(op.span().storage_ns, 0u);
+  EXPECT_EQ(trace.find("storage="), std::string::npos) << trace;
+}
+
+// An operator that behaves like a scan: each produced row "spends" 2 ms
+// in the buffer pool by bumping the fetch_nanos counter the way
+// BufferPool::Fetch does.
+class FetchingOp final : public PhysicalOp {
+ public:
+  FetchingOp(ExecContext* ctx, const Schema& schema)
+      : PhysicalOp(ctx), schema_(schema) {}
+  const Schema& output_schema() const override { return schema_; }
+  std::string DisplayName() const override { return "FetchingOp"; }
+
+ protected:
+  Status OpenImpl() override { return Status::OK(); }
+  StatusOr<bool> NextImpl(Row* out) override {
+    if (done_) return false;
+    done_ = true;
+    MetricsRegistry::Global()
+        .GetCounter("storage.buffer_pool.fetch_nanos")
+        ->Add(2'000'000);
+    *out = {Value::Int32(1)};
+    CountRow();
+    return true;
+  }
+  Status CloseImpl() override { return Status::OK(); }
+
+ private:
+  Schema schema_;
+  bool done_ = false;
+};
+
+TEST(SpanClockTest, FetchNanosDeltaAttributedToOperatorSpan) {
+  g_fake_now.store(0);
+  SpanClock::NowFn prev = SpanClock::SetNowFnForTest(&FakeNow);
+  ExecContext ctx;
+  Schema schema({{"id", TypeId::kInt32}});
+  FetchingOp op(&ctx, schema);
+  auto rows = CollectAll(&op);
+  SpanClock::SetNowFnForTest(prev);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  // Exactly the counter delta the operator's Next calls covered.
+  EXPECT_EQ(op.span().storage_ns, 2'000'000u);
+  const std::string trace = TraceTree(op);
+  EXPECT_NE(trace.find("storage=2.000ms"), std::string::npos) << trace;
 }
 
 // ------------------------------------------------------------------

@@ -1,13 +1,27 @@
 #!/usr/bin/env python3
 """Cross-commit comparison of BENCH_*.json artifacts (warn-only).
 
-Reads every BENCH_*.json present in --old and --new directories and
-reports, per benchmark:
+Reads every BENCH_*.json present in the baseline and --new directories
+and reports, per benchmark:
 
   * shape changes: (label, metric) keys added or removed — a renamed
     series silently breaks cross-commit history, so it must be visible;
   * regressions: time-like metrics (…_ms, …_ns, …_us, …time…) whose new
-    value exceeds the old by more than --threshold (default 10%).
+    value exceeds the baseline by more than --threshold (default 10%).
+
+The baseline comes from one of two modes:
+
+  --old DIR                 a single previous run (pairwise diff);
+  --history DIR [DIR ...]   a trend window of the last N runs — the
+                            baseline for each series is the *median* of
+                            its values across the runs that carry it.
+
+The median window is the noise-robust mode for CI: one slow historical
+run (cold cache, noisy neighbour) cannot poison the baseline the way it
+does in a pairwise diff, and one lucky fast run cannot mask a real
+regression.  Series-disappearance warnings in window mode only fire for
+series present in a strict majority of the historical runs, so a series
+added in the newest historical run does not warn while the window fills.
 
 Two input shapes are understood: the in-repo JsonReporter document
 ({"bench": ..., "results": [{"label", "metric", "value"}, ...]}) and
@@ -22,6 +36,7 @@ always 0.  Uses only the Python standard library by design.
 import argparse
 import json
 import os
+import statistics
 import sys
 
 TIME_HINTS = ("_ms", "_ns", "_us", "time", "seconds")
@@ -55,11 +70,44 @@ def warn(msg):
     print(prefix + msg)
 
 
-def compare(name, old, new, threshold):
+def bench_files(directory):
+    return {f for f in os.listdir(directory)
+            if f.startswith("BENCH_") and f.endswith(".json")}
+
+
+def median_baseline(history_dirs, filename):
+    """Median per (label, metric) across the history runs carrying the file.
+
+    Returns (baseline_series, majority_keys, runs_with_file).  A key makes
+    it into majority_keys only when a strict majority of the runs that
+    carry this file also carry the key — those are the keys whose
+    disappearance from the new run is worth a warning.
+    """
+    samples = {}  # (label, metric) -> [value, ...]
+    runs_with_file = 0
+    for d in history_dirs:
+        path = os.path.join(d, filename)
+        if not os.path.exists(path):
+            continue
+        series = load_series(path)
+        runs_with_file += 1
+        for key, value in series.items():
+            samples.setdefault(key, []).append(value)
+    baseline = {key: statistics.median(vals) for key, vals in samples.items()}
+    majority = {key for key, vals in samples.items()
+                if len(vals) * 2 > runs_with_file}
+    return baseline, majority, runs_with_file
+
+
+def compare(name, old, new, threshold, stable_keys=None):
+    """Diffs two series; stable_keys limits disappearance warnings."""
+    if stable_keys is None:
+        stable_keys = set(old)
     findings = 0
     for key in sorted(set(old) - set(new)):
-        warn(f"{name}: series {key} disappeared (shape change)")
-        findings += 1
+        if key in stable_keys:
+            warn(f"{name}: series {key} disappeared (shape change)")
+            findings += 1
     for key in sorted(set(new) - set(old)):
         print(f"{name}: new series {key} = {new[key]:.6g}")
     for key in sorted(set(old) & set(new)):
@@ -80,20 +128,31 @@ def compare(name, old, new, threshold):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--old", required=True, help="dir with previous BENCH_*.json")
+    mode = ap.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--old", help="dir with previous BENCH_*.json "
+                                    "(pairwise mode)")
+    mode.add_argument("--history", nargs="+", metavar="DIR",
+                      help="dirs with the last N runs' BENCH_*.json; the "
+                           "baseline is the per-series median across them")
     ap.add_argument("--new", required=True, help="dir with current BENCH_*.json")
     ap.add_argument("--threshold", type=float, default=0.10,
                     help="relative regression threshold (default 0.10)")
     args = ap.parse_args()
 
-    old_files = {f for f in os.listdir(args.old)
-                 if f.startswith("BENCH_") and f.endswith(".json")}
-    new_files = {f for f in os.listdir(args.new)
-                 if f.startswith("BENCH_") and f.endswith(".json")}
+    history_dirs = args.history if args.history else [args.old]
+    history_dirs = [d for d in history_dirs if os.path.isdir(d)]
+    if not history_dirs:
+        print("bench_diff: no usable baseline directories; nothing to do")
+        return 0
+
+    old_files = set()
+    for d in history_dirs:
+        old_files |= bench_files(d)
+    new_files = bench_files(args.new)
 
     findings = 0
     for f in sorted(old_files - new_files):
-        warn(f"{f} was produced by the previous commit but not this one")
+        warn(f"{f} was produced by a previous run but not this one")
         findings += 1
     for f in sorted(new_files - old_files):
         print(f"{f}: new benchmark artifact (no baseline)")
@@ -101,16 +160,20 @@ def main():
     compared = 0
     for f in sorted(old_files & new_files):
         try:
-            old = load_series(os.path.join(args.old, f))
+            baseline, majority, runs = median_baseline(history_dirs, f)
             new = load_series(os.path.join(args.new, f))
         except (json.JSONDecodeError, KeyError, ValueError) as e:
             warn(f"{f}: cannot parse ({e}); skipping")
             findings += 1
             continue
-        findings += compare(f, old, new, args.threshold)
+        tag = f if runs <= 1 else f"{f} (median of {runs} runs)"
+        findings += compare(tag, baseline, new, args.threshold,
+                            stable_keys=majority)
         compared += 1
 
-    print(f"bench_diff: {compared} artifact(s) compared, "
+    window = (f"window of {len(history_dirs)} run(s)"
+              if args.history else "pairwise")
+    print(f"bench_diff: {compared} artifact(s) compared ({window}), "
           f"{findings} finding(s), threshold {args.threshold:.0%}")
     return 0  # advisory only: never fail the job on noisy shared runners
 

@@ -1,0 +1,149 @@
+#include "layers.h"
+
+#include <sstream>
+
+namespace mural::lint {
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string ParseLayerConfig(std::string_view content, LayerConfig* config) {
+  *config = LayerConfig{};
+  std::string current;  // layer of the open [layer.NAME] section
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos <= content.size()) {
+    size_t nl = content.find('\n', pos);
+    if (nl == std::string_view::npos) nl = content.size();
+    std::string_view line = Trim(content.substr(pos, nl - pos));
+    pos = nl + 1;
+    ++line_no;
+    if (line.empty() || line.front() == '#') {
+      if (pos > content.size()) break;
+      continue;
+    }
+    std::ostringstream err;
+    err << "layers config line " << line_no << ": ";
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        err << "unterminated section header";
+        return err.str();
+      }
+      std::string_view section = Trim(line.substr(1, line.size() - 2));
+      constexpr std::string_view kPrefix = "layer.";
+      if (section.substr(0, kPrefix.size()) != kPrefix) {
+        err << "expected [layer.NAME], got [" << section << "]";
+        return err.str();
+      }
+      current = std::string(Trim(section.substr(kPrefix.size())));
+      if (current.empty()) {
+        err << "empty layer name";
+        return err.str();
+      }
+      if (config->deps.count(current) != 0) {
+        err << "duplicate layer '" << current << "'";
+        return err.str();
+      }
+      config->deps[current] = {};
+      config->order.push_back(current);
+      continue;
+    }
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      err << "expected `key = value`";
+      return err.str();
+    }
+    std::string_view key = Trim(line.substr(0, eq));
+    std::string_view value = Trim(line.substr(eq + 1));
+    if (current.empty()) {
+      err << "`" << key << "` outside any [layer.NAME] section";
+      return err.str();
+    }
+    if (key != "deps") {
+      err << "unknown key `" << key << "` (only `deps` is supported)";
+      return err.str();
+    }
+    if (value.size() < 2 || value.front() != '[' || value.back() != ']') {
+      err << "deps must be a single-line [\"a\", \"b\"] array";
+      return err.str();
+    }
+    std::string_view body = Trim(value.substr(1, value.size() - 2));
+    while (!body.empty()) {
+      size_t comma = body.find(',');
+      std::string_view item = Trim(body.substr(0, comma));
+      if (item.size() < 2 || item.front() != '"' || item.back() != '"') {
+        err << "deps entries must be quoted strings";
+        return err.str();
+      }
+      config->deps[current].emplace_back(item.substr(1, item.size() - 2));
+      if (comma == std::string_view::npos) break;
+      body = Trim(body.substr(comma + 1));
+    }
+  }
+
+  // Every dep must name a declared layer.
+  for (const auto& [layer, deps] : config->deps) {
+    for (const std::string& d : deps) {
+      if (config->deps.count(d) == 0) {
+        return "layers config: layer '" + layer + "' depends on undeclared '" +
+               d + "'";
+      }
+    }
+  }
+
+  // Transitive closure via DFS; a back edge on the stack is a cycle.
+  // State: 0 = unvisited, 1 = on stack, 2 = done.
+  std::map<std::string, int> state;
+  std::string cycle_error;
+  // Iterative DFS with an explicit stack of (layer, next-dep-index).
+  for (const std::string& root : config->order) {
+    if (state[root] == 2) continue;
+    std::vector<std::pair<std::string, size_t>> stack{{root, 0}};
+    state[root] = 1;
+    while (!stack.empty()) {
+      auto& [layer, idx] = stack.back();
+      const std::vector<std::string>& deps = config->deps[layer];
+      if (idx < deps.size()) {
+        const std::string& d = deps[idx++];
+        if (state[d] == 1) {
+          return "layers config: dependency cycle through '" + d + "'";
+        }
+        if (state[d] == 0) {
+          state[d] = 1;
+          stack.emplace_back(d, 0);
+        }
+        continue;
+      }
+      std::set<std::string>& closure = config->allowed[layer];
+      closure.insert(layer);
+      for (const std::string& d : deps) {
+        const std::set<std::string>& sub = config->allowed[d];
+        closure.insert(sub.begin(), sub.end());
+      }
+      state[layer] = 2;
+      stack.pop_back();
+    }
+  }
+  return "";
+}
+
+std::string LayerOfPath(const std::string& repo_rel_path) {
+  constexpr std::string_view kSrc = "src/";
+  if (repo_rel_path.compare(0, kSrc.size(), kSrc) != 0) return "";
+  const size_t slash = repo_rel_path.find('/', kSrc.size());
+  if (slash == std::string::npos) return "";
+  return repo_rel_path.substr(kSrc.size(), slash - kSrc.size());
+}
+
+}  // namespace mural::lint

@@ -1,0 +1,55 @@
+// The architecture layer map behind mural_lint's layering rule.
+//
+// tools/lint/layers.toml assigns every first-level directory under src/ to
+// a named layer and declares each layer's allowed direct dependencies.
+// LayerConfig computes the transitive closure, so a layer may include
+// anything strictly below it in the DAG; an include edge that runs upward
+// (or sideways between unrelated layers) is a "layering" violation, and a
+// src/ file whose directory has no layer assignment is "layer-config-drift"
+// — new subsystems must be placed in the map deliberately.
+//
+// The config parser handles exactly the TOML subset the checked-in file
+// uses: comments, `[layer.NAME]` section headers, and single-line
+// `deps = ["a", "b"]` arrays.  Parsing is strict — an unknown dep name or
+// a cycle in the declared DAG is a config error that fails the lint run
+// (a silently-broken map would turn the gate into a no-op).
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mural::lint {
+
+struct LayerConfig {
+  /// Declared direct dependencies, in file order.
+  std::map<std::string, std::vector<std::string>> deps;
+
+  /// Transitive closure of deps, including the layer itself.  A file in
+  /// layer L may include headers of any layer in allowed[L].
+  std::map<std::string, std::set<std::string>> allowed;
+
+  /// Section order as written in the config (stable output for the graph
+  /// artifact).
+  std::vector<std::string> order;
+
+  bool Known(const std::string& layer) const {
+    return deps.find(layer) != deps.end();
+  }
+};
+
+/// Parses a layers.toml document.  On success fills *config (closure
+/// computed, DAG verified acyclic) and returns an empty string; on failure
+/// returns a human-readable error.
+std::string ParseLayerConfig(std::string_view content, LayerConfig* config);
+
+/// The layer a repo-relative label belongs to: the first path component
+/// after a leading "src/" ("src/exec/foo.cc" -> "exec"), or "" for
+/// anything outside src/ (tools/, tests/) and for files sitting directly
+/// under src/.
+std::string LayerOfPath(const std::string& repo_rel_path);
+
+}  // namespace mural::lint

@@ -6,13 +6,14 @@
 #include <functional>
 #include <map>
 
+#include "layers.h"
 #include "lexer.h"
+#include "symbols.h"
+#include "token_util.h"
 
 namespace mural::lint {
 
 namespace {
-
-using Toks = std::vector<Tok>;
 
 bool PathContains(const std::string& path, std::string_view dir) {
   return path.find(dir) != std::string::npos;
@@ -32,24 +33,10 @@ std::string Basename(std::string_view path) {
                                                      : path.substr(slash + 1));
 }
 
+// MatchingParen / LooksLikeParamList / TokAnyOf live in token_util.h,
+// shared with the declaration parser (symbols.cc).
 bool AnyOf(const Tok& t, std::initializer_list<std::string_view> names) {
-  if (t.kind != TokKind::kIdent) return false;
-  for (std::string_view n : names) {
-    if (t.text == n) return true;
-  }
-  return false;
-}
-
-/// Index of the ')' matching the '(' at `open`, or npos.
-size_t MatchingParen(const Toks& t, size_t open) {
-  int depth = 0;
-  for (size_t i = open; i < t.size(); ++i) {
-    if (t[i].IsPunct("(")) ++depth;
-    if (t[i].IsPunct(")")) {
-      if (--depth == 0) return i;
-    }
-  }
-  return std::string_view::npos;
+  return TokAnyOf(t, names);
 }
 
 // ---------------------------------------------------------------------------
@@ -207,61 +194,6 @@ void CheckOwnHeaderFirst(const std::string& path, const Toks& t,
 // ---------------------------------------------------------------------------
 // discarded-status
 // ---------------------------------------------------------------------------
-
-/// True when the token span (b, e) between a `Status(`...`)` pair reads like
-/// a constructor *declaration's* parameter list rather than call arguments:
-/// some top-level comma piece is "Type name" or ends in a bare &/*/&&
-/// (unnamed reference/pointer parameter).  Empty parens are a declaration
-/// too (`Status();` inside the class body is the default ctor).
-bool LooksLikeParamList(const Toks& t, size_t b, size_t e) {
-  if (b >= e) return true;
-  int depth = 0;
-  size_t ps = b;
-  for (size_t i = b; i <= e; ++i) {
-    if (i < e) {
-      const Tok& tk = t[i];
-      if (tk.IsPunct("(") || tk.IsPunct("<") || tk.IsPunct("[") ||
-          tk.IsPunct("{")) {
-        ++depth;
-      } else if (tk.IsPunct(")") || tk.IsPunct(">") || tk.IsPunct("]") ||
-                 tk.IsPunct("}")) {
-        --depth;
-      } else if (tk.IsPunct(">>")) {
-        depth -= 2;
-      }
-      if (!(tk.IsPunct(",") && depth == 0)) continue;
-    }
-    // Piece [ps, i).
-    if (i > ps) {
-      const Tok& last = t[i - 1];
-      if (last.IsPunct("&") || last.IsPunct("*") || last.IsPunct("&&")) {
-        return true;
-      }
-      if (last.kind == TokKind::kIdent && i - 1 > ps) {
-        const Tok& prev = t[i - 2];
-        const bool sep_ok = prev.kind == TokKind::kIdent ||
-                            prev.IsPunct("&") || prev.IsPunct("*") ||
-                            prev.IsPunct("&&") || prev.IsPunct(">");
-        // The head must be a qualified-id token run (so value expressions
-        // like `a + b` do not read as "Type name").
-        bool type_like = true;
-        for (size_t k = ps; k + 1 < i && type_like; ++k) {
-          const Tok& h = t[k];
-          if (h.kind == TokKind::kIdent) continue;
-          if (h.IsPunct("::") || h.IsPunct("<") || h.IsPunct(">") ||
-              h.IsPunct(">>") || h.IsPunct("&") || h.IsPunct("*") ||
-              h.IsPunct("&&") || h.IsPunct(",")) {
-            continue;
-          }
-          type_like = false;
-        }
-        if (sep_ok && type_like) return true;
-      }
-    }
-    ps = i + 1;
-  }
-  return false;
-}
 
 void CheckDiscardedStatus(const std::string& path, const Toks& t,
                           std::vector<Violation>* out) {
@@ -678,6 +610,319 @@ void CheckGuardedField(const std::string& path, const LexResult& lexed,
 }
 
 // ---------------------------------------------------------------------------
+// layering / layer-config-drift
+// ---------------------------------------------------------------------------
+
+/// True when an escape-hatch comment containing `marker` sits on `line` or
+/// the line above it (same convention as `// lint: unguarded`).
+bool HasEscapeComment(const std::vector<CommentSpan>& comments, int line,
+                      std::string_view marker) {
+  for (const CommentSpan& c : comments) {
+    if (c.last_line >= line - 1 && c.first_line <= line &&
+        c.text.find(marker) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CheckLayering(const std::string& path, const FileSymbols& syms,
+                   const std::vector<CommentSpan>& comments,
+                   const LayerConfig& layers, std::vector<Violation>* out) {
+  const std::string layer = LayerOfPath(path);
+  if (layer.empty()) {
+    // Files directly under src/ have no subsystem; everything else (tools/,
+    // tests/) is outside the layered engine.
+    constexpr std::string_view kSrc = "src/";
+    if (path.compare(0, kSrc.size(), kSrc) == 0 &&
+        path.find('/', kSrc.size()) == std::string::npos) {
+      out->push_back({path, 1, "layer-config-drift",
+                      "file sits directly under src/, outside every layer; "
+                      "move it into a subsystem directory listed in "
+                      "tools/lint/layers.toml"});
+    }
+    return;
+  }
+  if (!layers.Known(layer)) {
+    out->push_back(
+        {path, 1, "layer-config-drift",
+         "directory `src/" + layer + "/` has no layer assignment in "
+         "tools/lint/layers.toml; place the new subsystem in the DAG"});
+    return;
+  }
+  const std::set<std::string>& allowed = layers.allowed.at(layer);
+  for (const IncludeRef& inc : syms.includes) {
+    if (!inc.quoted) continue;  // system headers are outside the DAG
+    const size_t slash = inc.path.find('/');
+    if (slash == std::string::npos) continue;  // same-directory include
+    const std::string target = inc.path.substr(0, slash);
+    if (!layers.Known(target)) continue;  // not a src/ subsystem
+    if (allowed.count(target) != 0) continue;
+    if (HasEscapeComment(comments, inc.line, "lint: layer-exception")) {
+      continue;
+    }
+    out->push_back(
+        {path, inc.line, "layering",
+         "`" + layer + "` must not include \"" + inc.path + "\": `" + target +
+             "` is not beneath it in the architecture DAG "
+             "(tools/lint/layers.toml); invert the dependency or add "
+             "`// lint: layer-exception(reason)`"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// status-flow
+// ---------------------------------------------------------------------------
+
+/// Index of the '(' matching the ')' at `close`, scanning backward; npos
+/// when unbalanced.
+size_t MatchingOpenParen(const Toks& t, size_t close) {
+  int depth = 0;
+  size_t i = close + 1;
+  while (i > 0) {
+    --i;
+    if (t[i].IsPunct(")")) ++depth;
+    if (t[i].IsPunct("(") && --depth == 0) return i;
+  }
+  return std::string_view::npos;
+}
+
+/// Walks from the called identifier at `i` back to the start of its
+/// postfix chain: `pool_->FlushAll`, `ns::Foo`, `Get(x)->Flush`.
+size_t ChainStart(const Toks& t, size_t i) {
+  size_t s = i;
+  while (s > 0) {
+    const Tok& p = t[s - 1];
+    if (!p.IsPunct(".") && !p.IsPunct("->") && !p.IsPunct("::")) break;
+    if (s < 2) break;
+    if (t[s - 2].kind == TokKind::kIdent) {
+      s -= 2;
+      continue;
+    }
+    if (t[s - 2].IsPunct(")")) {
+      const size_t open = MatchingOpenParen(t, s - 2);
+      if (open == std::string_view::npos || open == 0 ||
+          t[open - 1].kind != TokKind::kIdent) {
+        break;
+      }
+      s = open - 1;
+      continue;
+    }
+    break;
+  }
+  return s;
+}
+
+void CheckStatusFlow(const std::string& path, const Toks& t,
+                     const std::vector<std::string>& status_names,
+                     std::vector<Violation>* out) {
+  if (PathContains(path, "tools/")) return;
+  if (status_names.empty()) return;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || !t[i + 1].IsPunct("(")) continue;
+    if (std::find(status_names.begin(), status_names.end(), t[i].text) ==
+        status_names.end()) {
+      continue;
+    }
+    const size_t close = MatchingParen(t, i + 1);
+    if (close == std::string_view::npos || close + 1 >= t.size() ||
+        !t[close + 1].IsPunct(";")) {
+      continue;  // result bound, chained, or checked — not a bare statement
+    }
+    const size_t s = ChainStart(t, i);
+    // The chain must open its statement.  Anything else — `return x.F();`,
+    // `auto v = F();`, `MURAL_RETURN_IF_ERROR(F());` — consumes the value.
+    bool at_start = s == 0;
+    if (!at_start) {
+      const Tok& p = t[s - 1];
+      if (p.IsPunct(";") || p.IsPunct("{") || p.IsPunct("}") ||
+          p.IsIdent("else") || p.IsIdent("do")) {
+        at_start = true;
+      } else if (p.IsPunct(")")) {
+        // `if (...) F();` — the call is the controlled statement.  A cast
+        // group `(void) F();` is an explicit discard and stays silent.
+        const size_t open = MatchingOpenParen(t, s - 1);
+        if (open != std::string_view::npos && open > 0 &&
+            AnyOf(t[open - 1], {"if", "while", "for", "switch"})) {
+          at_start = true;
+        }
+      }
+    }
+    if (!at_start) continue;
+    out->push_back(
+        {path, t[i].line, "status-flow",
+         "`" + std::string(t[i].text) +
+             "` returns Status/StatusOr (per every declaration in the "
+             "tree) but the result is dropped; return it, "
+             "MURAL_RETURN_IF_ERROR it, or wrap it in MURAL_IGNORE_ERROR"});
+    i = close;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// latch-scope
+// ---------------------------------------------------------------------------
+
+void CheckLatchScope(const std::string& path, const LexResult& lexed,
+                     const std::vector<std::string>& banned,
+                     std::vector<Violation>* out) {
+  // buffer_pool.{h,cc} implement the guards (and do page IO while wiring
+  // them up); everything above the pool must follow the latch discipline.
+  if (PathContains(path, "common/") || PathContains(path, "tools/") ||
+      PathContains(path, "storage/buffer_pool")) {
+    return;
+  }
+  const Toks& t = lexed.tokens;
+  auto is_banned = [&banned](const Tok& tk) {
+    return tk.kind == TokKind::kIdent &&
+           std::find(banned.begin(), banned.end(), tk.text) != banned.end();
+  };
+  struct LiveGuard {
+    std::string name;
+    int depth;  // brace depth the guard lives at
+  };
+  struct ParamGuard {
+    std::string name;
+    int pdepth;  // paren depth of the parameter list it sits in
+  };
+  std::vector<LiveGuard> live;
+  std::vector<std::string> pending;  // local decls: live after their ';'
+  std::vector<ParamGuard> params;    // live if the param list opens a body
+  int depth = 0;
+  int pdepth = 0;
+  for (size_t i = 0; i < t.size(); ++i) {
+    const Tok& tk = t[i];
+    if (tk.IsPunct("(")) {
+      ++pdepth;
+      continue;
+    }
+    if (tk.IsPunct(")")) {
+      --pdepth;
+      if (!params.empty()) {
+        // This ')' closes a parameter list: its guards go live only when a
+        // definition body follows (a bare declaration binds nothing).
+        size_t j = i + 1;
+        while (j < t.size() &&
+               AnyOf(t[j], {"const", "noexcept", "override", "final"})) {
+          ++j;
+        }
+        const bool body = j < t.size() && t[j].IsPunct("{");
+        for (size_t k = params.size(); k > 0; --k) {
+          if (params[k - 1].pdepth != pdepth + 1) continue;
+          if (body) live.push_back({params[k - 1].name, depth + 1});
+          params.erase(params.begin() + static_cast<long>(k) - 1);
+        }
+      }
+      continue;
+    }
+    if (tk.IsPunct("{")) {
+      ++depth;
+      continue;
+    }
+    if (tk.IsPunct("}")) {
+      --depth;
+      while (!live.empty() && live.back().depth > depth) live.pop_back();
+      continue;
+    }
+    if (tk.IsPunct(";") && pdepth == 0) {
+      for (std::string& n : pending) live.push_back({std::move(n), depth});
+      pending.clear();
+      continue;
+    }
+    // Guard declaration: `WritePageGuard g = ...`, `ReadPageGuard* g` in a
+    // parameter list, or the first argument of MURAL_ASSIGN_OR_RETURN.  A
+    // mention inside template angles (`StatusOr<ReadPageGuard>`) has no
+    // declared name after it and never matches.
+    if (AnyOf(tk, {"ReadPageGuard", "WritePageGuard"})) {
+      size_t j = i + 1;
+      while (j < t.size() && (t[j].IsPunct("*") || t[j].IsPunct("&") ||
+                              t[j].IsPunct("&&"))) {
+        ++j;
+      }
+      if (j + 1 < t.size() && t[j].kind == TokKind::kIdent &&
+          (t[j + 1].IsPunct("=") || t[j + 1].IsPunct(";") ||
+           t[j + 1].IsPunct(",") || t[j + 1].IsPunct(")") ||
+           t[j + 1].IsPunct("{"))) {
+        std::string name(t[j].text);
+        if (pdepth == 0) {
+          pending.push_back(std::move(name));
+        } else {
+          // Inside parens: a function parameter, unless the enclosing
+          // group is a MURAL_ASSIGN_OR_RETURN — whose first argument is a
+          // genuine local declaration.
+          size_t enc = std::string_view::npos;
+          {
+            int d = 0;
+            size_t k = i;
+            while (k > 0) {
+              --k;
+              if (t[k].IsPunct(")")) ++d;
+              if (t[k].IsPunct("(")) {
+                if (d == 0) {
+                  enc = k;
+                  break;
+                }
+                --d;
+              }
+            }
+          }
+          const bool in_macro =
+              enc != std::string_view::npos && enc > 0 &&
+              t[enc - 1].IsIdent("MURAL_ASSIGN_OR_RETURN");
+          if (in_macro) {
+            pending.push_back(std::move(name));
+          } else {
+            params.push_back({std::move(name), pdepth});
+          }
+        }
+        i = j;
+        continue;
+      }
+      continue;
+    }
+    if (tk.kind != TokKind::kIdent) continue;
+    // Scope-enders: `g.Release()` / `g->Release()` and `std::move(g)`.
+    if (!live.empty()) {
+      if (i + 2 < t.size() &&
+          (t[i + 1].IsPunct(".") || t[i + 1].IsPunct("->")) &&
+          t[i + 2].IsIdent("Release")) {
+        for (size_t k = live.size(); k > 0; --k) {
+          if (live[k - 1].name == tk.text) {
+            live.erase(live.begin() + static_cast<long>(k) - 1);
+            break;
+          }
+        }
+        continue;
+      }
+      if (tk.IsIdent("move") && i + 3 < t.size() && t[i + 1].IsPunct("(") &&
+          t[i + 2].kind == TokKind::kIdent && t[i + 3].IsPunct(")")) {
+        for (size_t k = live.size(); k > 0; --k) {
+          if (live[k - 1].name == t[i + 2].text) {
+            live.erase(live.begin() + static_cast<long>(k) - 1);
+            break;
+          }
+        }
+        continue;
+      }
+    }
+    if (!live.empty() && i + 1 < t.size() && t[i + 1].IsPunct("(") &&
+        is_banned(tk)) {
+      if (HasEscapeComment(lexed.comments, tk.line, "lint: latch-exception")) {
+        continue;
+      }
+      out->push_back(
+          {path, tk.line, "latch-scope",
+           "`" + std::string(tk.text) +
+               "` (declared `// lint: blocking`) called while page guard `" +
+               live.back().name +
+               "` is held; Release() the latch first, or mark an "
+               "intentional two-latch section with "
+               "`// lint: latch-exception(reason)`"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // lock-order
 // ---------------------------------------------------------------------------
 
@@ -853,6 +1098,24 @@ std::vector<Violation> LintFile(const std::string& rel_path,
   CheckRawMutex(rel_path, t, &out);
   CheckLockAcrossIo(rel_path, t, banned, &out);
   CheckGuardedField(rel_path, lexed, &out);
+  CheckLatchScope(rel_path, lexed, banned, &out);
+  if (options.layers != nullptr || options.status_returning == nullptr) {
+    const FileSymbols syms = ParseFileSymbols(rel_path, lexed);
+    if (options.layers != nullptr) {
+      CheckLayering(rel_path, syms, lexed.comments, *options.layers, &out);
+    }
+    if (options.status_returning == nullptr) {
+      // No tree-wide index: vet the file's own declarations so local APIs
+      // are still checked.
+      SymbolIndex index;
+      index.AddFile(syms);
+      index.Finalize();
+      CheckStatusFlow(rel_path, t, index.status_returning(), &out);
+    }
+  }
+  if (options.status_returning != nullptr) {
+    CheckStatusFlow(rel_path, t, *options.status_returning, &out);
+  }
   return out;
 }
 

@@ -51,6 +51,36 @@
 //                       must stay acyclic.  GCC expands the attributes to
 //                       nothing, so this rule is what actually enforces
 //                       the declared order on every compiler.
+//
+// v3 adds cross-TU rules fed by the project-wide symbol index (symbols.h)
+// the driver builds in pass 1:
+//
+//   layering            every #include edge between src/ subsystems must
+//                       run downward in the architecture DAG declared in
+//                       tools/lint/layers.toml.  An upward or sideways
+//                       include fails with the offending path printed;
+//                       `// lint: layer-exception(reason)` on the include
+//                       line is the (audited) escape hatch.
+//   layer-config-drift  a file under src/ whose directory has no layer
+//                       assignment in layers.toml: new subsystems must be
+//                       placed in the DAG deliberately, or the layering
+//                       rule silently would not see them.
+//   status-flow         a bare-statement call to a function whose every
+//                       declaration in the tree returns Status/StatusOr
+//                       silently drops the error.  The banned-name set is
+//                       derived from the symbol index (a name also
+//                       declared with any other return type is exempt),
+//                       closing the gap class-level [[nodiscard]] cannot
+//                       see across helper and macro boundaries.  Return
+//                       the value, MURAL_RETURN_IF_ERROR it, or wrap it
+//                       in MURAL_IGNORE_ERROR.
+//   latch-scope         no `// lint: blocking`-marked call while a
+//                       ReadPageGuard / WritePageGuard is live: page
+//                       latches follow the same discipline as mutexes
+//                       (release, do the slow work, re-fetch).  Release()
+//                       or std::move() ends a guard's scope; intentional
+//                       two-latch sections (B+-tree splits) carry
+//                       `// lint: latch-exception(reason)` on the call.
 
 #pragma once
 
@@ -59,6 +89,8 @@
 #include <vector>
 
 namespace mural::lint {
+
+struct LayerConfig;  // layers.h
 
 struct Violation {
   std::string file;     // repo-relative path label, e.g. "src/exec/foo.cc"
@@ -91,6 +123,19 @@ struct LintOptions {
   /// always adds the file's own markers, so single-file invocations (unit
   /// tests, editor integration) still see their local declarations.
   std::vector<std::string> blocking_calls;
+
+  /// Sorted names whose every declaration tree-wide returns Status or
+  /// StatusOr (SymbolIndex::status_returning()).  When null, LintFile
+  /// derives the set from the file's own declarations, so single-file
+  /// invocations still check locally-declared APIs.  The driver always
+  /// passes the tree-wide set: it is authoritative, including its
+  /// *exclusions* (a name some other file declares with a different
+  /// return type must not be re-added from a local parse).
+  const std::vector<std::string>* status_returning = nullptr;
+
+  /// Architecture layer map (layers.h).  When null the layering and
+  /// layer-config-drift rules are skipped.
+  const LayerConfig* layers = nullptr;
 };
 
 /// Replaces comments, string literals (including raw strings), and char

@@ -4,12 +4,14 @@
 #include "lint.h"
 
 #include <algorithm>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "layers.h"
 #include "lexer.h"
 
 namespace mural::lint {
@@ -624,6 +626,234 @@ TEST(LintFileTest, ReportsLineNumbers) {
                            "void F() { throw 1; }\n");
   ASSERT_TRUE(HasRule(vs, "no-throw"));
   EXPECT_EQ(vs.front().line, 3);
+}
+
+// ---------------------------------------------------------------------------
+// v3 cross-TU rules: layering, status-flow, latch-scope
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kTestLayers = R"(
+[layer.common]
+deps = []
+[layer.exec]
+deps = ["catalog"]
+[layer.catalog]
+deps = ["common"]
+[layer.sql]
+deps = ["exec"]
+)";
+
+LayerConfig TestLayers() {
+  LayerConfig config;
+  const std::string err = ParseLayerConfig(kTestLayers, &config);
+  EXPECT_EQ(err, "");
+  return config;
+}
+
+TEST(LayerConfigTest, ParsesDepsAndComputesClosure) {
+  const LayerConfig config = TestLayers();
+  EXPECT_TRUE(config.Known("sql"));
+  // sql -> exec -> catalog -> common: the closure covers the whole chain.
+  const std::set<std::string>& allowed = config.allowed.at("sql");
+  EXPECT_EQ(allowed.count("common"), 1u);
+  EXPECT_EQ(allowed.count("sql"), 1u);
+  // common depends on nothing but itself.
+  EXPECT_EQ(config.allowed.at("common").size(), 1u);
+}
+
+TEST(LayerConfigTest, RejectsUndeclaredDepAndCycle) {
+  LayerConfig config;
+  EXPECT_NE(ParseLayerConfig("[layer.a]\ndeps = [\"ghost\"]\n", &config), "");
+  EXPECT_NE(
+      ParseLayerConfig(
+          "[layer.a]\ndeps = [\"b\"]\n[layer.b]\ndeps = [\"a\"]\n", &config),
+      "");
+}
+
+LintOptions WithLayers(const LayerConfig* layers) {
+  LintOptions options;
+  options.layers = layers;
+  return options;
+}
+
+TEST(LayeringRule, FiresOnUpwardInclude) {
+  const LayerConfig layers = TestLayers();
+  const auto vs = LintFile("src/exec/op.cc", "#include \"sql/parser.h\"\n",
+                           WithLayers(&layers));
+  EXPECT_TRUE(HasRule(vs, "layering"));
+}
+
+TEST(LayeringRule, SilentOnDownwardAndSystemIncludes) {
+  const LayerConfig layers = TestLayers();
+  const auto vs = LintFile("src/sql/parser.cc",
+                           "#include \"sql/parser.h\"\n"
+                           "#include <vector>\n"
+                           "#include \"exec/op.h\"\n"
+                           "#include \"common/status.h\"\n",
+                           WithLayers(&layers));
+  EXPECT_FALSE(HasRule(vs, "layering"));
+}
+
+TEST(LayeringRule, LayerExceptionCommentIsHonored) {
+  const LayerConfig layers = TestLayers();
+  const auto vs = LintFile(
+      "src/exec/op.cc",
+      "// lint: layer-exception(legacy shim until the planner split lands)\n"
+      "#include \"sql/parser.h\"\n",
+      WithLayers(&layers));
+  EXPECT_FALSE(HasRule(vs, "layering"));
+}
+
+TEST(LayeringRule, DriftOnUnassignedDirectory) {
+  const LayerConfig layers = TestLayers();
+  const auto vs = LintFile("src/server/server.cc", "int x;\n",
+                           WithLayers(&layers));
+  EXPECT_TRUE(HasRule(vs, "layer-config-drift"));
+  // Files outside src/ are outside the layered engine entirely.
+  const auto tools = LintFile("tools/bench/bench.cc", "int x;\n",
+                              WithLayers(&layers));
+  EXPECT_FALSE(HasRule(tools, "layer-config-drift"));
+}
+
+TEST(StatusFlowRule, FiresOnDroppedStatusCall) {
+  const auto vs = LintFile("src/exec/op.cc",
+                           "Status Flush();\n"
+                           "void F() {\n"
+                           "  Flush();\n"
+                           "}\n");
+  EXPECT_TRUE(HasRule(vs, "status-flow"));
+}
+
+TEST(StatusFlowRule, SilentWhenConsumed) {
+  const auto vs = LintFile("src/exec/op.cc",
+                           "Status Flush();\n"
+                           "StatusOr<int> Count();\n"
+                           "Status F() {\n"
+                           "  MURAL_RETURN_IF_ERROR(Flush());\n"
+                           "  MURAL_IGNORE_ERROR(Flush());\n"
+                           "  Status s = Flush();\n"
+                           "  if (!Flush().ok()) return s;\n"
+                           "  MURAL_ASSIGN_OR_RETURN(int n, Count());\n"
+                           "  return Flush();\n"
+                           "}\n");
+  EXPECT_FALSE(HasRule(vs, "status-flow"));
+}
+
+TEST(StatusFlowRule, FiresThroughMemberChains) {
+  const auto vs = LintFile("src/storage/heap.cc",
+                           "class Pool {\n"
+                           " public:\n"
+                           "  Status FlushAll();\n"
+                           "};\n"
+                           "void F(Pool* pool) {\n"
+                           "  pool->FlushAll();\n"
+                           "}\n");
+  EXPECT_EQ(CountRule(vs, "status-flow"), 1);
+}
+
+TEST(StatusFlowRule, TreeWideIndexIsAuthoritative) {
+  // The driver's vetted set excludes `Sync` (declared void elsewhere in
+  // the tree); the local declaration must not re-add it.
+  const std::vector<std::string> vetted;  // empty: nothing is banned
+  LintOptions options;
+  options.status_returning = &vetted;
+  const auto vs = LintFile("src/exec/op.cc",
+                           "Status Sync();\n"
+                           "void F() { Sync(); }\n",
+                           options);
+  EXPECT_FALSE(HasRule(vs, "status-flow"));
+}
+
+TEST(StatusFlowRule, AmbiguousNameIsNotVetted) {
+  const auto vs = LintFile("src/exec/op.cc",
+                           "Status Sync();\n"
+                           "void Sync(int fd);\n"
+                           "void F() { Sync(); }\n");
+  EXPECT_FALSE(HasRule(vs, "status-flow"));
+}
+
+TEST(LatchScopeRule, FiresOnBlockingCallWhileGuardHeld) {
+  const auto vs = LintFile("src/index/tree.cc",
+                           "Status F(BufferPool* pool) {\n"
+                           "  MURAL_ASSIGN_OR_RETURN(WritePageGuard guard,\n"
+                           "                         pool->FetchForWrite(1));\n"
+                           "  MURAL_ASSIGN_OR_RETURN(WritePageGuard fresh,\n"
+                           "                         pool->NewPage());\n"
+                           "  return Status::OK();\n"
+                           "}\n",
+                           BlockingCalls({"FetchForWrite", "NewPage"}));
+  EXPECT_EQ(CountRule(vs, "latch-scope"), 1);
+}
+
+TEST(LatchScopeRule, SilentAfterReleaseOrMove) {
+  const auto vs = LintFile("src/index/tree.cc",
+                           "Status F(BufferPool* pool) {\n"
+                           "  MURAL_ASSIGN_OR_RETURN(ReadPageGuard probe,\n"
+                           "                         pool->Fetch(1));\n"
+                           "  probe.Release();\n"
+                           "  MURAL_ASSIGN_OR_RETURN(WritePageGuard a,\n"
+                           "                         pool->NewPage());\n"
+                           "  WritePageGuard b = std::move(a);\n"
+                           "  Consume(std::move(b));\n"
+                           "  MURAL_ASSIGN_OR_RETURN(WritePageGuard c,\n"
+                           "                         pool->NewPage());\n"
+                           "  return Status::OK();\n"
+                           "}\n",
+                           BlockingCalls({"Fetch", "NewPage"}));
+  EXPECT_FALSE(HasRule(vs, "latch-scope"));
+}
+
+TEST(LatchScopeRule, SilentWhenGuardScopeClosesFirst) {
+  const auto vs = LintFile("src/index/tree.cc",
+                           "Status F(BufferPool* pool) {\n"
+                           "  {\n"
+                           "    MURAL_ASSIGN_OR_RETURN(ReadPageGuard g,\n"
+                           "                           pool->Fetch(1));\n"
+                           "    Use(g.get());\n"
+                           "  }\n"
+                           "  MURAL_ASSIGN_OR_RETURN(WritePageGuard n,\n"
+                           "                         pool->NewPage());\n"
+                           "  return Status::OK();\n"
+                           "}\n",
+                           BlockingCalls({"Fetch", "NewPage"}));
+  EXPECT_FALSE(HasRule(vs, "latch-scope"));
+}
+
+TEST(LatchScopeRule, TracksGuardParametersOfDefinitions) {
+  const auto vs = LintFile("src/index/tree.cc",
+                           "Status Split(BufferPool* pool,\n"
+                           "             WritePageGuard* guard) {\n"
+                           "  MURAL_ASSIGN_OR_RETURN(WritePageGuard sib,\n"
+                           "                         pool->NewPage());\n"
+                           "  return Status::OK();\n"
+                           "}\n",
+                           BlockingCalls({"NewPage"}));
+  EXPECT_TRUE(HasRule(vs, "latch-scope"));
+  // A bare declaration binds no guard: nothing is live.
+  const auto decl = LintFile("src/index/tree.h",
+                             "#pragma once\n"
+                             "Status Split(BufferPool* pool,\n"
+                             "             WritePageGuard* guard);\n"
+                             "Status Helper(BufferPool* pool) {\n"
+                             "  MURAL_RETURN_IF_ERROR(pool->FlushAll());\n"
+                             "  return Status::OK();\n"
+                             "}\n",
+                             BlockingCalls({"FlushAll"}));
+  EXPECT_FALSE(HasRule(decl, "latch-scope"));
+}
+
+TEST(LatchScopeRule, LatchExceptionCommentIsHonored) {
+  const auto vs = LintFile(
+      "src/index/tree.cc",
+      "Status F(BufferPool* pool) {\n"
+      "  MURAL_ASSIGN_OR_RETURN(WritePageGuard guard,\n"
+      "                         pool->FetchForWrite(1));\n"
+      "  // lint: latch-exception(two-latch split section)\n"
+      "  MURAL_ASSIGN_OR_RETURN(WritePageGuard fresh, pool->NewPage());\n"
+      "  return Status::OK();\n"
+      "}\n",
+      BlockingCalls({"FetchForWrite", "NewPage"}));
+  EXPECT_FALSE(HasRule(vs, "latch-scope"));
 }
 
 }  // namespace

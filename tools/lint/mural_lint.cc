@@ -1,22 +1,42 @@
 // mural_lint driver: walks the given directories and lints every .h/.cc
-// file in two passes.  Pass 1 reads all files and collects the cross-file
-// inputs — `// lint: blocking` markers (the banned-call list for
-// no-lock-across-g2p-io) and ACQUIRED_BEFORE/ACQUIRED_AFTER lock-order
-// edges.  Pass 2 runs the per-file rules with the merged marker set and
-// checks the merged lock-order graph for cycles.  Prints violations and
-// exits non-zero when any are found.  Registered as a tier-1 ctest test
-// over src/ and tools/ so every PR runs it.
+// file in two passes, both parallelized over common/thread_pool.
+//
+// Pass 1 parses every file once and collects the cross-file inputs:
+//   * `// lint: blocking` markers (the banned-call list shared by
+//     no-lock-across-g2p-io and latch-scope),
+//   * ACQUIRED_BEFORE/ACQUIRED_AFTER lock-order edges,
+//   * the project-wide symbol index (symbols.h) — per-file include lists
+//     for the layering rule and the include-graph artifact, plus the
+//     vetted set of Status/StatusOr-returning names for status-flow.
+//
+// Pass 2 runs the per-file rules with the merged inputs, then checks the
+// merged lock-order graph for cycles.  Prints violations and exits
+// non-zero when any are found.  Registered as a tier-1 ctest test over
+// src/ and tools/ so every PR runs it.
+//
+// Flags:
+//   --layers FILE      layer map (tools/lint/layers.toml); enables the
+//                      layering and layer-config-drift rules
+//   --graph-json FILE  write the include graph (layers, per-file include
+//                      lists, layer-level edges) as JSON
+//   --graph-dot FILE   write the layer-level include graph as Graphviz DOT
 
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "layers.h"
 #include "lint.h"
+#include "symbols.h"
 
 namespace fs = std::filesystem;
 
@@ -41,16 +61,169 @@ struct SourceFile {
   std::string content;
 };
 
+/// Everything pass 1 learns about one file; filled concurrently, one slot
+/// per source, merged single-threaded afterwards.
+struct ParsedFile {
+  std::vector<std::string> blocking;
+  std::vector<mural::lint::LockOrderEdge> edges;
+  mural::lint::FileSymbols symbols;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Layer-level include edges derived from the symbol index: from-layer ->
+/// to-layer -> number of include directives.
+std::map<std::string, std::map<std::string, int>> LayerEdges(
+    const mural::lint::SymbolIndex& index,
+    const mural::lint::LayerConfig& layers) {
+  std::map<std::string, std::map<std::string, int>> edges;
+  for (const auto& [path, syms] : index.files()) {
+    const std::string from = mural::lint::LayerOfPath(path);
+    if (from.empty() || !layers.Known(from)) continue;
+    for (const mural::lint::IncludeRef& inc : syms.includes) {
+      if (!inc.quoted) continue;
+      const size_t slash = inc.path.find('/');
+      if (slash == std::string::npos) continue;
+      const std::string to = inc.path.substr(0, slash);
+      if (!layers.Known(to) || to == from) continue;
+      ++edges[from][to];
+    }
+  }
+  return edges;
+}
+
+bool WriteGraphJson(const std::string& out_path,
+                    const mural::lint::SymbolIndex& index,
+                    const mural::lint::LayerConfig& layers) {
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) return false;
+  out << "{\n  \"layers\": {\n";
+  for (size_t i = 0; i < layers.order.size(); ++i) {
+    const std::string& name = layers.order[i];
+    out << "    \"" << JsonEscape(name) << "\": [";
+    const std::vector<std::string>& deps = layers.deps.at(name);
+    for (size_t k = 0; k < deps.size(); ++k) {
+      out << (k ? ", " : "") << "\"" << JsonEscape(deps[k]) << "\"";
+    }
+    out << "]" << (i + 1 < layers.order.size() ? "," : "") << "\n";
+  }
+  out << "  },\n  \"files\": [\n";
+  size_t emitted = 0;
+  const size_t total = index.files().size();
+  for (const auto& [path, syms] : index.files()) {
+    out << "    {\"path\": \"" << JsonEscape(path) << "\", \"layer\": \""
+        << JsonEscape(mural::lint::LayerOfPath(path)) << "\", \"includes\": [";
+    bool first = true;
+    for (const mural::lint::IncludeRef& inc : syms.includes) {
+      if (!inc.quoted) continue;
+      out << (first ? "" : ", ") << "\"" << JsonEscape(inc.path) << "\"";
+      first = false;
+    }
+    out << "]}" << (++emitted < total ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"edges\": [\n";
+  const auto edges = LayerEdges(index, layers);
+  size_t n_edges = 0;
+  for (const auto& [from, tos] : edges) n_edges += tos.size();
+  size_t e = 0;
+  for (const auto& [from, tos] : edges) {
+    for (const auto& [to, count] : tos) {
+      out << "    {\"from\": \"" << JsonEscape(from) << "\", \"to\": \""
+          << JsonEscape(to) << "\", \"includes\": " << count << "}"
+          << (++e < n_edges ? "," : "") << "\n";
+    }
+  }
+  out << "  ]\n}\n";
+  return out.good();
+}
+
+bool WriteGraphDot(const std::string& out_path,
+                   const mural::lint::SymbolIndex& index,
+                   const mural::lint::LayerConfig& layers) {
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) return false;
+  out << "// Layer-level include graph, generated by mural_lint.\n"
+      << "// Solid edges are declared in tools/lint/layers.toml; the\n"
+      << "// label is the number of #include directives riding the edge.\n"
+      << "digraph mural_layers {\n  rankdir=BT;\n  node [shape=box];\n";
+  for (const std::string& name : layers.order) {
+    out << "  \"" << name << "\";\n";
+  }
+  const auto edges = LayerEdges(index, layers);
+  for (const auto& [from, tos] : edges) {
+    for (const auto& [to, count] : tos) {
+      out << "  \"" << from << "\" -> \"" << to << "\" [label=\"" << count
+          << "\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.good();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << "usage: mural_lint <dir-or-file>...\n";
+  std::string layers_path, graph_json_path, graph_dot_path;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto flag_value = [&](const char* flag) -> const char* {
+      if (arg != flag) return nullptr;
+      if (i + 1 >= argc) {
+        std::cerr << "mural_lint: " << flag << " needs a file argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (const char* v = flag_value("--layers")) {
+      layers_path = v;
+    } else if (const char* v = flag_value("--graph-json")) {
+      graph_json_path = v;
+    } else if (const char* v = flag_value("--graph-dot")) {
+      graph_dot_path = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "mural_lint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: mural_lint [--layers layers.toml] "
+                 "[--graph-json out.json] [--graph-dot out.dot] "
+                 "<dir-or-file>...\n";
     return 2;
   }
+
+  mural::lint::LayerConfig layers;
+  bool have_layers = false;
+  if (!layers_path.empty()) {
+    std::ifstream in(layers_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "mural_lint: cannot read " << layers_path << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string err = mural::lint::ParseLayerConfig(buf.str(), &layers);
+    if (!err.empty()) {
+      std::cerr << "mural_lint: " << err << "\n";
+      return 2;
+    }
+    have_layers = true;
+  }
+
   std::vector<SourceFile> sources;
-  for (int i = 1; i < argc; ++i) {
-    const fs::path root = fs::absolute(argv[i]).lexically_normal();
+  for (const std::string& r : roots) {
+    const fs::path root = fs::absolute(r).lexically_normal();
     std::error_code ec;
     std::vector<fs::path> files;
     if (fs::is_directory(root, ec)) {
@@ -92,36 +265,93 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Pass 1: cross-file collection.  A blocking marker on a declaration in
-  // one header bans that call in every file; lock-order edges only mean
-  // anything as one merged graph.
+  mural::ThreadPool pool(mural::ThreadPool::HardwareConcurrency());
+  const int dop = static_cast<int>(pool.num_threads());
+
+  // Pass 1: parse every file once, concurrently; each morsel writes its
+  // own slots, so the merge below needs no locking.
+  std::vector<ParsedFile> parsed(sources.size());
+  mural::Status p1 = mural::ParallelMorsels(
+      &pool, sources.size(), /*morsel_size=*/8, dop,
+      [&sources, &parsed](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const SourceFile& src = sources[i];
+          ParsedFile& slot = parsed[i];
+          slot.blocking = mural::lint::CollectBlockingMarkers(src.content);
+          slot.edges =
+              mural::lint::CollectLockOrderEdges(src.label, src.content);
+          slot.symbols =
+              mural::lint::ParseFileSymbols(src.label, src.content);
+        }
+        return mural::Status::OK();
+      });
+  if (!p1.ok()) {
+    std::cerr << "mural_lint: parse pass failed: " << p1.ToString() << "\n";
+    return 2;
+  }
+
   mural::lint::LintOptions options;
   std::vector<mural::lint::LockOrderEdge> edges;
-  for (const SourceFile& src : sources) {
+  mural::lint::SymbolIndex index;
+  for (size_t i = 0; i < sources.size(); ++i) {
     // tools/ is exempt from the lock rules, and the lint sources themselves
-    // quote marker syntax in docs and tests — don't harvest markers there.
-    if (src.label.find("tools/") != std::string::npos) continue;
-    for (std::string& name : mural::lint::CollectBlockingMarkers(src.content)) {
+    // quote marker syntax in docs and tests — don't harvest markers (or
+    // symbols) there.
+    if (sources[i].label.find("tools/") != std::string::npos) continue;
+    for (std::string& name : parsed[i].blocking) {
       auto& calls = options.blocking_calls;
       if (std::find(calls.begin(), calls.end(), name) == calls.end()) {
         calls.push_back(std::move(name));
       }
     }
-    for (mural::lint::LockOrderEdge& e :
-         mural::lint::CollectLockOrderEdges(src.label, src.content)) {
+    for (mural::lint::LockOrderEdge& e : parsed[i].edges) {
       edges.push_back(std::move(e));
     }
+    index.AddFile(std::move(parsed[i].symbols));
   }
+  index.Finalize();
+  options.status_returning = &index.status_returning();
+  if (have_layers) options.layers = &layers;
 
   // Pass 2: per-file rules with the merged inputs, then the global graph.
+  std::vector<std::vector<mural::lint::Violation>> per_file(sources.size());
+  mural::Status p2 = mural::ParallelMorsels(
+      &pool, sources.size(), /*morsel_size=*/8, dop,
+      [&sources, &per_file, &options](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          per_file[i] = mural::lint::LintFile(sources[i].label,
+                                              sources[i].content, options);
+        }
+        return mural::Status::OK();
+      });
+  if (!p2.ok()) {
+    std::cerr << "mural_lint: lint pass failed: " << p2.ToString() << "\n";
+    return 2;
+  }
+
   std::vector<mural::lint::Violation> all;
-  for (const SourceFile& src : sources) {
-    for (auto& v : mural::lint::LintFile(src.label, src.content, options)) {
-      all.push_back(std::move(v));
-    }
+  for (auto& file_violations : per_file) {
+    for (auto& v : file_violations) all.push_back(std::move(v));
   }
   for (auto& v : mural::lint::CheckLockOrder(edges)) {
     all.push_back(std::move(v));
+  }
+
+  // Graph artifacts are written even when violations exist: CI uploads
+  // them precisely to debug a failing layering run.
+  if (have_layers && !graph_json_path.empty() &&
+      !WriteGraphJson(graph_json_path, index, layers)) {
+    std::cerr << "mural_lint: cannot write " << graph_json_path << "\n";
+    return 2;
+  }
+  if (have_layers && !graph_dot_path.empty() &&
+      !WriteGraphDot(graph_dot_path, index, layers)) {
+    std::cerr << "mural_lint: cannot write " << graph_dot_path << "\n";
+    return 2;
+  }
+  if (!have_layers && (!graph_json_path.empty() || !graph_dot_path.empty())) {
+    std::cerr << "mural_lint: --graph-json/--graph-dot need --layers\n";
+    return 2;
   }
 
   for (const auto& v : all) {
@@ -129,7 +359,9 @@ int main(int argc, char** argv) {
   }
   std::cout << "mural_lint: " << sources.size() << " files, "
             << options.blocking_calls.size() << " blocking marker(s), "
-            << edges.size() << " lock-order edge(s), " << all.size()
+            << edges.size() << " lock-order edge(s), "
+            << index.status_returning().size()
+            << " Status-returning name(s), " << all.size()
             << " violation(s)\n";
   return all.empty() ? 0 : 1;
 }

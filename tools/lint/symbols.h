@@ -1,0 +1,109 @@
+// The project-wide symbol index behind mural_lint's cross-TU rules (v3).
+//
+// Pass 1 of the driver parses every file into a FileSymbols — its include
+// list, class declarations, and function declarations with return types —
+// using a lightweight declaration parser on top of the shared lexer
+// (lexer.h).  The merged SymbolIndex then feeds pass 2:
+//
+//   * the architecture-layering rule consumes the per-file include lists
+//     (the edges of the project include graph);
+//   * the Status-flow rule consumes the vetted set of function names whose
+//     every declaration in the tree returns Status or StatusOr, so the
+//     banned-call list is derived from the code, not hand-maintained;
+//   * the include-graph artifact (--graph-json/--graph-dot) is a straight
+//     serialization of the index.
+//
+// The parser is a heuristic over the token stream, not a real C++ front
+// end.  It is deliberately conservative: templates are treated as opaque
+// token groups, expressions that merely resemble declarations are rejected
+// through LooksLikeParamList, and a name declared with conflicting return
+// types anywhere in the tree is dropped from the Status-returning set, so
+// overloads cannot produce false positives downstream.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.h"
+
+namespace mural::lint {
+
+/// Classification of a declared function's return type.
+enum class ReturnKind {
+  kOther,     // void, bool, T, ...
+  kStatus,    // Status (possibly mural:: qualified)
+  kStatusOr,  // StatusOr<T>
+};
+
+/// One #include directive.
+struct IncludeRef {
+  std::string path;    // spelling without delimiters, e.g. "exec/operator.h"
+  int line = 0;        // 1-based
+  bool quoted = false; // "..." (project include) vs <...> (system include)
+};
+
+/// One class/struct declaration.  `name` is qualified by lexical nesting
+/// ("BufferPool::ReadPageGuard" for a nested class).
+struct ClassDecl {
+  std::string name;
+  int line = 0;
+  bool is_definition = false;  // false for a forward declaration
+};
+
+/// One function declaration or definition.
+struct FunctionDecl {
+  std::string name;         // unqualified: "Fetch"
+  std::string class_name;   // enclosing class ("BufferPool"), "" for free
+                            // functions; for out-of-line definitions the
+                            // qualifier chain before the name
+  std::string return_type;  // spelling, e.g. "StatusOr<ReadPageGuard>"
+  ReturnKind returns = ReturnKind::kOther;
+  int line = 0;
+  bool is_definition = false;  // had a body (or = default / = delete)
+};
+
+/// Everything pass 1 learns about one file.
+struct FileSymbols {
+  std::string path;  // repo-relative label, e.g. "src/exec/foo.cc"
+  std::vector<IncludeRef> includes;
+  std::vector<ClassDecl> classes;
+  std::vector<FunctionDecl> functions;
+};
+
+/// Parses one file.  Never fails: unparseable regions simply contribute no
+/// symbols (a lint pass must survive any input).
+FileSymbols ParseFileSymbols(const std::string& rel_path,
+                             std::string_view content);
+
+/// Same, over an existing lex result (callers that already tokenized).
+FileSymbols ParseFileSymbols(const std::string& rel_path,
+                             const LexResult& lexed);
+
+/// The merged tree-wide index.  Build with AddFile (any order), then call
+/// Finalize once before reading the derived sets.
+class SymbolIndex {
+ public:
+  void AddFile(FileSymbols symbols);
+
+  /// Computes the vetted Status-returning name set: names where every
+  /// declaration across the tree returns Status or StatusOr.  A name also
+  /// declared with a different return type anywhere (an overload, an
+  /// unrelated class's method) is excluded outright.
+  void Finalize();
+
+  /// Sorted; valid after Finalize.
+  const std::vector<std::string>& status_returning() const {
+    return status_returning_;
+  }
+
+  const std::map<std::string, FileSymbols>& files() const { return files_; }
+
+ private:
+  std::map<std::string, FileSymbols> files_;
+  std::vector<std::string> status_returning_;
+};
+
+}  // namespace mural::lint

@@ -1,0 +1,94 @@
+// Small token-stream helpers shared by the per-file rules (lint.cc) and
+// the declaration parser (symbols.cc).  Everything here is pure and
+// operates on the token vector produced by lexer.h.
+
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string_view>
+#include <vector>
+
+#include "lexer.h"
+
+namespace mural::lint {
+
+using Toks = std::vector<Tok>;
+
+inline bool TokAnyOf(const Tok& t, std::initializer_list<std::string_view> names) {
+  if (t.kind != TokKind::kIdent) return false;
+  for (std::string_view n : names) {
+    if (t.text == n) return true;
+  }
+  return false;
+}
+
+/// Index of the ')' matching the '(' at `open`, or npos.
+inline size_t MatchingParen(const Toks& t, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < t.size(); ++i) {
+    if (t[i].IsPunct("(")) ++depth;
+    if (t[i].IsPunct(")")) {
+      if (--depth == 0) return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
+/// True when the token span (b, e) between a `Name(`...`)` pair reads like
+/// a declaration's parameter list rather than call arguments: some
+/// top-level comma piece is "Type name" or ends in a bare &/*/&&
+/// (unnamed reference/pointer parameter).  Empty parens count as a
+/// parameter list too (`Status();` inside a class body is the default
+/// ctor; `Status Flush();` is a niladic declaration).
+inline bool LooksLikeParamList(const Toks& t, size_t b, size_t e) {
+  if (b >= e) return true;
+  int depth = 0;
+  size_t ps = b;
+  for (size_t i = b; i <= e; ++i) {
+    if (i < e) {
+      const Tok& tk = t[i];
+      if (tk.IsPunct("(") || tk.IsPunct("<") || tk.IsPunct("[") ||
+          tk.IsPunct("{")) {
+        ++depth;
+      } else if (tk.IsPunct(")") || tk.IsPunct(">") || tk.IsPunct("]") ||
+                 tk.IsPunct("}")) {
+        --depth;
+      } else if (tk.IsPunct(">>")) {
+        depth -= 2;
+      }
+      if (!(tk.IsPunct(",") && depth == 0)) continue;
+    }
+    // Piece [ps, i).
+    if (i > ps) {
+      const Tok& last = t[i - 1];
+      if (last.IsPunct("&") || last.IsPunct("*") || last.IsPunct("&&")) {
+        return true;
+      }
+      if (last.kind == TokKind::kIdent && i - 1 > ps) {
+        const Tok& prev = t[i - 2];
+        const bool sep_ok = prev.kind == TokKind::kIdent ||
+                            prev.IsPunct("&") || prev.IsPunct("*") ||
+                            prev.IsPunct("&&") || prev.IsPunct(">");
+        // The head must be a qualified-id token run (so value expressions
+        // like `a + b` do not read as "Type name").
+        bool type_like = true;
+        for (size_t k = ps; k + 1 < i && type_like; ++k) {
+          const Tok& h = t[k];
+          if (h.kind == TokKind::kIdent) continue;
+          if (h.IsPunct("::") || h.IsPunct("<") || h.IsPunct(">") ||
+              h.IsPunct(">>") || h.IsPunct("&") || h.IsPunct("*") ||
+              h.IsPunct("&&") || h.IsPunct(",")) {
+            continue;
+          }
+          type_like = false;
+        }
+        if (sep_ok && type_like) return true;
+      }
+    }
+    ps = i + 1;
+  }
+  return false;
+}
+
+}  // namespace mural::lint
