@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "distance/bounded_myers.h"
 #include "distance/edit_distance.h"
 #include "phonetic/phoneme.h"
 #include "plfront/udf_runtime.h"
@@ -75,6 +76,59 @@ void BM_MyersBitParallel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MyersBitParallel)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// The production kernel of the batch pipeline: Myers bit-parallel with
+// Ukkonen's cut-off folded in.  Same (length, threshold) grid as the
+// banded DP above so the two series compare point-for-point; the long
+// lengths exercise the multi-word block path.
+void BM_BoundedMyers(benchmark::State& state) {
+  const auto pairs = MakePairs(static_cast<size_t>(state.range(0)), 64);
+  const int k = static_cast<int>(state.range(1));
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ % pairs.size()];
+    benchmark::DoNotOptimize(BoundedMyersLevenshtein(a, b, k));
+  }
+}
+BENCHMARK(BM_BoundedMyers)
+    ->Args({8, 2})
+    ->Args({16, 2})
+    ->Args({32, 2})
+    ->Args({64, 2})
+    ->Args({32, 1})
+    ->Args({32, 4})
+    ->Args({32, 8})
+    ->Args({128, 2})
+    ->Args({256, 2});
+
+// The dispatcher the executor actually calls, with stats accounting on —
+// measures the counting overhead the batch pipeline pays per call.
+void BM_BoundedDistanceCounted(benchmark::State& state) {
+  const auto pairs = MakePairs(static_cast<size_t>(state.range(0)), 64);
+  DistanceStats stats;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ % pairs.size()];
+    benchmark::DoNotOptimize(BoundedDistanceCounted(a, b, 2, &stats));
+  }
+}
+BENCHMARK(BM_BoundedDistanceCounted)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// The prepared-pattern matcher the batch Psi scan hoists per probe: the
+// Peq table is built once outside the loop, so the delta against
+// BM_BoundedDistanceCounted at the same length is the per-call table
+// build the fixed-probe scan no longer pays.
+void BM_BoundedMyersMatcher(benchmark::State& state) {
+  const auto pairs = MakePairs(static_cast<size_t>(state.range(0)), 64);
+  DistanceStats stats;
+  BoundedMyersMatcher matcher(pairs.front().first, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ % pairs.size()];
+    benchmark::DoNotOptimize(matcher.Distance(b, &stats));
+  }
+}
+BENCHMARK(BM_BoundedMyersMatcher)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
 void BM_InterpretedUdfEditDist(benchmark::State& state) {
   auto udf = pl::UdfRuntime::Create();

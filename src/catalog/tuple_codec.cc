@@ -138,6 +138,73 @@ Status TupleCodec::Deserialize(const Schema& schema, std::string_view data,
   return Status::OK();
 }
 
+Status TupleCodec::PeekUniText(const Schema& schema, std::string_view data,
+                               size_t col, UniTextColumnView* view) {
+  if (col >= schema.NumColumns()) {
+    return Status::InvalidArgument("PeekUniText: column out of range");
+  }
+  const TypeId want = schema.column(col).type;
+  if (want != TypeId::kUniText && want != TypeId::kText) {
+    return Status::InvalidArgument("PeekUniText: column is not (uni)text");
+  }
+  Decoder dec(data);
+  for (size_t i = 0; i < col; ++i) {
+    uint8_t flag = 0;
+    MURAL_RETURN_IF_ERROR(dec.GetU8(&flag));
+    if (flag == 0) continue;
+    switch (schema.column(i).type) {
+      case TypeId::kBool:
+        MURAL_RETURN_IF_ERROR(dec.Skip(1));
+        break;
+      case TypeId::kInt32:
+        MURAL_RETURN_IF_ERROR(dec.Skip(4));
+        break;
+      case TypeId::kInt64:
+      case TypeId::kFloat64:
+        MURAL_RETURN_IF_ERROR(dec.Skip(8));
+        break;
+      case TypeId::kText: {
+        uint32_t len = 0;
+        MURAL_RETURN_IF_ERROR(dec.GetU32(&len));
+        MURAL_RETURN_IF_ERROR(dec.Skip(len));
+        break;
+      }
+      case TypeId::kUniText: {
+        uint32_t len = 0;
+        MURAL_RETURN_IF_ERROR(dec.GetU32(&len));
+        MURAL_RETURN_IF_ERROR(dec.Skip(len + 2));  // text + lang
+        uint8_t has_ph = 0;
+        MURAL_RETURN_IF_ERROR(dec.GetU8(&has_ph));
+        if (has_ph != 0) {
+          MURAL_RETURN_IF_ERROR(dec.GetU32(&len));
+          MURAL_RETURN_IF_ERROR(dec.Skip(len));
+        }
+        break;
+      }
+      case TypeId::kNull:
+        return Status::Corruption("column of type NULL in schema");
+    }
+  }
+  *view = UniTextColumnView();
+  uint8_t flag = 0;
+  MURAL_RETURN_IF_ERROR(dec.GetU8(&flag));
+  if (flag == 0) {
+    view->is_null = true;
+    return Status::OK();
+  }
+  MURAL_RETURN_IF_ERROR(dec.GetLengthPrefixedView(&view->text));
+  if (want == TypeId::kUniText) {
+    MURAL_RETURN_IF_ERROR(dec.GetU16(&view->lang));
+    uint8_t has_ph = 0;
+    MURAL_RETURN_IF_ERROR(dec.GetU8(&has_ph));
+    if (has_ph != 0) {
+      view->has_phonemes = true;
+      MURAL_RETURN_IF_ERROR(dec.GetLengthPrefixedView(&view->phonemes));
+    }
+  }
+  return Status::OK();
+}
+
 size_t TupleCodec::SerializedSize(const Schema& schema, const Row& row) {
   size_t total = 0;
   for (size_t i = 0; i < row.size() && i < schema.NumColumns(); ++i) {

@@ -11,12 +11,25 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "catalog/schema.h"
 #include "common/status.h"
 
 namespace mural {
+
+/// Zero-copy view of one UniText (or Text) column inside a serialized
+/// record.  All string_views point into the record buffer passed to
+/// PeekUniText and share its lifetime.
+struct UniTextColumnView {
+  bool is_null = false;
+  std::string_view text;
+  uint16_t lang = 0;
+  bool has_phonemes = false;
+  std::string_view phonemes;  // valid only when has_phonemes
+};
 
 class TupleCodec {
  public:
@@ -32,6 +45,15 @@ class TupleCodec {
   /// Serialized size of `row` without materializing the bytes (used by the
   /// statistics collector for average-record-length L of Table 2).
   static size_t SerializedSize(const Schema& schema, const Row& row);
+
+  /// Decodes only column `col` (which must be kUniText or kText) out of a
+  /// serialized record, skipping over the preceding columns without
+  /// allocating — the late-materialization peek the batch LexEQUAL scan
+  /// uses to run the distance kernel before deciding whether to pay for a
+  /// full Deserialize.  For kText columns `lang`/`phonemes` read as their
+  /// defaults.  *view borrows `data`.
+  static Status PeekUniText(const Schema& schema, std::string_view data,
+                            size_t col, UniTextColumnView* view);
 };
 
 }  // namespace mural

@@ -76,6 +76,29 @@ class Decoder {
     return Status::OK();
   }
 
+  /// Zero-copy variant: *out views into the decoder's underlying buffer,
+  /// so it is valid only as long as that buffer is.  The batch scan uses
+  /// this to peek at the key column without materializing the row.
+  Status GetLengthPrefixedView(std::string_view* out) {
+    uint32_t len = 0;
+    MURAL_RETURN_IF_ERROR(GetU32(&len));
+    if (remaining() < len) {
+      return Status::Corruption("length-prefixed field truncated");
+    }
+    *out = std::string_view(data_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  /// Advances past `n` bytes without reading them.
+  Status Skip(size_t n) {
+    if (remaining() < n) {
+      return Status::Corruption("decode past end of buffer");
+    }
+    pos_ += n;
+    return Status::OK();
+  }
+
  private:
   Status GetRaw(void* out, size_t n) {
     if (remaining() < n) {

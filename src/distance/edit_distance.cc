@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "distance/bounded_myers.h"
 
 namespace mural {
 
@@ -89,9 +90,7 @@ int MyersLevenshtein(std::string_view a, std::string_view b) {
   const size_t m = a.size(), n = b.size();
   if (m == 0) return static_cast<int>(n);
   if (m > 64) {
-    // Block-based Myers is substantially more code for little benefit at
-    // phoneme-string lengths; defer to the DP reference beyond one word.
-    return Levenshtein(a, b);
+    return MyersBlockLevenshtein(a, b);
   }
 
   // Peq[c] has bit i set iff a[i] == c.
@@ -124,7 +123,18 @@ int MyersLevenshtein(std::string_view a, std::string_view b) {
 
 bool WithinDistance(std::string_view a, std::string_view b, int k) {
   if (k < 0) return false;
-  return BoundedLevenshtein(a, b, k) <= k;
+  return BoundedDistanceCounted(a, b, k, nullptr) <= k;
+}
+
+int BoundedDistanceCounted(std::string_view a, std::string_view b, int k,
+                           DistanceStats* stats) {
+  if (k < 0) return 1;  // matches the BoundedLevenshtein convention
+  if (k == 0) {
+    // Zero threshold is an exact-match probe; no matrix needed.
+    if (stats != nullptr) ++stats->calls;
+    return a == b ? 0 : 1;
+  }
+  return BoundedMyersLevenshteinCounted(a, b, k, stats);
 }
 
 int LevenshteinCodePoints(std::string_view utf8_a, std::string_view utf8_b) {

@@ -8,9 +8,14 @@
 //   - Levenshtein         : textbook O(m*n) two-row DP (reference)
 //   - BoundedLevenshtein  : Ukkonen banded/cut-off, O(k*min(m,n)); returns
 //                           k+1 when the true distance exceeds k
-//   - MyersLevenshtein    : Myers bit-parallel O(n*m/64) for strings <= 64
-//                           phonemes, falling back to DP beyond
+//   - MyersLevenshtein    : Myers bit-parallel O(n*m/64); block-based
+//                           extension beyond 64 phonemes (bounded_myers.h)
 //   - WithinDistance      : boolean form with early termination
+//
+// The executor's production kernel is BoundedDistanceCounted, which
+// dispatches to the bounded bit-parallel kernel (bounded_myers.h); the DP
+// kernels above stay as the references the equivalence harness checks
+// against and as the ablation baselines.
 //
 // All operate on byte strings (one byte == one phoneme in the canonical
 // alphabet); a code-point variant handles raw UTF-8 text.  Unit-cost
@@ -37,8 +42,8 @@ int Levenshtein(std::string_view a, std::string_view b);
 int BoundedLevenshtein(std::string_view a, std::string_view b, int k);
 
 /// Myers' bit-parallel algorithm; exact distance.  Pattern (the shorter
-/// string) must be processed 64 phonemes at a time; this implementation
-/// handles arbitrary lengths via the block-based extension.
+/// string) is processed 64 phonemes at a time; arbitrary lengths go
+/// through the block-based extension.
 int MyersLevenshtein(std::string_view a, std::string_view b);
 
 /// True iff Levenshtein(a, b) <= k (uses the bounded algorithm).
@@ -52,7 +57,8 @@ int LevenshteinCodePoints(std::string_view utf8_a, std::string_view utf8_b);
 /// effort in EXPLAIN ANALYZE and benches.
 struct DistanceStats {
   uint64_t calls = 0;
-  uint64_t cells = 0;  // DP cells (or word-ops for Myers) touched
+  uint64_t cells = 0;     // DP cells (or word-ops for Myers) touched
+  uint64_t word_ops = 0;  // bit-parallel column advances only
 
   void Reset() { *this = DistanceStats(); }
 };
@@ -60,5 +66,15 @@ struct DistanceStats {
 /// Same as BoundedLevenshtein but accumulates effort into `stats`.
 int BoundedLevenshteinCounted(std::string_view a, std::string_view b, int k,
                               DistanceStats* stats);
+
+/// The production bounded-distance kernel: every threshold-bounded call
+/// site in the executor (Psi filter, Psi join, M-Tree probes) routes
+/// through this one dispatcher so the kernel choice — and therefore the
+/// DistanceStats a query reports — is identical between the tuple-at-a-time
+/// and batch paths.  Rules: k < 0 short-circuits (convention: returns 1),
+/// k == 0 degenerates to an equality compare, everything else runs the
+/// bounded bit-parallel kernel (bounded_myers.h).
+int BoundedDistanceCounted(std::string_view a, std::string_view b, int k,
+                           DistanceStats* stats);
 
 }  // namespace mural

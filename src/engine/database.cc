@@ -76,6 +76,7 @@ StatusOr<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
     db->ctx_.phoneme_cache = db->phoneme_cache_.get();
   }
   db->SetDegreeOfParallelism(options.degree_of_parallelism);
+  db->SetBatchSize(static_cast<int64_t>(options.batch_size));
   return db;
 }
 
@@ -346,6 +347,8 @@ StatusOr<QueryResult> Database::Sql(const std::string& statement) {
         SetDegreeOfParallelism(static_cast<int>(stmt.set_value));
       } else if (EqualsIgnoreCase(stmt.set_name, "slow_query_millis")) {
         SetSlowQueryMillis(stmt.set_value);
+      } else if (EqualsIgnoreCase(stmt.set_name, "batch_size")) {
+        SetBatchSize(stmt.set_value);
       } else {
         return Status::NotFound("unknown setting: " + stmt.set_name);
       }

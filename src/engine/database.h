@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <string>
 
@@ -36,6 +37,9 @@ struct DatabaseOptions {
   int degree_of_parallelism = 0;
   /// Entry budget of the session phoneme cache; 0 disables caching.
   size_t phoneme_cache_capacity = 1 << 16;
+  /// Rows per batch on the vectorized execution path (SET BATCH_SIZE
+  /// changes it per session); 0 = tuple-at-a-time execution.
+  size_t batch_size = 1024;
 };
 
 /// Plan-vs-actual feedback for one executed plan node: the planner's
@@ -134,6 +138,15 @@ class Database {
   /// the worker pool when dop > 1.
   void SetDegreeOfParallelism(int dop);
   int degree_of_parallelism() const { return ctx_.degree_of_parallelism; }
+
+  /// Rows per batch on the vectorized path; 0 forces tuple-at-a-time
+  /// execution (and the planner skips batch-only operators).  Clamped to
+  /// [0, 65536].  SET BATCH_SIZE changes it per session.
+  void SetBatchSize(int64_t rows) {
+    ctx_.batch_size = static_cast<size_t>(
+        std::min<int64_t>(std::max<int64_t>(rows, 0), 65536));
+  }
+  size_t batch_size() const { return ctx_.batch_size; }
 
   /// Queries running at least this many milliseconds log a warning with
   /// the serialized timed plan tree; negative disables (default).

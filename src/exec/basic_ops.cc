@@ -17,6 +17,27 @@ StatusOr<bool> FilterOp::NextImpl(Row* out) {
   }
 }
 
+StatusOr<bool> FilterOp::NextBatchImpl(RowBatch* out) {
+  // Pulls child batches and compacts the selection vector in place; rows
+  // never move.  Loops past batches the predicate empties so callers see
+  // at most one empty batch (the exhausted one).
+  while (true) {
+    MURAL_ASSIGN_OR_RETURN(const bool more, child_->NextBatch(out));
+    std::vector<uint32_t>& sel = out->selection();
+    size_t kept = 0;
+    for (size_t i = 0; i < sel.size(); ++i) {
+      MURAL_ASSIGN_OR_RETURN(
+          const bool keep,
+          EvalPredicate(*predicate_, out->SelectedRow(i), ctx_));
+      if (keep) sel[kept++] = sel[i];
+    }
+    sel.resize(kept);
+    CountRows(kept);
+    if (!more) return !out->empty();
+    if (kept > 0) return true;
+  }
+}
+
 OpPtr ProjectOp::ByColumns(ExecContext* ctx, OpPtr child,
                            const std::vector<size_t>& columns) {
   const Schema& in = child->output_schema();

@@ -20,6 +20,7 @@ class FilterOp : public PhysicalOp {
 
   [[nodiscard]] Status OpenImpl() override { return child_->Open(); }
   [[nodiscard]] StatusOr<bool> NextImpl(Row* out) override;
+  [[nodiscard]] StatusOr<bool> NextBatchImpl(RowBatch* out) override;
   [[nodiscard]] Status CloseImpl() override { return child_->Close(); }
   const Schema& output_schema() const override {
     return child_->output_schema();

@@ -40,7 +40,7 @@ struct ExecStats {
   DistanceStats distance;
 
   /// Number of uint64 counters, including the DistanceStats members.
-  static constexpr size_t kNumCounters = 11;
+  static constexpr size_t kNumCounters = 12;
 
   /// Visits every counter as (name, uint64&).  `Self` is ExecStats or
   /// const ExecStats; the visitor sees const refs in the latter case.
@@ -57,6 +57,7 @@ struct ExecStats {
     fn("udf_calls", s.udf_calls);
     fn("distance_calls", s.distance.calls);
     fn("distance_cells", s.distance.cells);
+    fn("distance_word_ops", s.distance.word_ops);
   }
 
   void Reset() { *this = ExecStats(); }
@@ -116,6 +117,11 @@ struct ExecContext {
 
   /// Session degree of parallelism for Psi operators (1 = serial plans).
   int degree_of_parallelism = 1;
+
+  /// Rows per RowBatch on the vectorized path; 0 forces tuple-at-a-time
+  /// execution (Operator::NextBatch still works — it loops NextImpl with a
+  /// capacity of one).
+  size_t batch_size = 1024;
 
   ExecStats stats;
 

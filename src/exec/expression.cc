@@ -115,13 +115,11 @@ StatusOr<Value> FullEqualsExpr::Evaluate(const Row& row,
   return Value::Bool(l.unitext().FullEquals(r.unitext()));
 }
 
-namespace {
-
 // Cache-aware G2P: a hit costs a lookup, a miss costs (and counts) the
 // transform.  Without a session cache every call is a transform, which is
 // the pre-cache behavior the counters' consumers expect.
-PhonemeString TransformCounted(std::string_view text, LangId lang,
-                               ExecContext* ctx) {
+PhonemeString TransformPhonemesCounted(std::string_view text, LangId lang,
+                                       ExecContext* ctx) {
   if (ctx->phoneme_cache != nullptr) {
     bool was_hit = false;
     PhonemeString p =
@@ -139,16 +137,14 @@ PhonemeString TransformCounted(std::string_view text, LangId lang,
   return ctx->transformer->Transform(text, lang);
 }
 
-}  // namespace
-
 StatusOr<PhonemeString> PhonemesOf(const Value& v, ExecContext* ctx) {
   if (v.type() == TypeId::kUniText) {
     const UniText& u = v.unitext();
     if (u.has_phonemes()) return *u.phonemes();
-    return TransformCounted(u.text(), u.lang(), ctx);
+    return TransformPhonemesCounted(u.text(), u.lang(), ctx);
   }
   if (v.type() == TypeId::kText) {
-    return TransformCounted(v.text(), lang::kEnglish, ctx);
+    return TransformPhonemesCounted(v.text(), lang::kEnglish, ctx);
   }
   return Status::InvalidArgument("LexEQUAL operand must be UNITEXT or TEXT");
 }
@@ -162,8 +158,7 @@ StatusOr<Value> LexEqualExpr::Evaluate(const Row& row,
   MURAL_ASSIGN_OR_RETURN(const PhonemeString pr, PhonemesOf(r, ctx));
   ++ctx->stats.predicate_evals;
   const int k = EffectiveThreshold(ctx);
-  const int d =
-      BoundedLevenshteinCounted(pl, pr, k, &ctx->stats.distance);
+  const int d = BoundedDistanceCounted(pl, pr, k, &ctx->stats.distance);
   return Value::Bool(d <= k);
 }
 

@@ -250,6 +250,13 @@ ExprPtr LangIn(ExprPtr operand, std::set<LangId> langs);
 [[nodiscard]]
 StatusOr<PhonemeString> PhonemesOf(const Value& v, ExecContext* ctx);
 
+/// Cache-aware grapheme-to-phoneme transform with the same counter
+/// accounting PhonemesOf uses (cache hits/misses, transforms).  The batch
+/// LexEQUAL scan calls this directly when it peeks a key column that has
+/// no materialized phonemes.
+PhonemeString TransformPhonemesCounted(std::string_view text, LangId lang,
+                                       ExecContext* ctx);
+
 /// Helper: evaluates a predicate expression to a definite boolean (NULL ->
 /// false, matching SQL WHERE semantics).
 [[nodiscard]]

@@ -8,6 +8,118 @@
 
 namespace mural {
 
+LexSelectOp::LexSelectOp(ExecContext* ctx, const TableInfo* table,
+                         size_t key_col, Value probe, int threshold_override)
+    : PhysicalOp(ctx),
+      table_(table),
+      key_col_(key_col),
+      probe_(std::move(probe)),
+      threshold_override_(threshold_override) {}
+
+Status LexSelectOp::OpenImpl() {
+  k_ = threshold_override_ >= 0 ? threshold_override_
+                                : ctx_->lexequal_threshold;
+  probe_null_ = probe_.is_null();
+  if (!probe_null_) {
+    // Hoisted once per scan; the legacy Filter path re-resolves the
+    // constant's phonemes per row (a cache hit each time).  The matcher
+    // also pre-builds the kernel's Peq table for the probe, leaving only
+    // the column loop as per-row work.
+    MURAL_ASSIGN_OR_RETURN(probe_phonemes_, PhonemesOf(probe_, ctx_));
+    matcher_.emplace(probe_phonemes_, k_);
+  }
+  it_.emplace(table_->heap->Begin());
+  page_idx_ = 0;
+  slot_ = 0;
+  return Status::OK();
+}
+
+StatusOr<bool> LexSelectOp::RecordMatches(std::string_view record) {
+  UniTextColumnView view;
+  MURAL_RETURN_IF_ERROR(
+      TupleCodec::PeekUniText(table_->schema, record, key_col_, &view));
+  if (view.is_null) return false;  // NULL never matches (SQL WHERE)
+  ++ctx_->stats.predicate_evals;
+  int d;
+  if (view.has_phonemes) {
+    d = matcher_->Distance(view.phonemes, &ctx_->stats.distance);
+  } else {
+    const LangId lang = table_->schema.column(key_col_).type == TypeId::kText
+                            ? lang::kEnglish
+                            : view.lang;
+    const PhonemeString ph = TransformPhonemesCounted(view.text, lang, ctx_);
+    d = matcher_->Distance(ph, &ctx_->stats.distance);
+  }
+  return d <= k_;
+}
+
+StatusOr<bool> LexSelectOp::NextImpl(Row* out) {
+  if (probe_null_) return false;
+  while (it_->Valid()) {
+    const std::string& record = it_->record();
+    MURAL_ASSIGN_OR_RETURN(const bool match, RecordMatches(record));
+    if (match) {
+      MURAL_RETURN_IF_ERROR(
+          TupleCodec::Deserialize(table_->schema, record, out));
+      it_->Next();
+      CountRow();
+      return true;
+    }
+    it_->Next();
+  }
+  MURAL_RETURN_IF_ERROR(it_->status());
+  return false;
+}
+
+StatusOr<bool> LexSelectOp::NextBatchImpl(RowBatch* out) {
+  if (probe_null_) return false;
+  // The hot loop of the vectorized Psi scan walks the heap page-wise over
+  // the page directory (chain order == the tuple iterator's emission
+  // order): one Fetch and one shared latch per page, records matched in
+  // place from the page bytes — no per-record copy — and deserialized
+  // only on a hit.  Holding the read guard across the kernel follows the
+  // parallel morsel scan's precedent (parallel_ops.cc).
+  const std::vector<PageId>& pages = table_->heap->pages();
+  BufferPool* pool = table_->heap->pool();
+  while (page_idx_ < pages.size() && !out->full()) {
+    MURAL_ASSIGN_OR_RETURN(const ReadPageGuard guard,
+                           pool->Fetch(pages[page_idx_]));
+    const Page* page = guard.get();
+    while (slot_ < page->NumSlots() && !out->full()) {
+      StatusOr<Slice> record = page->Get(static_cast<SlotId>(slot_++));
+      if (!record.ok()) continue;  // tombstone
+      MURAL_ASSIGN_OR_RETURN(const bool match,
+                             RecordMatches(record->ToStringView()));
+      if (match) {
+        MURAL_RETURN_IF_ERROR(TupleCodec::Deserialize(
+            table_->schema, record->ToStringView(), out->PushRow()));
+      }
+    }
+    if (slot_ >= page->NumSlots()) {
+      ++page_idx_;
+      slot_ = 0;
+    }
+  }
+  CountRows(out->num_selected());
+  return page_idx_ < pages.size() || !out->empty();
+}
+
+Status LexSelectOp::CloseImpl() {
+  it_.reset();
+  matcher_.reset();
+  return Status::OK();
+}
+
+std::string LexSelectOp::DisplayName() const {
+  std::string out = "LexSelect(" + table_->name + "." +
+                    table_->schema.column(key_col_).name + " LexEQUAL " +
+                    probe_.ToString();
+  if (threshold_override_ >= 0) {
+    out += StringFormat(" {t=%d}", threshold_override_);
+  }
+  out += StringFormat(", batch=%zu)", ctx_->batch_size);
+  return out;
+}
 
 LexJoinOp::LexJoinOp(ExecContext* ctx, OpPtr outer, OpPtr inner,
                      size_t outer_col, size_t inner_col, Options options)
@@ -196,7 +308,7 @@ Status LexJoinOp::OpenParallel(int dop, bool build_done) {
           for (size_t i = 0; i < inner_rows_.size(); ++i) {
             if (!inner_valid_[i]) continue;
             ++wctx->stats.predicate_evals;
-            const int d = BoundedLevenshteinCounted(
+            const int d = BoundedDistanceCounted(
                 outer_ph, inner_phonemes_[i], k, &wctx->stats.distance);
             if (d > k) continue;
             Row out;
@@ -259,7 +371,7 @@ StatusOr<bool> LexJoinOp::NextImpl(Row* out) {
       const size_t i = inner_pos_++;
       if (!inner_valid_[i]) continue;
       ++ctx_->stats.predicate_evals;
-      const int d = BoundedLevenshteinCounted(
+      const int d = BoundedDistanceCounted(
           outer_phonemes_, inner_phonemes_[i], k, &ctx_->stats.distance);
       if (d > k) continue;
       out->clear();

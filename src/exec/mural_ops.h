@@ -19,10 +19,56 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "distance/bounded_myers.h"
 #include "exec/expression.h"
 #include "exec/operator.h"
 
 namespace mural {
+
+/// Psi selection pushed into the scan: a fused heap-scan + LexEQUAL filter
+/// leaf, the batch-native form of Filter(Psi(col, constant)) over SeqScan.
+///
+/// The probe constant's phonemes are hoisted once at Open; per record the
+/// operator peeks only the key column out of the serialized tuple
+/// (TupleCodec::PeekUniText, zero-copy) and runs the bounded bit-parallel
+/// kernel, deserializing the full row only for matches (late
+/// materialization).  Distance calls go through a BoundedMyersMatcher
+/// prepared once at Open — result- and call-count-identical to the
+/// BoundedDistanceCounted path the Filter-over-SeqScan plan takes, so
+/// rows, predicate_evals, and distance_calls agree with that plan; only
+/// word-op and phoneme-cache counters can differ (the matcher's Peq table
+/// and the constant's phonemes are built once, not per row).
+class LexSelectOp : public PhysicalOp {
+ public:
+  /// `threshold_override` < 0 means "use ctx->lexequal_threshold".
+  LexSelectOp(ExecContext* ctx, const TableInfo* table, size_t key_col,
+              Value probe, int threshold_override = -1);
+
+  [[nodiscard]] Status OpenImpl() override;
+  [[nodiscard]] StatusOr<bool> NextImpl(Row* out) override;
+  [[nodiscard]] StatusOr<bool> NextBatchImpl(RowBatch* out) override;
+  [[nodiscard]] Status CloseImpl() override;
+  const Schema& output_schema() const override { return table_->schema; }
+  std::string DisplayName() const override;
+
+ private:
+  /// Peeks the key column of `record`, runs the kernel, and reports
+  /// whether the row matches (NULL key never matches).
+  [[nodiscard]] StatusOr<bool> RecordMatches(std::string_view record);
+
+  const TableInfo* table_;
+  size_t key_col_;
+  Value probe_;
+  int threshold_override_;
+
+  std::optional<HeapFile::Iterator> it_;  // tuple-path cursor
+  size_t page_idx_ = 0;                   // batch-path cursor (page-wise)
+  int slot_ = 0;
+  PhonemeString probe_phonemes_;
+  std::optional<BoundedMyersMatcher> matcher_;  // prepared at Open
+  bool probe_null_ = false;
+  int k_ = 0;  // effective threshold, resolved at Open
+};
 
 /// Psi join: matches outer.col_left with inner.col_right under the
 /// phonemic edit-distance threshold.

@@ -58,6 +58,13 @@ void TraceRec(const PhysicalOp& op, int depth, const TraceOptions& opts,
         " q=%.2f", QError(static_cast<double>(op.estimated_rows()),
                           static_cast<double>(op.rows_produced()))));
   }
+  if (op.batches_produced() > 0) {
+    out->append(StringFormat(
+        " batches=%llu rows/batch=%.1f",
+        static_cast<unsigned long long>(op.batches_produced()),
+        static_cast<double>(op.rows_produced()) /
+            static_cast<double>(op.batches_produced())));
+  }
   if (opts.with_times) {
     out->append(StringFormat(" time=%.3fms", op.span().TotalMillis()));
     // Buffer-pool attribution only when the subtree touched storage, so
@@ -102,6 +109,33 @@ StatusOr<bool> PhysicalOp::Next(Row* out) {
   return r;
 }
 
+StatusOr<bool> PhysicalOp::NextBatch(RowBatch* out) {
+  const uint64_t t0 = SpanClock::NowNanos();
+  const uint64_t f0 = FetchNanosCounter()->value();
+  out->Reset();
+  StatusOr<bool> r = NextBatchImpl(out);
+  if (r.ok() && *r && !out->empty()) ++batches_produced_;
+  span_.next_ns += SpanClock::NowNanos() - t0;
+  span_.storage_ns += FetchNanosCounter()->value() - f0;
+  return r;
+}
+
+StatusOr<bool> PhysicalOp::NextBatchImpl(RowBatch* out) {
+  // Compatibility shim: any operator without a native batch path produces
+  // a batch by looping its tuple-at-a-time NextImpl.  Row counters are
+  // maintained by NextImpl itself (CountRow), exactly as on the tuple
+  // path, so counter parity holds by construction.
+  while (!out->full()) {
+    Row* slot = out->PushRow();
+    MURAL_ASSIGN_OR_RETURN(const bool more, NextImpl(slot));
+    if (!more) {
+      out->selection().pop_back();  // the slot was never filled
+      return !out->empty();
+    }
+  }
+  return true;
+}
+
 Status PhysicalOp::Close() {
   if (!in_progress_) return Status::OK();
   const uint64_t t0 = SpanClock::NowNanos();
@@ -135,7 +169,21 @@ double QError(double estimated, double actual) {
 StatusOr<std::vector<Row>> CollectAll(PhysicalOp* root) {
   Status status = root->Open();
   std::vector<Row> rows;
-  if (status.ok()) {
+  const size_t batch_size = root->context()->batch_size;
+  if (status.ok() && batch_size > 0) {
+    RowBatch batch(batch_size);
+    while (true) {
+      StatusOr<bool> more = root->NextBatch(&batch);
+      if (!more.ok()) {
+        status = more.status();
+        break;
+      }
+      for (size_t i = 0; i < batch.num_selected(); ++i) {
+        rows.push_back(std::move(batch.SelectedRow(i)));
+      }
+      if (!*more) break;
+    }
+  } else if (status.ok()) {
     Row row;
     while (true) {
       StatusOr<bool> more = root->Next(&row);

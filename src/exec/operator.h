@@ -51,6 +51,55 @@ struct OpSpan {
   }
 };
 
+/// A batch of rows plus a selection vector — the unit of the vectorized
+/// execution path (DESIGN.md "Vectorized execution").
+///
+/// Row storage is persistent across Reset() so a pipeline reuses one
+/// allocation per operator; `sel_` lists the indices of rows that are
+/// live after filtering.  Producers PushRow() (which self-selects the
+/// row); filters shrink the selection in place without moving rows.
+class RowBatch {
+ public:
+  explicit RowBatch(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    rows_.resize(capacity_);
+    sel_.reserve(capacity_);
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Number of selected (live) rows.
+  size_t num_selected() const { return sel_.size(); }
+  bool empty() const { return sel_.empty(); }
+
+  /// Clears the selection and logical row count; storage is kept.
+  void Reset() {
+    count_ = 0;
+    sel_.clear();
+  }
+
+  /// Returns the next writable row slot and marks it selected.  Must not
+  /// be called more than capacity() times between Resets.
+  Row* PushRow() {
+    sel_.push_back(static_cast<uint32_t>(count_));
+    return &rows_[count_++];
+  }
+  bool full() const { return count_ == capacity_; }
+
+  /// i-th *selected* row (0 <= i < num_selected()).
+  Row& SelectedRow(size_t i) { return rows_[sel_[i]]; }
+  const Row& SelectedRow(size_t i) const { return rows_[sel_[i]]; }
+
+  /// The selection vector itself, for filters that compact it in place.
+  std::vector<uint32_t>& selection() { return sel_; }
+
+ private:
+  size_t capacity_;
+  size_t count_ = 0;            // rows written since Reset
+  std::vector<Row> rows_;       // persistent storage, capacity_ slots
+  std::vector<uint32_t> sel_;   // indices of live rows, ascending
+};
+
 /// Base class for physical operators.
 class PhysicalOp {
  public:
@@ -65,6 +114,12 @@ class PhysicalOp {
   /// Produces the next row into *out; returns false when exhausted.
   [[nodiscard]] StatusOr<bool> Next(Row* out);
 
+  /// Produces the next batch of rows into *out (Reset + refilled); returns
+  /// false when exhausted and the batch is empty.  Timed into the same
+  /// span as Next().  The default NextBatchImpl loops NextImpl, so every
+  /// operator supports the batch protocol; hot operators override it.
+  [[nodiscard]] StatusOr<bool> NextBatch(RowBatch* out);
+
   /// Idempotent; a no-op unless a prior Open is outstanding.
   [[nodiscard]] Status Close();
 
@@ -77,8 +132,13 @@ class PhysicalOp {
 
   uint64_t rows_produced() const { return rows_produced_; }
 
+  /// Non-empty batches emitted via NextBatch (0 on the tuple path).
+  uint64_t batches_produced() const { return batches_produced_; }
+
   /// Trace span accumulated across Open/Next/Close calls so far.
   const OpSpan& span() const { return span_; }
+
+  ExecContext* context() const { return ctx_; }
 
   /// Planner's cardinality estimate for this node; -1 = not estimated.
   int64_t estimated_rows() const { return estimated_rows_; }
@@ -89,10 +149,21 @@ class PhysicalOp {
   virtual StatusOr<bool> NextImpl(Row* out) = 0;
   virtual Status CloseImpl() = 0;
 
+  /// Default batch implementation: loops NextImpl until the batch is full
+  /// or the operator is exhausted.  Overrides must keep the same counter
+  /// semantics as the tuple path (CountRow/CountRows per emitted row).
+  virtual StatusOr<bool> NextBatchImpl(RowBatch* out);
+
   /// Subclasses call this when emitting a row.
   void CountRow() {
     ++rows_produced_;
     ++ctx_->stats.rows_emitted;
+  }
+
+  /// Batch form of CountRow: `n` rows emitted at once.
+  void CountRows(uint64_t n) {
+    rows_produced_ += n;
+    ctx_->stats.rows_emitted += n;
   }
 
   ExecContext* ctx_;
@@ -100,6 +171,7 @@ class PhysicalOp {
 
  private:
   OpSpan span_;
+  uint64_t batches_produced_ = 0;
   int64_t estimated_rows_ = -1;
   bool in_progress_ = false;
 };

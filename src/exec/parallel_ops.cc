@@ -80,6 +80,17 @@ StatusOr<bool> ParallelLexScanOp::NextImpl(Row* out) {
   return true;
 }
 
+StatusOr<bool> ParallelLexScanOp::NextBatchImpl(RowBatch* out) {
+  // The morsel gather already materialized the matches in deterministic
+  // order (OpenImpl); the batch path replays that buffer a batch at a
+  // time instead of a row at a time.
+  while (result_pos_ < results_.size() && !out->full()) {
+    *out->PushRow() = results_[result_pos_++];
+  }
+  CountRows(out->num_selected());
+  return result_pos_ < results_.size() || !out->empty();
+}
+
 Status ParallelLexScanOp::CloseImpl() {
   results_.clear();
   result_pos_ = 0;

@@ -22,6 +22,24 @@ StatusOr<bool> SeqScanOp::NextImpl(Row* out) {
   return false;
 }
 
+StatusOr<bool> SeqScanOp::NextBatchImpl(RowBatch* out) {
+  // Native batch scan: fills the batch directly from the heap iterator,
+  // skipping the per-row virtual dispatch and span bookkeeping of the
+  // tuple path.
+  while (it_->Valid() && !out->full()) {
+    Row* slot = out->PushRow();
+    MURAL_RETURN_IF_ERROR(
+        TupleCodec::Deserialize(table_->schema, it_->record(), slot));
+    it_->Next();
+  }
+  CountRows(out->num_selected());
+  if (!it_->Valid()) {
+    MURAL_RETURN_IF_ERROR(it_->status());
+    return !out->empty();
+  }
+  return true;
+}
+
 Status SeqScanOp::CloseImpl() {
   it_.reset();
   return Status::OK();

@@ -19,6 +19,7 @@ class SeqScanOp : public PhysicalOp {
 
   [[nodiscard]] Status OpenImpl() override;
   [[nodiscard]] StatusOr<bool> NextImpl(Row* out) override;
+  [[nodiscard]] StatusOr<bool> NextBatchImpl(RowBatch* out) override;
   [[nodiscard]] Status CloseImpl() override;
   const Schema& output_schema() const override { return table_->schema; }
   std::string DisplayName() const override {

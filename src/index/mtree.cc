@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "distance/bounded_myers.h"
 
 namespace mural {
 
@@ -34,7 +35,9 @@ int MTreeOps::Distance(std::string_view a, std::string_view b) const {
 int MTreeOps::BoundedDistance(std::string_view a, std::string_view b,
                               int k) const {
   ++distance_calls_;
-  return BoundedLevenshtein(a, b, k);
+  // Same contract as BoundedLevenshtein (exact if <= k, else k+1), via the
+  // bit-parallel kernel the executor uses.
+  return BoundedMyersLevenshtein(a, b, k);
 }
 
 bool MTreeOps::Consistent(const GistEntry& entry, const GistQuery& query,

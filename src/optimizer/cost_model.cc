@@ -27,6 +27,19 @@ Cost CostModel::PsiScanNoIndex(const RelProfile& rel, int k) const {
   return c;
 }
 
+Cost CostModel::PsiScanBatched(const RelProfile& rel, int k,
+                               size_t batch_size) const {
+  if (batch_size == 0) return PsiScanNoIndex(rel, k);
+  Cost c;
+  c.io = rel.pages * params_.seq_page_cost;
+  const double batches =
+      std::ceil(rel.rows / static_cast<double>(batch_size));
+  c.cpu = rel.rows *
+              (DistanceEvalCost(k, rel.avg_len) + params_.cpu_batch_row_cost) +
+          batches * params_.cpu_tuple_cost;
+  return c;
+}
+
 Cost CostModel::PsiScanMTree(const RelProfile& rel, int k) const {
   const double frac = ApproxIndexFraction(k);
   Cost c;

@@ -47,6 +47,11 @@ struct CostParams {
   double parallel_setup_cost = 10.0;
   /// Per-worker coordination cost of a parallel phase.
   double parallel_worker_cost = 2.0;
+  /// Per-row CPU on the vectorized path: what remains of cpu_tuple_cost
+  /// once the per-tuple virtual dispatch, span bookkeeping, and full-row
+  /// materialization are amortized over a batch (late materialization
+  /// deserializes matches only).
+  double cpu_batch_row_cost = 0.0025;
 };
 
 /// A (cpu, io) cost pair.
@@ -94,6 +99,12 @@ class CostModel {
   /// Psi scan-type (Attr ~ Const), Table 3 rows 1-2.
   Cost PsiScanNoIndex(const RelProfile& rel, int k) const;
   Cost PsiScanMTree(const RelProfile& rel, int k) const;
+
+  /// Vectorized Psi scan (the fused LexSelect leaf): same I/O and distance
+  /// terms as PsiScanNoIndex — the kernel is shared between paths — but
+  /// the per-tuple dispatch cost is paid once per batch, with a smaller
+  /// per-row residual (cpu_batch_row_cost).
+  Cost PsiScanBatched(const RelProfile& rel, int k, size_t batch_size) const;
 
   /// Omega scan-type: closure computed once, then n membership probes.
   Cost OmegaScanNoIndex(const RelProfile& rel, double closure_size,

@@ -294,14 +294,22 @@ StatusOr<Planner::Planned> Planner::PlanScan(const LogicalNode& node,
   best.base_table = table;
   best.base_stats = tstats;
   best.rows = out_rows;
+  // Whole-predicate Psi(col, constant) match, shared by the tuple-path
+  // costing here and the vectorized-leaf swap at the end of this function.
+  size_t psi_col = 0;
+  Value psi_const;
+  int psi_k_override = -1;
+  RelProfile psi_rel = rel;
+  int psi_k = ctx_->lexequal_threshold;
+  const bool whole_psi =
+      !hints.opaque_multilingual &&
+      MatchPsiConstant(*node.predicate, &psi_col, &psi_const,
+                       &psi_k_override);
+  // Tracks whether `best` is still the tuple-at-a-time filter scan when
+  // all candidates have been compared (the vectorized swap's guard).
+  bool best_is_filter_scan = true;
   {
-    size_t psi_col;
-    Value psi_const;
-    int psi_k_override;
-    if (!hints.opaque_multilingual &&
-        MatchPsiConstant(*node.predicate, &psi_col, &psi_const,
-                         &psi_k_override)) {
-      RelProfile psi_rel = rel;
+    if (whole_psi) {
       const ColumnStats* cs =
           tstats != nullptr
               ? tstats->Column(table->schema.column(psi_col).name)
@@ -309,9 +317,9 @@ StatusOr<Planner::Planned> Planner::PlanScan(const LogicalNode& node,
       psi_rel.avg_len = cs != nullptr && cs->avg_phoneme_len > 0
                             ? cs->avg_phoneme_len
                             : 12.0;
-      const int k = psi_k_override >= 0 ? psi_k_override
-                                        : ctx_->lexequal_threshold;
-      best.cost = cost_model_.PsiScanNoIndex(psi_rel, k);
+      psi_k = psi_k_override >= 0 ? psi_k_override
+                                  : ctx_->lexequal_threshold;
+      best.cost = cost_model_.PsiScanNoIndex(psi_rel, psi_k);
     } else if (!hints.opaque_multilingual && ContainsPsi(*node.predicate)) {
       best.cost = cost_model_.PsiScanNoIndex(rel, ctx_->lexequal_threshold);
     } else {
@@ -340,6 +348,7 @@ StatusOr<Planner::Planned> Planner::PlanScan(const LogicalNode& node,
       best.cost = par_cost;
       best.op = std::make_unique<ParallelLexScanOp>(ctx_, table,
                                                     node.predicate, dop);
+      best_is_filter_scan = false;
     }
   }
 
@@ -384,6 +393,7 @@ StatusOr<Planner::Planned> Planner::PlanScan(const LogicalNode& node,
           best.rows = out_rows;
           best.op = std::make_unique<IndexScanOp>(ctx_, table, index, probe,
                                                   node.predicate);
+          best_is_filter_scan = false;
         }
       }
     }
@@ -408,8 +418,25 @@ StatusOr<Planner::Planned> Planner::PlanScan(const LogicalNode& node,
           best.rows = out_rows;
           best.op = std::make_unique<IndexScanOp>(ctx_, table, index, probe,
                                                   node.predicate);
+          best_is_filter_scan = false;
         }
       }
+    }
+  }
+
+  // --- candidate 1c: vectorized Psi scan (the fused LexSelect leaf).
+  // Considered only when the tuple filter scan is still the winner: the
+  // index-vs-scan and parallel-vs-serial races above stay on the paper's
+  // per-tuple cost basis (Table 3), and batching then upgrades the serial
+  // scan it costs with per-batch dispatch + per-row residual terms.
+  if (best_is_filter_scan && whole_psi && ctx_->batch_size > 0) {
+    const Cost batch_cost =
+        cost_model_.PsiScanBatched(psi_rel, psi_k, ctx_->batch_size);
+    if (batch_cost.total() < best.cost.total()) {
+      best.cost = batch_cost;
+      best.rows = out_rows;
+      best.op = std::make_unique<LexSelectOp>(ctx_, table, psi_col,
+                                              psi_const, psi_k_override);
     }
   }
   return best;

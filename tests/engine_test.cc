@@ -309,6 +309,9 @@ TEST_F(EngineTest, BooksDatasetLoadsAndJoins) {
 TEST_F(EngineTest, ExplainAnalyzeReportsActualRows) {
   LoadNames(50, 3);
   db_->SetLexequalThreshold(2);
+  // Pin the tuple-at-a-time plan: the assertions below inspect the
+  // Filter-over-SeqScan shape (the batch path fuses them into LexSelect).
+  db_->SetBatchSize(0);
   auto plan =
       MuralBuilder::Scan("names",
                          (*db_->catalog()->GetTable("names"))->schema)

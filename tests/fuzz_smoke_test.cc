@@ -5,10 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "catalog/tuple_codec.h"
 #include "common/coding.h"
 #include "common/random.h"
 #include "common/utf8.h"
+#include "distance/bounded_myers.h"
+#include "distance/edit_distance.h"
 #include "plfront/pl_parser.h"
 #include "plfront/udf_runtime.h"
 #include "sql/sql.h"
@@ -215,6 +219,44 @@ TEST_P(FuzzSmokeTest, Utf8DecodersNeverCrash) {
     (void)utf8::DecodeStrict(bytes);
     (void)utf8::Length(bytes);
     (void)utf8::IsValid(bytes);
+  }
+  SUCCEED();
+}
+
+// Distance kernels over arbitrary bytes: embedded NULs, invalid UTF-8,
+// wildly different lengths.  The byte kernels must agree with each other
+// on every input (they define the same function), and the code-point
+// kernel must survive malformed sequences without crashing or over-reading.
+TEST_P(FuzzSmokeTest, DistanceKernelsAgreeOnArbitraryBytes) {
+  Rng rng(GetParam() ^ 0xd157ULL);
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string a = RandomBytes(&rng, 100);
+    std::string b = RandomBytes(&rng, 100);
+    // Force embedded NULs into some iterations — the kernels take
+    // string_view and must treat NUL as an ordinary symbol.
+    if (iter % 3 == 0) {
+      if (!a.empty()) a[rng.Uniform(a.size())] = '\0';
+      b.push_back('\0');
+    }
+    const int ref = Levenshtein(a, b);
+    ASSERT_EQ(MyersLevenshtein(a, b), ref);
+    for (int k : {-1, 0, 1, 3, 7, 150}) {
+      const int want = k < 0 ? 1 : (ref <= k ? ref : k + 1);
+      ASSERT_EQ(BoundedDistanceCounted(a, b, k, nullptr), want)
+          << "k=" << k << " ref=" << ref;
+      BoundedMyersMatcher matcher(a, k);
+      ASSERT_EQ(matcher.Distance(b, nullptr), want)
+          << "k=" << k << " ref=" << ref;
+      if (k >= 0) {
+        ASSERT_EQ(BoundedLevenshtein(a, b, k), want) << "k=" << k;
+        ASSERT_EQ(BoundedMyersLevenshtein(a, b, k), want) << "k=" << k;
+      }
+    }
+    // The code-point kernel decodes leniently; it must neither crash nor
+    // report a distance larger than the longer input's lenient length.
+    const int cp = LevenshteinCodePoints(a, b);
+    ASSERT_GE(cp, 0);
+    ASSERT_LE(cp, static_cast<int>(std::max(a.size(), b.size())));
   }
   SUCCEED();
 }

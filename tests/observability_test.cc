@@ -150,6 +150,9 @@ TEST(SpanClockTest, FakeClockMakesSpansExact) {
   const int64_t gauge0 = spans->value();
 
   ExecContext ctx;
+  // Pin the tuple-at-a-time drive: the call-count arithmetic below counts
+  // one clock tick per Next(), which the batch path amortizes away.
+  ctx.batch_size = 0;
   Schema schema({{"id", TypeId::kInt32}});
   std::vector<Row> data;
   for (int i = 0; i < 10; ++i) data.push_back({Value::Int32(i)});

@@ -191,6 +191,9 @@ TEST_F(OptimizerTest, PlannerPicksMTreeForSelectivePsiScan) {
                                IndexKind::kMTree, /*on_phonemes=*/true)
                   .ok());
   db_->SetLexequalThreshold(1);
+  // Pin the tuple-at-a-time path: this test compares the index race
+  // against the serial filter scan specifically.
+  db_->SetBatchSize(0);
   auto plan = MuralBuilder::Scan(
                   "names", (*db_->catalog()->GetTable("names"))->schema)
                   .PsiSelect("name", UniText("nehru", lang::kEnglish))
