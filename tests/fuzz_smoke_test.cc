@@ -13,6 +13,7 @@
 #include "common/utf8.h"
 #include "distance/bounded_myers.h"
 #include "distance/edit_distance.h"
+#include "cfg.h"
 #include "plfront/pl_parser.h"
 #include "plfront/udf_runtime.h"
 #include "sql/sql.h"
@@ -267,6 +268,73 @@ TEST_P(FuzzSmokeTest, UdfWireDecoderNeverCrashes) {
     (void)pl::UdfRuntime::DeserializeArgs(RandomBytes(&rng, 64));
   }
   SUCCEED();
+}
+
+// The lint toolchain (lexer -> declaration parser -> per-function CFGs ->
+// all rules) must survive arbitrary bytes and adversarial C++ fragments:
+// it runs on every build over whatever is in the tree, including files
+// mid-edit.  Malformed input may produce fewer symbols or violations,
+// never a crash, hang, or over-read.
+TEST_P(FuzzSmokeTest, LintToolchainNeverCrashes) {
+  Rng rng(GetParam() ^ 0x11A7ULL);
+  const std::vector<std::string> vocab = {
+      "if",     "else",  "for",    "while", "do",     "switch", "case",
+      "default","break", "continue","return","throw", "{",      "}",
+      "(",      ")",     ";",      ":",     "::",     "?",      ",",
+      "=",      "==",    "<",      ">",     "&",      "&&",     "*",
+      "enum",   "class", "struct", "const", "Status", "StatusOr",
+      "ReadPageGuard",   "WritePageGuard",  "RowBatch",
+      "MURAL_RETURN_IF_ERROR",    "MURAL_ASSIGN_OR_RETURN",
+      "std",    "move",  "Release","abort", "true",   "0",      "42",
+      "g",      "x",     "F",      "R\"(",  "\"",     "'"};
+  for (int iter = 0; iter < 200; ++iter) {
+    for (const std::string& src :
+         {RandomBytes(&rng, 200), RandomTokenSoup(&rng, vocab, 60)}) {
+      const lint::LexResult lexed = lint::Lex(src);
+      const lint::FileSymbols syms =
+          lint::ParseFileSymbols("src/fuzz/probe.cc", lexed);
+      (void)lint::BuildCfgs(lexed, syms);
+      (void)lint::LintFile("src/fuzz/probe.cc", src);
+    }
+  }
+  SUCCEED();
+}
+
+// Hand-crafted adversarial fragments for the CFG builder: unbalanced
+// braces, truncated raw strings, embedded NULs, a dangling else, case
+// labels outside a switch, and statements with no terminating ';'.
+TEST(LintAdversarialTest, MalformedCppDegradesWithoutCrashing) {
+  const std::vector<std::string> malformed = {
+      "void F() { if (x) { return; ",            // unbalanced braces
+      "void F() { } } } }",                      // extra closers
+      "void F() { auto s = R\"(unterminated",    // truncated raw string
+      std::string("void F() { int x\0= 1; }", 23),  // embedded NUL
+      "void F() { else { g.Release(); } }",      // dangling else
+      "void F() { case 1: break; }",             // case outside switch
+      "void F() { for (;;) }",                   // empty infinite for
+      "void F() { do { } }",                     // do without while
+      "Status F() { MURAL_ASSIGN_OR_RETURN(WritePageGuard",  // cut macro
+      "void F() { a ? b : ; c ? ; }",            // mangled ternaries
+      "enum class E { kA, = , kB };",            // mangled enumerators
+      "switch (k) { case A::kX:",                // switch at file scope
+  };
+  for (const std::string& src : malformed) {
+    const lint::LexResult lexed = lint::Lex(src);
+    const lint::FileSymbols syms =
+        lint::ParseFileSymbols("src/fuzz/probe.cc", lexed);
+    const std::vector<lint::Cfg> cfgs = lint::BuildCfgs(lexed, syms);
+    for (const lint::Cfg& cfg : cfgs) {
+      // Whatever graph came out must be internally consistent.
+      ASSERT_EQ(cfg.reachable.size(), cfg.blocks.size());
+      for (const lint::CfgBlock& b : cfg.blocks) {
+        for (const int succ : b.succs) {
+          ASSERT_GE(succ, 0);
+          ASSERT_LT(static_cast<size_t>(succ), cfg.blocks.size());
+        }
+      }
+    }
+    (void)lint::LintFile("src/fuzz/probe.cc", src);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSmokeTest,

@@ -1,0 +1,124 @@
+// Per-function control-flow graphs and forward dataflow for mural_lint v4.
+//
+// The v3 rules were lexical: latch-scope, for instance, tracked guard
+// liveness over the token stream, so `if (done) g.Release();` ended the
+// guard's life for the *textual* remainder of the function — blind to the
+// branch that never released.  v4 parses every function body (located by
+// the declaration parser, symbols.h) into basic blocks with edges for
+// if/else, for/while/do, switch/case, break/continue, return, the
+// conditional operator, and the MURAL_RETURN_IF_ERROR /
+// MURAL_ASSIGN_OR_RETURN early-exit macros, then runs forward dataflow to
+// a fixpoint over the graph.  Rules built on it:
+//
+//   latch-scope (path-sensitive)  a Read/WritePageGuard live on ANY path
+//                       into a `// lint: blocking` call is a violation;
+//                       guards released on every incoming path are not.
+//                       Union (may) join; Release()/std::move end liveness
+//                       on that path, scope exit ends it for the block's
+//                       locals.  `// lint: latch-exception(reason)` stays
+//                       the audited escape hatch.
+//   all-paths-return    a function returning Status/StatusOr must return
+//                       on every path: reaching the closing brace by
+//                       fallthrough is a violation.  Infinite loops,
+//                       abort()-style terminators, and exits through the
+//                       MURAL_* macros are understood.  Escape hatch:
+//                       `// lint: fallthrough-ok(reason)`.
+//   use-after-move      a local of guard / RowBatch / StatusOr type used
+//                       on any path after `std::move(local)` consumed it.
+//                       Re-assignment (`local = ...`) revives the value.
+//                       Escape hatch: `// lint: moved-ok(reason)`.
+//   exhaustive-dispatch a `switch` over an enum defined in the symbol
+//                       index must cover every enumerator or carry a
+//                       `default:` label.  Candidate enums are matched by
+//                       qualified-name suffix AND enumerator-set
+//                       compatibility, so a switch is never checked
+//                       against the wrong declaration.
+//
+// The graph is a heuristic over the token stream, like everything else in
+// this linter: statements are token spans, lambdas and nested class bodies
+// stay opaque inside their statement, and malformed input degrades to
+// fewer blocks rather than failure (a lint pass must survive any input).
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "lint.h"
+#include "symbols.h"
+
+namespace mural::lint {
+
+struct CfgStmt {
+  enum class Kind {
+    kPlain,      // straight-line statement
+    kCond,       // branch condition (if/while/for/do/switch head, ?: lhs)
+    kReturn,     // return / co_return / terminator call (abort, throw)
+    kMayReturn,  // MURAL_RETURN_IF_ERROR / MURAL_ASSIGN_OR_RETURN
+    kScopeExit,  // scope close or jump out: locals at depth >= exit_depth die
+  };
+  Kind kind = Kind::kPlain;
+  size_t begin = 0;  // token range [begin, end) into the LexResult
+  size_t end = 0;
+  int line = 0;
+  int depth = 0;       // lexical scope depth (function body = 1)
+  int exit_depth = 0;  // kScopeExit only
+};
+
+struct CfgBlock {
+  std::vector<CfgStmt> stmts;
+  std::vector<int> succs;
+};
+
+/// One `switch` statement, recorded for the exhaustive-dispatch rule.
+struct SwitchDispatch {
+  int line = 0;
+  std::string qualifier;  // "TokKind" from `case TokKind::kIdent:`; "" when
+                          // the labels are unqualified
+  std::vector<std::string> labels;  // unqualified enumerator names
+  bool has_default = false;
+  bool labels_are_idents = true;  // false: numeric/char labels (not an enum
+                                  // dispatch; the rule skips it)
+};
+
+/// The control-flow graph of one function definition.
+struct Cfg {
+  std::string name;
+  ReturnKind returns = ReturnKind::kOther;
+  int line = 0;      // declaration line
+  int end_line = 0;  // closing-brace line
+  size_t sig_begin = 0;  // parameter-list '(' ... ')' token indices
+  size_t sig_end = 0;
+  int entry = 0;
+  int exit = 1;          // synthetic: every return edge lands here
+  int fall_off = -1;     // block whose end falls off the closing brace
+  std::vector<CfgBlock> blocks;
+  std::vector<SwitchDispatch> switches;
+  std::vector<bool> reachable;  // per block, from entry
+};
+
+/// Builds one CFG per function definition in `syms` (bodies located by the
+/// declaration parser).  Tokens are shared with `lexed`, which must
+/// outlive the result.  Never fails on malformed input.
+std::vector<Cfg> BuildCfgs(const LexResult& lexed, const FileSymbols& syms);
+
+/// Cross-file inputs for the CFG-backed rules.
+struct CfgRuleInputs {
+  /// Blocking-call names (`// lint: blocking` markers), as merged by the
+  /// driver — same set no-lock-across-g2p-io uses.
+  const std::vector<std::string>* blocking = nullptr;
+  /// Merged enum index (SymbolIndex::enums()).  When null, the rule vets
+  /// against the file's own enum definitions only.
+  const std::map<std::string, EnumDecl>* enums = nullptr;
+};
+
+/// Runs the four CFG-backed rules over every function in `syms`.
+std::vector<Violation> CheckCfgRules(const std::string& path,
+                                     const LexResult& lexed,
+                                     const FileSymbols& syms,
+                                     const CfgRuleInputs& inputs);
+
+}  // namespace mural::lint

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstddef>
 #include <functional>
+#include <iterator>
 #include <map>
 
+#include "cfg.h"
 #include "layers.h"
 #include "lexer.h"
 #include "symbols.h"
@@ -759,168 +762,6 @@ void CheckStatusFlow(const std::string& path, const Toks& t,
   }
 }
 
-// ---------------------------------------------------------------------------
-// latch-scope
-// ---------------------------------------------------------------------------
-
-void CheckLatchScope(const std::string& path, const LexResult& lexed,
-                     const std::vector<std::string>& banned,
-                     std::vector<Violation>* out) {
-  // buffer_pool.{h,cc} implement the guards (and do page IO while wiring
-  // them up); everything above the pool must follow the latch discipline.
-  if (PathContains(path, "common/") || PathContains(path, "tools/") ||
-      PathContains(path, "storage/buffer_pool")) {
-    return;
-  }
-  const Toks& t = lexed.tokens;
-  auto is_banned = [&banned](const Tok& tk) {
-    return tk.kind == TokKind::kIdent &&
-           std::find(banned.begin(), banned.end(), tk.text) != banned.end();
-  };
-  struct LiveGuard {
-    std::string name;
-    int depth;  // brace depth the guard lives at
-  };
-  struct ParamGuard {
-    std::string name;
-    int pdepth;  // paren depth of the parameter list it sits in
-  };
-  std::vector<LiveGuard> live;
-  std::vector<std::string> pending;  // local decls: live after their ';'
-  std::vector<ParamGuard> params;    // live if the param list opens a body
-  int depth = 0;
-  int pdepth = 0;
-  for (size_t i = 0; i < t.size(); ++i) {
-    const Tok& tk = t[i];
-    if (tk.IsPunct("(")) {
-      ++pdepth;
-      continue;
-    }
-    if (tk.IsPunct(")")) {
-      --pdepth;
-      if (!params.empty()) {
-        // This ')' closes a parameter list: its guards go live only when a
-        // definition body follows (a bare declaration binds nothing).
-        size_t j = i + 1;
-        while (j < t.size() &&
-               AnyOf(t[j], {"const", "noexcept", "override", "final"})) {
-          ++j;
-        }
-        const bool body = j < t.size() && t[j].IsPunct("{");
-        for (size_t k = params.size(); k > 0; --k) {
-          if (params[k - 1].pdepth != pdepth + 1) continue;
-          if (body) live.push_back({params[k - 1].name, depth + 1});
-          params.erase(params.begin() + static_cast<long>(k) - 1);
-        }
-      }
-      continue;
-    }
-    if (tk.IsPunct("{")) {
-      ++depth;
-      continue;
-    }
-    if (tk.IsPunct("}")) {
-      --depth;
-      while (!live.empty() && live.back().depth > depth) live.pop_back();
-      continue;
-    }
-    if (tk.IsPunct(";") && pdepth == 0) {
-      for (std::string& n : pending) live.push_back({std::move(n), depth});
-      pending.clear();
-      continue;
-    }
-    // Guard declaration: `WritePageGuard g = ...`, `ReadPageGuard* g` in a
-    // parameter list, or the first argument of MURAL_ASSIGN_OR_RETURN.  A
-    // mention inside template angles (`StatusOr<ReadPageGuard>`) has no
-    // declared name after it and never matches.
-    if (AnyOf(tk, {"ReadPageGuard", "WritePageGuard"})) {
-      size_t j = i + 1;
-      while (j < t.size() && (t[j].IsPunct("*") || t[j].IsPunct("&") ||
-                              t[j].IsPunct("&&"))) {
-        ++j;
-      }
-      if (j + 1 < t.size() && t[j].kind == TokKind::kIdent &&
-          (t[j + 1].IsPunct("=") || t[j + 1].IsPunct(";") ||
-           t[j + 1].IsPunct(",") || t[j + 1].IsPunct(")") ||
-           t[j + 1].IsPunct("{"))) {
-        std::string name(t[j].text);
-        if (pdepth == 0) {
-          pending.push_back(std::move(name));
-        } else {
-          // Inside parens: a function parameter, unless the enclosing
-          // group is a MURAL_ASSIGN_OR_RETURN — whose first argument is a
-          // genuine local declaration.
-          size_t enc = std::string_view::npos;
-          {
-            int d = 0;
-            size_t k = i;
-            while (k > 0) {
-              --k;
-              if (t[k].IsPunct(")")) ++d;
-              if (t[k].IsPunct("(")) {
-                if (d == 0) {
-                  enc = k;
-                  break;
-                }
-                --d;
-              }
-            }
-          }
-          const bool in_macro =
-              enc != std::string_view::npos && enc > 0 &&
-              t[enc - 1].IsIdent("MURAL_ASSIGN_OR_RETURN");
-          if (in_macro) {
-            pending.push_back(std::move(name));
-          } else {
-            params.push_back({std::move(name), pdepth});
-          }
-        }
-        i = j;
-        continue;
-      }
-      continue;
-    }
-    if (tk.kind != TokKind::kIdent) continue;
-    // Scope-enders: `g.Release()` / `g->Release()` and `std::move(g)`.
-    if (!live.empty()) {
-      if (i + 2 < t.size() &&
-          (t[i + 1].IsPunct(".") || t[i + 1].IsPunct("->")) &&
-          t[i + 2].IsIdent("Release")) {
-        for (size_t k = live.size(); k > 0; --k) {
-          if (live[k - 1].name == tk.text) {
-            live.erase(live.begin() + static_cast<long>(k) - 1);
-            break;
-          }
-        }
-        continue;
-      }
-      if (tk.IsIdent("move") && i + 3 < t.size() && t[i + 1].IsPunct("(") &&
-          t[i + 2].kind == TokKind::kIdent && t[i + 3].IsPunct(")")) {
-        for (size_t k = live.size(); k > 0; --k) {
-          if (live[k - 1].name == t[i + 2].text) {
-            live.erase(live.begin() + static_cast<long>(k) - 1);
-            break;
-          }
-        }
-        continue;
-      }
-    }
-    if (!live.empty() && i + 1 < t.size() && t[i + 1].IsPunct("(") &&
-        is_banned(tk)) {
-      if (HasEscapeComment(lexed.comments, tk.line, "lint: latch-exception")) {
-        continue;
-      }
-      out->push_back(
-          {path, tk.line, "latch-scope",
-           "`" + std::string(tk.text) +
-               "` (declared `// lint: blocking`) called while page guard `" +
-               live.back().name +
-               "` is held; Release() the latch first, or mark an "
-               "intentional two-latch section with "
-               "`// lint: latch-exception(reason)`"});
-    }
-  }
-}
 
 // ---------------------------------------------------------------------------
 // lock-order
@@ -1081,30 +922,63 @@ std::vector<Violation> LintFile(const std::string& rel_path,
                                 std::string_view content,
                                 const LintOptions& options) {
   std::vector<Violation> out;
-  const LexResult lexed = Lex(content);
+  // Per-rule wall time, accumulated into options.timings when the caller
+  // asked for a breakdown (--timings).  A no-op otherwise so the hot path
+  // pays nothing.  tools/ is exempt from no-direct-clock.
+  auto timed = [&options](const char* key, auto&& fn) {
+    if (options.timings == nullptr) {
+      fn();
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    (*options.timings)[key] +=
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+  };
+  LexResult lexed;
+  timed("lex", [&] { lexed = Lex(content); });
   const Toks& t = lexed.tokens;
   // The file's own `// lint: blocking` markers always apply, on top of
   // whatever the driver's cross-file pass collected.
   std::vector<std::string> banned = options.blocking_calls;
   CollectBlockingFromLex(lexed, &banned);
-  CheckThrow(rel_path, t, &out);
-  CheckNewDelete(rel_path, t, &out);
-  CheckPragmaOnce(rel_path, t, &out);
-  CheckAssertSideEffect(rel_path, t, &out);
-  CheckOwnHeaderFirst(rel_path, t, &out);
-  CheckDiscardedStatus(rel_path, t, &out);
-  CheckBareThread(rel_path, t, &out);
-  CheckDirectClock(rel_path, t, &out);
-  CheckRawMutex(rel_path, t, &out);
-  CheckLockAcrossIo(rel_path, t, banned, &out);
-  CheckGuardedField(rel_path, lexed, &out);
-  CheckLatchScope(rel_path, lexed, banned, &out);
-  if (options.layers != nullptr || options.status_returning == nullptr) {
-    const FileSymbols syms = ParseFileSymbols(rel_path, lexed);
-    if (options.layers != nullptr) {
+  timed("no-throw", [&] { CheckThrow(rel_path, t, &out); });
+  timed("no-raw-new-delete", [&] { CheckNewDelete(rel_path, t, &out); });
+  timed("pragma-once", [&] { CheckPragmaOnce(rel_path, t, &out); });
+  timed("assert-side-effect",
+        [&] { CheckAssertSideEffect(rel_path, t, &out); });
+  timed("own-header-first", [&] { CheckOwnHeaderFirst(rel_path, t, &out); });
+  timed("discarded-status", [&] { CheckDiscardedStatus(rel_path, t, &out); });
+  timed("no-bare-thread", [&] { CheckBareThread(rel_path, t, &out); });
+  timed("no-direct-clock", [&] { CheckDirectClock(rel_path, t, &out); });
+  timed("no-raw-mutex", [&] { CheckRawMutex(rel_path, t, &out); });
+  timed("no-lock-across-g2p-io",
+        [&] { CheckLockAcrossIo(rel_path, t, banned, &out); });
+  timed("guarded-field", [&] { CheckGuardedField(rel_path, lexed, &out); });
+  // The CFG-backed rules (latch-scope, all-paths-return, use-after-move,
+  // exhaustive-dispatch) need the declaration parse for function bodies,
+  // so the symbols are built unconditionally now.
+  FileSymbols syms;
+  timed("symbols", [&] { syms = ParseFileSymbols(rel_path, lexed); });
+  timed("cfg-rules", [&] {
+    CfgRuleInputs inputs;
+    inputs.blocking = &banned;
+    inputs.enums = options.enums;
+    std::vector<Violation> cfg_out =
+        CheckCfgRules(rel_path, lexed, syms, inputs);
+    out.insert(out.end(), std::make_move_iterator(cfg_out.begin()),
+               std::make_move_iterator(cfg_out.end()));
+  });
+  if (options.layers != nullptr) {
+    timed("layering", [&] {
       CheckLayering(rel_path, syms, lexed.comments, *options.layers, &out);
-    }
-    if (options.status_returning == nullptr) {
+    });
+  }
+  timed("status-flow", [&] {
+    if (options.status_returning != nullptr) {
+      CheckStatusFlow(rel_path, t, *options.status_returning, &out);
+    } else {
       // No tree-wide index: vet the file's own declarations so local APIs
       // are still checked.
       SymbolIndex index;
@@ -1112,10 +986,7 @@ std::vector<Violation> LintFile(const std::string& rel_path,
       index.Finalize();
       CheckStatusFlow(rel_path, t, index.status_returning(), &out);
     }
-  }
-  if (options.status_returning != nullptr) {
-    CheckStatusFlow(rel_path, t, *options.status_returning, &out);
-  }
+  });
   return out;
 }
 

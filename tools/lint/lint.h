@@ -74,16 +74,41 @@
 //                       see across helper and macro boundaries.  Return
 //                       the value, MURAL_RETURN_IF_ERROR it, or wrap it
 //                       in MURAL_IGNORE_ERROR.
+// v4 rebuilds the flow-sensitive rules on per-function control-flow
+// graphs (cfg.h): function bodies located by the declaration parser are
+// parsed into basic blocks (if/else, loops, switch, break/continue,
+// return, ?:, and the MURAL_RETURN_IF_ERROR / MURAL_ASSIGN_OR_RETURN
+// early exits), then forward dataflow runs to a fixpoint:
+//
 //   latch-scope         no `// lint: blocking`-marked call while a
-//                       ReadPageGuard / WritePageGuard is live: page
-//                       latches follow the same discipline as mutexes
-//                       (release, do the slow work, re-fetch).  Release()
-//                       or std::move() ends a guard's scope; intentional
-//                       two-latch sections (B+-tree splits) carry
-//                       `// lint: latch-exception(reason)` on the call.
+//                       ReadPageGuard / WritePageGuard is live on ANY
+//                       path into the call: page latches follow the same
+//                       discipline as mutexes (release, do the slow work,
+//                       re-fetch).  Release() or std::move() ends a
+//                       guard's scope on that path; a guard released on
+//                       every incoming path is not reported (v3's lexical
+//                       version could not tell the difference).
+//                       Intentional two-latch sections (B+-tree splits)
+//                       carry `// lint: latch-exception(reason)`.
+//   all-paths-return    a function returning Status/StatusOr must return
+//                       on every path; falling off the closing brace is a
+//                       violation.  Infinite loops and abort()-style
+//                       terminators are understood.  Escape hatch:
+//                       `// lint: fallthrough-ok(reason)`.
+//   use-after-move      a guard / RowBatch / StatusOr local used on any
+//                       path after `std::move` consumed it; re-assignment
+//                       revives the value.  Escape hatch:
+//                       `// lint: moved-ok(reason)`.
+//   exhaustive-dispatch a `switch` over an enum in the symbol index must
+//                       cover every enumerator or carry `default:`.
+//                       Candidate enums match by qualified-name suffix
+//                       and enumerator-set compatibility; ambiguity means
+//                       silence, never a guess.
 
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -91,6 +116,12 @@
 namespace mural::lint {
 
 struct LayerConfig;  // layers.h
+struct EnumDecl;     // symbols.h
+
+/// Accumulated wall-clock nanoseconds per rule (and per shared stage:
+/// "lex", "symbols"), filled when LintOptions::timings is set.  The
+/// driver keeps one per worker and merges, so no synchronization here.
+using RuleTimings = std::map<std::string, int64_t>;
 
 struct Violation {
   std::string file;     // repo-relative path label, e.g. "src/exec/foo.cc"
@@ -136,6 +167,15 @@ struct LintOptions {
   /// Architecture layer map (layers.h).  When null the layering and
   /// layer-config-drift rules are skipped.
   const LayerConfig* layers = nullptr;
+
+  /// Merged tree-wide enum index (SymbolIndex::enums()) for
+  /// exhaustive-dispatch.  When null the rule vets switches against the
+  /// file's own enum definitions only.
+  const std::map<std::string, EnumDecl>* enums = nullptr;
+
+  /// When non-null, LintFile accumulates per-rule wall time here
+  /// (--timings).  Not thread-safe: give each worker its own and merge.
+  RuleTimings* timings = nullptr;
 };
 
 /// Replaces comments, string literals (including raw strings), and char

@@ -20,10 +20,19 @@
 //   --graph-json FILE  write the include graph (layers, per-file include
 //                      lists, layer-level edges) as JSON
 //   --graph-dot FILE   write the layer-level include graph as Graphviz DOT
+//   --github-annotations  also print each violation as a GitHub Actions
+//                      workflow command (::error file=...,line=...) so CI
+//                      failures annotate the PR diff inline
+//   --timings          print a per-rule wall-time breakdown after the run
+//   --budget-ms N      fail (exit 3) when both passes together exceed N
+//                      milliseconds — the perf regression gate CI runs
+//                      with N=2000
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <set>
@@ -168,17 +177,52 @@ bool WriteGraphDot(const std::string& out_path,
   return out.good();
 }
 
+/// Escapes a GitHub Actions workflow-command property value (the rules
+/// from the runner source: %, CR, LF always; ':' and ',' in properties).
+std::string GithubEscapeProperty(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '\r': out += "%0D"; break;
+      case '\n': out += "%0A"; break;
+      case ':': out += "%3A"; break;
+      case ',': out += "%2C"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string GithubEscapeData(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '\r': out += "%0D"; break;
+      case '\n': out += "%0A"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string layers_path, graph_json_path, graph_dot_path;
   std::vector<std::string> roots;
+  bool github_annotations = false;
+  bool timings = false;
+  long budget_ms = -1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto flag_value = [&](const char* flag) -> const char* {
       if (arg != flag) return nullptr;
       if (i + 1 >= argc) {
-        std::cerr << "mural_lint: " << flag << " needs a file argument\n";
+        std::cerr << "mural_lint: " << flag << " needs an argument\n";
         std::exit(2);
       }
       return argv[++i];
@@ -189,6 +233,16 @@ int main(int argc, char** argv) {
       graph_json_path = v;
     } else if (const char* v = flag_value("--graph-dot")) {
       graph_dot_path = v;
+    } else if (const char* v = flag_value("--budget-ms")) {
+      budget_ms = std::strtol(v, nullptr, 10);
+      if (budget_ms <= 0) {
+        std::cerr << "mural_lint: --budget-ms needs a positive integer\n";
+        return 2;
+      }
+    } else if (arg == "--github-annotations") {
+      github_annotations = true;
+    } else if (arg == "--timings") {
+      timings = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "mural_lint: unknown flag " << arg << "\n";
       return 2;
@@ -199,6 +253,7 @@ int main(int argc, char** argv) {
   if (roots.empty()) {
     std::cerr << "usage: mural_lint [--layers layers.toml] "
                  "[--graph-json out.json] [--graph-dot out.dot] "
+                 "[--github-annotations] [--timings] [--budget-ms N] "
                  "<dir-or-file>...\n";
     return 2;
   }
@@ -268,6 +323,10 @@ int main(int argc, char** argv) {
   mural::ThreadPool pool(mural::ThreadPool::HardwareConcurrency());
   const int dop = static_cast<int>(pool.num_threads());
 
+  // The --budget-ms clock covers both analysis passes (file IO above is
+  // excluded: disk speed is not what the gate protects).
+  const auto analysis_start = std::chrono::steady_clock::now();
+
   // Pass 1: parse every file once, concurrently; each morsel writes its
   // own slots, so the merge below needs no locking.
   std::vector<ParsedFile> parsed(sources.size());
@@ -311,16 +370,23 @@ int main(int argc, char** argv) {
   }
   index.Finalize();
   options.status_returning = &index.status_returning();
+  options.enums = &index.enums();
   if (have_layers) options.layers = &layers;
 
   // Pass 2: per-file rules with the merged inputs, then the global graph.
+  // Each file gets its own timing slot so the morsels never share one.
   std::vector<std::vector<mural::lint::Violation>> per_file(sources.size());
+  std::vector<mural::lint::RuleTimings> timing_slots(
+      timings ? sources.size() : 0);
   mural::Status p2 = mural::ParallelMorsels(
       &pool, sources.size(), /*morsel_size=*/8, dop,
-      [&sources, &per_file, &options](size_t, size_t begin, size_t end) {
+      [&sources, &per_file, &options, &timing_slots,
+       timings](size_t, size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {
-          per_file[i] = mural::lint::LintFile(sources[i].label,
-                                              sources[i].content, options);
+          mural::lint::LintOptions file_options = options;
+          if (timings) file_options.timings = &timing_slots[i];
+          per_file[i] = mural::lint::LintFile(
+              sources[i].label, sources[i].content, file_options);
         }
         return mural::Status::OK();
       });
@@ -336,6 +402,12 @@ int main(int argc, char** argv) {
   for (auto& v : mural::lint::CheckLockOrder(edges)) {
     all.push_back(std::move(v));
   }
+  const auto analysis_elapsed =
+      std::chrono::steady_clock::now() - analysis_start;
+  const long elapsed_ms =
+      static_cast<long>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                            analysis_elapsed)
+                            .count());
 
   // Graph artifacts are written even when violations exist: CI uploads
   // them precisely to debug a failing layering run.
@@ -356,12 +428,57 @@ int main(int argc, char** argv) {
 
   for (const auto& v : all) {
     std::cout << mural::lint::FormatViolation(v) << "\n";
+    if (github_annotations) {
+      std::cout << "::error file=" << GithubEscapeProperty(v.file)
+                << ",line=" << v.line << ",title="
+                << GithubEscapeProperty("mural_lint [" + v.rule + "]")
+                << "::" << GithubEscapeData(v.message) << "\n";
+    }
   }
+
+  if (timings) {
+    // CPU-time breakdown (summed across workers, so rules are comparable
+    // to each other; the budget below is wall time).
+    mural::lint::RuleTimings merged;
+    for (const mural::lint::RuleTimings& slot : timing_slots) {
+      for (const auto& [rule, ns] : slot) merged[rule] += ns;
+    }
+    std::vector<std::pair<std::string, int64_t>> rows(merged.begin(),
+                                                      merged.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second > b.second;
+    });
+    int64_t total_ns = 0;
+    for (const auto& [rule, ns] : rows) total_ns += ns;
+    std::cout << "mural_lint: per-rule timings (CPU, all workers)\n";
+    for (const auto& [rule, ns] : rows) {
+      std::cout << "  " << std::left << std::setw(24) << rule << std::right
+                << std::setw(9) << std::fixed << std::setprecision(2)
+                << static_cast<double>(ns) / 1e6 << " ms  ("
+                << std::setprecision(1)
+                << (total_ns > 0
+                        ? 100.0 * static_cast<double>(ns) /
+                              static_cast<double>(total_ns)
+                        : 0.0)
+                << "%)\n";
+    }
+    std::cout << "  " << std::left << std::setw(24) << "total" << std::right
+              << std::setw(9) << std::fixed << std::setprecision(2)
+              << static_cast<double>(total_ns) / 1e6 << " ms; wall "
+              << elapsed_ms << " ms over " << dop << " worker(s)\n";
+  }
+
   std::cout << "mural_lint: " << sources.size() << " files, "
             << options.blocking_calls.size() << " blocking marker(s), "
             << edges.size() << " lock-order edge(s), "
             << index.status_returning().size()
-            << " Status-returning name(s), " << all.size()
-            << " violation(s)\n";
+            << " Status-returning name(s), " << index.enums().size()
+            << " enum(s), " << all.size() << " violation(s)\n";
+
+  if (budget_ms > 0 && elapsed_ms > budget_ms) {
+    std::cerr << "mural_lint: analysis took " << elapsed_ms
+              << " ms, over the --budget-ms " << budget_ms << " gate\n";
+    return 3;
+  }
   return all.empty() ? 0 : 1;
 }

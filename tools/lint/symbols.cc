@@ -181,6 +181,7 @@ bool ParseFunctionAt(const Toks& t, size_t name_idx, size_t open,
 
   // The signature must be followed by declaration syntax.
   bool is_definition = false;
+  size_t body_open = std::string_view::npos;
   {
     size_t k = close + 1;
     bool ok = false;
@@ -194,6 +195,7 @@ bool ParseFunctionAt(const Toks& t, size_t name_idx, size_t open,
       if (n.IsPunct("{") || n.IsPunct(":")) {  // body or ctor-init list
         ok = true;
         is_definition = true;
+        if (n.IsPunct("{")) body_open = k;
         break;
       }
       if (n.IsPunct("=")) {
@@ -236,6 +238,71 @@ bool ParseFunctionAt(const Toks& t, size_t name_idx, size_t open,
   decl->returns = ClassifyReturn(t, trimmed, chain_begin);
   decl->line = t[name_idx].line;
   decl->is_definition = is_definition;
+  decl->sig_begin = open;
+  decl->sig_end = close;
+  if (body_open != std::string_view::npos) {
+    const size_t body_close = MatchingBrace(t, body_open);
+    if (body_close != std::string_view::npos) {
+      decl->body_begin = body_open;
+      decl->body_end = body_close;
+    }
+  }
+  *resume = close;
+  return true;
+}
+
+/// Parses an `enum [class|struct] Name [: base] { ... }` definition whose
+/// `enum` keyword sits at `i`.  Returns true (and sets *resume to the
+/// closing '}') only for a named definition; forward declarations,
+/// anonymous enums, and elaborated uses (`enum Color c;`) are left for the
+/// main loop to walk over.
+bool ParseEnumAt(const Toks& t, size_t i, std::string qualified_name_prefix,
+                 size_t* resume, EnumDecl* decl) {
+  size_t j = i + 1;
+  bool scoped = false;
+  if (j < t.size() && (t[j].IsIdent("class") || t[j].IsIdent("struct"))) {
+    scoped = true;
+    ++j;
+  }
+  if (j >= t.size() || t[j].kind != TokKind::kIdent) return false;
+  const std::string name(t[j].text);
+  const int line = t[j].line;
+  ++j;
+  if (j < t.size() && t[j].IsPunct(":")) {
+    // Underlying type: skip to the '{' (or bail at statement boundaries).
+    ++j;
+    while (j < t.size() && !t[j].IsPunct("{") && !t[j].IsPunct(";") &&
+           !t[j].IsPunct("}") && !t[j].IsPunct("(")) {
+      ++j;
+    }
+  }
+  if (j >= t.size() || !t[j].IsPunct("{")) return false;
+  const size_t close = MatchingBrace(t, j);
+  if (close == std::string_view::npos) return false;
+  decl->name = qualified_name_prefix.empty()
+                   ? name
+                   : qualified_name_prefix + "::" + name;
+  decl->line = line;
+  decl->scoped = scoped;
+  // Enumerators: the first identifier of each top-level comma piece.
+  // Initializer expressions (`kA = kB | 0x4`, `kC = Size(kA)`) never
+  // contribute: only the piece-opening identifier counts.
+  bool piece_start = true;
+  int pdepth = 0;
+  for (size_t k = j + 1; k < close; ++k) {
+    const Tok& e = t[k];
+    if (e.IsPunct("(") || e.IsPunct("{")) ++pdepth;
+    if (e.IsPunct(")") || e.IsPunct("}")) --pdepth;
+    if (pdepth > 0) continue;
+    if (e.IsPunct(",")) {
+      piece_start = true;
+      continue;
+    }
+    if (piece_start && e.kind == TokKind::kIdent) {
+      decl->enumerators.push_back(std::string(e.text));
+    }
+    piece_start = false;
+  }
   *resume = close;
   return true;
 }
@@ -321,6 +388,21 @@ FileSymbols ParseFileSymbols(const std::string& rel_path,
       continue;
     }
 
+    if (tk.IsIdent("enum")) {
+      // Named definitions are consumed wholesale (their braces never reach
+      // the depth tracker); anything else — forward declaration, anonymous
+      // enum, elaborated use — falls through to the generic scan.
+      EnumDecl e;
+      size_t resume = i;
+      if (ParseEnumAt(t, i,
+                      classes.empty() ? "" : classes.back().qualified_name,
+                      &resume, &e)) {
+        out.enums.push_back(std::move(e));
+        i = resume;
+        continue;
+      }
+    }
+
     if ((tk.IsIdent("class") || tk.IsIdent("struct")) &&
         !(i > 0 && (t[i - 1].IsIdent("enum") || t[i - 1].IsPunct("<") ||
                     t[i - 1].IsPunct(",") || t[i - 1].IsIdent("template")))) {
@@ -377,6 +459,21 @@ void SymbolIndex::Finalize() {
       status_returning_.push_back(name);
     }
   }
+
+  // Merge enum definitions.  The same qualified name with the same
+  // enumerator list (a header parsed via several roots) is idempotent; a
+  // conflicting redefinition is ambiguous and dropped outright.
+  enums_.clear();
+  std::set<std::string> conflicting;
+  for (const auto& [path, fs] : files_) {
+    for (const EnumDecl& e : fs.enums) {
+      auto [it, inserted] = enums_.emplace(e.name, e);
+      if (!inserted && it->second.enumerators != e.enumerators) {
+        conflicting.insert(e.name);
+      }
+    }
+  }
+  for (const std::string& name : conflicting) enums_.erase(name);
 }
 
 }  // namespace mural::lint

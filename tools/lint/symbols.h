@@ -63,6 +63,24 @@ struct FunctionDecl {
   ReturnKind returns = ReturnKind::kOther;
   int line = 0;
   bool is_definition = false;  // had a body (or = default / = delete)
+  // Token indices into the LexResult the declaration was parsed from: the
+  // parameter list's '(' ... ')' pair, and for definitions with a real
+  // body the '{' ... '}' pair.  npos when absent (= default, = delete,
+  // bare declarations).  The CFG builder (cfg.h) consumes these.
+  size_t sig_begin = static_cast<size_t>(-1);
+  size_t sig_end = static_cast<size_t>(-1);
+  size_t body_begin = static_cast<size_t>(-1);
+  size_t body_end = static_cast<size_t>(-1);
+};
+
+/// One enum / enum class definition.  `name` is qualified by lexical class
+/// nesting ("ScanSpec::Kind" for a nested enum); forward declarations and
+/// anonymous enums contribute nothing.
+struct EnumDecl {
+  std::string name;
+  int line = 0;
+  bool scoped = false;  // enum class / enum struct
+  std::vector<std::string> enumerators;  // declaration order
 };
 
 /// Everything pass 1 learns about one file.
@@ -71,6 +89,7 @@ struct FileSymbols {
   std::vector<IncludeRef> includes;
   std::vector<ClassDecl> classes;
   std::vector<FunctionDecl> functions;
+  std::vector<EnumDecl> enums;
 };
 
 /// Parses one file.  Never fails: unparseable regions simply contribute no
@@ -99,11 +118,18 @@ class SymbolIndex {
     return status_returning_;
   }
 
+  /// Merged enum definitions keyed by qualified name; valid after
+  /// Finalize.  A name defined with *different* enumerator lists in two
+  /// places is ambiguous and dropped outright, so the exhaustive-dispatch
+  /// rule can never check a switch against the wrong declaration.
+  const std::map<std::string, EnumDecl>& enums() const { return enums_; }
+
   const std::map<std::string, FileSymbols>& files() const { return files_; }
 
  private:
   std::map<std::string, FileSymbols> files_;
   std::vector<std::string> status_returning_;
+  std::map<std::string, EnumDecl> enums_;
 };
 
 }  // namespace mural::lint

@@ -162,6 +162,67 @@ class Disk {
   EXPECT_EQ(sync->returns, ReturnKind::kStatus);
 }
 
+TEST(SymbolsTest, EnumAndEnumClassAreParsed) {
+  const FileSymbols fs = ParseFileSymbols("src/a.h", R"(
+enum class TypeId : uint8_t {
+  kInt32 = 0,
+  kInt64,
+  kString,
+};
+enum LegacyFlags { kNone, kDirty = 1 << 0, kPinned = 1 << 1 };
+)");
+  ASSERT_EQ(fs.enums.size(), 2u);
+  EXPECT_EQ(fs.enums[0].name, "TypeId");
+  EXPECT_TRUE(fs.enums[0].scoped);
+  EXPECT_EQ(fs.enums[0].enumerators,
+            (std::vector<std::string>{"kInt32", "kInt64", "kString"}));
+  EXPECT_EQ(fs.enums[1].name, "LegacyFlags");
+  EXPECT_FALSE(fs.enums[1].scoped);
+  EXPECT_EQ(fs.enums[1].enumerators,
+            (std::vector<std::string>{"kNone", "kDirty", "kPinned"}))
+      << "initializer expressions must not contribute enumerators";
+}
+
+TEST(SymbolsTest, NestedEnumGetsQualifiedName) {
+  const FileSymbols fs = ParseFileSymbols("src/a.h", R"(
+struct ScanSpec {
+  enum class Kind { kFullTable, kIndexEq, kIndexRange };
+  int limit = 0;
+};
+)");
+  ASSERT_EQ(fs.enums.size(), 1u);
+  EXPECT_EQ(fs.enums[0].name, "ScanSpec::Kind");
+  EXPECT_EQ(fs.enums[0].enumerators.size(), 3u);
+  // The enum braces must not confuse the class-nesting tracker.
+  EXPECT_NE(FindClass(fs, "ScanSpec"), nullptr);
+}
+
+TEST(SymbolsTest, EnumForwardDeclarationsAndAnonymousAreIgnored) {
+  const FileSymbols fs = ParseFileSymbols("src/a.h", R"(
+enum class Opcode : int;
+enum { kAnonymousConstant = 7 };
+void Frob(enum Widget w);
+)");
+  EXPECT_TRUE(fs.enums.empty());
+}
+
+TEST(SymbolIndexTest, ConflictingEnumDefinitionsAreDropped) {
+  SymbolIndex index;
+  index.AddFile(ParseFileSymbols("src/a.h", R"(
+enum class Kind { kA, kB };
+enum class Stable { kX, kY };
+)"));
+  index.AddFile(ParseFileSymbols("src/b.h", R"(
+enum class Kind { kA, kB, kC };
+)"));
+  index.Finalize();
+  EXPECT_EQ(index.enums().count("Kind"), 0u)
+      << "two definitions with different enumerators are ambiguous";
+  ASSERT_EQ(index.enums().count("Stable"), 1u);
+  EXPECT_EQ(index.enums().at("Stable").enumerators,
+            (std::vector<std::string>{"kX", "kY"}));
+}
+
 TEST(SymbolIndexTest, VetsOnlyUnambiguousStatusNames) {
   SymbolIndex index;
   index.AddFile(ParseFileSymbols("src/a.h", R"(

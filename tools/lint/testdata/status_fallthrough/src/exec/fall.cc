@@ -1,0 +1,20 @@
+// Seeded-violation fixture for the all-paths-return rule (mural_lint
+// v4): `Validate` returns Status but only the `rows > 0` path actually
+// returns one — control falls off the closing brace otherwise, which is
+// undefined behavior the compiler only warns about.  Registered as a
+// WILL_FAIL ctest: the lint exiting non-zero is the passing outcome.
+
+namespace mural {
+
+class Status {
+ public:
+  static Status OK();
+};
+
+Status Validate(int rows) {
+  if (rows > 0) {
+    return Status::OK();
+  }
+}
+
+}  // namespace mural

@@ -35,6 +35,18 @@ inline size_t MatchingParen(const Toks& t, size_t open) {
   return std::string_view::npos;
 }
 
+/// Index of the '}' matching the '{' at `open`, or npos.
+inline size_t MatchingBrace(const Toks& t, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < t.size(); ++i) {
+    if (t[i].IsPunct("{")) ++depth;
+    if (t[i].IsPunct("}")) {
+      if (--depth == 0) return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
 /// True when the token span (b, e) between a `Name(`...`)` pair reads like
 /// a declaration's parameter list rather than call arguments: some
 /// top-level comma piece is "Type name" or ends in a bare &/*/&&
