@@ -19,7 +19,9 @@
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <shared_mutex>
 
@@ -133,6 +135,18 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // ownership stays with the caller's guard
+  }
+
+  /// Like Wait but gives up after `millis`.  Returns false on timeout,
+  /// true when notified (or woken spuriously — callers loop on their
+  /// predicate either way).  The mutex is held again on return.
+  bool WaitForMillis(Mutex& mu, int64_t millis) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const bool notified =
+        cv_.wait_for(lock, std::chrono::milliseconds(millis)) ==
+        std::cv_status::no_timeout;
+    lock.release();  // ownership stays with the caller's guard
+    return notified;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IOError";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

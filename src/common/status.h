@@ -27,6 +27,10 @@ enum class StatusCode : uint8_t {
   kInternal,
   kIOError,
   kAborted,
+  /// The engine declined to run the request because the admission-control
+  /// gate is at its concurrency limit and the queue is full (or the queue
+  /// wait timed out).  Retryable by the client after backoff.
+  kOverloaded,
 };
 
 /// Returns a stable human-readable name for `code` ("InvalidArgument", ...).
@@ -80,6 +84,9 @@ class [[nodiscard]] Status {
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   [[nodiscard]] StatusCode code() const { return code_; }
@@ -91,6 +98,7 @@ class [[nodiscard]] Status {
   }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,0 +1,127 @@
+#include "engine/admission.h"
+
+#include "common/metrics.h"
+#include "common/timer.h"
+
+namespace mural {
+
+namespace {
+
+struct AdmissionMetrics {
+  Gauge* active;
+  Gauge* queued;
+  Counter* admitted;
+  Counter* rejected;
+  Counter* timeouts;
+  Histogram* queue_wait_ms;
+};
+
+AdmissionMetrics& Metrics() {
+  static AdmissionMetrics m = {
+      MetricsRegistry::Global().GetGauge("engine.admission.active"),
+      MetricsRegistry::Global().GetGauge("engine.admission.queued"),
+      MetricsRegistry::Global().GetCounter("engine.admission.admitted"),
+      MetricsRegistry::Global().GetCounter("engine.admission.rejected"),
+      MetricsRegistry::Global().GetCounter("engine.admission.timeouts"),
+      MetricsRegistry::Global().GetHistogram("engine.admission.queue_wait_ms",
+                                             DefaultLatencyBoundsMillis()),
+  };
+  return m;
+}
+
+}  // namespace
+
+AdmissionTicket& AdmissionTicket::operator=(
+    AdmissionTicket&& other) noexcept {
+  if (this != &other) {
+    if (controller_ != nullptr) controller_->Release();
+    controller_ = other.controller_;
+    other.controller_ = nullptr;
+  }
+  return *this;
+}
+
+AdmissionTicket::~AdmissionTicket() {
+  if (controller_ != nullptr) controller_->Release();
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {}
+
+StatusOr<AdmissionTicket> AdmissionController::Admit(
+    double* queue_wait_ms) {
+  if (queue_wait_ms != nullptr) *queue_wait_ms = 0;
+  if (options_.max_concurrent <= 0) {
+    // Gate disabled: admit without accounting (the common library-use
+    // case pays nothing for the server's gate).
+    return AdmissionTicket();
+  }
+  AdmissionMetrics& metrics = Metrics();
+  {
+    MutexLock lock(mu_);
+    if (active_ < options_.max_concurrent) {
+      ++active_;
+      metrics.active->Set(active_);
+      metrics.admitted->Increment();
+      metrics.queue_wait_ms->Observe(0);
+      return AdmissionTicket(this);
+    }
+    if (queued_ >= options_.max_queue) {
+      metrics.rejected->Increment();
+      return Status::Overloaded(
+          "admission queue full (" + std::to_string(queued_) +
+          " waiting on " + std::to_string(options_.max_concurrent) +
+          " slots)");
+    }
+    ++queued_;
+    metrics.queued->Set(queued_);
+    Timer wait_timer;
+    // Wait for a slot, re-checking the predicate after every wakeup; give
+    // up once the whole timeout budget is spent.
+    while (active_ >= options_.max_concurrent) {
+      const int64_t remaining =
+          options_.queue_timeout_ms -
+          static_cast<int64_t>(wait_timer.ElapsedMillis());
+      if (remaining <= 0) {
+        --queued_;
+        metrics.queued->Set(queued_);
+        metrics.rejected->Increment();
+        metrics.timeouts->Increment();
+        return Status::Overloaded(
+            "admission queue wait exceeded " +
+            std::to_string(options_.queue_timeout_ms) + " ms");
+      }
+      // Spurious wakeups and timeouts alike just re-enter the predicate
+      // and budget checks above.
+      slot_freed_.WaitForMillis(mu_, remaining);
+    }
+    --queued_;
+    ++active_;
+    metrics.queued->Set(queued_);
+    metrics.active->Set(active_);
+    metrics.admitted->Increment();
+    const double waited = wait_timer.ElapsedMillis();
+    metrics.queue_wait_ms->Observe(waited);
+    if (queue_wait_ms != nullptr) *queue_wait_ms = waited;
+    return AdmissionTicket(this);
+  }
+}
+
+void AdmissionController::Release() {
+  MutexLock lock(mu_);
+  --active_;
+  Metrics().active->Set(active_);
+  slot_freed_.NotifyOne();
+}
+
+int AdmissionController::active() const {
+  MutexLock lock(mu_);
+  return active_;
+}
+
+int AdmissionController::queued() const {
+  MutexLock lock(mu_);
+  return queued_;
+}
+
+}  // namespace mural

@@ -1,0 +1,93 @@
+// Semaphore-style admission control for query execution.
+//
+// Many concurrent sessions feed one Database; the admission gate bounds
+// how many queries execute at once (protecting the buffer pool and worker
+// pools from convoy collapse under overload), queues a bounded number of
+// waiters, and sheds the rest with a typed kOverloaded Status the client
+// can retry after backoff.
+//
+// States a request can pass through:
+//
+//   admit   — a slot was free (or became free within the timeout); the
+//             query runs holding an AdmissionTicket.
+//   queue   — all slots busy but the wait queue has room; the request
+//             blocks on a condition variable up to queue_timeout_ms.
+//   reject  — the queue is full (immediate kOverloaded), or the queue
+//             wait timed out (kOverloaded after queue_timeout_ms).
+//
+// Exported metrics: engine.admission.active / queued (gauges),
+// admitted / rejected / timeouts (counters), queue_wait_ms (histogram).
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace mural {
+
+struct AdmissionOptions {
+  /// Max queries executing concurrently; 0 = unlimited (gate disabled).
+  int max_concurrent = 0;
+  /// Max requests blocked waiting for a slot before immediate rejection.
+  int max_queue = 16;
+  /// How long a queued request waits for a slot before kOverloaded.
+  int64_t queue_timeout_ms = 1000;
+};
+
+class AdmissionController;
+
+/// RAII execution slot; releases back to the controller on destruction.
+/// A default-constructed (or moved-from) ticket holds nothing — that is
+/// what a disabled gate hands out.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  AdmissionTicket(AdmissionTicket&& other) noexcept
+      : controller_(other.controller_) {
+    other.controller_ = nullptr;
+  }
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept;
+  ~AdmissionTicket();
+
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+ private:
+  friend class AdmissionController;
+  explicit AdmissionTicket(AdmissionController* controller)
+      : controller_(controller) {}
+
+  AdmissionController* controller_ = nullptr;
+};
+
+/// The gate.  Thread-safe; one instance per Database.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  /// Blocks until an execution slot is available (within the queue
+  /// bounds/timeout).  On success `*queue_wait_ms` (if non-null) holds
+  /// the time spent queued; on overload returns kOverloaded.
+  [[nodiscard]] StatusOr<AdmissionTicket> Admit(double* queue_wait_ms);
+
+  const AdmissionOptions& options() const { return options_; }
+
+  /// Introspection for tests/ops (also mirrored into the registry).
+  int active() const;
+  int queued() const;
+
+ private:
+  friend class AdmissionTicket;
+  void Release();
+
+  const AdmissionOptions options_;
+  mutable Mutex mu_;
+  CondVar slot_freed_;
+  int active_ GUARDED_BY(mu_) = 0;
+  int queued_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace mural

@@ -1,6 +1,7 @@
 #include "engine/database.h"
 
 #include <algorithm>
+#include <cctype>
 
 #include "catalog/tuple_codec.h"
 #include "common/logging.h"
@@ -55,6 +56,21 @@ void CollectFeedback(const PhysicalOp& op, int depth,
   }
 }
 
+std::string UpperAscii(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+QueryResult OkResult() {
+  QueryResult result;
+  result.schema = Schema({{"ok", TypeId::kBool}});
+  result.rows.push_back({Value::Bool(true)});
+  return result;
+}
+
 }  // namespace
 
 StatusOr<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
@@ -69,34 +85,28 @@ StatusOr<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   db->pool_ = std::make_unique<BufferPool>(db->disk_.get(),
                                            options.buffer_pool_pages);
   db->catalog_ = std::make_unique<Catalog>(db->pool_.get());
-  db->ctx_.lexequal_threshold = options.lexequal_threshold;
   db->phoneme_cache_ =
       std::make_unique<PhonemeCache>(options.phoneme_cache_capacity);
-  if (db->phoneme_cache_->enabled()) {
-    db->ctx_.phoneme_cache = db->phoneme_cache_.get();
-  }
-  db->SetDegreeOfParallelism(options.degree_of_parallelism);
-  db->SetBatchSize(static_cast<int64_t>(options.batch_size));
+  db->plan_cache_ = std::make_unique<PlanCache>(options.plan_cache_capacity);
+  db->admission_ = std::make_unique<AdmissionController>(options.admission);
+  db->session_defaults_.lexequal_threshold = options.lexequal_threshold;
+  db->session_defaults_.degree_of_parallelism =
+      options.degree_of_parallelism;
+  db->session_defaults_.batch_size =
+      static_cast<int64_t>(options.batch_size);
+  // The built-in session behind the deprecated single-session shims.
+  db->default_session_ =
+      std::make_unique<SessionState>(0, db->phoneme_cache_.get());
+  MURAL_RETURN_IF_ERROR(
+      db->default_session_->ApplyOptions(db->session_defaults_));
   return db;
 }
 
-void Database::SetDegreeOfParallelism(int dop) {
-  if (dop <= 0) dop = static_cast<int>(ThreadPool::HardwareConcurrency());
-  ctx_.degree_of_parallelism = std::max(1, dop);
-  if (ctx_.degree_of_parallelism > 1) {
-    // ParallelMorsels runs strip 0 on the calling thread, so a dop-way
-    // phase needs dop - 1 pool workers.  Grow-only: raising then lowering
-    // the session DOP keeps the larger pool.
-    const size_t want = static_cast<size_t>(ctx_.degree_of_parallelism - 1);
-    if (thread_pool_ == nullptr || thread_pool_->num_threads() < want) {
-      thread_pool_ = std::make_unique<ThreadPool>(want);
-    }
-  }
-  ctx_.thread_pool = thread_pool_.get();
-}
-
 Status Database::CreateTable(const std::string& name, Schema schema) {
-  return catalog_->CreateTable(name, std::move(schema)).status();
+  MURAL_RETURN_IF_ERROR(
+      catalog_->CreateTable(name, std::move(schema)).status());
+  plan_cache_->Invalidate();
+  return Status::OK();
 }
 
 Status Database::Insert(const std::string& table, Row row) {
@@ -109,7 +119,10 @@ Status Database::Insert(const std::string& table, Row row) {
     if (schema.column(c).materialize_phonemes && !row[c].is_null() &&
         row[c].type() == TypeId::kUniText &&
         !row[c].unitext().has_phonemes()) {
-      ctx_.transformer->Materialize(&row[c].mutable_unitext());
+      // Materialize is const and stateless — safe through the default
+      // session's transformer regardless of which session inserts.
+      default_session_->exec_context()->transformer->Materialize(
+          &row[c].mutable_unitext());
     }
   }
   TableWriter writer(info);
@@ -175,22 +188,32 @@ Status Database::CreateIndex(const std::string& index_name,
       MURAL_RETURN_IF_ERROR(index->Insert(v, it.rid()));
     }
   }
-  return catalog_
-      ->CreateIndex(index_name, table, column, on_phonemes, kind,
-                    std::move(index))
-      .status();
+  MURAL_RETURN_IF_ERROR(
+      catalog_
+          ->CreateIndex(index_name, table, column, on_phonemes, kind,
+                        std::move(index))
+          .status());
+  plan_cache_->Invalidate();
+  return Status::OK();
 }
 
 Status Database::Analyze(const std::string& table) {
+  return AnalyzeWith(table, default_session_->exec_context());
+}
+
+Status Database::AnalyzeWith(const std::string& table, ExecContext* ctx) {
   MURAL_ASSIGN_OR_RETURN(TableInfo * info, catalog_->GetTable(table));
-  return stats_.Analyze(*info, &ctx_);
+  MURAL_RETURN_IF_ERROR(stats_.Analyze(*info, ctx));
+  // Fresh statistics change cardinality estimates and therefore which
+  // cached binds are worth keeping hot; sweep the cache.
+  plan_cache_->Invalidate();
+  return Status::OK();
 }
 
 Status Database::LoadTaxonomy(std::unique_ptr<Taxonomy> taxonomy) {
   taxonomy_ = std::move(taxonomy);
   closure_cache_ = std::make_unique<ClosureCache>(taxonomy_.get());
-  ctx_.taxonomy = taxonomy_.get();
-  ctx_.closure_cache = closure_cache_.get();
+  SyncSharedHandles(*default_session_);
 
   // Persist the hierarchy relationally so closure computation can also be
   // driven through the storage layer.
@@ -254,22 +277,43 @@ Status Database::CreateTaxonomyIndexes() {
                      /*on_phonemes=*/false);
 }
 
-StatusOr<PhysicalPlan> Database::PlanQuery(const LogicalPtr& plan,
-                                           PlannerHints hints) {
-  Planner planner(catalog_.get(), &stats_, &ctx_);
+void Database::SyncSharedHandles(SessionState& session) {
+  // Sessions minted before LoadTaxonomy still see the taxonomy: the
+  // shared handles are refreshed on every plan entry.
+  ExecContext* ctx = session.exec_context();
+  ctx->taxonomy = taxonomy_.get();
+  ctx->closure_cache = closure_cache_.get();
+}
+
+StatusOr<PhysicalPlan> Database::PlanOn(SessionState& session,
+                                        const LogicalPtr& plan,
+                                        PlannerHints hints) {
+  SyncSharedHandles(session);
+  Planner planner(catalog_.get(), &stats_, session.exec_context());
   return planner.Plan(plan, hints);
 }
 
-StatusOr<QueryResult> Database::Query(const LogicalPtr& plan,
-                                      PlannerHints hints) {
-  MURAL_ASSIGN_OR_RETURN(PhysicalPlan physical, PlanQuery(plan, hints));
+StatusOr<QueryResult> Database::QueryOn(SessionState& session,
+                                       const LogicalPtr& plan,
+                                       PlannerHints hints) {
+  // The single admission funnel: every execution path (Session::Query,
+  // Session::Sql including EXPLAIN ANALYZE, the deprecated shims, the
+  // server) reaches execution through here, so the gate is taken exactly
+  // once per query.
+  double queue_wait_ms = 0;
+  MURAL_ASSIGN_OR_RETURN(AdmissionTicket ticket,
+                         admission_->Admit(&queue_wait_ms));
+  MURAL_ASSIGN_OR_RETURN(PhysicalPlan physical, PlanOn(session, plan, hints));
+  ExecContext* ctx = session.exec_context();
   QueryResult result;
+  result.session_id = session.id();
+  result.queue_wait_ms = queue_wait_ms;
   result.schema = physical.root->output_schema();
   result.predicted_rows = physical.predicted_rows;
   result.predicted_cost = physical.predicted_cost;
   result.explain = physical.Explain();
 
-  const ExecStats before = ctx_.stats;
+  const ExecStats before = ctx->stats;
   Timer timer;
   MURAL_ASSIGN_OR_RETURN(result.rows, CollectAll(physical.root.get()));
   result.runtime_ms = timer.ElapsedMillis();
@@ -288,39 +332,46 @@ StatusOr<QueryResult> Database::Query(const LogicalPtr& plan,
   result.explain_analyze += StringFormat(
       "q-error: max=%.2f over %zu estimated nodes\n", result.max_qerror,
       result.feedback.size());
+  result.explain_analyze += StringFormat(
+      "session: id=%llu queue_wait_ms=%.2f\n",
+      static_cast<unsigned long long>(result.session_id),
+      result.queue_wait_ms);
 
-  if (slow_query_millis_ >= 0 &&
-      result.runtime_ms >= static_cast<double>(slow_query_millis_)) {
+  const int64_t slow_millis = session.slow_query_millis();
+  if (slow_millis >= 0 &&
+      result.runtime_ms >= static_cast<double>(slow_millis)) {
     static Counter* slow_queries =
         MetricsRegistry::Global().GetCounter("engine.slow_queries");
     slow_queries->Increment();
-    MURAL_LOG(Warn) << "slow query (" << result.runtime_ms << " ms >= "
-                    << slow_query_millis_ << " ms):\n"
+    MURAL_LOG(Warn) << "slow query (session " << session.id() << ": "
+                    << result.runtime_ms << " ms >= " << slow_millis
+                    << " ms):\n"
                     << result.explain_analyze;
   }
 
   // Per-query counter deltas.
-  result.exec_stats = ctx_.stats;
+  result.exec_stats = ctx->stats;
   result.exec_stats.SubtractBaseline(before);
   return result;
 }
 
-StatusOr<QueryResult> Database::Sql(const std::string& statement) {
+StatusOr<QueryResult> Database::SqlOn(SessionState& session,
+                                      const std::string& statement,
+                                      PlannerHints hints) {
   MURAL_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(statement));
   QueryResult result;
   switch (stmt.kind) {
     case sql::StatementKind::kSelect: {
-      MURAL_ASSIGN_OR_RETURN(LogicalPtr plan,
-                             sql::Bind(stmt, catalog_.get()));
-      return Query(plan);
+      MURAL_ASSIGN_OR_RETURN(LogicalPtr plan, BindCached(session, stmt));
+      return QueryOn(session, plan, hints);
     }
     case sql::StatementKind::kExplain: {
-      MURAL_ASSIGN_OR_RETURN(LogicalPtr plan,
-                             sql::Bind(stmt, catalog_.get()));
+      MURAL_ASSIGN_OR_RETURN(LogicalPtr plan, BindCached(session, stmt));
       if (stmt.explain_analyze) {
         // EXPLAIN ANALYZE: execute, then return the timed plan tree (with
         // estimated vs actual rows and the q-error summary) as rows.
-        MURAL_ASSIGN_OR_RETURN(QueryResult executed, Query(plan));
+        MURAL_ASSIGN_OR_RETURN(QueryResult executed,
+                               QueryOn(session, plan, hints));
         result = std::move(executed);
         result.rows.clear();
         result.schema = Schema({{"plan", TypeId::kText}});
@@ -330,7 +381,9 @@ StatusOr<QueryResult> Database::Sql(const std::string& statement) {
         }
         return result;
       }
-      MURAL_ASSIGN_OR_RETURN(PhysicalPlan physical, PlanQuery(plan));
+      MURAL_ASSIGN_OR_RETURN(PhysicalPlan physical,
+                             PlanOn(session, plan, hints));
+      result.session_id = session.id();
       result.schema = Schema({{"plan", TypeId::kText}});
       result.predicted_rows = physical.predicted_rows;
       result.predicted_cost = physical.predicted_cost;
@@ -341,32 +394,24 @@ StatusOr<QueryResult> Database::Sql(const std::string& statement) {
       return result;
     }
     case sql::StatementKind::kSet: {
-      if (EqualsIgnoreCase(stmt.set_name, "lexequal_threshold")) {
-        SetLexequalThreshold(static_cast<int>(stmt.set_value));
-      } else if (EqualsIgnoreCase(stmt.set_name, "degree_of_parallelism")) {
-        SetDegreeOfParallelism(static_cast<int>(stmt.set_value));
-      } else if (EqualsIgnoreCase(stmt.set_name, "slow_query_millis")) {
-        SetSlowQueryMillis(stmt.set_value);
-      } else if (EqualsIgnoreCase(stmt.set_name, "batch_size")) {
-        SetBatchSize(stmt.set_value);
-      } else {
-        return Status::NotFound("unknown setting: " + stmt.set_name);
-      }
-      result.schema = Schema({{"ok", TypeId::kBool}});
-      result.rows.push_back({Value::Bool(true)});
+      // THE settings path: SQL SET and the C++ setters both land in
+      // SessionState::Set, so validation/clamping live in one place.
+      MURAL_RETURN_IF_ERROR(session.Set(stmt.set_name, stmt.set_value));
+      result = OkResult();
+      result.session_id = session.id();
       return result;
     }
     case sql::StatementKind::kCreateTable:
       MURAL_RETURN_IF_ERROR(CreateTable(stmt.table_name, stmt.schema));
-      result.schema = Schema({{"ok", TypeId::kBool}});
-      result.rows.push_back({Value::Bool(true)});
+      result = OkResult();
+      result.session_id = session.id();
       return result;
     case sql::StatementKind::kCreateIndex:
       MURAL_RETURN_IF_ERROR(CreateIndex(stmt.index_name, stmt.table_name,
                                         stmt.index_column, stmt.index_kind,
                                         stmt.index_on_phonemes));
-      result.schema = Schema({{"ok", TypeId::kBool}});
-      result.rows.push_back({Value::Bool(true)});
+      result = OkResult();
+      result.session_id = session.id();
       return result;
     case sql::StatementKind::kInsert: {
       // Coerce TEXT literals into UNITEXT columns (default: English), the
@@ -383,18 +428,64 @@ StatusOr<QueryResult> Database::Sql(const std::string& statement) {
         }
         MURAL_RETURN_IF_ERROR(Insert(stmt.table_name, std::move(row)));
       }
+      result.session_id = session.id();
       result.schema = Schema({{"inserted", TypeId::kInt64}});
       result.rows.push_back(
           {Value::Int64(static_cast<int64_t>(stmt.insert_rows.size()))});
       return result;
     }
     case sql::StatementKind::kAnalyze:
-      MURAL_RETURN_IF_ERROR(Analyze(stmt.table_name));
-      result.schema = Schema({{"ok", TypeId::kBool}});
-      result.rows.push_back({Value::Bool(true)});
+      MURAL_RETURN_IF_ERROR(
+          AnalyzeWith(stmt.table_name, session.exec_context()));
+      result = OkResult();
+      result.session_id = session.id();
       return result;
+    case sql::StatementKind::kPrepare: {
+      // Validate the body now so EXECUTE never hits a parse error, and
+      // refuse nested PREPARE/EXECUTE (no indirection cycles).
+      MURAL_ASSIGN_OR_RETURN(sql::Statement body,
+                             sql::Parse(stmt.prepare_body));
+      if (body.kind == sql::StatementKind::kPrepare ||
+          body.kind == sql::StatementKind::kExecute) {
+        return Status::InvalidArgument(
+            "PREPARE body must not itself be PREPARE or EXECUTE");
+      }
+      (*session.prepared_statements())[UpperAscii(stmt.prepare_name)] =
+          stmt.prepare_body;
+      result = OkResult();
+      result.session_id = session.id();
+      return result;
+    }
+    case sql::StatementKind::kExecute: {
+      const auto* prepared = session.prepared_statements();
+      const auto it = prepared->find(UpperAscii(stmt.prepare_name));
+      if (it == prepared->end()) {
+        return Status::NotFound("no prepared statement named " +
+                                stmt.prepare_name);
+      }
+      // One level of recursion only: PREPARE rejected nested
+      // PREPARE/EXECUTE bodies above.
+      return SqlOn(session, it->second, hints);
+    }
   }
   return Status::Internal("unhandled statement kind");
+}
+
+StatusOr<LogicalPtr> Database::BindCached(SessionState& session,
+                                          const sql::Statement& stmt) {
+  // The cache key carries everything that feeds binding and plan shape:
+  // the statement text (which embeds the predicate language set), plus
+  // the session's threshold/DOP/batch knobs.
+  PlanCacheKey key;
+  key.statement = stmt.text;
+  key.lexequal_threshold = session.options().lexequal_threshold;
+  key.degree_of_parallelism = session.options().degree_of_parallelism;
+  key.batch_size = session.options().batch_size;
+  LogicalPtr plan = plan_cache_->Lookup(key);
+  if (plan != nullptr) return plan;
+  MURAL_ASSIGN_OR_RETURN(plan, sql::Bind(stmt, catalog_.get()));
+  plan_cache_->Insert(key, plan);
+  return plan;
 }
 
 StatusOr<pl::UdfRuntime*> Database::udf_runtime() {

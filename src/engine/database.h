@@ -1,20 +1,35 @@
-// Database: the engine facade tying together storage, catalog, statistics,
-// the optimizer, the executor, the pinned taxonomy, and the
-// outside-the-server UDF runtime.
+// Database: the shared engine core tying together storage, catalog,
+// statistics, the optimizer, the pinned taxonomy, the shared plan cache,
+// the admission-control gate, and the outside-the-server UDF runtime.
 //
-// One Database == one single-user session, with the session settings the
-// paper stores in system tables (§4.2): the LexEQUAL threshold, and the
-// execution mode (native operators vs outside-the-server UDFs).
+// One Database serves MANY concurrent sessions.  Per-session state — the
+// settings the paper stores in system tables (§4.2: LexEQUAL threshold,
+// execution mode) plus the execution context, worker pool and prepared
+// statements — lives in SessionState (engine/session_state.h) and is
+// surfaced through the Session API (session/session.h):
+//
+//   MURAL_ASSIGN_OR_RETURN(auto db, Database::Open());
+//   MURAL_ASSIGN_OR_RETURN(auto session, db->Connect());
+//   MURAL_ASSIGN_OR_RETURN(QueryResult r, session->Sql("SELECT ..."));
+//
+// The *On(SessionState&, ...) members are the session-parameterized core
+// every entry point funnels through.  The historical single-session
+// methods (Query/Sql/PlanQuery/Set*) survive as thin deprecated shims
+// over a built-in default session so the pre-split call sites keep
+// compiling; new code should Connect() a Session instead.
 
 #pragma once
 
-#include <algorithm>
+#include <atomic>
 #include <memory>
 #include <string>
 
 #include "catalog/catalog.h"
 #include "common/thread_pool.h"
 #include "datagen/taxonomy_generator.h"
+#include "engine/admission.h"
+#include "engine/plan_cache.h"
+#include "engine/session_state.h"
 #include "exec/exec_context.h"
 #include "optimizer/planner.h"
 #include "phonetic/phoneme_cache.h"
@@ -24,22 +39,35 @@
 
 namespace mural {
 
+namespace sql {
+struct Statement;
+}  // namespace sql
+
+class Session;  // session layer; minted by Connect(), defined there
+
 struct DatabaseOptions {
   /// Buffer-pool frames (8 KiB each).
   size_t buffer_pool_pages = 8192;
   /// Backing file; empty = in-memory pages (logical I/O still counted).
   std::string disk_path;
-  /// Initial LexEQUAL mismatch threshold (SET LEXEQUAL_THRESHOLD changes
-  /// it per session).
+  /// Initial LexEQUAL mismatch threshold: the default for every session
+  /// this Database mints (SET LEXEQUAL_THRESHOLD changes it per session).
   int lexequal_threshold = 2;
-  /// Degree of parallelism for Psi operators.  0 = hardware concurrency;
-  /// 1 = serial plans (SET DEGREE_OF_PARALLELISM changes it per session).
+  /// Default session degree of parallelism for Psi operators.  0 =
+  /// hardware concurrency; 1 = serial plans (SET DEGREE_OF_PARALLELISM
+  /// changes it per session).
   int degree_of_parallelism = 0;
-  /// Entry budget of the session phoneme cache; 0 disables caching.
+  /// Entry budget of the shared phoneme cache; 0 disables caching.
   size_t phoneme_cache_capacity = 1 << 16;
-  /// Rows per batch on the vectorized execution path (SET BATCH_SIZE
-  /// changes it per session); 0 = tuple-at-a-time execution.
+  /// Default rows per batch on the vectorized execution path
+  /// (SET BATCH_SIZE changes it per session); 0 = tuple-at-a-time.
   size_t batch_size = 1024;
+  /// Shared plan-cache entry budget; 0 disables plan caching.
+  size_t plan_cache_capacity = 128;
+  /// Admission-control gate over concurrent query execution
+  /// (max_concurrent = 0 leaves the gate open — library single-user use
+  /// pays nothing).
+  AdmissionOptions admission;
 };
 
 /// Plan-vs-actual feedback for one executed plan node: the planner's
@@ -63,12 +91,16 @@ struct QueryResult {
   std::string explain;
   /// EXPLAIN ANALYZE form: the executed plan as a timed tree (per-operator
   /// wall time, estimated vs actual rows, per-node q-error) plus a q-error
-  /// summary line.
+  /// summary line and the session attribution line.
   std::string explain_analyze;
   /// Per-node estimate feedback, pre-order; nodes without an estimate are
   /// skipped.  max_qerror summarizes the worst node.
   std::vector<NodeFeedback> feedback;
   double max_qerror = 1.0;
+  /// The session that ran the query (0 = the built-in legacy session).
+  uint64_t session_id = 0;
+  /// Time spent queued at the admission gate before execution began.
+  double queue_wait_ms = 0;
 
   /// Pretty-prints rows as an aligned table.
   std::string ToTable(size_t max_rows = 20) const;
@@ -79,7 +111,25 @@ class Database {
   [[nodiscard]] static StatusOr<std::unique_ptr<Database>> Open(
       DatabaseOptions options = DatabaseOptions());
 
+  // ------------------------------------------------------------ sessions
+
+  /// Mints a new concurrent session against this Database with the
+  /// Database-default session options (thread-safe).  The Session must
+  /// not outlive the Database.  Defined in session/session.cc.
+  [[nodiscard]] StatusOr<std::unique_ptr<Session>> Connect();
+  [[nodiscard]] StatusOr<std::unique_ptr<Session>> Connect(
+      SessionOptions options);
+
+  const SessionOptions& session_defaults() const {
+    return session_defaults_;
+  }
+
   // ------------------------------------------------------------- DDL/DML
+  //
+  // DDL and ANALYZE mutate what bound plans were built against, so each
+  // of these invalidates the shared plan cache.  Safe to call from any
+  // session's thread; the catalog and stats catalog are internally
+  // synchronized.
 
   [[nodiscard]] Status CreateTable(const std::string& name, Schema schema);
 
@@ -105,6 +155,7 @@ class Database {
   /// Pins `taxonomy` in memory for SemEQUAL *and* persists it into the
   /// relational tables tax_synsets / tax_edges / tax_equiv, so closure
   /// computation can also run against storage (the Figure-8 experiments).
+  /// Setup-phase only: must not race live queries.
   [[nodiscard]] Status LoadTaxonomy(std::unique_ptr<Taxonomy> taxonomy);
 
   /// Adds B+Tree indexes on tax_edges.parent and tax_equiv.a (the
@@ -113,82 +164,141 @@ class Database {
 
   const Taxonomy* taxonomy() const { return taxonomy_.get(); }
 
-  // ------------------------------------------------------------- queries
+  // ----------------------------------------- session-parameterized core
+  //
+  // Every query entry point — Session methods, the server, and the
+  // deprecated single-session shims below — funnels through these.
 
-  /// Plans without executing (EXPLAIN).
-  [[nodiscard]] StatusOr<PhysicalPlan> PlanQuery(const LogicalPtr& plan,
-                                   PlannerHints hints = PlannerHints());
+  /// Plans without executing (EXPLAIN) on behalf of `session`.
+  [[nodiscard]] StatusOr<PhysicalPlan> PlanOn(
+      SessionState& session, const LogicalPtr& plan,
+      PlannerHints hints = PlannerHints());
 
-  /// Plans and executes, reporting predictions, timings and counters.
-  [[nodiscard]] StatusOr<QueryResult> Query(const LogicalPtr& plan,
-                              PlannerHints hints = PlannerHints());
+  /// Plans and executes on behalf of `session`: takes an admission-gate
+  /// slot, reports predictions/timings/counters, and stamps the result
+  /// with the session id and queue wait.
+  [[nodiscard]] StatusOr<QueryResult> QueryOn(
+      SessionState& session, const LogicalPtr& plan,
+      PlannerHints hints = PlannerHints());
 
-  /// Parses and runs a SQL statement (SELECT / EXPLAIN / SET / CREATE /
-  /// INSERT / ANALYZE); see src/sql.
-  [[nodiscard]] StatusOr<QueryResult> Sql(const std::string& statement);
+  /// Parses and runs one SQL statement (SELECT / EXPLAIN / SET / CREATE /
+  /// INSERT / ANALYZE / PREPARE / EXECUTE) on behalf of `session`,
+  /// consulting the shared plan cache for SELECT/EXPLAIN binds and
+  /// routing SET through SessionState::Set.  `hints` reaches the planner
+  /// for SELECT and EXPLAIN [ANALYZE] statements.
+  [[nodiscard]] StatusOr<QueryResult> SqlOn(
+      SessionState& session, const std::string& statement,
+      PlannerHints hints = PlannerHints());
 
-  // ------------------------------------------------------------ settings
+  // --------------------------------------------- deprecated shims
+  //
+  // The pre-split single-session surface, kept so existing call sites
+  // compile.  Each forwards to the built-in default session (id 0).
+  // DEPRECATED: mint a Session with Connect() instead.
+
+  [[nodiscard]] StatusOr<PhysicalPlan> PlanQuery(
+      const LogicalPtr& plan, PlannerHints hints = PlannerHints()) {
+    return PlanOn(*default_session_, plan, hints);
+  }
+  [[nodiscard]] StatusOr<QueryResult> Query(
+      const LogicalPtr& plan, PlannerHints hints = PlannerHints()) {
+    return QueryOn(*default_session_, plan, hints);
+  }
+  [[nodiscard]] StatusOr<QueryResult> Sql(const std::string& statement) {
+    return SqlOn(*default_session_, statement);
+  }
 
   void SetLexequalThreshold(int threshold) {
-    ctx_.lexequal_threshold = threshold;
+    MURAL_IGNORE_ERROR(
+        default_session_->Set("lexequal_threshold", threshold));
   }
-  int lexequal_threshold() const { return ctx_.lexequal_threshold; }
-
-  /// Sets the session DOP (0 = hardware concurrency) and (re)provisions
-  /// the worker pool when dop > 1.
-  void SetDegreeOfParallelism(int dop);
-  int degree_of_parallelism() const { return ctx_.degree_of_parallelism; }
-
-  /// Rows per batch on the vectorized path; 0 forces tuple-at-a-time
-  /// execution (and the planner skips batch-only operators).  Clamped to
-  /// [0, 65536].  SET BATCH_SIZE changes it per session.
+  int lexequal_threshold() const {
+    return default_session_->options().lexequal_threshold;
+  }
+  void SetDegreeOfParallelism(int dop) {
+    MURAL_IGNORE_ERROR(default_session_->Set("degree_of_parallelism", dop));
+  }
+  int degree_of_parallelism() const {
+    return default_session_->options().degree_of_parallelism;
+  }
   void SetBatchSize(int64_t rows) {
-    ctx_.batch_size = static_cast<size_t>(
-        std::min<int64_t>(std::max<int64_t>(rows, 0), 65536));
+    MURAL_IGNORE_ERROR(default_session_->Set("batch_size", rows));
   }
-  size_t batch_size() const { return ctx_.batch_size; }
+  size_t batch_size() const {
+    return static_cast<size_t>(default_session_->options().batch_size);
+  }
+  void SetSlowQueryMillis(int64_t millis) {
+    MURAL_IGNORE_ERROR(default_session_->Set("slow_query_millis", millis));
+  }
+  int64_t slow_query_millis() const {
+    return default_session_->slow_query_millis();
+  }
 
-  /// Queries running at least this many milliseconds log a warning with
-  /// the serialized timed plan tree; negative disables (default).
-  /// SET SLOW_QUERY_MILLIS changes it per session.
-  void SetSlowQueryMillis(int64_t millis) { slow_query_millis_ = millis; }
-  int64_t slow_query_millis() const { return slow_query_millis_; }
+  /// DEPRECATED: the default session's execution context.
+  ExecContext* exec_context() { return default_session_->exec_context(); }
+  /// DEPRECATED: the default session's worker pool (null until DOP > 1).
+  ThreadPool* thread_pool() { return default_session_->thread_pool(); }
 
   // -------------------------------------------------------------- access
 
-  ExecContext* exec_context() { return &ctx_; }
   Catalog* catalog() { return catalog_.get(); }
   StatsCatalog* stats_catalog() { return &stats_; }
   BufferPool* buffer_pool() { return pool_.get(); }
   DiskManager* disk() { return disk_.get(); }
   PhonemeCache* phoneme_cache() { return phoneme_cache_.get(); }
-  ThreadPool* thread_pool() { return thread_pool_.get(); }
+  PlanCache* plan_cache() { return plan_cache_.get(); }
+  AdmissionController* admission() { return admission_.get(); }
 
   /// The outside-the-server UDF runtime with SQL_*/TEMPSET_* host
   /// callbacks bound to this database.  `use_btree_for_closure` selects
   /// how the SQL_CHILDREN host statement executes: B+Tree probe (requires
-  /// CreateTaxonomyIndexes) vs full scan of tax_edges.
+  /// CreateTaxonomyIndexes) vs full scan of tax_edges.  Single-session:
+  /// the outside-the-server baseline models the paper's one-user setup
+  /// and runs on the default session.
   [[nodiscard]] StatusOr<pl::UdfRuntime*> udf_runtime();
   void set_outside_closure_uses_btree(bool use) {
     outside_closure_btree_ = use;
   }
 
  private:
+  friend class Session;  // Connect() wires SessionStates to this core
+
   Database() = default;
 
   [[nodiscard]] Status BindUdfHosts();
+
+  /// Binds `stmt` through the shared plan cache (hit skips parse+bind
+  /// work; miss binds and populates).
+  [[nodiscard]] StatusOr<LogicalPtr> BindCached(SessionState& session,
+                                                const sql::Statement& stmt);
+
+  /// ANALYZE core: G2P for MFV phonemes runs through `ctx` so the work is
+  /// attributed to the requesting session's counters.
+  [[nodiscard]] Status AnalyzeWith(const std::string& table,
+                                   ExecContext* ctx);
+
+  /// Sessions pick up engine-shared handles (taxonomy, closure cache)
+  /// that may have been loaded after the session was minted.
+  void SyncSharedHandles(SessionState& session);
+
+  uint64_t MintSessionId() {
+    return next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
   StatsCatalog stats_;
-  ExecContext ctx_;
   std::unique_ptr<Taxonomy> taxonomy_;
   std::unique_ptr<ClosureCache> closure_cache_;
   std::unique_ptr<PhonemeCache> phoneme_cache_;
-  std::unique_ptr<ThreadPool> thread_pool_;
+  std::unique_ptr<PlanCache> plan_cache_;
+  std::unique_ptr<AdmissionController> admission_;
+  SessionOptions session_defaults_;
+  std::atomic<uint64_t> next_session_id_{1};
+  /// The built-in session (id 0) behind the deprecated shims.
+  std::unique_ptr<SessionState> default_session_;
   std::unique_ptr<pl::UdfRuntime> udf_;
-  int64_t slow_query_millis_ = -1;  // negative = slow-query log disabled
   bool outside_closure_btree_ = false;
   // TEMPSET_* backing store (models PL/SQL temp tables with an index).
   std::map<int64_t, std::unordered_set<int64_t>> tempsets_;

@@ -1,0 +1,95 @@
+#include "engine/plan_cache.h"
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace mural {
+
+namespace {
+
+Counter* HitCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("engine.plan_cache.hits");
+  return c;
+}
+
+Counter* MissCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("engine.plan_cache.misses");
+  return c;
+}
+
+Counter* InvalidationCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "engine.plan_cache.invalidations");
+  return c;
+}
+
+}  // namespace
+
+std::string PlanCacheKey::Encode() const {
+  return StringFormat("k=%d|dop=%d|batch=%lld|", lexequal_threshold,
+                      degree_of_parallelism,
+                      static_cast<long long>(batch_size)) +
+         statement;
+}
+
+PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {}
+
+LogicalPtr PlanCache::Lookup(const PlanCacheKey& key) {
+  if (capacity_ == 0) {
+    MissCounter()->Increment();
+    return nullptr;
+  }
+  const std::string encoded = key.Encode();
+  LogicalPtr plan;
+  {
+    MutexLock lock(mu_);
+    auto it = map_.find(encoded);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
+      plan = it->second->plan;
+    }
+  }
+  if (plan != nullptr) {
+    HitCounter()->Increment();
+  } else {
+    MissCounter()->Increment();
+  }
+  return plan;
+}
+
+void PlanCache::Insert(const PlanCacheKey& key, LogicalPtr plan) {
+  if (capacity_ == 0 || plan == nullptr) return;
+  const std::string encoded = key.Encode();
+  MutexLock lock(mu_);
+  auto it = map_.find(encoded);
+  if (it != map_.end()) {
+    it->second->plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{encoded, std::move(plan)});
+  map_[encoded] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void PlanCache::Invalidate() {
+  {
+    MutexLock lock(mu_);
+    if (lru_.empty()) return;
+    lru_.clear();
+    map_.clear();
+  }
+  InvalidationCounter()->Increment();
+}
+
+size_t PlanCache::size() const {
+  MutexLock lock(mu_);
+  return map_.size();
+}
+
+}  // namespace mural

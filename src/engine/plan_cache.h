@@ -1,0 +1,83 @@
+// Shared plan cache for prepared/repeated statements.
+//
+// Caches the *bound logical plan* of a statement so a repeat execution
+// skips the parse + bind passes.  Physical planning still runs per
+// execution (physical operator trees are single-use and cost decisions
+// depend on live session knobs), so the cache key carries everything that
+// feeds binding and plan shape: the statement text (which embeds the
+// language set of LexEQUAL/SemEQUAL predicates), the LexEQUAL threshold,
+// the session DOP, and the batch size.
+//
+// The cache is owned by Database and shared by every session.  Any DDL or
+// ANALYZE invalidates the whole cache: bound plans resolve column
+// positions and table names against the catalog/stats state at bind time,
+// and a version sweep is cheaper and safer than per-table dependency
+// tracking at this scale.
+//
+// Bound logical plans are immutable after Bind (the planner deep-copies
+// before rewriting), so one cached LogicalPtr may be planned concurrently
+// by many sessions.
+//
+// Hit/miss/invalidation counts are exported through the metrics registry
+// as engine.plan_cache.{hits,misses,invalidations}.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "optimizer/logical_plan.h"
+
+namespace mural {
+
+/// Everything that distinguishes two cached plans.  The language set of
+/// multilingual predicates is part of `statement` (its SQL spelling), per
+/// the key design above.
+struct PlanCacheKey {
+  std::string statement;
+  int lexequal_threshold = 0;
+  int degree_of_parallelism = 0;
+  int64_t batch_size = 0;
+
+  /// Flat encoding used as the map key.
+  std::string Encode() const;
+};
+
+/// Thread-safe LRU map from PlanCacheKey to bound logical plans.
+class PlanCache {
+ public:
+  /// `capacity` = max cached plans; 0 disables the cache (every Lookup
+  /// misses, Insert is a no-op).
+  explicit PlanCache(size_t capacity);
+
+  /// The cached plan, or nullptr on miss.  Counts a hit or miss.
+  LogicalPtr Lookup(const PlanCacheKey& key);
+
+  /// Caches `plan` (evicting the least-recently-used entry at capacity).
+  void Insert(const PlanCacheKey& key, LogicalPtr plan);
+
+  /// Drops everything (DDL/ANALYZE changed binding inputs).
+  void Invalidate();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    LogicalPtr plan;
+  };
+
+  const size_t capacity_;
+  mutable Mutex mu_;
+  /// MRU-front recency list; the map points at list nodes.
+  std::list<Entry> lru_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_
+      GUARDED_BY(mu_);
+};
+
+}  // namespace mural

@@ -1,0 +1,63 @@
+#include "engine/session_state.h"
+
+#include "common/string_util.h"
+
+namespace mural {
+
+SessionState::SessionState(uint64_t id, PhonemeCache* phoneme_cache)
+    : id_(id) {
+  if (phoneme_cache != nullptr && phoneme_cache->enabled()) {
+    ctx_.phoneme_cache = phoneme_cache;
+  }
+}
+
+Status SessionState::ApplyOptions(const SessionOptions& options) {
+  MURAL_RETURN_IF_ERROR(
+      Set("lexequal_threshold", options.lexequal_threshold));
+  MURAL_RETURN_IF_ERROR(
+      Set("degree_of_parallelism", options.degree_of_parallelism));
+  MURAL_RETURN_IF_ERROR(Set("batch_size", options.batch_size));
+  return Set("slow_query_millis", options.slow_query_millis);
+}
+
+Status SessionState::Set(const std::string& name, int64_t value) {
+  if (EqualsIgnoreCase(name, "lexequal_threshold")) {
+    const int64_t clamped = std::min<int64_t>(
+        std::max<int64_t>(value, 0), kMaxLexequalThreshold);
+    options_.lexequal_threshold = static_cast<int>(clamped);
+    ctx_.lexequal_threshold = options_.lexequal_threshold;
+    return Status::OK();
+  }
+  if (EqualsIgnoreCase(name, "degree_of_parallelism")) {
+    int dop = static_cast<int>(std::min<int64_t>(
+        std::max<int64_t>(value, 0), kMaxDegreeOfParallelism));
+    if (dop <= 0) dop = static_cast<int>(ThreadPool::HardwareConcurrency());
+    options_.degree_of_parallelism = std::max(1, dop);
+    ctx_.degree_of_parallelism = options_.degree_of_parallelism;
+    if (ctx_.degree_of_parallelism > 1) {
+      // ParallelMorsels runs strip 0 on the calling thread, so a dop-way
+      // phase needs dop - 1 pool workers.  Grow-only: raising then
+      // lowering the session DOP keeps the larger pool.
+      const size_t want =
+          static_cast<size_t>(ctx_.degree_of_parallelism - 1);
+      if (pool_ == nullptr || pool_->num_threads() < want) {
+        pool_ = std::make_unique<ThreadPool>(want);
+      }
+    }
+    ctx_.thread_pool = pool_.get();
+    return Status::OK();
+  }
+  if (EqualsIgnoreCase(name, "batch_size")) {
+    options_.batch_size =
+        std::min<int64_t>(std::max<int64_t>(value, 0), kMaxBatchSize);
+    ctx_.batch_size = static_cast<size_t>(options_.batch_size);
+    return Status::OK();
+  }
+  if (EqualsIgnoreCase(name, "slow_query_millis")) {
+    options_.slow_query_millis = value;  // negative = disabled
+    return Status::OK();
+  }
+  return Status::NotFound("unknown setting: " + name);
+}
+
+}  // namespace mural

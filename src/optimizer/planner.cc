@@ -261,7 +261,7 @@ StatusOr<Planner::Planned> Planner::PlanNodeImpl(const LogicalNode& node,
 StatusOr<Planner::Planned> Planner::PlanScan(const LogicalNode& node,
                                              const PlannerHints& hints) {
   MURAL_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(node.table));
-  const TableStats* tstats = stats_->Get(node.table);
+  const std::shared_ptr<const TableStats> tstats = stats_->Get(node.table);
   const double base_rows =
       tstats != nullptr ? static_cast<double>(tstats->num_rows)
                         : static_cast<double>(table->heap->num_records());

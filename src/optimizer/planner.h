@@ -74,7 +74,10 @@ class Planner {
     Cost cost;
     /// Set when the node is a bare table scan (enables index joins).
     const TableInfo* base_table = nullptr;
-    const TableStats* base_stats = nullptr;
+    /// Stats snapshot held for the planning pass (StatsCatalog::Get hands
+    /// out immutable shared_ptr snapshots; a concurrent ANALYZE publishes
+    /// a replacement without invalidating this one).
+    std::shared_ptr<const TableStats> base_stats;
   };
 
   /// Dispatches to the per-kind planners and stamps the winning operator

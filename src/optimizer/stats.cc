@@ -132,16 +132,23 @@ Status StatsCatalog::Analyze(const TableInfo& table, ExecContext* ctx) {
   stats.avg_row_len =
       stats.num_rows ? row_len_sum / static_cast<double>(stats.num_rows)
                      : 0.0;
-  tables_[LowerName(table.name)] = std::move(stats);
+  auto snapshot = std::make_shared<const TableStats>(std::move(stats));
+  {
+    WriterMutexLock lock(mu_);
+    tables_[LowerName(table.name)] = std::move(snapshot);
+  }
   return Status::OK();
 }
 
-const TableStats* StatsCatalog::Get(const std::string& table) const {
+std::shared_ptr<const TableStats> StatsCatalog::Get(
+    const std::string& table) const {
+  ReaderMutexLock lock(mu_);
   auto it = tables_.find(LowerName(table));
-  return it == tables_.end() ? nullptr : &it->second;
+  return it == tables_.end() ? nullptr : it->second;
 }
 
 void StatsCatalog::Drop(const std::string& table) {
+  WriterMutexLock lock(mu_);
   tables_.erase(LowerName(table));
 }
 

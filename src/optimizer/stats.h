@@ -10,10 +10,13 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "exec/exec_context.h"
 
 namespace mural {
@@ -56,19 +59,31 @@ struct TableStats {
 };
 
 /// Holds statistics for all analyzed tables.
+///
+/// Thread-safe: many sessions plan concurrently against one StatsCatalog
+/// while ANALYZE may be rebuilding a table's entry.  Published TableStats
+/// are immutable snapshots handed out by shared_ptr, so a planner keeps a
+/// consistent view for the whole planning pass even if a concurrent
+/// ANALYZE swaps the entry underneath it.
 class StatsCatalog {
  public:
   /// Scans `table` and (re)builds its statistics.  Phoneme strings for
-  /// text-like MFVs are computed through `ctx`'s transformer.
+  /// text-like MFVs are computed through `ctx`'s transformer.  The scan
+  /// and G2P work run outside the lock; the finished snapshot is swapped
+  /// in atomically.
   Status Analyze(const TableInfo& table, ExecContext* ctx);
 
-  /// Stats for a table; nullptr if never analyzed.
-  const TableStats* Get(const std::string& table) const;
+  /// Snapshot of a table's stats; nullptr if never analyzed.  The
+  /// returned snapshot never mutates — a later ANALYZE publishes a new
+  /// one instead.
+  std::shared_ptr<const TableStats> Get(const std::string& table) const;
 
   void Drop(const std::string& table);
 
  private:
-  std::map<std::string, TableStats> tables_;
+  mutable SharedMutex mu_;
+  std::map<std::string, std::shared_ptr<const TableStats>> tables_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace mural

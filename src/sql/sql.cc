@@ -155,6 +155,10 @@ class SqlParser {
       Advance();
       stmt.kind = StatementKind::kAnalyze;
       MURAL_ASSIGN_OR_RETURN(stmt.table_name, TakeIdent());
+    } else if (PeekIdent("EXECUTE")) {
+      Advance();
+      stmt.kind = StatementKind::kExecute;
+      MURAL_ASSIGN_OR_RETURN(stmt.prepare_name, TakeIdent());
     } else {
       return Status::InvalidArgument("unrecognized SQL statement");
     }
@@ -605,12 +609,84 @@ class SqlParser {
   size_t pos_ = 0;
 };
 
+/// Whole-word case-insensitive match of `kw` at the first non-space
+/// position at or after `start`; returns the position just past the word,
+/// or npos on no match.
+size_t MatchWord(const std::string& text, size_t start,
+                 const std::string& kw) {
+  const size_t i = text.find_first_not_of(" \t\r\n", start);
+  if (i == std::string::npos || text.size() - i < kw.size()) {
+    return std::string::npos;
+  }
+  for (size_t k = 0; k < kw.size(); ++k) {
+    if (std::toupper(static_cast<unsigned char>(text[i + k])) != kw[k]) {
+      return std::string::npos;
+    }
+  }
+  const size_t end = i + kw.size();
+  if (end < text.size() &&
+      (std::isalnum(static_cast<unsigned char>(text[end])) ||
+       text[end] == '_')) {
+    return std::string::npos;  // a longer identifier, not the keyword
+  }
+  return end;
+}
+
+/// PREPARE <name> AS <statement> is carved up textually so the body stays
+/// verbatim — it is validated by a recursive Parse at PREPARE time and
+/// re-parsed on EXECUTE.
+StatusOr<Statement> ParsePrepare(const std::string& text,
+                                 size_t after_prepare) {
+  Statement stmt;
+  stmt.kind = StatementKind::kPrepare;
+  const size_t name_begin =
+      text.find_first_not_of(" \t\r\n", after_prepare);
+  if (name_begin == std::string::npos) {
+    return Status::InvalidArgument("PREPARE <name> AS <statement>");
+  }
+  size_t name_end = name_begin;
+  while (name_end < text.size() &&
+         (std::isalnum(static_cast<unsigned char>(text[name_end])) ||
+          text[name_end] == '_')) {
+    ++name_end;
+  }
+  if (name_end == name_begin) {
+    return Status::InvalidArgument("PREPARE <name> AS <statement>");
+  }
+  stmt.prepare_name = text.substr(name_begin, name_end - name_begin);
+  const size_t body_begin = MatchWord(text, name_end, "AS");
+  if (body_begin == std::string::npos) {
+    return Status::InvalidArgument("PREPARE <name> AS <statement>");
+  }
+  std::string body = text.substr(body_begin);
+  // Trim whitespace and the optional trailing ';' of the PREPARE itself.
+  size_t e = body.find_last_not_of(" \t\r\n");
+  if (e != std::string::npos && body[e] == ';') {
+    e = (e == 0) ? std::string::npos : body.find_last_not_of(" \t\r\n", e - 1);
+  }
+  const size_t b = body.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos || e == std::string::npos || e < b) {
+    return Status::InvalidArgument("PREPARE body is empty");
+  }
+  stmt.prepare_body = body.substr(b, e - b + 1);
+  return stmt;
+}
+
 }  // namespace
 
 StatusOr<Statement> Parse(const std::string& text) {
+  const size_t after_prepare = MatchWord(text, 0, "PREPARE");
+  if (after_prepare != std::string::npos) {
+    MURAL_ASSIGN_OR_RETURN(Statement prepared,
+                           ParsePrepare(text, after_prepare));
+    prepared.text = text;
+    return prepared;
+  }
   MURAL_ASSIGN_OR_RETURN(std::vector<Tk> tokens, LexSql(text));
   SqlParser parser(std::move(tokens));
-  return parser.Run();
+  MURAL_ASSIGN_OR_RETURN(Statement stmt, parser.Run());
+  stmt.text = text;
+  return stmt;
 }
 
 // ================================================================== binder

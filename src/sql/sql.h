@@ -46,11 +46,17 @@ enum class StatementKind {
   kCreateIndex,
   kInsert,
   kAnalyze,
+  kPrepare,      // PREPARE <name> AS <statement>
+  kExecute,      // EXECUTE <name>
 };
 
 /// A parsed (but unbound) statement.
 struct Statement {
   StatementKind kind = StatementKind::kSelect;
+
+  /// The original statement text as handed to Parse() — the plan cache
+  /// keys on it.
+  std::string text;
 
   // kSelect / kExplain: raw pieces bound later.
   struct TableRef {
@@ -94,6 +100,11 @@ struct Statement {
   std::vector<Row> insert_rows;
 
   // kAnalyze reuses table_name.
+
+  // kPrepare / kExecute
+  std::string prepare_name;
+  /// kPrepare only: the body statement, verbatim (re-parsed on EXECUTE).
+  std::string prepare_body;
 };
 
 /// Parses one statement (trailing ';' optional).

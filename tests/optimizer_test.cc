@@ -44,7 +44,7 @@ class OptimizerTest : public ::testing::Test {
 // ---------------------------------------------------------------- stats
 
 TEST_F(OptimizerTest, AnalyzeBuildsEndBiasedHistogram) {
-  const TableStats* stats = db_->stats_catalog()->Get("names");
+  const std::shared_ptr<const TableStats> stats = db_->stats_catalog()->Get("names");
   ASSERT_NE(stats, nullptr);
   EXPECT_EQ(stats->num_rows, 1000u);
   EXPECT_GT(stats->num_pages, 0u);
@@ -74,7 +74,7 @@ TEST_F(OptimizerTest, AnalyzeBuildsEndBiasedHistogram) {
 // ----------------------------------------------------------- cardinality
 
 TEST_F(OptimizerTest, PsiSelectivityTracksMfvMassAndThreshold) {
-  const TableStats* stats = db_->stats_catalog()->Get("names");
+  const std::shared_ptr<const TableStats> stats = db_->stats_catalog()->Get("names");
   const ColumnStats* name = stats->Column("name");
   CardinalityEstimator est(db_->stats_catalog(), nullptr);
 
@@ -96,7 +96,7 @@ TEST_F(OptimizerTest, PsiSelectivityTracksMfvMassAndThreshold) {
 }
 
 TEST_F(OptimizerTest, EqSelectivityExactForMfvUniformForTail) {
-  const TableStats* stats = db_->stats_catalog()->Get("names");
+  const std::shared_ptr<const TableStats> stats = db_->stats_catalog()->Get("names");
   const ColumnStats* name = stats->Column("name");
   CardinalityEstimator est(db_->stats_catalog(), nullptr);
   const double mfv_sel =
@@ -109,7 +109,7 @@ TEST_F(OptimizerTest, EqSelectivityExactForMfvUniformForTail) {
 }
 
 TEST_F(OptimizerTest, RangeSelectivityFromBounds) {
-  const TableStats* stats = db_->stats_catalog()->Get("names");
+  const std::shared_ptr<const TableStats> stats = db_->stats_catalog()->Get("names");
   const ColumnStats* id = stats->Column("id");
   CardinalityEstimator est(db_->stats_catalog(), nullptr);
   const double half =
@@ -136,7 +136,7 @@ TEST_F(OptimizerTest, OmegaSelectivityUsesClosureSize) {
   CardinalityEstimator est(db_->stats_catalog(), tax.get());
   const Value root_value = Value::Uni("Root", lang::kEnglish);
   EXPECT_EQ(est.OmegaClosureSize(&root_value), 10.0);
-  const TableStats* stats = db_->stats_catalog()->Get("names");
+  const std::shared_ptr<const TableStats> stats = db_->stats_catalog()->Get("names");
   const double sel =
       est.OmegaScanSelectivity(*stats->Column("name"), &root_value);
   EXPECT_NEAR(sel, 0.5, 1e-9);

@@ -225,6 +225,51 @@ TEST_F(SqlTest, SetRejectsUnknownSetting) {
   EXPECT_FALSE(db_->Sql("SET nonsense = 3").ok());
 }
 
+TEST_F(SqlTest, PrepareParsesNameAndVerbatimBody) {
+  auto stmt = sql::Parse(
+      "PREPARE find_author AS SELECT Author FROM Book "
+      "WHERE Author LexEQUAL 'nehru'@English;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, sql::StatementKind::kPrepare);
+  EXPECT_EQ(stmt->prepare_name, "find_author");
+  // Body is kept verbatim (one trailing ';' stripped), so re-parsing it
+  // at EXECUTE time sees exactly what the client wrote.
+  EXPECT_EQ(stmt->prepare_body,
+            "SELECT Author FROM Book WHERE Author LexEQUAL 'nehru'@English");
+  // The cache keys on the whole original text.
+  EXPECT_EQ(stmt->text,
+            "PREPARE find_author AS SELECT Author FROM Book "
+            "WHERE Author LexEQUAL 'nehru'@English;");
+}
+
+TEST_F(SqlTest, PrepareRejectsMalformedForms) {
+  // Missing AS, missing body, missing name.
+  EXPECT_FALSE(sql::Parse("PREPARE p SELECT * FROM Book").ok());
+  EXPECT_FALSE(sql::Parse("PREPARE p AS").ok());
+  EXPECT_FALSE(sql::Parse("PREPARE p AS   ;").ok());
+  EXPECT_FALSE(sql::Parse("PREPARE AS SELECT * FROM Book").ok());
+  // "ASDF" must not be taken as the AS keyword.
+  EXPECT_FALSE(sql::Parse("PREPARE p ASDF SELECT * FROM Book").ok());
+}
+
+TEST_F(SqlTest, ExecuteParsesStatementName) {
+  auto stmt = sql::Parse("EXECUTE find_author;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, sql::StatementKind::kExecute);
+  // The tokenizer upper-cases identifiers, which is exactly why the
+  // per-session prepared-statement map is keyed on the upper-cased name.
+  EXPECT_EQ(stmt->prepare_name, "FIND_AUTHOR");
+  EXPECT_EQ(stmt->text, "EXECUTE find_author;");
+  EXPECT_FALSE(sql::Parse("EXECUTE").ok());
+}
+
+TEST_F(SqlTest, EveryStatementCarriesItsText) {
+  const std::string text = "SELECT Author FROM Book";
+  auto stmt = sql::Parse(text);
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->text, text);
+}
+
 TEST_F(SqlTest, InsertCoercesPlainTextIntoUniText) {
   ASSERT_TRUE(db_->Sql("INSERT INTO Book VALUES (6, 'orwell', "
                        "'nineteen eighty-four', 'Fiction')")

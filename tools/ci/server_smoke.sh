@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the SQL server front end (murald + the line-
+# protocol client).  CI runs this after the release build; it can also be
+# run locally:
+#
+#   tools/ci/server_smoke.sh [build-dir]        # default: build-release
+#
+# What it proves, start to finish:
+#   1. murald comes up on an AF_UNIX socket and reports readiness.
+#   2. A scripted client session works: DDL, inserts, per-session SET,
+#      PREPARE/EXECUTE, and a LexEQUAL probe returning the expected rows.
+#   3. The shutdown metrics dump shows plan-cache hits (the repeated
+#      EXECUTE reused the cached bound plan) and admission-gate activity.
+#   4. SIGTERM produces a clean shutdown.
+set -euo pipefail
+
+BUILD_DIR="${1:-build-release}"
+MURALD="$BUILD_DIR/tools/server/murald"
+CLIENT="$BUILD_DIR/tools/server/mural_client"
+for bin in "$MURALD" "$CLIENT"; do
+  [ -x "$bin" ] || { echo "missing binary: $bin (build it first)"; exit 1; }
+done
+
+WORK_DIR="$(mktemp -d)"
+SOCK="$WORK_DIR/murald.sock"
+LOG="$WORK_DIR/murald.log"
+OUT="$WORK_DIR/client.out"
+
+cleanup() {
+  if [ -n "${SERVER_PID:-}" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -TERM "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+# Start murald as a DIRECT child (no compound command wrapping it in a
+# subshell) so $! is the daemon itself and SIGTERM reaches it.
+"$MURALD" --unix="$SOCK" --max-concurrent=4 --max-queue=8 \
+  --queue-timeout-ms=1000 >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  grep -q "murald listening" "$LOG" 2>/dev/null && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$LOG"; exit 1; }
+  sleep 0.1
+done
+grep -q "murald listening" "$LOG" || { echo "server never came up"; cat "$LOG"; exit 1; }
+
+# One scripted session.  mural_client exits nonzero if any statement
+# comes back with an error terminator.
+"$CLIENT" --unix="$SOCK" >"$OUT" <<'SQL'
+CREATE TABLE Book (BookID INT, Author UNITEXT MATERIALIZE PHONEMES)
+INSERT INTO Book VALUES (1, 'nehru'@English)
+INSERT INTO Book VALUES (2, 'nehrU'@Hindi)
+INSERT INTO Book VALUES (3, 'gandhi'@English)
+SET lexequal_threshold = 2
+PREPARE homophones AS SELECT BookID, Author FROM Book WHERE Author LexEQUAL 'nehru'@English
+EXECUTE homophones
+EXECUTE homophones
+SELECT BookID FROM Book
+SQL
+
+echo "--- client transcript ---"
+cat "$OUT"
+
+# The LexEQUAL probe must return the two homophones (twice — once per
+# EXECUTE) and not gandhi.
+[ "$(grep -c "1 | 'nehru'@English" "$OUT")" -eq 2 ] || { echo "FAIL: expected 'nehru' twice"; exit 1; }
+[ "$(grep -c "2 | 'nehrU'@Hindi" "$OUT")" -eq 2 ]   || { echo "FAIL: expected 'nehrU' twice"; exit 1; }
+grep -q "gandhi" "$OUT" && { echo "FAIL: gandhi matched a LexEQUAL probe"; exit 1; }
+# Every statement terminator carries session attribution.
+[ "$(grep -c -- '-- ok .* session=' "$OUT")" -eq 9 ] || { echo "FAIL: expected 9 ok terminators"; exit 1; }
+
+# Clean shutdown on SIGTERM; murald prints the full Prometheus dump on
+# the way out.
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
+
+echo "--- server log (tail) ---"
+tail -n 40 "$LOG"
+
+grep -q "murald shut down cleanly" "$LOG" || { echo "FAIL: no clean shutdown marker"; exit 1; }
+
+# The second EXECUTE must have hit the plan cache.
+HITS=$(awk '$1 == "mural_engine_plan_cache_hits" { print $2 }' "$LOG")
+[ -n "$HITS" ] && [ "$HITS" -ge 1 ] || { echo "FAIL: plan cache hits = '$HITS'"; exit 1; }
+# And the admission gate must have accounted for the session's queries.
+ADMITTED=$(awk '$1 == "mural_engine_admission_admitted" { print $2 }' "$LOG")
+[ -n "$ADMITTED" ] && [ "$ADMITTED" -ge 1 ] || { echo "FAIL: admission admitted = '$ADMITTED'"; exit 1; }
+grep -q "mural_engine_admission_rejected" "$LOG" || { echo "FAIL: no admission rejection counter in dump"; exit 1; }
+grep -q "mural_server_connections_total" "$LOG" || { echo "FAIL: no server connection counter in dump"; exit 1; }
+
+echo "server smoke: OK (plan_cache_hits=$HITS admitted=$ADMITTED)"

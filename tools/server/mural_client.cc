@@ -1,0 +1,151 @@
+// mural_client: line-protocol client for murald.
+//
+// Reads SQL statements (one per line) from stdin, sends each to the
+// server, and prints the response — data lines followed by the
+// `-- ok ...` terminator, or `-- error <Code>: <message>`.  At stdin EOF
+// it sends \q and exits.  Exit status is 1 if any statement returned an
+// error line (so scripted CI sessions fail loudly).
+//
+// Usage:
+//   mural_client --unix=/tmp/mural.sock < session.sql
+//   mural_client --port=4807
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+namespace {
+
+// lint: blocking(ClientRecvSome, ClientSendAll)
+
+ssize_t ClientRecvSome(int fd, char* buf, size_t n) {
+  ssize_t r;
+  do {
+    r = ::recv(fd, buf, n, 0);
+  } while (r < 0 && errno == EINTR);
+  return r;
+}
+
+bool ClientSendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t w = ::send(fd, data.data() + off, data.size() - off, 0);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+/// Buffered reader; false on EOF with no complete line left.
+bool GetLine(int fd, std::string* buf, std::string* line) {
+  while (true) {
+    const size_t nl = buf->find('\n');
+    if (nl != std::string::npos) {
+      *line = buf->substr(0, nl);
+      buf->erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t r = ClientRecvSome(fd, chunk, sizeof(chunk));
+    if (r <= 0) return false;
+    buf->append(chunk, static_cast<size_t>(r));
+  }
+}
+
+bool IsTerminator(const std::string& line) {
+  return line.rfind("-- ", 0) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unix_path;
+  int port = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--unix=", 7) == 0) {
+      unix_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      port = std::atoi(argv[i] + 7);
+    } else {
+      std::fprintf(stderr, "mural_client: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (unix_path.empty() && port < 0) {
+    std::fprintf(stderr, "mural_client: pass --unix=PATH or --port=N\n");
+    return 2;
+  }
+
+  int fd = -1;
+  if (!unix_path.empty()) {
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (unix_path.size() >= sizeof(addr.sun_path)) {
+      std::fprintf(stderr, "mural_client: unix path too long\n");
+      return 2;
+    }
+    std::strncpy(addr.sun_path, unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                            sizeof(addr)) != 0) {
+      std::fprintf(stderr, "mural_client: connect(%s): %s\n",
+                   unix_path.c_str(), std::strerror(errno));
+      return 1;
+    }
+  } else {
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                            sizeof(addr)) != 0) {
+      std::fprintf(stderr, "mural_client: connect(127.0.0.1:%d): %s\n",
+                   port, std::strerror(errno));
+      return 1;
+    }
+  }
+
+  std::string recv_buf;
+  std::string statement;
+  std::string line;
+  int errors = 0;
+  while (std::getline(std::cin, statement)) {
+    if (statement.empty()) continue;
+    if (!ClientSendAll(fd, statement + "\n")) {
+      std::fprintf(stderr, "mural_client: connection lost on send\n");
+      ::close(fd);
+      return 1;
+    }
+    if (statement == "\\q") break;
+    while (true) {
+      if (!GetLine(fd, &recv_buf, &line)) {
+        std::fprintf(stderr, "mural_client: connection lost on recv\n");
+        ::close(fd);
+        return 1;
+      }
+      std::printf("%s\n", line.c_str());
+      if (IsTerminator(line)) {
+        if (line.rfind("-- error", 0) == 0) ++errors;
+        break;
+      }
+    }
+  }
+  (void)ClientSendAll(fd, "\\q\n");
+  ::close(fd);
+  return errors > 0 ? 1 : 0;
+}
